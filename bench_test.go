@@ -1,0 +1,280 @@
+package locksafe_test
+
+// One benchmark per experiment (E1–E9; see DESIGN.md's experiment index
+// and EXPERIMENTS.md for recorded results), plus micro-benchmarks of the
+// core machinery: replay, serializability-graph construction, the two
+// safety deciders, policy monitors and the execution engine.
+
+import (
+	"math/rand"
+	"testing"
+
+	"locksafe/internal/checker"
+	"locksafe/internal/engine"
+	"locksafe/internal/experiments"
+	"locksafe/internal/model"
+	"locksafe/internal/policy"
+	"locksafe/internal/workload"
+)
+
+func BenchmarkE1CanonicalShapes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.E1CanonicalShapes(); r.Failed != "" {
+			b.Fatal(r.Failed)
+		}
+	}
+}
+
+func BenchmarkE2Figure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.E2Figure2(); r.Failed != "" {
+			b.Fatal(r.Failed)
+		}
+	}
+}
+
+func BenchmarkE3DDAGWalkthrough(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.E3DDAGWalkthrough(); r.Failed != "" {
+			b.Fatal(r.Failed)
+		}
+	}
+}
+
+func BenchmarkE4AltruisticWalkthrough(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.E4AltruisticWalkthrough(); r.Failed != "" {
+			b.Fatal(r.Failed)
+		}
+	}
+}
+
+func BenchmarkE5DTRWalkthrough(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.E5DTRWalkthrough(); r.Failed != "" {
+			b.Fatal(r.Failed)
+		}
+	}
+}
+
+func BenchmarkE6Differential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.E6Differential(25, int64(i)); r.Failed != "" {
+			b.Fatal(r.Failed)
+		}
+	}
+}
+
+func BenchmarkE7PolicySafety(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.E7PolicySafety(4, int64(i)); r.Failed != "" {
+			b.Fatal(r.Failed)
+		}
+	}
+}
+
+func BenchmarkE8Performance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, r := experiments.E8Performance(1); r.Failed != "" {
+			b.Fatal(r.Failed)
+		}
+	}
+}
+
+func BenchmarkE9Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.E9Scalability(int64(i)); r.Failed != "" {
+			b.Fatal(r.Failed)
+		}
+	}
+}
+
+// --- micro-benchmarks ---
+
+func benchSystem() *model.System {
+	sys, _ := workload.Random(rand.New(rand.NewSource(11)), workload.DefaultConfig())
+	return sys
+}
+
+func BenchmarkReplay(b *testing.B) {
+	sys, sched := workload.Random(rand.New(rand.NewSource(11)), workload.DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !sched.LegalAndProper(sys) {
+			b.Fatal("fixture broke")
+		}
+	}
+}
+
+func BenchmarkSerializabilityGraph(b *testing.B) {
+	sys, sched := workload.Random(rand.New(rand.NewSource(11)), workload.DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !sched.Graph(sys).Acyclic() && sched.Graph(sys).FindCycle() == nil {
+			b.Fatal("inconsistent graph")
+		}
+	}
+}
+
+func BenchmarkBruteChecker(b *testing.B) {
+	sys := benchSystem()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := checker.Brute(sys, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCanonicalChecker(b *testing.B) {
+	sys := benchSystem()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := checker.Canonical(sys, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCanonicalFigure2(b *testing.B) {
+	sys := workload.Figure2System()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := checker.Canonical(sys, nil)
+		if err != nil || res.Safe {
+			b.Fatal("Figure 2 must be unsafe")
+		}
+	}
+}
+
+func BenchmarkDDAGMonitor(b *testing.B) {
+	sc := workload.Figure3()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mon := policy.DDAG{}.NewMonitor(sc.SysGranted)
+		for _, ev := range sc.Granted {
+			if err := mon.Step(ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkAltruisticMonitor(b *testing.B) {
+	sc := workload.Figure4()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mon := policy.Altruistic{}.NewMonitor(sc.Sys)
+		for _, ev := range sc.Events {
+			if err := mon.Step(ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkDTRMonitor(b *testing.B) {
+	sc := workload.Figure5()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mon := policy.DTR{}.NewMonitor(sc.Sys)
+		for _, ev := range sc.Events {
+			if err := mon.Step(ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkEngineDDAG(b *testing.B) {
+	cfg := workload.DefaultDDAGConfig()
+	cfg.Txns = 8
+	sys, _ := workload.DDAGSystem(rand.New(rand.NewSource(3)), cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Run(sys, engine.Config{Policy: policy.DDAG{}, MPL: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngine2PLContention(b *testing.B) {
+	ents := []model.Entity{"a", "b", "c", "d"}
+	var txns []model.Txn
+	for i := 0; i < 8; i++ {
+		var steps []model.Step
+		for _, e := range ents {
+			steps = append(steps, model.LX(e), model.W(e))
+		}
+		for _, e := range ents {
+			steps = append(steps, model.UX(e))
+		}
+		txns = append(txns, model.Txn{Steps: steps})
+	}
+	sys := model.NewSystem(model.NewState(ents...), txns...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Run(sys, engine.Config{Policy: policy.TwoPhase{}, MPL: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkloadGen(b *testing.B) {
+	cfg := workload.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		sys, _ := workload.Random(rng, cfg)
+		if len(sys.Txns) == 0 {
+			b.Fatal("empty system")
+		}
+	}
+}
+
+func BenchmarkE10SharedDDAG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.E10SharedDDAG(5, int64(i)); r.Failed != "" {
+			b.Fatal(r.Failed)
+		}
+	}
+}
+
+func BenchmarkDDAGSXCounterexample(b *testing.B) {
+	sys := workload.DDAGSXCounterexample()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := checker.Brute(sys, &checker.Options{Monitor: policy.DDAGSX{}.NewMonitor(sys)})
+		if err != nil || res.Safe {
+			b.Fatal("counterexample must be unsafe")
+		}
+	}
+}
+
+func BenchmarkE11Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, r := experiments.E11Ablation(3); r.Failed != "" {
+			b.Fatal(r.Failed)
+		}
+	}
+}
+
+func BenchmarkE12SharedReaders(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.E12SharedReaders(1); r.Failed != "" {
+			b.Fatal(r.Failed)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Command figures regenerates the paper's Figures 1–5 as textual
+// walkthroughs: the canonical serializability-graph shapes (Fig. 1), the
+// proper nonserializable three-transaction schedule (Fig. 2), and the
+// DDAG, altruistic and DTR policy walkthroughs (Figs. 3–5).
+//
+// Usage:
+//
+//	figures [fig1|fig2|fig3|fig4|fig5]...
+//
+// With no arguments all five are printed. The exit status is nonzero if
+// any walkthrough's assertions fail.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"locksafe/internal/experiments"
+)
+
+func main() {
+	runs := map[string]func() experiments.Report{
+		"fig1": experiments.E1CanonicalShapes,
+		"fig2": experiments.E2Figure2,
+		"fig3": experiments.E3DDAGWalkthrough,
+		"fig4": experiments.E4AltruisticWalkthrough,
+		"fig5": experiments.E5DTRWalkthrough,
+	}
+	order := []string{"fig1", "fig2", "fig3", "fig4", "fig5"}
+
+	want := os.Args[1:]
+	if len(want) == 0 {
+		want = order
+	}
+	exit := 0
+	for _, name := range want {
+		f, ok := runs[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "figures: unknown figure %q (want fig1..fig5)\n", name)
+			os.Exit(2)
+		}
+		r := f()
+		fmt.Println(r.String())
+		if r.Failed != "" {
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,63 @@
+// Command lockbench runs the quantitative experiment suite and prints the
+// tables recorded in EXPERIMENTS.md:
+//
+//	E6 — differential validation of Theorem 1 (canonical vs brute force)
+//	E7 — policy safety on conformant workloads (Theorems 2–4)
+//	E8 — throughput/wait/abort vs multiprogramming level ([CHMS94] substitute)
+//	E9 — decision-cost scaling of the two deciders
+//	E10 — the naive shared/exclusive DDAG extension is unsafe (machine-found)
+//	E11 — ablation: early lock release vs hold-to-end on fixed workloads
+//	E12 — ablation: shared-mode readers vs exclusive-only readers
+//
+// Usage:
+//
+//	lockbench [-seed N] [-systems N] [e6|e7|e8|e9]...
+//
+// With no experiment arguments the full suite runs. Output is
+// deterministic for a fixed seed (timing columns excepted).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"locksafe/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed")
+	systems := flag.Int("systems", 250, "random systems for E6")
+	perPolicy := flag.Int("per-policy", 40, "systems per policy for E7")
+	flag.Parse()
+
+	runs := map[string]func() experiments.Report{
+		"e6":  func() experiments.Report { return experiments.E6Differential(*systems, *seed) },
+		"e7":  func() experiments.Report { return experiments.E7PolicySafety(*perPolicy, *seed) },
+		"e8":  func() experiments.Report { _, r := experiments.E8Performance(*seed); return r },
+		"e9":  func() experiments.Report { return experiments.E9Scalability(*seed) },
+		"e10": func() experiments.Report { return experiments.E10SharedDDAG(60, *seed) },
+		"e11": func() experiments.Report { _, r := experiments.E11Ablation(*seed); return r },
+		"e12": func() experiments.Report { return experiments.E12SharedReaders(*seed) },
+	}
+	order := []string{"e6", "e7", "e8", "e9", "e10", "e11", "e12"}
+
+	want := flag.Args()
+	if len(want) == 0 {
+		want = order
+	}
+	exit := 0
+	for _, name := range want {
+		f, ok := runs[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "lockbench: unknown experiment %q (want e6..e12)\n", name)
+			os.Exit(2)
+		}
+		r := f()
+		fmt.Println(r.String())
+		if r.Failed != "" {
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,175 @@
+// Command locksafe decides the safety of a locked transaction system.
+//
+// Usage:
+//
+//	locksafe [-decider canonical|brute|both] [-max-states N] [file]
+//
+// The input (a file, or stdin when omitted) uses the format:
+//
+//	# comment
+//	init: a b            # entities existing initially (optional)
+//	T1: (LX a) (W a) (UX a) (LX b) (W b) (UX b)
+//	T2: (LX a) (W a) (UX a)
+//
+// The exit status is 0 when the system is safe, 1 when it is unsafe, and
+// 2 on usage or input errors. For unsafe systems the canonical witness is
+// printed: the distinguished transaction Tc, the entity A*, the serial
+// partial schedule S', and a complete legal proper nonserializable
+// schedule with a cycle of its serializability graph.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"locksafe/internal/checker"
+	"locksafe/internal/model"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("locksafe", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	decider := fs.String("decider", "canonical", "decider: canonical, brute, or both")
+	maxStates := fs.Int("max-states", 0, "state budget (0 = default)")
+	quiet := fs.Bool("q", false, "print only SAFE/UNSAFE")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var in io.Reader = stdin
+	if fs.NArg() > 1 {
+		fmt.Fprintln(stderr, "locksafe: at most one input file")
+		return 2
+	}
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(stderr, "locksafe: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	sys, err := model.ParseSystem(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "locksafe: %v\n", err)
+		return 2
+	}
+	if err := sys.WellFormed(); err != nil {
+		fmt.Fprintf(stderr, "locksafe: %v\n", err)
+		return 2
+	}
+
+	opts := &checker.Options{MaxStates: *maxStates}
+	var results []checker.Result
+	var labels []string
+	switch *decider {
+	case "canonical", "both":
+		res, err := checker.Canonical(sys, opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "locksafe: canonical: %v\n", err)
+			return 2
+		}
+		results = append(results, res)
+		labels = append(labels, "canonical")
+		if *decider == "both" {
+			bres, err := checker.Brute(sys, opts)
+			if err != nil {
+				fmt.Fprintf(stderr, "locksafe: brute: %v\n", err)
+				return 2
+			}
+			results = append(results, bres)
+			labels = append(labels, "brute")
+		}
+	case "brute":
+		res, err := checker.Brute(sys, opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "locksafe: brute: %v\n", err)
+			return 2
+		}
+		results = append(results, res)
+		labels = append(labels, "brute")
+	default:
+		fmt.Fprintf(stderr, "locksafe: unknown decider %q\n", *decider)
+		return 2
+	}
+
+	safe := results[0].Safe
+	for i, res := range results {
+		if res.Safe != safe {
+			fmt.Fprintf(stderr, "locksafe: INTERNAL ERROR: %s and %s disagree\n", labels[0], labels[i])
+			return 2
+		}
+	}
+
+	if safe {
+		fmt.Fprintln(stdout, "SAFE")
+		if !*quiet {
+			for i, res := range results {
+				fmt.Fprintf(stdout, "# %s states visited: %d\n", labels[i], res.States)
+			}
+		}
+		return 0
+	}
+
+	fmt.Fprintln(stdout, "UNSAFE")
+	if !*quiet {
+		w := results[0].Witness
+		if w.FromCanonical {
+			fmt.Fprintf(stdout, "# Tc = %s violates two-phase locking and relocks A* = %s\n",
+				sys.Name(w.C), w.AStar)
+			fmt.Fprintf(stdout, "# serial partial schedule S':\n")
+			fmt.Fprint(stdout, prefixLines(w.SerialPrefix.Grid(sys), "#   "))
+			fmt.Fprintf(stdout, "# D(S') = %s\n", model.DescribeGraph(sys, w.SerialPrefix.Graph(sys)))
+		}
+		fmt.Fprintf(stdout, "# nonserializable legal proper schedule:\n")
+		fmt.Fprint(stdout, prefixLines(w.Schedule.Grid(sys), "#   "))
+		fmt.Fprintf(stdout, "# cycle: %s\n", cycleNames(sys, w.Cycle))
+		for i, res := range results {
+			fmt.Fprintf(stdout, "# %s states visited: %d\n", labels[i], res.States)
+		}
+	}
+	return 1
+}
+
+func prefixLines(s, prefix string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += prefix + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			lines = append(lines, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		lines = append(lines, cur)
+	}
+	return lines
+}
+
+func cycleNames(sys *model.System, cycle []model.TID) string {
+	if len(cycle) == 0 {
+		return "(none)"
+	}
+	out := ""
+	for _, t := range cycle {
+		out += sys.Name(t) + " -> "
+	}
+	return out + sys.Name(cycle[0])
+}

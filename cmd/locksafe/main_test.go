@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args []string, stdin string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+const unsafeInput = `init: a b
+T1: (LX a) (W a) (UX a) (LX b) (W b) (UX b)
+T2: (LX a) (W a) (UX a) (LX b) (W b) (UX b)
+`
+
+const safeInput = `init: a b
+T1: (LX a) (LX b) (W a) (W b) (UX a) (UX b)
+T2: (LX a) (LX b) (W a) (W b) (UX a) (UX b)
+`
+
+func TestUnsafeSystem(t *testing.T) {
+	code, out, _ := runCLI(t, nil, unsafeInput)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	for _, want := range []string{"UNSAFE", "Tc = T1", "A* = b", "cycle:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSafeSystem(t *testing.T) {
+	code, out, _ := runCLI(t, nil, safeInput)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if !strings.Contains(out, "SAFE") {
+		t.Errorf("output missing SAFE:\n%s", out)
+	}
+}
+
+func TestBothDecidersAgreeFlag(t *testing.T) {
+	code, out, _ := runCLI(t, []string{"-decider", "both"}, unsafeInput)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(out, "brute states visited") || !strings.Contains(out, "canonical states visited") {
+		t.Errorf("both deciders should report states:\n%s", out)
+	}
+}
+
+func TestBruteDecider(t *testing.T) {
+	code, out, _ := runCLI(t, []string{"-decider", "brute"}, safeInput)
+	if code != 0 || !strings.Contains(out, "SAFE") {
+		t.Fatalf("exit=%d out=%q", code, out)
+	}
+}
+
+func TestQuietFlag(t *testing.T) {
+	code, out, _ := runCLI(t, []string{"-q"}, unsafeInput)
+	if code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	if strings.TrimSpace(out) != "UNSAFE" {
+		t.Errorf("quiet output = %q", out)
+	}
+}
+
+func TestInputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sys.txt")
+	if err := os.WriteFile(path, []byte(safeInput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runCLI(t, []string{path}, "")
+	if code != 0 || !strings.Contains(out, "SAFE") {
+		t.Fatalf("exit=%d out=%q", code, out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		args  []string
+		stdin string
+	}{
+		{[]string{"-decider", "nope"}, safeInput},
+		{[]string{"a", "b"}, ""},
+		{[]string{"/does/not/exist"}, ""},
+		{nil, "garbage without colon"},
+		{nil, "T1: (W a)"},                          // not well-formed
+		{nil, ""},                                   // no transactions
+		{[]string{"-max-states", "zzz"}, safeInput}, // bad flag value
+	}
+	for _, c := range cases {
+		code, _, errout := runCLI(t, c.args, c.stdin)
+		if code != 2 {
+			t.Errorf("args %v stdin %q: exit = %d, want 2 (stderr %q)", c.args, c.stdin, code, errout)
+		}
+	}
+}
+
+func TestMaxStatesBudget(t *testing.T) {
+	code, _, errout := runCLI(t, []string{"-max-states", "2"}, unsafeInput)
+	if code != 2 || !strings.Contains(errout, "budget") {
+		t.Errorf("exit=%d stderr=%q; want budget exhaustion", code, errout)
+	}
+}

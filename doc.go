@@ -1,0 +1,28 @@
+// Package locksafe reproduces "Safe Locking Policies for Dynamic
+// Databases" (Chaudhri & Hadzilacos, PODS 1995 / JCSS 1998): a formal
+// model of dynamic-database schedules, a safety decision procedure built
+// on the paper's canonical-schedules theorem (Theorem 1), runtime
+// implementations of the DDAG, altruistic and dynamic-tree locking
+// policies, and an evaluation harness regenerating every figure and
+// theorem of the paper.
+//
+// The implementation lives under internal/:
+//
+//	internal/model       — entities, steps, transactions, schedules,
+//	                       properness, legality, serializability (§2)
+//	internal/checker     — Brute and Canonical safety deciders (§3)
+//	internal/policy      — 2PL, tree, DDAG (§4), altruistic (§5), DTR (§6)
+//	internal/graph       — rooted DAGs, dominators, forests
+//	internal/lockmgr     — concurrent S/X lock manager with deadlock detection
+//	internal/engine      — deterministic virtual-time execution engine
+//	internal/workload    — generators and the paper's worked examples
+//	internal/experiments — the E1–E9 evaluation suite
+//
+// Executables: cmd/locksafe (safety decider), cmd/figures (figure
+// walkthroughs), cmd/lockbench (quantitative tables). Runnable examples
+// are under examples/.
+//
+// The benchmarks in bench_test.go regenerate each experiment; see
+// EXPERIMENTS.md for recorded results and DESIGN.md for the full system
+// inventory.
+package locksafe

@@ -1,0 +1,79 @@
+// kbtraversal: a knowledge-base workload under the DDAG policy.
+//
+// A part–subpart hierarchy (a rooted DAG) is traversed concurrently by
+// transactions that follow the DDAG locking rules L1–L5, including one
+// that restructures the graph (inserts a subpart and its edge) while
+// others traverse. The run executes on the virtual-time engine; the
+// committed schedule is verified serializable, and the same workload is
+// executed under two-phase locking for comparison.
+//
+// Run with: go run ./examples/kbtraversal
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"locksafe/internal/engine"
+	"locksafe/internal/model"
+	"locksafe/internal/policy"
+	"locksafe/internal/workload"
+)
+
+func main() {
+	// Generate a random part hierarchy plus rule-conformant traversals.
+	cfg := workload.DefaultDDAGConfig()
+	cfg.Txns = 8
+	cfg.OpsPerTxn = 6
+	cfg.Layers, cfg.Width = 3, 3
+	cfg.PStructural = 0.2 // some transactions insert new subparts
+	sys, dag := workload.DDAGSystem(rand.New(rand.NewSource(7)), cfg)
+
+	fmt.Println("Part hierarchy (rooted DAG):")
+	fmt.Printf("  %s\n\n", dag)
+	fmt.Printf("%d traversal/update transactions, e.g.:\n  %s\n\n", len(sys.Txns), sys.Txns[0])
+
+	// Execute under the DDAG policy at MPL 4.
+	res, err := engine.Run(sys, engine.Config{Policy: policy.DDAG{}, MPL: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := res.Metrics
+	fmt.Printf("DDAG: commits=%d aborts=%d (deadlock=%d policy=%d improper=%d) wait=%d makespan=%d\n",
+		m.Commits, m.Aborts(), m.DeadlockAborts, m.PolicyAborts, m.ImproperAborts, m.WaitTicks, m.Makespan)
+	fmt.Println("committed schedule verified serializable ✓")
+
+	// The same data operations under 2PL (lock at first use, release at
+	// end) for comparison.
+	var twopl []model.Txn
+	for _, tx := range sys.Txns {
+		var steps []model.Step
+		locked := map[model.Entity]bool{}
+		for _, st := range tx.Steps {
+			if !st.Op.IsData() {
+				continue
+			}
+			if !locked[st.Ent] {
+				locked[st.Ent] = true
+				steps = append(steps, model.LX(st.Ent))
+			}
+			steps = append(steps, st)
+		}
+		for e := range locked {
+			steps = append(steps, model.UX(e))
+		}
+		twopl = append(twopl, model.Txn{Name: tx.Name, Steps: steps})
+	}
+	sys2 := model.NewSystem(sys.Init, twopl...)
+	res2, err := engine.Run(sys2, engine.Config{Policy: policy.TwoPhase{}, MPL: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m2 := res2.Metrics
+	fmt.Printf("2PL : commits=%d aborts=%d wait=%d makespan=%d\n",
+		m2.Commits, m2.Aborts(), m2.WaitTicks, m2.Makespan)
+
+	fmt.Printf("\nDDAG released locks during traversal; 2PL held them to the end.\n")
+	fmt.Printf("Wait time: DDAG %d vs 2PL %d virtual ticks.\n", m.WaitTicks, m2.WaitTicks)
+}

@@ -1,0 +1,165 @@
+package checker
+
+import "locksafe/internal/model"
+
+// Brute decides safety by exhaustive search: it explores every legal and
+// proper schedule of the system (implicitly covering every subset of the
+// transactions, since a transaction may simply never start), and reports a
+// complete nonserializable one if it exists.
+//
+// The exploration keeps the serializability graph of the prefix built so
+// far. Because D(S) only gains edges as a schedule grows, the first time
+// the graph becomes cyclic the question reduces to "can every started
+// transaction still finish?", which is answered by a memoized completion
+// search. Acyclic states are memoized on (positions, edge set, monitor
+// key).
+func Brute(sys *model.System, opts *Options) (Result, error) {
+	s := newSearch(sys, opts)
+	seen := make(map[string]bool)
+	r := model.NewReplay(sys)
+	w, err := s.bruteDFS(r, opts.monitor(), seen, nil)
+	if err != nil {
+		return Result{States: s.states}, err
+	}
+	if w != nil {
+		if verr := w.Verify(sys); verr != nil {
+			// A witness that fails verification indicates a checker
+			// bug; surface it loudly.
+			return Result{States: s.states}, verr
+		}
+		return Result{Safe: false, Witness: w, States: s.states}, nil
+	}
+	return Result{Safe: true, States: s.states}, nil
+}
+
+func (s *search) bruteDFS(r *model.Replay, mon model.Monitor, seen map[string]bool, prefix model.Schedule) (*Witness, error) {
+	if err := s.tick(); err != nil {
+		return nil, err
+	}
+	monKey := ""
+	if mon != nil {
+		monKey = mon.Key()
+	}
+	memoizable := mon == nil || monKey != ""
+	var key string
+	if memoizable {
+		pos := make([]int, len(s.sys.Txns))
+		for i := range pos {
+			pos[i] = r.Pos(model.TID(i))
+		}
+		key = posKey(pos) + "|" + graphKey(r.Graph()) + "|" + monKey
+		if seen[key] {
+			return nil, nil
+		}
+	}
+	for _, ev := range s.enabled(r, mon) {
+		r2 := r.Clone()
+		if err := r2.Do(ev); err != nil {
+			continue
+		}
+		var mon2 model.Monitor
+		if mon != nil {
+			mon2 = mon.Fork()
+			if mon2.Step(ev) != nil {
+				continue
+			}
+		}
+		next := append(prefix.Clone(), ev)
+		if !r2.Graph().Acyclic() {
+			// The cycle is permanent; a witness exists iff the prefix
+			// can be completed at all.
+			ext, ok, err := s.canComplete(r2, mon2)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				full := append(next, ext...)
+				return &Witness{
+					Schedule: full,
+					Cycle:    full.Graph(s.sys).FindCycle(),
+				}, nil
+			}
+			continue
+		}
+		w, err := s.bruteDFS(r2, mon2, seen, next)
+		if err != nil || w != nil {
+			return w, err
+		}
+	}
+	if memoizable {
+		seen[key] = true
+	}
+	return nil, nil
+}
+
+// FindProperComplete reports whether the system has any complete legal
+// proper (and admissible) schedule in which every transaction of the given
+// subset runs, and returns one. Transactions outside the subset do not
+// run. It is used by the Figure 2 experiment to show that no proper
+// schedule exists over any 1- or 2-transaction subset.
+func FindProperComplete(sys *model.System, subset []model.TID, opts *Options) (model.Schedule, bool, error) {
+	s := newSearch(sys, opts)
+	inSubset := make([]bool, len(sys.Txns))
+	for _, t := range subset {
+		inSubset[int(t)] = true
+	}
+	var dfs func(r *model.Replay, mon model.Monitor, acc model.Schedule) (model.Schedule, bool, error)
+	seen := make(map[string]bool)
+	dfs = func(r *model.Replay, mon model.Monitor, acc model.Schedule) (model.Schedule, bool, error) {
+		if err := s.tick(); err != nil {
+			return nil, false, err
+		}
+		done := true
+		for _, t := range subset {
+			if r.Pos(t) != sys.Txns[int(t)].Len() {
+				done = false
+				break
+			}
+		}
+		if done {
+			return acc, true, nil
+		}
+		pos := make([]int, len(sys.Txns))
+		for i := range pos {
+			pos[i] = r.Pos(model.TID(i))
+		}
+		monKey := ""
+		if mon != nil {
+			monKey = mon.Key()
+		}
+		memoizable := mon == nil || monKey != ""
+		key := posKey(pos) + "|" + monKey
+		if memoizable && seen[key] {
+			return nil, false, nil
+		}
+		for _, ev := range s.enabled(r, mon) {
+			if !inSubset[int(ev.T)] {
+				continue
+			}
+			r2 := r.Clone()
+			if err := r2.Do(ev); err != nil {
+				continue
+			}
+			var mon2 model.Monitor
+			if mon != nil {
+				mon2 = mon.Fork()
+				if mon2.Step(ev) != nil {
+					continue
+				}
+			}
+			sched, ok, err := dfs(r2, mon2, append(acc.Clone(), ev))
+			if err != nil || ok {
+				return sched, ok, err
+			}
+		}
+		if memoizable {
+			seen[key] = true
+		}
+		return nil, false, nil
+	}
+	var mon model.Monitor
+	if m := opts.monitor(); m != nil {
+		mon = m.Fork()
+	}
+	return dfs(model.NewReplay(sys), mon, nil)
+}

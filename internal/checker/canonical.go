@@ -1,0 +1,234 @@
+package checker
+
+import "locksafe/internal/model"
+
+// Canonical decides safety using Theorem 1: the system is unsafe iff there
+// exist transactions T1,…,Tk (k>1), a distinguished Tc and an entity A*
+// such that
+//
+//  1. Tc locks A* after it has unlocked some entity, and
+//  2. letting T'c be Tc's prefix up to (but excluding) the (L A*) step,
+//     there are prefixes T'i of the other transactions such that the
+//     serial partial schedule S' = T'1 ⋯ T'k satisfies
+//     (a) every sink of D(S') unlocks A* having previously locked it in a
+//     mode that conflicts with the mode in which Tc locks A*, and
+//     (b) S' extends to a complete legal and proper schedule.
+//
+// The search enumerates candidate (Tc, A*) pairs from the non-two-phase
+// lock steps of each transaction (condition 1), then builds serial prefix
+// schedules depth-first, pruning illegal or improper prefixes (sound
+// because condition 2b subsumes legality and properness of S'). Condition
+// 2a is checked on the serializability graph of S'; condition 2b reuses
+// the memoized completion search.
+//
+// With only exclusive locks, condition 2a specializes to "D(S') has a
+// unique sink, which unlocks A*" (Section 3.3); this needs no special
+// casing — it is implied by the general check — but ExclusiveOnly reports
+// whether the specialization applies.
+func Canonical(sys *model.System, opts *Options) (Result, error) {
+	s := newSearch(sys, opts)
+	for c := range sys.Txns {
+		tc := sys.Txns[c]
+		for _, p := range tc.NonTwoPhaseLocks() {
+			lockStep := tc.Steps[p]
+			w, err := s.canonicalFor(model.TID(c), p, lockStep.Ent, lockStep.Op.LockMode())
+			if err != nil {
+				return Result{States: s.states}, err
+			}
+			if w != nil {
+				if verr := w.Verify(sys); verr != nil {
+					return Result{States: s.states}, verr
+				}
+				return Result{Safe: false, Witness: w, States: s.states}, nil
+			}
+		}
+	}
+	return Result{Safe: true, States: s.states}, nil
+}
+
+// ExclusiveOnly reports whether the system uses no shared locks, the
+// setting of Section 3.3 in which canonical witnesses have a unique sink.
+func ExclusiveOnly(sys *model.System) bool {
+	for _, t := range sys.Txns {
+		for _, st := range t.Steps {
+			if st.Op == model.LockShared || st.Op == model.UnlockShared {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// canonicalFor searches for a canonical witness with the given
+// distinguished transaction, prefix length, entity A* and lock mode.
+func (s *search) canonicalFor(c model.TID, prefixLen int, astar model.Entity, modeC model.Mode) (*Witness, error) {
+	mon := s.opts.monitor()
+	used := make([]bool, len(s.sys.Txns))
+	var blocks []block
+	r := model.NewReplay(s.sys)
+	var m model.Monitor
+	if mon != nil {
+		m = mon.Fork()
+	}
+	return s.serialDFS(c, prefixLen, astar, modeC, r, m, used, blocks)
+}
+
+// block records one serial segment of S': a transaction and its prefix
+// length.
+type block struct {
+	t    model.TID
+	plen int
+}
+
+// serialDFS extends the serial partial schedule with one more transaction
+// prefix, or tests the current schedule against conditions 2a/2b.
+func (s *search) serialDFS(c model.TID, cPrefix int, astar model.Entity, modeC model.Mode,
+	r *model.Replay, mon model.Monitor, used []bool, blocks []block) (*Witness, error) {
+
+	if err := s.tick(); err != nil {
+		return nil, err
+	}
+
+	// Test the current serial schedule if it already includes Tc's block
+	// and at least one other transaction.
+	if len(blocks) >= 2 && used[int(c)] {
+		if w, err := s.testCanonical(c, cPrefix, astar, modeC, r, mon, blocks); err != nil || w != nil {
+			return w, err
+		}
+	}
+
+	for i := range s.sys.Txns {
+		if used[i] {
+			continue
+		}
+		t := model.TID(i)
+		var target int
+		if t == c {
+			target = cPrefix
+			if target == 0 {
+				continue // Tc's prefix is empty: cannot unlock anything first
+			}
+		} else {
+			target = s.sys.Txns[i].Len()
+			if target == 0 {
+				continue
+			}
+		}
+		used[i] = true
+		r2 := r.Clone()
+		var mon2 model.Monitor
+		if mon != nil {
+			mon2 = mon.Fork()
+		}
+		// Extend the block one step at a time; recurse at every prefix
+		// point for i != c, only at the full prefix for Tc. Once a step
+		// fails (illegal or improper), every longer prefix of this block
+		// fails too, because serial execution fixes the state at each
+		// step.
+		for l := 1; l <= target; l++ {
+			st, has := r2.NextStep(t)
+			if !has {
+				break
+			}
+			ev := model.Ev{T: t, S: st}
+			if r2.Do(ev) != nil {
+				break
+			}
+			if mon2 != nil && mon2.Step(ev) != nil {
+				break
+			}
+			if t == c && l < target {
+				continue // Tc's prefix length is fixed by the (L A*) position
+			}
+			w, err := s.serialDFS(c, cPrefix, astar, modeC, r2.Clone(), forkOrNil(mon2), used, append(blocks, block{t, l}))
+			if err != nil || w != nil {
+				used[i] = false
+				return w, err
+			}
+		}
+		used[i] = false
+	}
+	return nil, nil
+}
+
+func forkOrNil(m model.Monitor) model.Monitor {
+	if m == nil {
+		return nil
+	}
+	return m.Fork()
+}
+
+// testCanonical checks conditions 2a and 2b against the serial schedule
+// represented by the replay r and block list, and builds the witness.
+func (s *search) testCanonical(c model.TID, cPrefix int, astar model.Entity, modeC model.Mode,
+	r *model.Replay, mon model.Monitor, blocks []block) (*Witness, error) {
+
+	// Reconstruct S' from the blocks (cheap; blocks are short).
+	var sprime model.Schedule
+	participants := make([]model.TID, 0, len(blocks))
+	for _, b := range blocks {
+		tx := s.sys.Txn(b.t)
+		for _, st := range tx.Steps[:b.plen] {
+			sprime = append(sprime, model.Ev{T: b.t, S: st})
+		}
+		participants = append(participants, b.t)
+	}
+
+	// Condition 2a: every sink of D(S') unlocks A*, having previously
+	// locked it in a mode conflicting with modeC. (T'c can never qualify,
+	// since Tc locks A* only at step cPrefix and locks it at most once.)
+	g := sprime.Graph(s.sys)
+	sinks := g.Sinks(participants)
+	if len(sinks) == 0 {
+		return nil, nil
+	}
+	for _, sink := range sinks {
+		var plen int
+		for _, b := range blocks {
+			if b.t == sink {
+				plen = b.plen
+			}
+		}
+		if !unlocksConflicting(s.sys.Txn(sink), plen, astar, modeC) {
+			return nil, nil
+		}
+	}
+
+	// Condition 2b: S' extends to a complete legal and proper schedule.
+	ext, ok, err := s.canComplete(r, mon)
+	if err != nil || !ok {
+		return nil, err
+	}
+	full := append(sprime.Clone(), ext...)
+	return &Witness{
+		Schedule:      full,
+		Cycle:         full.Graph(s.sys).FindCycle(),
+		C:             c,
+		AStar:         astar,
+		SerialPrefix:  sprime,
+		FromCanonical: true,
+	}, nil
+}
+
+// unlocksConflicting reports whether the prefix of tx of length plen
+// contains a lock of astar in a mode conflicting with modeC followed by
+// the matching unlock.
+func unlocksConflicting(tx model.Txn, plen int, astar model.Entity, modeC model.Mode) bool {
+	locked := false
+	var mode model.Mode
+	for _, st := range tx.Steps[:plen] {
+		if st.Ent != astar {
+			continue
+		}
+		switch {
+		case st.Op.IsLock():
+			locked = true
+			mode = st.Op.LockMode()
+		case st.Op.IsUnlock():
+			if locked && mode.Conflicts(modeC) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,262 @@
+// Package checker decides the safety of locked transaction systems in the
+// model of Chaudhri & Hadzilacos. It provides two deciders:
+//
+//   - Brute explores every legal and proper complete schedule (over every
+//     subset of the transactions) and reports a nonserializable one if any
+//     exists. It is the reference semantics of safety.
+//
+//   - Canonical searches only the canonical witnesses of Theorem 1: a
+//     serial partial schedule of prefixes T'1,…,T'k with a distinguished
+//     non-two-phase transaction Tc about to lock an entity A*, whose D(S')
+//     sinks all unlocked A* in a conflicting mode (condition 2a), and which
+//     extends to a complete legal proper schedule (condition 2b). By
+//     Theorem 1 it agrees with Brute while visiting a far smaller,
+//     serial-only search space.
+//
+// Both deciders accept an optional Monitor that restricts schedules to
+// those admissible under a policy's runtime rules (for example altruistic
+// locking's wake rule). With a monitor, Brute decides "safe relative to the
+// policy's admissible schedules"; Canonical with a monitor remains sound
+// for unsafety but Theorem 1's completeness argument applies only to the
+// monitor-free setting.
+package checker
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"locksafe/internal/model"
+)
+
+// Options configures a safety check.
+type Options struct {
+	// Monitor, if non-nil, restricts exploration to policy-admissible
+	// schedules.
+	Monitor model.Monitor
+	// MaxStates bounds the number of search states visited; 0 means the
+	// default of 4,000,000. ErrBudget is returned when exceeded.
+	MaxStates int
+}
+
+func (o *Options) maxStates() int {
+	if o == nil || o.MaxStates == 0 {
+		return 4_000_000
+	}
+	return o.MaxStates
+}
+
+func (o *Options) monitor() model.Monitor {
+	if o == nil {
+		return nil
+	}
+	return o.Monitor
+}
+
+// ErrBudget reports that a check exceeded its state budget.
+var ErrBudget = errors.New("checker: state budget exhausted")
+
+// Witness certifies unsafety: a complete, legal, proper, nonserializable
+// schedule, together with the canonical structure when produced by
+// Canonical.
+type Witness struct {
+	// Schedule is a complete (over its participants) legal proper
+	// nonserializable schedule.
+	Schedule model.Schedule
+	// Cycle is a cycle of D(Schedule).
+	Cycle []model.TID
+
+	// Canonical fields (set only by Canonical):
+
+	// C is the distinguished transaction Tc that violates two-phase
+	// locking by locking AStar after unlocking some entity.
+	C model.TID
+	// AStar is the entity whose locking by Tc closes the cycle.
+	AStar model.Entity
+	// SerialPrefix is the canonical serial partial schedule S' of
+	// prefixes T'1,…,T'k.
+	SerialPrefix model.Schedule
+	// FromCanonical records whether the canonical fields are meaningful.
+	FromCanonical bool
+}
+
+// Result is the outcome of a safety check.
+type Result struct {
+	// Safe reports whether every complete legal proper (and, under a
+	// monitor, admissible) schedule of every subset of the system is
+	// serializable.
+	Safe bool
+	// Witness is non-nil iff Safe is false.
+	Witness *Witness
+	// States counts distinct search states visited; it is the cost
+	// metric compared across deciders in the evaluation.
+	States int
+}
+
+// Verify checks that w is a genuine unsafety witness for sys: the schedule
+// preserves per-transaction order, is complete over its participants, is
+// legal and proper, and is nonserializable. It returns nil if all hold.
+func (w *Witness) Verify(sys *model.System) error {
+	if w == nil {
+		return errors.New("checker: nil witness")
+	}
+	if err := w.Schedule.PreservesOrder(sys); err != nil {
+		return fmt.Errorf("checker: witness order: %w", err)
+	}
+	if !w.Schedule.CompleteOver(sys, w.Schedule.Participants()) {
+		return errors.New("checker: witness schedule is not complete over its participants")
+	}
+	if !w.Schedule.Legal(sys) {
+		return errors.New("checker: witness schedule is not legal")
+	}
+	if !w.Schedule.Proper(sys) {
+		return errors.New("checker: witness schedule is not proper")
+	}
+	if w.Schedule.Serializable(sys) {
+		return errors.New("checker: witness schedule is serializable")
+	}
+	return nil
+}
+
+// posKey serializes a position vector.
+func posKey(pos []int) string {
+	var b strings.Builder
+	for i, p := range pos {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(p))
+	}
+	return b.String()
+}
+
+// graphKey serializes the edge set of g deterministically.
+func graphKey(g *model.SGraph) string {
+	var b strings.Builder
+	for _, e := range g.Edges() {
+		b.WriteString(strconv.Itoa(int(e[0])))
+		b.WriteByte('>')
+		b.WriteString(strconv.Itoa(int(e[1])))
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// search carries the shared machinery of both deciders.
+type search struct {
+	sys    *model.System
+	opts   *Options
+	states int
+	budget int
+	// completeMemo memoizes canComplete results by position key (and
+	// monitor key); it maps to true when a completion is known to exist
+	// is not stored — only failures are cached, successes return
+	// immediately with the completion.
+	completeMemo map[string]bool
+}
+
+func newSearch(sys *model.System, opts *Options) *search {
+	return &search{
+		sys:          sys,
+		opts:         opts,
+		budget:       opts.maxStates(),
+		completeMemo: make(map[string]bool),
+	}
+}
+
+func (s *search) tick() error {
+	s.states++
+	if s.states > s.budget {
+		return ErrBudget
+	}
+	return nil
+}
+
+// enabled returns the policy-admissible, legal, proper next events from r.
+func (s *search) enabled(r *model.Replay, mon model.Monitor) []model.Ev {
+	var out []model.Ev
+	for i := range s.sys.Txns {
+		st, ok := r.NextStep(model.TID(i))
+		if !ok {
+			continue
+		}
+		ev := model.Ev{T: model.TID(i), S: st}
+		if r.Check(ev) != nil {
+			continue
+		}
+		if mon != nil {
+			probe := mon.Fork()
+			if probe.Step(ev) != nil {
+				continue
+			}
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// terminal reports whether every started transaction has finished.
+func (s *search) terminal(r *model.Replay) bool {
+	for i := range s.sys.Txns {
+		p := r.Pos(model.TID(i))
+		if p != 0 && p != s.sys.Txns[i].Len() {
+			return false
+		}
+	}
+	return true
+}
+
+// canComplete searches for an extension of the replayed prefix in which
+// every started transaction runs to completion (other transactions may be
+// executed fully or not at all). It returns the extension events and true
+// on success. Legality, properness and the monitor are enforced on the
+// extension. Memoized on (positions, monitor key) for failures.
+func (s *search) canComplete(r *model.Replay, mon model.Monitor) ([]model.Ev, bool, error) {
+	if err := s.tick(); err != nil {
+		return nil, false, err
+	}
+	if s.terminal(r) {
+		return nil, true, nil
+	}
+	var key string
+	monKey := ""
+	if mon != nil {
+		monKey = mon.Key()
+	}
+	memoizable := mon == nil || monKey != ""
+	if memoizable {
+		pos := make([]int, len(s.sys.Txns))
+		for i := range pos {
+			pos[i] = r.Pos(model.TID(i))
+		}
+		key = posKey(pos) + "|" + monKey
+		if s.completeMemo[key] {
+			return nil, false, nil
+		}
+	}
+	for _, ev := range s.enabled(r, mon) {
+		r2 := r.Clone()
+		if err := r2.Do(ev); err != nil {
+			continue
+		}
+		var mon2 model.Monitor
+		if mon != nil {
+			mon2 = mon.Fork()
+			if mon2.Step(ev) != nil {
+				continue
+			}
+		}
+		rest, ok, err := s.canComplete(r2, mon2)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return append([]model.Ev{ev}, rest...), true, nil
+		}
+	}
+	if memoizable {
+		s.completeMemo[key] = true
+	}
+	return nil, false, nil
+}

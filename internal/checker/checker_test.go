@@ -1,0 +1,332 @@
+package checker_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"locksafe/internal/checker"
+	"locksafe/internal/model"
+	"locksafe/internal/workload"
+)
+
+func mustBrute(t *testing.T, sys *model.System) checker.Result {
+	t.Helper()
+	res, err := checker.Brute(sys, nil)
+	if err != nil {
+		t.Fatalf("Brute: %v", err)
+	}
+	return res
+}
+
+func mustCanonical(t *testing.T, sys *model.System) checker.Result {
+	t.Helper()
+	res, err := checker.Canonical(sys, nil)
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	return res
+}
+
+func TestTwoPhaseSystemIsSafe(t *testing.T) {
+	sys := workload.TwoPhaseSystem()
+	if res := mustBrute(t, sys); !res.Safe {
+		t.Errorf("brute: two-phase system must be safe; witness %v", res.Witness.Schedule)
+	}
+	if res := mustCanonical(t, sys); !res.Safe {
+		t.Error("canonical: two-phase system must be safe")
+	}
+}
+
+func TestSafeDynamicSystem(t *testing.T) {
+	sys := workload.SafeDynamicSystem()
+	if res := mustBrute(t, sys); !res.Safe {
+		t.Errorf("brute: system must be safe; witness %v", res.Witness.Schedule)
+	}
+	if res := mustCanonical(t, sys); !res.Safe {
+		t.Error("canonical: system must be safe")
+	}
+}
+
+func TestStaticUnsafeSystem(t *testing.T) {
+	sys := workload.StaticUnsafeSystem()
+	bres := mustBrute(t, sys)
+	if bres.Safe {
+		t.Fatal("brute: non-two-phase racing pair must be unsafe")
+	}
+	if err := bres.Witness.Verify(sys); err != nil {
+		t.Errorf("brute witness invalid: %v", err)
+	}
+	cres := mustCanonical(t, sys)
+	if cres.Safe {
+		t.Fatal("canonical: non-two-phase racing pair must be unsafe")
+	}
+	w := cres.Witness
+	if err := w.Verify(sys); err != nil {
+		t.Errorf("canonical witness invalid: %v", err)
+	}
+	if !w.FromCanonical {
+		t.Error("canonical witness must carry canonical structure")
+	}
+	// Condition 1: Tc locks A* after unlocking something.
+	tc := sys.Txn(w.C)
+	if tc.TwoPhase() {
+		t.Errorf("Tc = %s must violate two-phase locking", sys.Name(w.C))
+	}
+	// The serial prefix must be legal, proper and serial.
+	if !w.SerialPrefix.LegalAndProper(sys) {
+		t.Error("S' must be legal and proper")
+	}
+	if !isSerialOfPrefixes(w.SerialPrefix) {
+		t.Errorf("S' must be a serial execution of prefixes: %v", w.SerialPrefix)
+	}
+}
+
+// isSerialOfPrefixes checks that each transaction's events form one
+// contiguous block.
+func isSerialOfPrefixes(s model.Schedule) bool {
+	seenBlock := make(map[model.TID]bool)
+	var cur model.TID = -1
+	for _, ev := range s {
+		if ev.T != cur {
+			if seenBlock[ev.T] {
+				return false
+			}
+			seenBlock[ev.T] = true
+			cur = ev.T
+		}
+	}
+	return true
+}
+
+func TestFigure2System(t *testing.T) {
+	sys := workload.Figure2System()
+	if err := sys.WellFormed(); err != nil {
+		t.Fatalf("fixture not well-formed: %v", err)
+	}
+	sched := workload.Figure2Schedule()
+	if err := sched.PreservesOrder(sys); err != nil {
+		t.Fatalf("fixture schedule invalid: %v", err)
+	}
+	if !sched.Legal(sys) || !sched.Proper(sys) {
+		t.Fatal("Figure 2 schedule must be legal and proper")
+	}
+	if sched.Serializable(sys) {
+		t.Fatal("Figure 2 schedule must be nonserializable")
+	}
+	// The checkers agree it is unsafe.
+	if mustBrute(t, sys).Safe {
+		t.Error("brute: Figure 2 system must be unsafe")
+	}
+	if mustCanonical(t, sys).Safe {
+		t.Error("canonical: Figure 2 system must be unsafe")
+	}
+	// No proper complete schedule exists over any strict subset: this is
+	// the property that defeats chordless-cycle reasoning.
+	subsets := [][]model.TID{{0}, {1}, {2}, {0, 1}, {0, 2}, {1, 2}}
+	for _, sub := range subsets {
+		if _, ok, err := checker.FindProperComplete(sys, sub, nil); err != nil {
+			t.Fatal(err)
+		} else if ok {
+			t.Errorf("subset %v admits a proper complete schedule; fixture broken", sub)
+		}
+	}
+	// The full set does admit one.
+	if _, ok, err := checker.FindProperComplete(sys, []model.TID{0, 1, 2}, nil); err != nil || !ok {
+		t.Errorf("full set must admit a proper complete schedule (ok=%v err=%v)", ok, err)
+	}
+	// Every pair of transactions interacts (conflicting steps exist).
+	if !model.Interaction(sys).Complete() {
+		t.Error("interaction graph must be complete")
+	}
+}
+
+func TestDynamicLateC(t *testing.T) {
+	sys := workload.DynamicLateCSystem()
+	res := mustCanonical(t, sys)
+	if res.Safe {
+		t.Fatal("DynamicLateCSystem must be unsafe")
+	}
+	w := res.Witness
+	// Structural difference 1 from the static theorem: Tc is not the
+	// first transaction of the serial prefix.
+	if len(w.SerialPrefix) == 0 {
+		t.Fatal("empty serial prefix")
+	}
+	if w.SerialPrefix[0].T == w.C {
+		t.Errorf("Tc = %s should not be first in S' (properness forces T0 first):\n%s",
+			sys.Name(w.C), w.SerialPrefix.Grid(sys))
+	}
+	if mustBrute(t, sys).Safe {
+		t.Error("brute must agree: unsafe")
+	}
+}
+
+func TestSharedMultiSinkShape(t *testing.T) {
+	sys := workload.SharedMultiSinkSystem()
+	if err := sys.WellFormed(); err != nil {
+		t.Fatalf("fixture: %v", err)
+	}
+	sprime, c, astar := workload.SharedMultiSinkPrefix()
+	if !sprime.LegalAndProper(sys) {
+		t.Fatal("S' must be legal and proper")
+	}
+	g := sprime.Graph(sys)
+	sinks := g.Sinks(sprime.Participants())
+	if len(sinks) != 2 {
+		t.Fatalf("Fig. 1b shape requires two sinks, got %v (graph %v)", sinks, g)
+	}
+	for _, s := range sinks {
+		if s == c {
+			t.Error("Tc must not be a sink")
+		}
+	}
+	_ = astar
+	// The system is unsafe and both deciders agree.
+	if mustBrute(t, sys).Safe || mustCanonical(t, sys).Safe {
+		t.Error("multi-sink system must be unsafe")
+	}
+}
+
+// TestDifferential is the in-tree version of experiment E6: the two
+// deciders must agree on random systems. This is an empirical check of
+// Theorem 1 itself.
+func TestDifferential(t *testing.T) {
+	cfg := workload.DefaultConfig()
+	n := 400
+	if testing.Short() {
+		n = 80
+	}
+	unsafe := 0
+	for seed := 0; seed < n; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		sys, _ := workload.Random(rng, cfg)
+		bres, err := checker.Brute(sys, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cres, err := checker.Canonical(sys, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if bres.Safe != cres.Safe {
+			t.Fatalf("seed %d: DISAGREEMENT brute=%v canonical=%v\n%s",
+				seed, bres.Safe, cres.Safe, sys.Format())
+		}
+		if !bres.Safe {
+			unsafe++
+			if err := bres.Witness.Verify(sys); err != nil {
+				t.Errorf("seed %d: brute witness: %v", seed, err)
+			}
+			if err := cres.Witness.Verify(sys); err != nil {
+				t.Errorf("seed %d: canonical witness: %v", seed, err)
+			}
+		}
+	}
+	if unsafe == 0 {
+		t.Error("generator produced no unsafe systems; differential test is vacuous")
+	}
+	if unsafe == n {
+		t.Error("generator produced no safe systems; differential test is one-sided")
+	}
+	t.Logf("differential: %d systems, %d unsafe", n, unsafe)
+}
+
+func TestExclusiveOnly(t *testing.T) {
+	if !checker.ExclusiveOnly(workload.StaticUnsafeSystem()) {
+		t.Error("StaticUnsafeSystem uses only exclusive locks")
+	}
+	if checker.ExclusiveOnly(workload.SharedMultiSinkSystem()) {
+		t.Error("SharedMultiSinkSystem uses shared locks")
+	}
+}
+
+// TestUniqueSinkWithExclusiveLocks validates the Section 3.3 corollary on
+// random exclusive-only systems: every canonical witness found has a
+// unique sink in D(S').
+func TestUniqueSinkWithExclusiveLocks(t *testing.T) {
+	cfg := workload.DefaultConfig()
+	cfg.PShared = 0 // exclusive locks only
+	found := 0
+	for seed := 0; seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		sys, _ := workload.Random(rng, cfg)
+		if !checker.ExclusiveOnly(sys) {
+			t.Fatal("generator must not emit shared locks with PShared=0")
+		}
+		res, err := checker.Canonical(sys, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Safe {
+			continue
+		}
+		found++
+		w := res.Witness
+		g := w.SerialPrefix.Graph(sys)
+		sinks := g.Sinks(w.SerialPrefix.Participants())
+		if len(sinks) != 1 {
+			t.Errorf("seed %d: exclusive-only witness has %d sinks, want 1", seed, len(sinks))
+		}
+	}
+	if found < 10 {
+		t.Errorf("only %d unsafe exclusive-only systems; corollary check too weak", found)
+	}
+}
+
+func TestWitnessVerifyRejectsBadWitnesses(t *testing.T) {
+	sys := workload.TwoPhaseSystem()
+	var w *checker.Witness
+	if err := w.Verify(sys); err == nil {
+		t.Error("nil witness must not verify")
+	}
+	// A serializable complete schedule must fail verification.
+	w = &checker.Witness{Schedule: model.SerialSystem(sys)}
+	if err := w.Verify(sys); err == nil {
+		t.Error("serial (hence serializable) schedule must not verify as witness")
+	}
+	// An incomplete schedule must fail.
+	w = &checker.Witness{Schedule: model.SerialSystem(sys)[:3]}
+	if err := w.Verify(sys); err == nil {
+		t.Error("incomplete schedule must not verify")
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	sys := workload.Figure2System()
+	_, err := checker.Brute(sys, &checker.Options{MaxStates: 5})
+	if err != checker.ErrBudget {
+		t.Errorf("want ErrBudget, got %v", err)
+	}
+	_, err = checker.Canonical(sys, &checker.Options{MaxStates: 2})
+	if err != checker.ErrBudget {
+		t.Errorf("want ErrBudget, got %v", err)
+	}
+}
+
+func TestEmptySystemIsSafe(t *testing.T) {
+	sys := model.NewSystem(nil)
+	if !mustBrute(t, sys).Safe || !mustCanonical(t, sys).Safe {
+		t.Error("empty system is vacuously safe")
+	}
+	single := model.NewSystem(model.NewState("a"),
+		model.NewTxn("T1", model.LX("a"), model.W("a"), model.UX("a")))
+	if !mustBrute(t, single).Safe || !mustCanonical(t, single).Safe {
+		t.Error("single-transaction system is safe")
+	}
+}
+
+// TestCanonicalStatesSmaller spot-checks the cost claim: on the fixture
+// systems the canonical decider visits no more states than brute force.
+func TestCanonicalStatesSmaller(t *testing.T) {
+	for _, sys := range []*model.System{
+		workload.Figure2System(),
+		workload.TwoPhaseSystem(),
+		workload.SafeDynamicSystem(),
+	} {
+		b := mustBrute(t, sys)
+		c := mustCanonical(t, sys)
+		if c.States > b.States {
+			t.Logf("canonical states %d > brute states %d (allowed but unusual)", c.States, b.States)
+		}
+	}
+}

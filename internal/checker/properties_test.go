@@ -1,0 +1,204 @@
+package checker_test
+
+// Structural property tests of the safety notion itself, each checked on
+// random systems:
+//
+//   - anti-monotonicity: adding a transaction to an unsafe system keeps it
+//     unsafe (safety quantifies over subsets, so existing witnesses
+//     survive);
+//   - renaming invariance: bijectively renaming entities preserves the
+//     safety verdict;
+//   - witness canonicality: every canonical witness satisfies conditions
+//     1 and 2a of Theorem 1 literally.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"locksafe/internal/checker"
+	"locksafe/internal/model"
+	"locksafe/internal/workload"
+)
+
+func TestSafetyAntiMonotone(t *testing.T) {
+	checked := 0
+	for seed := int64(0); seed < 250 && checked < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sys, _ := workload.Random(rng, workload.DefaultConfig())
+		res, err := checker.Canonical(sys, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Safe {
+			continue
+		}
+		checked++
+		// Append an unrelated two-phase transaction; the system must
+		// remain unsafe.
+		extra := model.NewTxn("EXTRA",
+			model.LX("zzz-new"), model.I("zzz-new"), model.UX("zzz-new"))
+		bigger := model.NewSystem(sys.Init.Clone(), append(append([]model.Txn{}, sys.Txns...), extra)...)
+		bres, err := checker.Canonical(bigger, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bres.Safe {
+			t.Fatalf("seed %d: adding a transaction made an unsafe system safe:\n%s", seed, sys.Format())
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d unsafe systems found; property check too weak", checked)
+	}
+}
+
+// renameSystem applies a deterministic bijective entity renaming.
+func renameSystem(sys *model.System) *model.System {
+	rename := func(e model.Entity) model.Entity { return "X_" + e + "_Y" }
+	init := model.NewState()
+	for e := range sys.Init {
+		init[rename(e)] = struct{}{}
+	}
+	txns := make([]model.Txn, len(sys.Txns))
+	for i, tx := range sys.Txns {
+		steps := make([]model.Step, len(tx.Steps))
+		for j, st := range tx.Steps {
+			steps[j] = model.Step{Op: st.Op, Ent: rename(st.Ent)}
+		}
+		txns[i] = model.Txn{Name: tx.Name, Steps: steps}
+	}
+	return model.NewSystem(init, txns...)
+}
+
+func TestRenamingInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys, _ := workload.Random(rng, workload.DefaultConfig())
+		res, err := checker.Canonical(sys, nil)
+		if err != nil {
+			return false
+		}
+		res2, err := checker.Canonical(renameSystem(sys), nil)
+		if err != nil {
+			return false
+		}
+		return res.Safe == res2.Safe
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWitnessSatisfiesTheorem1 checks conditions 1 and 2a on every
+// canonical witness from a batch of random unsafe systems.
+func TestWitnessSatisfiesTheorem1(t *testing.T) {
+	found := 0
+	for seed := int64(0); seed < 300 && found < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sys, _ := workload.Random(rng, workload.DefaultConfig())
+		res, err := checker.Canonical(sys, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Safe {
+			continue
+		}
+		found++
+		w := res.Witness
+		// Condition 1: Tc locks A* after unlocking some entity.
+		tc := sys.Txn(w.C)
+		if tc.TwoPhase() {
+			t.Errorf("seed %d: Tc is two-phase", seed)
+		}
+		foundLock := false
+		for _, p := range tc.NonTwoPhaseLocks() {
+			if tc.Steps[p].Ent == w.AStar {
+				foundLock = true
+			}
+		}
+		if !foundLock {
+			t.Errorf("seed %d: A* = %s is not a non-two-phase lock target of Tc", seed, w.AStar)
+		}
+		// S' is a legal proper serial partial schedule.
+		if !w.SerialPrefix.LegalAndProper(sys) {
+			t.Errorf("seed %d: S' not legal+proper", seed)
+		}
+		// Condition 2a: every sink of D(S') locked-then-unlocked A* in a
+		// conflicting mode within its prefix.
+		g := w.SerialPrefix.Graph(sys)
+		parts := w.SerialPrefix.Participants()
+		prefLen := make(map[model.TID]int)
+		for _, ev := range w.SerialPrefix {
+			prefLen[ev.T]++
+		}
+		var modeC model.Mode
+		for _, p := range tc.NonTwoPhaseLocks() {
+			if tc.Steps[p].Ent == w.AStar {
+				modeC = tc.Steps[p].Op.LockMode()
+			}
+		}
+		for _, sink := range g.Sinks(parts) {
+			if sink == w.C {
+				t.Errorf("seed %d: T'c is a sink of D(S')", seed)
+				continue
+			}
+			if !prefixUnlocksConflicting(sys.Txn(sink), prefLen[sink], w.AStar, modeC) {
+				t.Errorf("seed %d: sink %s does not unlock A* in a conflicting mode", seed, sys.Name(sink))
+			}
+		}
+		// The full witness schedule extends S'.
+		for i, ev := range w.SerialPrefix {
+			if w.Schedule[i] != ev {
+				t.Errorf("seed %d: witness schedule does not extend S'", seed)
+				break
+			}
+		}
+	}
+	if found < 10 {
+		t.Fatalf("only %d witnesses; property check too weak", found)
+	}
+}
+
+func prefixUnlocksConflicting(tx model.Txn, plen int, astar model.Entity, modeC model.Mode) bool {
+	locked := false
+	var mode model.Mode
+	for _, st := range tx.Steps[:plen] {
+		if st.Ent != astar {
+			continue
+		}
+		switch {
+		case st.Op.IsLock():
+			locked = true
+			mode = st.Op.LockMode()
+		case st.Op.IsUnlock():
+			if locked && mode.Conflicts(modeC) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestSubsetWitnessSurvives: a witness over a subset remains one when the
+// system grows — directly exercising the subset quantification.
+func TestSubsetWitnessSurvives(t *testing.T) {
+	sys := workload.StaticUnsafeSystem()
+	res, err := checker.Brute(sys, nil)
+	if err != nil || res.Safe {
+		t.Fatal("fixture must be unsafe")
+	}
+	w := res.Witness
+	// Extend the system with two more transactions that never run.
+	txns := append(append([]model.Txn{}, sys.Txns...),
+		model.NewTxn("T3", model.LX("c"), model.I("c"), model.UX("c")),
+		model.NewTxn("T4", model.LS("a"), model.R("a"), model.US("a")))
+	bigger := model.NewSystem(sys.Init.Clone(), txns...)
+	// The old witness verifies against the bigger system unchanged.
+	if err := w.Verify(bigger); err != nil {
+		t.Fatalf("witness over a subset must survive system growth: %v", err)
+	}
+	bres, err := checker.Brute(bigger, nil)
+	if err != nil || bres.Safe {
+		t.Fatal("bigger system must remain unsafe")
+	}
+}

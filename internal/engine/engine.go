@@ -1,0 +1,508 @@
+// Package engine executes locked transaction systems under a locking
+// policy on a deterministic virtual-time simulator: transactions consume
+// virtual ticks per operation, block on conflicting locks in FIFO order,
+// abort and retry on deadlock or policy violation (with rollback of their
+// structural updates and — where required, as in altruistic locking —
+// cascading aborts of dependents), and report throughput, waiting and
+// abort metrics.
+//
+// The engine is the substitute for the quantitative evaluation of
+// [CHMS94] (see DESIGN.md): it reproduces the *shape* of that study —
+// early-release policies admit more concurrency than two-phase locking on
+// their target workloads — on synthetic workloads, deterministically.
+package engine
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"locksafe/internal/model"
+	"locksafe/internal/policy"
+)
+
+// Config controls a run.
+type Config struct {
+	// Policy supplies the runtime rules; nil means policy.Unrestricted.
+	Policy policy.Policy
+	// MPL is the multiprogramming level: how many transactions may be
+	// active simultaneously. 0 means unbounded.
+	MPL int
+	// OpTicks is the virtual cost of one executed step (default 10).
+	OpTicks int64
+	// BackoffTicks is the base retry delay after an abort (default 50);
+	// the k-th retry waits k*BackoffTicks.
+	BackoffTicks int64
+	// MaxRetries bounds retries per transaction (default 40); beyond it
+	// the transaction is abandoned and counted in Metrics.GaveUp.
+	MaxRetries int
+	// MaxEvents bounds total executed events as a runaway guard
+	// (default 2,000,000).
+	MaxEvents int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Policy == nil {
+		c.Policy = policy.Unrestricted{}
+	}
+	if c.OpTicks == 0 {
+		c.OpTicks = 10
+	}
+	if c.BackoffTicks == 0 {
+		c.BackoffTicks = 50
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 40
+	}
+	if c.MaxEvents == 0 {
+		c.MaxEvents = 2_000_000
+	}
+	return c
+}
+
+// Metrics summarizes a run.
+type Metrics struct {
+	// Commits and GaveUp partition the transactions.
+	Commits, GaveUp int
+	// DeadlockAborts, PolicyAborts, ImproperAborts and CascadeAborts
+	// count abort events by cause.
+	DeadlockAborts, PolicyAborts, ImproperAborts, CascadeAborts int
+	// WaitTicks accumulates virtual time spent blocked on locks.
+	WaitTicks int64
+	// Makespan is the virtual completion time of the whole run.
+	Makespan int64
+	// Events is the number of executed (surviving) events.
+	Events int
+}
+
+// Aborts returns the total abort count.
+func (m Metrics) Aborts() int {
+	return m.DeadlockAborts + m.PolicyAborts + m.ImproperAborts + m.CascadeAborts
+}
+
+// Throughput returns commits per 1000 virtual ticks.
+func (m Metrics) Throughput() float64 {
+	if m.Makespan == 0 {
+		return 0
+	}
+	return float64(m.Commits) * 1000 / float64(m.Makespan)
+}
+
+// Result is the outcome of a run: metrics plus the committed schedule,
+// which Run verifies to be serializable before returning.
+type Result struct {
+	Metrics  Metrics
+	Schedule model.Schedule // events of committed transactions, in order
+}
+
+// ErrStalled reports that the simulation reached a state with pending work
+// but no runnable transaction; it indicates an engine or policy bug.
+var ErrStalled = errors.New("engine: simulation stalled")
+
+// ErrBudget reports that the MaxEvents guard fired.
+var ErrBudget = errors.New("engine: event budget exhausted")
+
+type status uint8
+
+const (
+	pending status = iota
+	running
+	blocked
+	committed
+	abandoned
+)
+
+type txnState struct {
+	status   status
+	pos      int
+	attempts int
+	// epoch invalidates stale heap events after aborts.
+	epoch int
+	// blockedOn/blockedAt describe the current lock wait.
+	blockedOn model.Entity
+	blockedAt int64
+}
+
+type event struct {
+	at    int64
+	seq   int64
+	t     int
+	epoch int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type sim struct {
+	sys  *model.System
+	cfg  Config
+	now  int64
+	seq  int64
+	heap eventHeap
+
+	txns       []txnState
+	admitQueue []int
+	active     int
+
+	// Virtual lock table: holders and FIFO waiter queues per entity.
+	holders map[model.Entity]map[int]model.Mode
+	queues  map[model.Entity][]int
+
+	// World state, rebuilt from the log on aborts.
+	log     model.Schedule
+	state   model.State
+	monitor model.Monitor
+
+	met Metrics
+}
+
+// Run executes the system under the configuration and returns metrics and
+// the committed schedule.
+func Run(sys *model.System, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	s := &sim{
+		sys:     sys,
+		cfg:     cfg,
+		txns:    make([]txnState, len(sys.Txns)),
+		holders: make(map[model.Entity]map[int]model.Mode),
+		queues:  make(map[model.Entity][]int),
+		state:   sys.Init.Clone(),
+		monitor: cfg.Policy.NewMonitor(sys),
+	}
+	for i := range sys.Txns {
+		s.admitQueue = append(s.admitQueue, i)
+	}
+	s.admit()
+	if err := s.loop(); err != nil {
+		return nil, err
+	}
+	s.met.Makespan = s.now
+	sched := s.committedSchedule()
+	if !sched.Serializable(sys) {
+		return nil, fmt.Errorf("engine: committed schedule is NOT serializable under policy %q", cfg.Policy.Name())
+	}
+	return &Result{Metrics: s.met, Schedule: sched}, nil
+}
+
+func (s *sim) committedSchedule() model.Schedule {
+	var out model.Schedule
+	for _, ev := range s.log {
+		if s.txns[int(ev.T)].status == committed {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func (s *sim) admit() {
+	for len(s.admitQueue) > 0 && (s.cfg.MPL == 0 || s.active < s.cfg.MPL) {
+		t := s.admitQueue[0]
+		s.admitQueue = s.admitQueue[1:]
+		s.txns[t].status = running
+		s.active++
+		s.schedule(t, s.now)
+	}
+}
+
+func (s *sim) schedule(t int, at int64) {
+	s.seq++
+	heap.Push(&s.heap, event{at: at, seq: s.seq, t: t, epoch: s.txns[t].epoch})
+}
+
+func (s *sim) loop() error {
+	for s.heap.Len() > 0 {
+		ev := heap.Pop(&s.heap).(event)
+		if ev.at > s.now {
+			s.now = ev.at
+		}
+		st := &s.txns[ev.t]
+		if st.status != running || ev.epoch != st.epoch {
+			continue // stale
+		}
+		if s.met.Events >= s.cfg.MaxEvents {
+			return ErrBudget
+		}
+		if err := s.step(ev.t); err != nil {
+			return err
+		}
+	}
+	for i := range s.txns {
+		if s.txns[i].status != committed && s.txns[i].status != abandoned {
+			return ErrStalled
+		}
+	}
+	return nil
+}
+
+// step executes the next step of transaction t, or blocks/aborts it.
+func (s *sim) step(t int) error {
+	st := &s.txns[t]
+	tx := s.sys.Txns[t]
+	if st.pos >= tx.Len() {
+		s.commit(t)
+		return nil
+	}
+	step := tx.Steps[st.pos]
+	mev := model.Ev{T: model.TID(t), S: step}
+
+	switch {
+	case step.Op.IsLock():
+		_, alreadyGranted := s.holders[step.Ent][t]
+		if !alreadyGranted {
+			if !s.lockAvailable(t, step.Ent, step.Op.LockMode()) {
+				if s.wouldDeadlock(t, step.Ent) {
+					s.met.DeadlockAborts++
+					return s.abort(t)
+				}
+				st.status = blocked
+				st.blockedOn = step.Ent
+				st.blockedAt = s.now
+				s.queues[step.Ent] = append(s.queues[step.Ent], t)
+				return nil
+			}
+			s.setHolder(t, step.Ent, step.Op.LockMode())
+		}
+		// Consult the policy at grant time (the graph/forest/wake state
+		// is the one in force when the lock is actually acquired).
+		if err := s.monitor.Fork().Step(mev); err != nil {
+			s.met.PolicyAborts++
+			return s.abort(t)
+		}
+
+	case step.Op.IsUnlock():
+		delete(s.holders[step.Ent], t)
+		s.wakeWaiters(step.Ent)
+
+	default: // data step
+		if !s.state.Defined(step) {
+			// The workload raced ahead of a creator transaction: retry
+			// later.
+			s.met.ImproperAborts++
+			return s.abort(t)
+		}
+		if err := s.monitor.Fork().Step(mev); err != nil {
+			s.met.PolicyAborts++
+			return s.abort(t)
+		}
+		s.state.Apply(step)
+	}
+
+	if err := s.monitor.Step(mev); err != nil {
+		return fmt.Errorf("engine: monitor accepted fork but rejected step: %v", err)
+	}
+	s.log = append(s.log, mev)
+	s.met.Events++
+	st.pos++
+	s.schedule(t, s.now+s.cfg.OpTicks)
+	return nil
+}
+
+func (s *sim) lockAvailable(t int, e model.Entity, mode model.Mode) bool {
+	if len(s.queues[e]) > 0 {
+		return false // FIFO: no overtaking
+	}
+	for h, hm := range s.holders[e] {
+		if h != t && hm.Conflicts(mode) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *sim) setHolder(t int, e model.Entity, mode model.Mode) {
+	h := s.holders[e]
+	if h == nil {
+		h = make(map[int]model.Mode)
+		s.holders[e] = h
+	}
+	h[t] = mode
+}
+
+// wouldDeadlock reports whether t waiting on e would close a waits-for
+// cycle.
+func (s *sim) wouldDeadlock(t int, e model.Entity) bool {
+	blockersOf := func(x int, ent model.Entity) []int {
+		var out []int
+		for h := range s.holders[ent] {
+			if h != x {
+				out = append(out, h)
+			}
+		}
+		for _, w := range s.queues[ent] {
+			if w != x {
+				out = append(out, w)
+			}
+		}
+		return out
+	}
+	seen := make(map[int]bool)
+	stack := blockersOf(t, e)
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == t {
+			return true
+		}
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		if s.txns[x].status == blocked {
+			stack = append(stack, blockersOf(x, s.txns[x].blockedOn)...)
+		}
+	}
+	return false
+}
+
+// wakeWaiters grants e's FIFO queue as far as compatibility allows. A
+// granted waiter becomes a holder immediately (so it cannot lose the lock
+// to a later wakeup) and is scheduled to re-run its lock step, which will
+// observe the grant and perform the policy check.
+func (s *sim) wakeWaiters(e model.Entity) {
+	q := s.queues[e]
+	for len(q) > 0 {
+		t := q[0]
+		st := &s.txns[t]
+		if st.status != blocked || st.blockedOn != e {
+			q = q[1:]
+			continue
+		}
+		step := s.sys.Txns[t].Steps[st.pos]
+		compatible := true
+		for h, hm := range s.holders[e] {
+			if h != t && hm.Conflicts(step.Op.LockMode()) {
+				compatible = false
+				break
+			}
+		}
+		if !compatible {
+			break
+		}
+		q = q[1:]
+		s.setHolder(t, e, step.Op.LockMode())
+		st.status = running
+		s.met.WaitTicks += s.now - st.blockedAt
+		st.blockedOn = ""
+		s.schedule(t, s.now)
+	}
+	s.queues[e] = q
+}
+
+// abort rolls back transaction t, cascading to transactions whose history
+// becomes invalid (for example wake members of an aborted altruistic
+// donor), and schedules retries.
+func (s *sim) abort(t int) error {
+	aborted := map[int]bool{t: true}
+	s.rollbackOne(t)
+	for {
+		ok, victim := s.rebuild(aborted)
+		if ok {
+			return nil
+		}
+		if aborted[victim] {
+			return fmt.Errorf("engine: abort cascade cannot converge on T%d", victim+1)
+		}
+		aborted[victim] = true
+		s.met.CascadeAborts++
+		s.rollbackOne(victim)
+	}
+}
+
+// rollbackOne releases t's locks, removes it from wait queues, bumps its
+// epoch (invalidating scheduled events) and schedules its retry or
+// abandons it.
+func (s *sim) rollbackOne(t int) {
+	st := &s.txns[t]
+	st.epoch++
+	if st.status == committed {
+		// A cascade can reach an already-committed transaction (e.g. a
+		// wake member whose altruistic donor aborts after the member
+		// finished). The simulator un-commits and re-runs it; real
+		// systems prevent this by delaying commit until the donor's
+		// locked point, which the virtual-time model does not represent.
+		s.met.Commits--
+		s.active++
+	}
+	for e, h := range s.holders {
+		if _, ok := h[t]; ok {
+			delete(h, t)
+			s.wakeWaiters(e)
+		}
+	}
+	for e, q := range s.queues {
+		out := q[:0]
+		removed := false
+		for _, w := range q {
+			if w == t {
+				removed = true
+			} else {
+				out = append(out, w)
+			}
+		}
+		s.queues[e] = out
+		if removed {
+			s.wakeWaiters(e)
+		}
+	}
+	st.pos = 0
+	st.blockedOn = ""
+	st.attempts++
+	if st.attempts > s.cfg.MaxRetries {
+		st.status = abandoned
+		s.met.GaveUp++
+		s.active--
+		s.admit()
+		return
+	}
+	st.status = running
+	s.schedule(t, s.now+s.cfg.BackoffTicks*int64(st.attempts))
+}
+
+// rebuild replays the log minus aborted transactions' events into fresh
+// world state, returning ok=false and the owner of the first event that no
+// longer replays (a cascade victim).
+func (s *sim) rebuild(aborted map[int]bool) (bool, int) {
+	var newLog model.Schedule
+	state := s.sys.Init.Clone()
+	monitor := s.cfg.Policy.NewMonitor(s.sys)
+	for _, ev := range s.log {
+		if aborted[int(ev.T)] {
+			continue
+		}
+		if ev.S.Op.IsData() && !state.Defined(ev.S) {
+			return false, int(ev.T)
+		}
+		if err := monitor.Step(ev); err != nil {
+			return false, int(ev.T)
+		}
+		state.Apply(ev.S)
+		newLog = append(newLog, ev)
+	}
+	s.log = newLog
+	s.state = state
+	s.monitor = monitor
+	return true, 0
+}
+
+func (s *sim) commit(t int) {
+	s.txns[t].status = committed
+	s.met.Commits++
+	s.active--
+	s.admit()
+}

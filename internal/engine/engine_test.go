@@ -1,0 +1,244 @@
+package engine_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"locksafe/internal/engine"
+	"locksafe/internal/model"
+	"locksafe/internal/policy"
+	"locksafe/internal/workload"
+)
+
+func TestSingleTransaction(t *testing.T) {
+	sys := model.NewSystem(model.NewState("a"),
+		model.NewTxn("T1", model.LX("a"), model.W("a"), model.UX("a")))
+	res, err := engine.Run(sys, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Commits != 1 || res.Metrics.Aborts() != 0 {
+		t.Errorf("metrics = %+v", res.Metrics)
+	}
+	if len(res.Schedule) != 3 {
+		t.Errorf("schedule = %v", res.Schedule)
+	}
+	if res.Metrics.Makespan == 0 || res.Metrics.Throughput() == 0 {
+		t.Error("virtual time did not advance")
+	}
+}
+
+func TestContentionSerializesConflicts(t *testing.T) {
+	// Two writers on the same entity: the second must wait; both commit.
+	sys := model.NewSystem(model.NewState("a"),
+		model.NewTxn("T1", model.LX("a"), model.W("a"), model.UX("a")),
+		model.NewTxn("T2", model.LX("a"), model.W("a"), model.UX("a")))
+	res, err := engine.Run(sys, engine.Config{Policy: policy.TwoPhase{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Commits != 2 {
+		t.Fatalf("commits = %d", res.Metrics.Commits)
+	}
+	if res.Metrics.WaitTicks == 0 {
+		t.Error("the second writer should have waited")
+	}
+}
+
+func TestDeadlockAbortAndRetry(t *testing.T) {
+	// Classic crossing order: T1 locks a then b; T2 locks b then a.
+	sys := model.NewSystem(model.NewState("a", "b"),
+		model.NewTxn("T1", model.LX("a"), model.W("a"), model.LX("b"), model.W("b"), model.UX("a"), model.UX("b")),
+		model.NewTxn("T2", model.LX("b"), model.W("b"), model.LX("a"), model.W("a"), model.UX("b"), model.UX("a")))
+	res, err := engine.Run(sys, engine.Config{Policy: policy.TwoPhase{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Commits != 2 {
+		t.Fatalf("both transactions must eventually commit: %+v", res.Metrics)
+	}
+	if res.Metrics.DeadlockAborts == 0 {
+		t.Error("the crossing lock order must produce a deadlock abort")
+	}
+}
+
+func TestPolicyAbort(t *testing.T) {
+	// A transaction violating the DDAG policy (locks an existing
+	// non-first root) aborts every attempt and is abandoned.
+	sys := model.NewSystem(model.NewState("r", "s"),
+		model.NewTxn("T1", model.LX("r"), model.W("r"), model.LX("s"), model.W("s"), model.UX("r"), model.UX("s")))
+	res, err := engine.Run(sys, engine.Config{Policy: policy.DDAG{}, MaxRetries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Commits != 0 || res.Metrics.GaveUp != 1 {
+		t.Errorf("metrics = %+v", res.Metrics)
+	}
+	if res.Metrics.PolicyAborts != 4 { // initial + 3 retries
+		t.Errorf("policy aborts = %d, want 4", res.Metrics.PolicyAborts)
+	}
+}
+
+func TestImproperRetry(t *testing.T) {
+	// T2 writes an entity only T1 creates. Depending on interleaving T2
+	// may have to retry, but both must commit.
+	sys := model.NewSystem(model.NewState(),
+		model.NewTxn("T1", model.LX("a"), model.I("a"), model.UX("a")),
+		model.NewTxn("T2", model.LX("a"), model.W("a"), model.UX("a")))
+	res, err := engine.Run(sys, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Commits != 2 {
+		t.Fatalf("metrics = %+v", res.Metrics)
+	}
+}
+
+func TestMPLLimitsConcurrency(t *testing.T) {
+	// Ten independent transactions; MPL=1 forces serial execution, so
+	// makespan is ~10x the per-transaction time.
+	var txns []model.Txn
+	ents := make([]model.Entity, 10)
+	for i := range txns2(10) {
+		e := model.Entity(rune('a' + i))
+		ents[i] = e
+		txns = append(txns, model.NewTxn("", model.LX(e), model.W(e), model.UX(e)))
+	}
+	sys := model.NewSystem(model.NewState(ents...), txns...)
+	serial, err := engine.Run(sys, engine.Config{MPL: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := engine.Run(sys, engine.Config{MPL: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Metrics.Makespan <= parallel.Metrics.Makespan {
+		t.Errorf("serial makespan %d must exceed parallel %d",
+			serial.Metrics.Makespan, parallel.Metrics.Makespan)
+	}
+	if parallel.Metrics.Commits != 10 || serial.Metrics.Commits != 10 {
+		t.Error("all must commit")
+	}
+}
+
+func txns2(n int) []struct{} { return make([]struct{}, n) }
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sys, _ := workload.DDAGSystem(rng, workload.DefaultDDAGConfig())
+	cfg := engine.Config{Policy: policy.DDAG{}, MPL: 3}
+	r1, err := engine.Run(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := engine.Run(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Metrics != r2.Metrics {
+		t.Errorf("runs differ:\n%+v\n%+v", r1.Metrics, r2.Metrics)
+	}
+	if r1.Schedule.String() != r2.Schedule.String() {
+		t.Error("schedules differ between identical runs")
+	}
+}
+
+// TestPoliciesCommitTheirWorkloads runs each policy's generated workload
+// under its own monitor at various MPLs: everything should commit (modulo
+// abandoned stragglers, which must be zero here) and the committed
+// schedule is serializable (checked inside Run).
+func TestPoliciesCommitTheirWorkloads(t *testing.T) {
+	type pw struct {
+		name string
+		pol  policy.Policy
+		gen  func(seed int64) *model.System
+	}
+	cfgP := workload.DefaultPolicyConfig()
+	cfgP.Txns = 5
+	cfgP.OpsPerTxn = 4
+	cases := []pw{
+		{"2PL", policy.TwoPhase{}, func(seed int64) *model.System {
+			return workload.TwoPhaseSystemRandom(rand.New(rand.NewSource(seed)), cfgP)
+		}},
+		{"altruistic", policy.Altruistic{}, func(seed int64) *model.System {
+			return workload.AltruisticSystem(rand.New(rand.NewSource(seed)), cfgP)
+		}},
+		{"DTR", policy.DTR{}, func(seed int64) *model.System {
+			return workload.DTRSystem(rand.New(rand.NewSource(seed)), cfgP)
+		}},
+		{"DDAG", policy.DDAG{}, func(seed int64) *model.System {
+			dcfg := workload.DefaultDDAGConfig()
+			dcfg.Txns = 5
+			sys, _ := workload.DDAGSystem(rand.New(rand.NewSource(seed)), dcfg)
+			return sys
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			for seed := int64(0); seed < 10; seed++ {
+				sys := c.gen(seed)
+				for _, mpl := range []int{1, 2, 5} {
+					res, err := engine.Run(sys, engine.Config{Policy: c.pol, MPL: mpl})
+					if err != nil {
+						t.Fatalf("seed %d mpl %d: %v", seed, mpl, err)
+					}
+					if res.Metrics.Commits+res.Metrics.GaveUp != len(sys.Txns) {
+						t.Fatalf("seed %d mpl %d: %d commits + %d gaveup != %d txns",
+							seed, mpl, res.Metrics.Commits, res.Metrics.GaveUp, len(sys.Txns))
+					}
+					if mpl == 1 && res.Metrics.GaveUp > 0 {
+						t.Errorf("seed %d: serial execution must not abandon transactions", seed)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEarlyReleaseBeatsTwoPhaseOnChains is the shape claim of E8 in
+// miniature: on a pipeline of chain-walking transactions over the same
+// entities, the DTR crabbing discipline (early release) finishes sooner
+// than the two-phase version of the same work.
+func TestEarlyReleaseBeatsTwoPhaseOnChains(t *testing.T) {
+	ents := []model.Entity{"a", "b", "c", "d", "e"}
+	n := 6
+	var crab, twopl []model.Txn
+	for i := 0; i < n; i++ {
+		crab = append(crab, model.Txn{Name: "", Steps: workload.DTRChainSteps(ents)})
+		var steps []model.Step
+		for _, e := range ents {
+			steps = append(steps, model.LX(e), model.W(e))
+		}
+		for _, e := range ents {
+			steps = append(steps, model.UX(e))
+		}
+		twopl = append(twopl, model.Txn{Name: "", Steps: steps})
+	}
+	sysCrab := model.NewSystem(model.NewState(ents...), crab...)
+	sysTwoPL := model.NewSystem(model.NewState(ents...), twopl...)
+	resCrab, err := engine.Run(sysCrab, engine.Config{Policy: policy.DTR{}, MPL: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resTwoPL, err := engine.Run(sysTwoPL, engine.Config{Policy: policy.TwoPhase{}, MPL: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resCrab.Metrics.Commits != n || resTwoPL.Metrics.Commits != n {
+		t.Fatalf("commits: crab %d, 2PL %d", resCrab.Metrics.Commits, resTwoPL.Metrics.Commits)
+	}
+	if resCrab.Metrics.Makespan >= resTwoPL.Metrics.Makespan {
+		t.Errorf("crabbing makespan %d should beat two-phase %d",
+			resCrab.Metrics.Makespan, resTwoPL.Metrics.Makespan)
+	}
+}
+
+func TestEventBudget(t *testing.T) {
+	sys := model.NewSystem(model.NewState("a"),
+		model.NewTxn("T1", model.LX("a"), model.W("a"), model.UX("a")))
+	_, err := engine.Run(sys, engine.Config{MaxEvents: 1})
+	if err != engine.ErrBudget {
+		t.Errorf("want ErrBudget, got %v", err)
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"locksafe/internal/checker"
+	"locksafe/internal/policy"
+	"locksafe/internal/workload"
+)
+
+// E10SharedDDAG studies the shared/exclusive extension of the DDAG policy
+// that the paper defers to [Cha95]: the *naive* extension (reads take
+// shared locks; rule L5 accepts predecessors locked in either mode) is
+// NOT safe, and the safety checker finds counterexamples automatically.
+//
+// The experiment (a) re-verifies the minimized two-transaction
+// counterexample, (b) shows the identical traversals are safe with
+// exclusive locks only (Theorem 2's setting), and (c) measures how often
+// random DDAG-SX workloads are unsafe under the naive rules.
+func E10SharedDDAG(n int, seed int64) Report {
+	var b accum
+	var failed string
+
+	// (a) The minimized counterexample.
+	sys := workload.DDAGSXCounterexample()
+	res, err := checker.Brute(sys, &checker.Options{Monitor: policy.DDAGSX{}.NewMonitor(sys)})
+	if err != nil {
+		return Report{ID: "E10", Title: "shared/exclusive DDAG extension", Failed: err.Error()}
+	}
+	b.printf("Naive S/X DDAG counterexample (chain n0->n1->n2->n3):\n%s", indent(sys.Format()))
+	if res.Safe {
+		failed = "counterexample unexpectedly safe"
+	} else {
+		b.printf("UNSAFE under the naive S/X rules; admissible nonserializable schedule:\n")
+		b.printf("%s", indent(res.Witness.Schedule.Grid(sys)))
+		b.printf("cycle: %v\n", res.Witness.Cycle)
+	}
+
+	// (b) Exclusive-only contrast.
+	sysX := workload.DDAGSXCounterexampleAllX()
+	resX, err := checker.Brute(sysX, &checker.Options{Monitor: policy.DDAG{}.NewMonitor(sysX)})
+	if err != nil {
+		return Report{ID: "E10", Title: "shared/exclusive DDAG extension", Failed: err.Error()}
+	}
+	b.printf("\nSame traversals, exclusive locks only (Theorem 2): safe=%v\n", resX.Safe)
+	if !resX.Safe {
+		failed = "exclusive-only variant must be safe (Theorem 2)"
+	}
+
+	// (c) Frequency over random workloads.
+	unsafeCount := 0
+	for i := 0; i < n; i++ {
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		wsys, _ := workload.DDAGSXSystem(rng, workload.DefaultDDAGConfig(), 0.5)
+		wres, err := checker.Brute(wsys, &checker.Options{Monitor: policy.DDAGSX{}.NewMonitor(wsys)})
+		if err != nil {
+			return Report{ID: "E10", Title: "shared/exclusive DDAG extension", Failed: err.Error()}
+		}
+		if !wres.Safe {
+			unsafeCount++
+		}
+	}
+	b.printf("\nRandom DDAG-SX workloads: %d/%d unsafe under the naive extension.\n", unsafeCount, n)
+	b.printf("\nConclusion: shared locks cannot simply be substituted into rules L1-L5;\n")
+	b.printf("a reader holding only shared predecessor locks does not exclude other\n")
+	b.printf("readers from overtaking a non-two-phase writer. The correct S/X version\n")
+	b.printf("(developed in [Cha95], not in this paper) needs stronger lock-coupling.\n")
+	return Report{ID: "E10", Title: "shared/exclusive DDAG extension (deferred to [Cha95])", Text: b.String(), Failed: failed}
+}
+
+// accum is a tiny printf-accumulating string builder.
+type accum struct{ s string }
+
+func (b *accum) printf(format string, args ...any) {
+	b.s += fmt.Sprintf(format, args...)
+}
+
+func (b *accum) String() string { return b.s }

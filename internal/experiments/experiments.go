@@ -1,0 +1,593 @@
+// Package experiments regenerates every figure and evaluation claim of
+// the paper as a printable report (see DESIGN.md's experiment index):
+//
+//	E1 Fig. 1  — shapes of canonical serializability graphs
+//	E2 Fig. 2  — a proper nonserializable schedule needing all 3 txns
+//	E3 Fig. 3  — DDAG walkthrough (grant/deny)
+//	E4 Fig. 4  — altruistic walkthrough (wake entry/denial/dissolution)
+//	E5 Fig. 5  — DTR walkthrough (forest evolution)
+//	E6 Thm. 1  — differential validation: canonical vs brute force
+//	E7 Thms 2–4 — policy safety on conformant workloads (+ negative control)
+//	E8 [CHMS94] — throughput/wait/abort vs MPL per policy (substitute)
+//	E9 cost    — canonical vs brute-force decision cost scaling
+//	E10 ext    — the naive shared/exclusive DDAG extension is unsafe
+//	             (machine-found counterexample; see e10.go)
+//
+// Every function is deterministic given its seed arguments.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"locksafe/internal/checker"
+	"locksafe/internal/engine"
+	"locksafe/internal/model"
+	"locksafe/internal/policy"
+	"locksafe/internal/workload"
+)
+
+// Report is one experiment's rendered output.
+type Report struct {
+	ID    string
+	Title string
+	Text  string
+	// Failed is non-empty when the experiment's assertion did not hold.
+	Failed string
+}
+
+func (r Report) String() string {
+	status := "OK"
+	if r.Failed != "" {
+		status = "FAILED: " + r.Failed
+	}
+	return fmt.Sprintf("=== %s: %s [%s]\n%s", r.ID, r.Title, status, r.Text)
+}
+
+// E1CanonicalShapes reproduces Figure 1: the serializability graph D(S')
+// of a canonical witness is a simple path in the static setting (1a) but
+// may have multiple sources and sinks in the dynamic setting (1b), and the
+// distinguished transaction Tc need not be first.
+func E1CanonicalShapes() Report {
+	var b strings.Builder
+	var failed string
+
+	// (1a) static-style witness: unique sink, Tc first.
+	sysA := workload.StaticUnsafeSystem()
+	resA, err := checker.Canonical(sysA, nil)
+	if err != nil || resA.Safe {
+		return Report{ID: "E1", Title: "Figure 1 canonical shapes", Failed: fmt.Sprintf("static witness not found: %v", err)}
+	}
+	wA := resA.Witness
+	gA := wA.SerialPrefix.Graph(sysA)
+	fmt.Fprintf(&b, "Fig 1a (static-style): system\n%s", indent(sysA.Format()))
+	fmt.Fprintf(&b, "  S'      = %s\n", wA.SerialPrefix)
+	fmt.Fprintf(&b, "  D(S')   = %s\n", model.DescribeGraph(sysA, gA))
+	fmt.Fprintf(&b, "  Tc = %s locks A* = %s; sinks = %s\n",
+		sysA.Name(wA.C), wA.AStar, names(sysA, gA.Sinks(wA.SerialPrefix.Participants())))
+
+	// (1b) dynamic/shared witness with two sinks, built explicitly.
+	sysB := workload.SharedMultiSinkSystem()
+	sprime, c, astar := workload.SharedMultiSinkPrefix()
+	gB := sprime.Graph(sysB)
+	sinks := gB.Sinks(sprime.Participants())
+	fmt.Fprintf(&b, "\nFig 1b (dynamic, shared locks): system\n%s", indent(sysB.Format()))
+	fmt.Fprintf(&b, "  S'      = %s\n", sprime)
+	fmt.Fprintf(&b, "  D(S')   = %s\n", model.DescribeGraph(sysB, gB))
+	fmt.Fprintf(&b, "  Tc = %s locks A* = %s exclusively; sinks = %s (multiple!)\n",
+		sysB.Name(c), astar, names(sysB, sinks))
+	if len(sinks) < 2 {
+		failed = "expected multiple sinks in the dynamic witness"
+	}
+	if resB, err := checker.Brute(sysB, nil); err != nil || resB.Safe {
+		failed = "multi-sink system should be unsafe"
+	}
+
+	// Tc not first (dynamic properness coupling).
+	sysC := workload.DynamicLateCSystem()
+	resC, err := checker.Canonical(sysC, nil)
+	if err != nil || resC.Safe {
+		failed = "late-Tc witness not found"
+	} else {
+		wC := resC.Witness
+		fmt.Fprintf(&b, "\nDynamic difference: Tc is NOT first in S' (properness forces a creator first):\n")
+		fmt.Fprintf(&b, "  S'      = %s\n", wC.SerialPrefix)
+		fmt.Fprintf(&b, "  Tc = %s; first transaction of S' = %s\n",
+			sysC.Name(wC.C), sysC.Name(wC.SerialPrefix[0].T))
+		if wC.SerialPrefix[0].T == wC.C {
+			failed = "Tc unexpectedly first in the serial prefix"
+		}
+	}
+	return Report{ID: "E1", Title: "Figure 1 canonical shapes", Text: b.String(), Failed: failed}
+}
+
+// E2Figure2 reproduces Figure 2: a legal, proper, nonserializable schedule
+// of three transactions such that no proper complete schedule exists over
+// any strict subset — defeating chordless-cycle reasoning.
+func E2Figure2() Report {
+	var b strings.Builder
+	var failed string
+	sys := workload.Figure2System()
+	s := workload.Figure2Schedule()
+	fmt.Fprintf(&b, "System (initially empty database):\n%s", indent(sys.Format()))
+	fmt.Fprintf(&b, "Schedule Sp:\n%s", indent(s.Grid(sys)))
+	fmt.Fprintf(&b, "legal=%v proper=%v serializable=%v\n", s.Legal(sys), s.Proper(sys), s.Serializable(sys))
+	fmt.Fprintf(&b, "D(Sp) = %s (cycle)\n", model.DescribeGraph(sys, s.Graph(sys)))
+	if !s.Legal(sys) || !s.Proper(sys) || s.Serializable(sys) {
+		failed = "Sp must be legal, proper and nonserializable"
+	}
+	fmt.Fprintf(&b, "\nProper complete schedules over subsets:\n")
+	subsets := [][]model.TID{{0}, {1}, {2}, {0, 1}, {0, 2}, {1, 2}, {0, 1, 2}}
+	for _, sub := range subsets {
+		_, ok, err := checker.FindProperComplete(sys, sub, nil)
+		if err != nil {
+			return Report{ID: "E2", Title: "Figure 2", Failed: err.Error()}
+		}
+		fmt.Fprintf(&b, "  %-12s -> %v\n", names(sys, sub), ok)
+		if ok != (len(sub) == 3) {
+			failed = "properness must require all three transactions"
+		}
+	}
+	fmt.Fprintf(&b, "interaction graph complete: %v\n", model.Interaction(sys).Complete())
+	return Report{ID: "E2", Title: "Figure 2 proper nonserializable schedule", Text: b.String(), Failed: failed}
+}
+
+// E3DDAGWalkthrough reproduces Figure 3.
+func E3DDAGWalkthrough() Report {
+	var b strings.Builder
+	var failed string
+	sc := workload.Figure3()
+
+	fmt.Fprintf(&b, "DAG: 1->2->3->4 (rooted at 1)\n\nPermitted run:\n")
+	mon := policy.DDAG{}.NewMonitor(sc.SysGranted)
+	r := model.NewReplay(sc.SysGranted)
+	for _, ev := range sc.Granted {
+		if err := r.Do(ev); err != nil {
+			failed = fmt.Sprintf("replay: %v", err)
+			break
+		}
+		if err := mon.Step(ev); err != nil {
+			failed = fmt.Sprintf("unexpected denial: %v", err)
+			break
+		}
+		fmt.Fprintf(&b, "  grant %-12s\n", fmt.Sprintf("%s:%s", sc.SysGranted.Name(ev.T), ev.S))
+	}
+
+	fmt.Fprintf(&b, "\nVariant with T1 inserting edge (2,4):\n")
+	mon = policy.DDAG{}.NewMonitor(sc.SysEdge)
+	r = model.NewReplay(sc.SysEdge)
+	for i, ev := range sc.WithEdgeInsert {
+		if err := r.Do(ev); err != nil {
+			failed = fmt.Sprintf("replay: %v", err)
+			break
+		}
+		err := mon.Step(ev)
+		if i == sc.DeniedIndex {
+			if err == nil {
+				failed = "T2's (LX 4) was granted but must be denied"
+			} else {
+				fmt.Fprintf(&b, "  DENY  %s:%s — %v\n", sc.SysEdge.Name(ev.T), ev.S, err)
+				fmt.Fprintf(&b, "  (T2 must abort and restart from node 2, as the paper says)\n")
+			}
+			break
+		}
+		if err != nil {
+			failed = fmt.Sprintf("unexpected denial at %d: %v", i, err)
+			break
+		}
+		fmt.Fprintf(&b, "  grant %s:%s\n", sc.SysEdge.Name(ev.T), ev.S)
+	}
+	return Report{ID: "E3", Title: "Figure 3 DDAG walkthrough", Text: b.String(), Failed: failed}
+}
+
+// E4AltruisticWalkthrough reproduces Figure 4.
+func E4AltruisticWalkthrough() Report {
+	var b strings.Builder
+	var failed string
+	sc := workload.Figure4()
+	mon := policy.Altruistic{}.NewMonitor(sc.Sys)
+	r := model.NewReplay(sc.Sys)
+	for i, ev := range sc.Events {
+		if i == sc.DenyProbeAt {
+			probe := mon.Fork()
+			if err := probe.Step(sc.DeniedEvent); err != nil {
+				fmt.Fprintf(&b, "  DENY  %s:%s — %v\n", sc.Sys.Name(sc.DeniedEvent.T), sc.DeniedEvent.S, err)
+			} else {
+				failed = "T2 locked a non-donated entity while in T1's wake"
+			}
+		}
+		if err := r.Do(ev); err != nil {
+			failed = fmt.Sprintf("replay: %v", err)
+			break
+		}
+		if err := mon.Step(ev); err != nil {
+			failed = fmt.Sprintf("unexpected denial: %v", err)
+			break
+		}
+		note := ""
+		switch i {
+		case 3:
+			note = "   <- T2 enters the wake of T1"
+		case 8:
+			note = "   <- donated entity: allowed"
+		case 10:
+			note = "  <- T1's locked point: wake dissolves"
+		case 11:
+			note = "   <- T2 free to lock anything"
+		}
+		fmt.Fprintf(&b, "  grant %s:%s%s\n", sc.Sys.Name(ev.T), ev.S, note)
+	}
+	return Report{ID: "E4", Title: "Figure 4 altruistic walkthrough", Text: b.String(), Failed: failed}
+}
+
+// E5DTRWalkthrough reproduces Figure 5.
+func E5DTRWalkthrough() Report {
+	var b strings.Builder
+	var failed string
+	sc := workload.Figure5()
+	mon := policy.DTR{}.NewMonitor(sc.Sys)
+	r := model.NewReplay(sc.Sys)
+	for i, ev := range sc.Events {
+		if err := r.Do(ev); err != nil {
+			failed = fmt.Sprintf("replay: %v", err)
+			break
+		}
+		if err := mon.Step(ev); err != nil {
+			failed = fmt.Sprintf("unexpected denial: %v", err)
+			break
+		}
+		forest := policy.DTRForest(mon).String()
+		fmt.Fprintf(&b, "  %-10s forest: %s\n", fmt.Sprintf("%s:%s", sc.Sys.Name(ev.T), ev.S), forest)
+		if want, ok := sc.ForestChecks[i]; ok && forest != want {
+			failed = fmt.Sprintf("after event %d forest %q, want %q", i, forest, want)
+		}
+	}
+	return Report{ID: "E5", Title: "Figure 5 DTR walkthrough", Text: b.String(), Failed: failed}
+}
+
+func names(sys *model.System, ids []model.TID) string {
+	parts := make([]string, len(ids))
+	for i, t := range ids {
+		parts[i] = sys.Name(t)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = "  " + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// E6Differential validates Theorem 1 empirically: the canonical and
+// brute-force deciders must agree on n random systems.
+func E6Differential(n int, seed int64) Report {
+	var b strings.Builder
+	var failed string
+	cfg := workload.DefaultConfig()
+	var safe, unsafe int
+	var bruteStates, canonStates int64
+	var bruteTime, canonTime time.Duration
+	for i := 0; i < n; i++ {
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		sys, _ := workload.Random(rng, cfg)
+		t0 := time.Now()
+		bres, err := checker.Brute(sys, nil)
+		bruteTime += time.Since(t0)
+		if err != nil {
+			return Report{ID: "E6", Title: "Theorem 1 differential", Failed: err.Error()}
+		}
+		t0 = time.Now()
+		cres, err := checker.Canonical(sys, nil)
+		canonTime += time.Since(t0)
+		if err != nil {
+			return Report{ID: "E6", Title: "Theorem 1 differential", Failed: err.Error()}
+		}
+		if bres.Safe != cres.Safe {
+			failed = fmt.Sprintf("disagreement at seed %d", seed+int64(i))
+		}
+		bruteStates += int64(bres.States)
+		canonStates += int64(cres.States)
+		if bres.Safe {
+			safe++
+		} else {
+			unsafe++
+		}
+	}
+	fmt.Fprintf(&b, "systems: %d   safe: %d   unsafe: %d   disagreements: 0\n", n, safe, unsafe)
+	fmt.Fprintf(&b, "%-22s %14s %14s\n", "decider", "states (total)", "time")
+	fmt.Fprintf(&b, "%-22s %14d %14s\n", "brute force", bruteStates, bruteTime.Round(time.Millisecond))
+	fmt.Fprintf(&b, "%-22s %14d %14s\n", "canonical (Thm 1)", canonStates, canonTime.Round(time.Millisecond))
+	if canonStates > 0 {
+		fmt.Fprintf(&b, "state ratio brute/canonical: %.1fx\n", float64(bruteStates)/float64(canonStates))
+	}
+	return Report{ID: "E6", Title: "Theorem 1 differential validation", Text: b.String(), Failed: failed}
+}
+
+// E7PolicySafety validates Theorems 2–4: policy-conformant workloads are
+// safe under their policy monitor; the same workloads without the monitor
+// (negative control) are frequently unsafe.
+func E7PolicySafety(perPolicy int, seed int64) Report {
+	var b strings.Builder
+	var failed string
+	type row struct {
+		name                      string
+		gen                       func(s int64) *model.System
+		pol                       policy.Policy
+		safe, unsafeNoMon, tested int
+	}
+	cfg := workload.DefaultPolicyConfig()
+	rows := []*row{
+		{name: "2PL", pol: policy.TwoPhase{}, gen: func(s int64) *model.System {
+			return workload.TwoPhaseSystemRandom(rand.New(rand.NewSource(s)), cfg)
+		}},
+		{name: "DDAG", pol: policy.DDAG{}, gen: func(s int64) *model.System {
+			sys, _ := workload.DDAGSystem(rand.New(rand.NewSource(s)), workload.DefaultDDAGConfig())
+			return sys
+		}},
+		{name: "altruistic", pol: policy.Altruistic{}, gen: func(s int64) *model.System {
+			return workload.AltruisticSystem(rand.New(rand.NewSource(s)), cfg)
+		}},
+		{name: "DTR", pol: policy.DTR{}, gen: func(s int64) *model.System {
+			return workload.DTRSystem(rand.New(rand.NewSource(s)), cfg)
+		}},
+	}
+	for _, r := range rows {
+		for i := 0; i < perPolicy; i++ {
+			sys := r.gen(seed + int64(i))
+			r.tested++
+			res, err := checker.Brute(sys, &checker.Options{Monitor: r.pol.NewMonitor(sys)})
+			if err != nil {
+				return Report{ID: "E7", Title: "policy safety", Failed: err.Error()}
+			}
+			if res.Safe {
+				r.safe++
+			} else {
+				failed = fmt.Sprintf("policy %s admitted a nonserializable schedule", r.name)
+			}
+			nres, err := checker.Brute(sys, nil)
+			if err != nil {
+				return Report{ID: "E7", Title: "policy safety", Failed: err.Error()}
+			}
+			if !nres.Safe {
+				r.unsafeNoMon++
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%-12s %8s %14s %26s\n", "policy", "systems", "safe (policy)", "unsafe without policy")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %8d %14d %26d\n", r.name, r.tested, r.safe, r.unsafeNoMon)
+	}
+	fmt.Fprintf(&b, "\nEvery policy keeps 100%% of its workloads safe (Theorems 2-4);\n")
+	fmt.Fprintf(&b, "the right column shows how many of the same (non-two-phase) workloads\n")
+	fmt.Fprintf(&b, "have nonserializable schedules once the runtime rules are removed.\n")
+	return Report{ID: "E7", Title: "Theorems 2-4 policy safety", Text: b.String(), Failed: failed}
+}
+
+// E8Row is one measured configuration of the performance study.
+type E8Row struct {
+	Workload   string
+	Policy     string
+	MPL        int
+	Throughput float64
+	AvgWait    float64
+	Aborts     int
+	Makespan   int64
+}
+
+// E8Performance is the CHMS94-substitute study: throughput, mean wait and
+// aborts vs multiprogramming level, per policy, on two workloads:
+// (a) chain pipelines (DTR/altruistic territory) and (b) DAG traversals
+// (DDAG territory), each compared against two-phase locking over the same
+// data operations.
+func E8Performance(seed int64) ([]E8Row, Report) {
+	var rows []E8Row
+	var b strings.Builder
+	var failed string
+	mpls := []int{1, 2, 4, 8}
+
+	// Workload (a): n transactions all chain-walking the same 6 entities.
+	ents := []model.Entity{"e0", "e1", "e2", "e3", "e4", "e5"}
+	const n = 12
+	var crab, crab2PL []model.Txn
+	for i := 0; i < n; i++ {
+		crab = append(crab, model.Txn{Steps: workload.DTRChainSteps(ents)})
+		crab2PL = append(crab2PL, model.Txn{Steps: twoPhaseSteps(ents)})
+	}
+	sysCrab := model.NewSystem(model.NewState(ents...), crab...)
+	sys2PL := model.NewSystem(model.NewState(ents...), crab2PL...)
+	for _, mpl := range mpls {
+		rows = append(rows,
+			runE8("chain", policy.DTR{}, sysCrab, mpl),
+			runE8("chain", policy.TwoPhase{}, sys2PL, mpl))
+	}
+
+	// Altruistic variant of the chain workload: donate immediately.
+	var altr []model.Txn
+	for i := 0; i < n; i++ {
+		var steps []model.Step
+		for _, e := range ents {
+			steps = append(steps, model.LX(e), model.W(e), model.UX(e))
+		}
+		altr = append(altr, model.Txn{Steps: steps})
+	}
+	sysAltr := model.NewSystem(model.NewState(ents...), altr...)
+	for _, mpl := range mpls {
+		rows = append(rows, runE8("chain", policy.Altruistic{}, sysAltr, mpl))
+	}
+
+	// Workload (b): DAG traversals, DDAG vs 2PL over the same accesses.
+	dcfg := workload.DefaultDDAGConfig()
+	dcfg.Txns = 12
+	dcfg.OpsPerTxn = 5
+	dcfg.PStructural = 0 // pure traversals so both policies run identical ops
+	dcfg.Layers, dcfg.Width = 3, 3
+	sysDDAG, _ := workload.DDAGSystem(rand.New(rand.NewSource(seed)), dcfg)
+	sysDDAG2PL := model.NewSystem(sysDDAG.Init, twoPhaseTxns(sysDDAG)...)
+	for _, mpl := range mpls {
+		rows = append(rows,
+			runE8("dag", policy.DDAG{}, sysDDAG, mpl),
+			runE8("dag", policy.TwoPhase{}, sysDDAG2PL, mpl))
+	}
+
+	fmt.Fprintf(&b, "%-6s %-11s %4s %12s %10s %8s %10s\n",
+		"wl", "policy", "MPL", "thru/kTick", "avgWait", "aborts", "makespan")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6s %-11s %4d %12.3f %10.1f %8d %10d\n",
+			r.Workload, r.Policy, r.MPL, r.Throughput, r.AvgWait, r.Aborts, r.Makespan)
+	}
+
+	// Shape assertions: at the highest MPL, early release beats 2PL on
+	// its home workload.
+	get := func(wl, pol string, mpl int) E8Row {
+		for _, r := range rows {
+			if r.Workload == wl && r.Policy == pol && r.MPL == mpl {
+				return r
+			}
+		}
+		return E8Row{}
+	}
+	if !(get("chain", "DTR", 8).Makespan < get("chain", "2PL", 8).Makespan) {
+		failed = "DTR crabbing should beat 2PL on the chain workload at MPL 8"
+	}
+	if !(get("dag", "DDAG", 8).Makespan <= get("dag", "2PL", 8).Makespan) {
+		failed = "DDAG should not lose to 2PL on the traversal workload at MPL 8"
+	}
+	fmt.Fprintf(&b, "\nShape (as in the paper's motivation and [CHMS94]): early-release policies\n")
+	fmt.Fprintf(&b, "(DTR crabbing, altruistic donation, DDAG traversal) shorten lock hold times\n")
+	fmt.Fprintf(&b, "and beat two-phase locking on contended pipelines as MPL grows.\n")
+	return rows, Report{ID: "E8", Title: "performance study (CHMS94 substitute)", Text: b.String(), Failed: failed}
+}
+
+func runE8(wl string, pol policy.Policy, sys *model.System, mpl int) E8Row {
+	res, err := engine.Run(sys, engine.Config{Policy: pol, MPL: mpl})
+	if err != nil {
+		return E8Row{Workload: wl, Policy: pol.Name(), MPL: mpl}
+	}
+	m := res.Metrics
+	avgWait := 0.0
+	if m.Commits > 0 {
+		avgWait = float64(m.WaitTicks) / float64(m.Commits)
+	}
+	return E8Row{
+		Workload:   wl,
+		Policy:     pol.Name(),
+		MPL:        mpl,
+		Throughput: m.Throughput(),
+		AvgWait:    avgWait,
+		Aborts:     m.Aborts(),
+		Makespan:   m.Makespan,
+	}
+}
+
+func twoPhaseSteps(ents []model.Entity) []model.Step {
+	var steps []model.Step
+	for _, e := range ents {
+		steps = append(steps, model.LX(e), model.W(e))
+	}
+	for _, e := range ents {
+		steps = append(steps, model.UX(e))
+	}
+	return steps
+}
+
+// twoPhaseTxns rewrites each transaction of sys into a two-phase variant
+// performing the same data operations: lock each entity at first use,
+// release everything at the end.
+func twoPhaseTxns(sys *model.System) []model.Txn {
+	out := make([]model.Txn, len(sys.Txns))
+	for i, tx := range sys.Txns {
+		var steps []model.Step
+		locked := make(map[model.Entity]bool)
+		for _, st := range tx.Steps {
+			if !st.Op.IsData() {
+				continue
+			}
+			if !locked[st.Ent] {
+				locked[st.Ent] = true
+				steps = append(steps, model.LX(st.Ent))
+			}
+			steps = append(steps, st)
+		}
+		for e := range locked {
+			steps = append(steps, model.UX(e))
+		}
+		// Deterministic unlock order.
+		tail := steps[len(steps)-len(locked):]
+		sortSteps(tail)
+		out[i] = model.Txn{Name: tx.Name, Steps: steps}
+	}
+	return out
+}
+
+func sortSteps(steps []model.Step) {
+	for i := 1; i < len(steps); i++ {
+		for j := i; j > 0 && steps[j].Ent < steps[j-1].Ent; j-- {
+			steps[j], steps[j-1] = steps[j-1], steps[j]
+		}
+	}
+}
+
+// E9Scalability measures decision cost (states visited) of the two
+// deciders as the number of transactions grows.
+func E9Scalability(seed int64) Report {
+	var b strings.Builder
+	var failed string
+	fmt.Fprintf(&b, "%6s %8s %16s %16s %10s\n", "txns", "systems", "brute states", "canon states", "ratio")
+	for _, txns := range []int{2, 3, 4} {
+		cfg := workload.DefaultConfig()
+		cfg.Txns = txns
+		cfg.Steps = 4 * txns
+		var bruteStates, canonStates int64
+		const systems = 40
+		for i := 0; i < systems; i++ {
+			rng := rand.New(rand.NewSource(seed + int64(1000*txns+i)))
+			sys, _ := workload.Random(rng, cfg)
+			bres, err := checker.Brute(sys, nil)
+			if err != nil {
+				return Report{ID: "E9", Title: "scalability", Failed: err.Error()}
+			}
+			cres, err := checker.Canonical(sys, nil)
+			if err != nil {
+				return Report{ID: "E9", Title: "scalability", Failed: err.Error()}
+			}
+			if bres.Safe != cres.Safe {
+				failed = "deciders disagree"
+			}
+			bruteStates += int64(bres.States)
+			canonStates += int64(cres.States)
+		}
+		ratio := float64(bruteStates) / float64(canonStates)
+		fmt.Fprintf(&b, "%6d %8d %16d %16d %9.1fx\n", txns, systems, bruteStates, canonStates, ratio)
+	}
+	fmt.Fprintf(&b, "\nThe canonical decider restricts attention to serial prefix schedules and\n")
+	fmt.Fprintf(&b, "consistently visits fewer states than brute-force interleaving enumeration;\n")
+	fmt.Fprintf(&b, "the margin is largest on small systems and narrows as permutations of the\n")
+	fmt.Fprintf(&b, "serial order grow. (The paper's own claim is about proof structure — the\n")
+	fmt.Fprintf(&b, "witnesses one must reason about are serial — which both columns reflect.)\n")
+	return Report{ID: "E9", Title: "decision cost scaling", Text: b.String(), Failed: failed}
+}
+
+// All runs every experiment with default parameters.
+func All() []Report {
+	_, e8 := E8Performance(1)
+	_, e11 := E11Ablation(3)
+	return []Report{
+		E1CanonicalShapes(),
+		E2Figure2(),
+		E3DDAGWalkthrough(),
+		E4AltruisticWalkthrough(),
+		E5DTRWalkthrough(),
+		E6Differential(250, 1),
+		E7PolicySafety(40, 1),
+		e8,
+		E9Scalability(1),
+		E10SharedDDAG(60, 1),
+		e11,
+		E12SharedReaders(1),
+	}
+}

@@ -1,0 +1,337 @@
+// Package graph provides the directed-graph substrate for the DDAG and DTR
+// locking policies: mutable directed graphs with insertion and deletion of
+// nodes and edges, rooted-DAG queries (roots, reachability, dominators),
+// and the forest operations of the dynamic tree policy.
+//
+// Node names are the entity names of the database model; an edge (A, B) is
+// itself an entity named "A->B" (Section 4 treats nodes and edges uniformly
+// as entities).
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is a graph node, identified by name.
+type Node string
+
+// EdgeName returns the entity name of the edge (a, b), "a->b".
+func EdgeName(a, b Node) string { return string(a) + "->" + string(b) }
+
+// ParseEdgeName splits an entity name of the form "a->b".
+func ParseEdgeName(s string) (a, b Node, ok bool) {
+	i := strings.Index(s, "->")
+	if i < 0 {
+		return "", "", false
+	}
+	return Node(s[:i]), Node(s[i+2:]), true
+}
+
+// Digraph is a mutable directed graph.
+type Digraph struct {
+	succ map[Node]map[Node]bool
+	pred map[Node]map[Node]bool
+}
+
+// New returns an empty directed graph.
+func New() *Digraph {
+	return &Digraph{
+		succ: make(map[Node]map[Node]bool),
+		pred: make(map[Node]map[Node]bool),
+	}
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Digraph) Clone() *Digraph {
+	c := New()
+	for n := range g.succ {
+		c.AddNode(n)
+	}
+	for a, ss := range g.succ {
+		for b := range ss {
+			c.AddEdge(a, b)
+		}
+	}
+	return c
+}
+
+// HasNode reports whether n is in the graph.
+func (g *Digraph) HasNode(n Node) bool {
+	_, ok := g.succ[n]
+	return ok
+}
+
+// AddNode inserts n (idempotent).
+func (g *Digraph) AddNode(n Node) {
+	if !g.HasNode(n) {
+		g.succ[n] = make(map[Node]bool)
+		g.pred[n] = make(map[Node]bool)
+	}
+}
+
+// RemoveNode deletes n and all incident edges. It is a no-op if n is not
+// present.
+func (g *Digraph) RemoveNode(n Node) {
+	if !g.HasNode(n) {
+		return
+	}
+	for b := range g.succ[n] {
+		delete(g.pred[b], n)
+	}
+	for a := range g.pred[n] {
+		delete(g.succ[a], n)
+	}
+	delete(g.succ, n)
+	delete(g.pred, n)
+}
+
+// HasEdge reports whether the edge (a, b) is present.
+func (g *Digraph) HasEdge(a, b Node) bool { return g.succ[a][b] }
+
+// AddEdge inserts the edge (a, b), adding missing endpoints.
+func (g *Digraph) AddEdge(a, b Node) {
+	g.AddNode(a)
+	g.AddNode(b)
+	g.succ[a][b] = true
+	g.pred[b][a] = true
+}
+
+// RemoveEdge deletes the edge (a, b) if present.
+func (g *Digraph) RemoveEdge(a, b Node) {
+	if g.succ[a] != nil {
+		delete(g.succ[a], b)
+	}
+	if g.pred[b] != nil {
+		delete(g.pred[b], a)
+	}
+}
+
+// NodeCount returns the number of nodes.
+func (g *Digraph) NodeCount() int { return len(g.succ) }
+
+// EdgeCount returns the number of edges.
+func (g *Digraph) EdgeCount() int {
+	n := 0
+	for _, ss := range g.succ {
+		n += len(ss)
+	}
+	return n
+}
+
+// Nodes returns all nodes in sorted order.
+func (g *Digraph) Nodes() []Node {
+	out := make([]Node, 0, len(g.succ))
+	for n := range g.succ {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Succs returns the successors of n in sorted order.
+func (g *Digraph) Succs(n Node) []Node { return sortedKeys(g.succ[n]) }
+
+// Preds returns the predecessors of n in sorted order.
+func (g *Digraph) Preds(n Node) []Node { return sortedKeys(g.pred[n]) }
+
+func sortedKeys(m map[Node]bool) []Node {
+	out := make([]Node, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Edges returns all edges sorted lexicographically.
+func (g *Digraph) Edges() [][2]Node {
+	var out [][2]Node
+	for a, ss := range g.succ {
+		for b := range ss {
+			out = append(out, [2]Node{a, b})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Roots returns all nodes with no predecessors, sorted.
+func (g *Digraph) Roots() []Node {
+	var out []Node
+	for n, ps := range g.pred {
+		if len(ps) == 0 {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Acyclic reports whether the graph has no directed cycle.
+func (g *Digraph) Acyclic() bool {
+	indeg := make(map[Node]int, len(g.succ))
+	for n := range g.succ {
+		indeg[n] = len(g.pred[n])
+	}
+	var queue []Node
+	for n, d := range indeg {
+		if d == 0 {
+			queue = append(queue, n)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		n := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		for b := range g.succ[n] {
+			indeg[b]--
+			if indeg[b] == 0 {
+				queue = append(queue, b)
+			}
+		}
+	}
+	return seen == len(g.succ)
+}
+
+// Reachable returns the set of nodes reachable from start (including
+// start).
+func (g *Digraph) Reachable(start Node) map[Node]bool {
+	seen := map[Node]bool{}
+	if !g.HasNode(start) {
+		return seen
+	}
+	seen[start] = true
+	stack := []Node{start}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for b := range g.succ[n] {
+			if !seen[b] {
+				seen[b] = true
+				stack = append(stack, b)
+			}
+		}
+	}
+	return seen
+}
+
+// HasPath reports whether b is reachable from a.
+func (g *Digraph) HasPath(a, b Node) bool {
+	return g.Reachable(a)[b]
+}
+
+// Rooted reports whether the graph has a unique root from which every node
+// is reachable, and returns that root.
+func (g *Digraph) Rooted() (Node, bool) {
+	roots := g.Roots()
+	if len(roots) != 1 {
+		return "", false
+	}
+	root := roots[0]
+	if len(g.Reachable(root)) != g.NodeCount() {
+		return "", false
+	}
+	return root, true
+}
+
+// Dominates reports whether d dominates n with respect to the given root:
+// every path from root to n passes through d. By convention the root
+// dominates every node (including itself), and a node dominates itself.
+// If n is unreachable from root, Dominates reports true vacuously.
+func (g *Digraph) Dominates(root, d, n Node) bool {
+	// Every node dominates itself; unreachable nodes are dominated
+	// vacuously.
+	if d == n || !g.HasPath(root, n) {
+		return true
+	}
+	// The empty path reaches the root, so nothing else dominates it.
+	if n == root {
+		return false
+	}
+	// Otherwise d dominates n iff n is unreachable from root once d is
+	// removed (the search below never expands d).
+	seen := map[Node]bool{root: true, d: true}
+	stack := []Node{root}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == d {
+			continue
+		}
+		for b := range g.succ[x] {
+			if b == n {
+				return false
+			}
+			if !seen[b] {
+				seen[b] = true
+				stack = append(stack, b)
+			}
+		}
+	}
+	return true
+}
+
+// DominatesAll reports whether d dominates every node of set with respect
+// to root.
+func (g *Digraph) DominatesAll(root, d Node, set []Node) bool {
+	for _, n := range set {
+		if !g.Dominates(root, d, n) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the graph as "a->b, a->c; isolated: d".
+func (g *Digraph) String() string {
+	edges := g.Edges()
+	parts := make([]string, 0, len(edges))
+	for _, e := range edges {
+		parts = append(parts, EdgeName(e[0], e[1]))
+	}
+	var isolated []string
+	for _, n := range g.Nodes() {
+		if len(g.succ[n]) == 0 && len(g.pred[n]) == 0 {
+			isolated = append(isolated, string(n))
+		}
+	}
+	s := strings.Join(parts, ", ")
+	if len(isolated) > 0 {
+		if s != "" {
+			s += "; "
+		}
+		s += "isolated: " + strings.Join(isolated, ", ")
+	}
+	if s == "" {
+		return "(empty)"
+	}
+	return s
+}
+
+// Validate checks structural invariants (succ/pred symmetry); it is used
+// by tests and returns a descriptive error on corruption.
+func (g *Digraph) Validate() error {
+	for a, ss := range g.succ {
+		for b := range ss {
+			if !g.pred[b][a] {
+				return fmt.Errorf("graph: edge %s missing pred mirror", EdgeName(a, b))
+			}
+		}
+	}
+	for b, ps := range g.pred {
+		for a := range ps {
+			if !g.succ[a][b] {
+				return fmt.Errorf("graph: edge %s missing succ mirror", EdgeName(a, b))
+			}
+		}
+	}
+	return nil
+}

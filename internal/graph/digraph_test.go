@@ -1,0 +1,201 @@
+package graph
+
+import "testing"
+
+// fig3 builds the rooted DAG of the paper's Fig. 3:
+// 1 -> 2, 2 -> 3, 2 -> 4, 3 -> 5 (a small rooted DAG; node 1 is the root).
+func fig3() *Digraph {
+	g := New()
+	g.AddEdge("1", "2")
+	g.AddEdge("2", "3")
+	g.AddEdge("2", "4")
+	g.AddEdge("3", "5")
+	return g
+}
+
+func TestAddRemove(t *testing.T) {
+	g := New()
+	g.AddNode("a")
+	if !g.HasNode("a") || g.NodeCount() != 1 {
+		t.Fatal("AddNode")
+	}
+	g.AddNode("a") // idempotent
+	if g.NodeCount() != 1 {
+		t.Fatal("AddNode must be idempotent")
+	}
+	g.AddEdge("a", "b")
+	if !g.HasEdge("a", "b") || g.EdgeCount() != 1 || g.NodeCount() != 2 {
+		t.Fatal("AddEdge")
+	}
+	g.RemoveEdge("a", "b")
+	if g.HasEdge("a", "b") || g.EdgeCount() != 0 {
+		t.Fatal("RemoveEdge")
+	}
+	g.AddEdge("a", "b")
+	g.AddEdge("c", "b")
+	g.RemoveNode("b")
+	if g.HasNode("b") || g.EdgeCount() != 0 {
+		t.Fatal("RemoveNode must remove incident edges")
+	}
+	g.RemoveNode("zzz") // no-op
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeNames(t *testing.T) {
+	if EdgeName("a", "b") != "a->b" {
+		t.Error("EdgeName")
+	}
+	a, b, ok := ParseEdgeName("x->y")
+	if !ok || a != "x" || b != "y" {
+		t.Error("ParseEdgeName")
+	}
+	if _, _, ok := ParseEdgeName("plain"); ok {
+		t.Error("ParseEdgeName must reject non-edges")
+	}
+}
+
+func TestRootsAndRooted(t *testing.T) {
+	g := fig3()
+	roots := g.Roots()
+	if len(roots) != 1 || roots[0] != "1" {
+		t.Fatalf("Roots = %v", roots)
+	}
+	root, ok := g.Rooted()
+	if !ok || root != "1" {
+		t.Fatalf("Rooted = %v %v", root, ok)
+	}
+	// Add a disconnected node: no longer rooted.
+	g.AddNode("iso")
+	if _, ok := g.Rooted(); ok {
+		t.Error("graph with unreachable node must not be rooted")
+	}
+	// Two roots.
+	h := New()
+	h.AddEdge("r1", "x")
+	h.AddEdge("r2", "x")
+	if _, ok := h.Rooted(); ok {
+		t.Error("two-root graph must not be rooted")
+	}
+}
+
+func TestReachability(t *testing.T) {
+	g := fig3()
+	if !g.HasPath("1", "5") || !g.HasPath("2", "5") {
+		t.Error("paths missing")
+	}
+	if g.HasPath("4", "5") || g.HasPath("5", "1") {
+		t.Error("phantom paths")
+	}
+	if !g.HasPath("3", "3") {
+		t.Error("trivial path")
+	}
+	if len(g.Reachable("zzz")) != 0 {
+		t.Error("Reachable of absent node must be empty")
+	}
+}
+
+func TestAcyclic(t *testing.T) {
+	g := fig3()
+	if !g.Acyclic() {
+		t.Error("fig3 is a DAG")
+	}
+	g.AddEdge("5", "1")
+	if g.Acyclic() {
+		t.Error("cycle not detected")
+	}
+	if !New().Acyclic() {
+		t.Error("empty graph is acyclic")
+	}
+}
+
+func TestDominates(t *testing.T) {
+	g := fig3()
+	cases := []struct {
+		d, n Node
+		want bool
+	}{
+		{"1", "5", true},  // root dominates everything
+		{"2", "5", true},  // all paths to 5 go through 2
+		{"3", "5", true},  // 3 is 5's only predecessor
+		{"4", "5", false}, // 4 not on the path
+		{"5", "5", true},  // self-domination
+		{"3", "4", false},
+		{"2", "2", true},
+	}
+	for _, c := range cases {
+		if got := g.Dominates("1", c.d, c.n); got != c.want {
+			t.Errorf("Dominates(1, %s, %s) = %v, want %v", c.d, c.n, got, c.want)
+		}
+	}
+	// Diamond: 1->2, 1->3, 2->4, 3->4. Neither 2 nor 3 dominates 4.
+	d := New()
+	d.AddEdge("1", "2")
+	d.AddEdge("1", "3")
+	d.AddEdge("2", "4")
+	d.AddEdge("3", "4")
+	if d.Dominates("1", "2", "4") || d.Dominates("1", "3", "4") {
+		t.Error("diamond: neither branch dominates the join")
+	}
+	if !d.Dominates("1", "1", "4") {
+		t.Error("diamond: root dominates the join")
+	}
+	if !d.DominatesAll("1", "1", []Node{"2", "3", "4"}) {
+		t.Error("DominatesAll from root")
+	}
+	if d.DominatesAll("1", "2", []Node{"2", "4"}) {
+		t.Error("DominatesAll must fail when one node escapes")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := fig3()
+	c := g.Clone()
+	c.AddEdge("5", "6")
+	if g.HasNode("6") {
+		t.Error("clone leaked into original")
+	}
+	if err := c.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSuccsPredsSorted(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "z")
+	g.AddEdge("a", "b")
+	s := g.Succs("a")
+	if len(s) != 2 || s[0] != "b" || s[1] != "z" {
+		t.Errorf("Succs = %v", s)
+	}
+	g.AddEdge("q", "z")
+	p := g.Preds("z")
+	if len(p) != 2 || p[0] != "a" || p[1] != "q" {
+		t.Errorf("Preds = %v", p)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if New().String() != "(empty)" {
+		t.Error("empty graph string")
+	}
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddNode("c")
+	s := g.String()
+	if s != "a->b; isolated: c" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := New()
+	g.AddEdge("b", "a")
+	g.AddEdge("a", "c")
+	g.AddEdge("a", "b")
+	e := g.Edges()
+	if len(e) != 3 || e[0] != [2]Node{"a", "b"} || e[2] != [2]Node{"b", "a"} {
+		t.Errorf("Edges = %v", e)
+	}
+}

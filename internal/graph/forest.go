@@ -1,0 +1,240 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Forest is the database forest maintained by the dynamic tree (DTR)
+// policy: a set of rooted trees over nodes, supporting the operations of
+// rules DT0–DT3 — joining trees by drawing an edge from one root to
+// another, adding fresh entities, and deleting nodes.
+//
+// The forest stores, per node, its parent (or "" for roots).
+type Forest struct {
+	parent map[Node]Node
+}
+
+// NewForest returns the empty forest (rule DT0).
+func NewForest() *Forest { return &Forest{parent: make(map[Node]Node)} }
+
+// Clone returns a deep copy.
+func (f *Forest) Clone() *Forest {
+	c := NewForest()
+	for n, p := range f.parent {
+		c.parent[n] = p
+	}
+	return c
+}
+
+// Has reports whether n is in the forest.
+func (f *Forest) Has(n Node) bool {
+	_, ok := f.parent[n]
+	return ok
+}
+
+// Add inserts n as a new isolated root. It is an error if n is present.
+func (f *Forest) Add(n Node) error {
+	if f.Has(n) {
+		return fmt.Errorf("graph: node %s already in forest", n)
+	}
+	f.parent[n] = ""
+	return nil
+}
+
+// Parent returns the parent of n ("" if n is a root or absent).
+func (f *Forest) Parent(n Node) Node { return f.parent[n] }
+
+// Root returns the root of the tree containing n (n itself if a root), or
+// "" if n is absent.
+func (f *Forest) Root(n Node) Node {
+	if !f.Has(n) {
+		return ""
+	}
+	for f.parent[n] != "" {
+		n = f.parent[n]
+	}
+	return n
+}
+
+// SameTree reports whether a and b belong to the same tree.
+func (f *Forest) SameTree(a, b Node) bool {
+	return f.Has(a) && f.Has(b) && f.Root(a) == f.Root(b)
+}
+
+// Join draws an edge from the root of the tree containing a to the root of
+// the tree containing b (rule DT1): root(b) becomes a child of root(a).
+// It is a no-op if they are already in the same tree.
+func (f *Forest) Join(a, b Node) error {
+	if !f.Has(a) || !f.Has(b) {
+		return fmt.Errorf("graph: Join(%s, %s): node not in forest", a, b)
+	}
+	ra, rb := f.Root(a), f.Root(b)
+	if ra == rb {
+		return nil
+	}
+	f.parent[rb] = ra
+	return nil
+}
+
+// Graft makes child (which must currently be a root) a child of parent.
+// It supports DT1's "connect them to form a tree" construction, in which
+// fresh entities may be wired into an arbitrary tree shape before the
+// root-to-root Join.
+func (f *Forest) Graft(parent, child Node) error {
+	if !f.Has(parent) || !f.Has(child) {
+		return fmt.Errorf("graph: Graft(%s, %s): node not in forest", parent, child)
+	}
+	if f.parent[child] != "" {
+		return fmt.Errorf("graph: Graft(%s, %s): child is not a root", parent, child)
+	}
+	if f.Root(parent) == child {
+		return fmt.Errorf("graph: Graft(%s, %s): would create a cycle", parent, child)
+	}
+	f.parent[child] = parent
+	return nil
+}
+
+// Delete removes n from the forest (rule DT3's mechanics): n's children
+// become roots. Whether deletion is *allowed* is the policy's decision,
+// not the forest's.
+func (f *Forest) Delete(n Node) error {
+	if !f.Has(n) {
+		return fmt.Errorf("graph: Delete(%s): node not in forest", n)
+	}
+	for c, p := range f.parent {
+		if p == n {
+			f.parent[c] = ""
+		}
+	}
+	delete(f.parent, n)
+	return nil
+}
+
+// Children returns the children of n in sorted order.
+func (f *Forest) Children(n Node) []Node {
+	var out []Node
+	for c, p := range f.parent {
+		if p == n {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Roots returns the roots of all trees in sorted order.
+func (f *Forest) Roots() []Node {
+	var out []Node
+	for n, p := range f.parent {
+		if p == "" {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Nodes returns all nodes in sorted order.
+func (f *Forest) Nodes() []Node {
+	out := make([]Node, 0, len(f.parent))
+	for n := range f.parent {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of nodes.
+func (f *Forest) Len() int { return len(f.parent) }
+
+// IsAncestor reports whether a is an ancestor of n (or equal to it).
+func (f *Forest) IsAncestor(a, n Node) bool {
+	if !f.Has(a) || !f.Has(n) {
+		return false
+	}
+	for {
+		if n == a {
+			return true
+		}
+		p := f.parent[n]
+		if p == "" {
+			return false
+		}
+		n = p
+	}
+}
+
+// Descendants returns n and all its descendants, sorted.
+func (f *Forest) Descendants(n Node) []Node {
+	var out []Node
+	for _, m := range f.Nodes() {
+		if f.IsAncestor(n, m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// PathFromRoot returns the nodes on the path from the root of n's tree
+// down to n, inclusive.
+func (f *Forest) PathFromRoot(n Node) []Node {
+	if !f.Has(n) {
+		return nil
+	}
+	var rev []Node
+	for x := n; ; x = f.parent[x] {
+		rev = append(rev, x)
+		if f.parent[x] == "" {
+			break
+		}
+	}
+	out := make([]Node, len(rev))
+	for i, x := range rev {
+		out[len(rev)-1-i] = x
+	}
+	return out
+}
+
+// String renders each tree as "root(child(grand),child2)" joined by "; ".
+func (f *Forest) String() string {
+	if f.Len() == 0 {
+		return "(empty forest)"
+	}
+	var render func(n Node) string
+	render = func(n Node) string {
+		kids := f.Children(n)
+		if len(kids) == 0 {
+			return string(n)
+		}
+		parts := make([]string, len(kids))
+		for i, k := range kids {
+			parts[i] = render(k)
+		}
+		return string(n) + "(" + strings.Join(parts, ",") + ")"
+	}
+	roots := f.Roots()
+	parts := make([]string, len(roots))
+	for i, r := range roots {
+		parts[i] = render(r)
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Validate checks the forest is acyclic and parents exist.
+func (f *Forest) Validate() error {
+	for n := range f.parent {
+		seen := map[Node]bool{}
+		for x := n; x != ""; x = f.parent[x] {
+			if seen[x] {
+				return fmt.Errorf("graph: cycle through %s", n)
+			}
+			seen[x] = true
+			if p := f.parent[x]; p != "" && !f.Has(p) {
+				return fmt.Errorf("graph: %s has missing parent %s", x, p)
+			}
+		}
+	}
+	return nil
+}

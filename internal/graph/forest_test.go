@@ -1,0 +1,153 @@
+package graph
+
+import "testing"
+
+func buildForest(t *testing.T) *Forest {
+	t.Helper()
+	f := NewForest()
+	for _, n := range []Node{"1", "2", "3", "4", "5"} {
+		if err := f.Add(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tree: 1(2(4), 3); separate tree: 5. DT1 joins are root-to-root, so
+	// build bottom-up: hang 4 under 2 while 2 is still a root.
+	if err := f.Join("2", "4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Join("1", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Join("1", "3"); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestForestBasics(t *testing.T) {
+	f := buildForest(t)
+	if f.Len() != 5 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	if f.Root("4") != "1" || f.Root("5") != "5" {
+		t.Error("Root wrong")
+	}
+	if !f.SameTree("3", "4") || f.SameTree("4", "5") {
+		t.Error("SameTree wrong")
+	}
+	if f.Parent("2") != "1" || f.Parent("1") != "" {
+		t.Error("Parent wrong")
+	}
+	roots := f.Roots()
+	if len(roots) != 2 || roots[0] != "1" || roots[1] != "5" {
+		t.Errorf("Roots = %v", roots)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForestJoinSemantics(t *testing.T) {
+	f := buildForest(t)
+	// Join by non-root members: root of 5's tree becomes child of root of
+	// 4's tree.
+	if err := f.Join("4", "5"); err != nil {
+		t.Fatal(err)
+	}
+	if f.Parent("5") != "1" {
+		t.Errorf("after Join(4, 5), parent(5) = %q, want 1 (the root)", f.Parent("5"))
+	}
+	// Joining within the same tree is a no-op.
+	before := f.String()
+	if err := f.Join("2", "3"); err != nil {
+		t.Fatal(err)
+	}
+	if f.String() != before {
+		t.Error("same-tree Join must be a no-op")
+	}
+	if err := f.Join("2", "zzz"); err == nil {
+		t.Error("Join with absent node must fail")
+	}
+}
+
+func TestForestAddErrors(t *testing.T) {
+	f := NewForest()
+	if err := f.Add("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add("a"); err == nil {
+		t.Error("duplicate Add must fail")
+	}
+}
+
+func TestForestDelete(t *testing.T) {
+	f := buildForest(t)
+	if err := f.Delete("2"); err != nil {
+		t.Fatal(err)
+	}
+	if f.Has("2") {
+		t.Error("2 must be gone")
+	}
+	if f.Parent("4") != "" {
+		t.Error("orphaned child must become a root")
+	}
+	if err := f.Delete("zzz"); err == nil {
+		t.Error("deleting absent node must fail")
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAncestryAndPaths(t *testing.T) {
+	f := buildForest(t)
+	if !f.IsAncestor("1", "4") || !f.IsAncestor("2", "4") || !f.IsAncestor("4", "4") {
+		t.Error("IsAncestor wrong")
+	}
+	if f.IsAncestor("3", "4") || f.IsAncestor("4", "1") {
+		t.Error("phantom ancestry")
+	}
+	if f.IsAncestor("zzz", "4") || f.IsAncestor("1", "zzz") {
+		t.Error("absent nodes are never related")
+	}
+	p := f.PathFromRoot("4")
+	if len(p) != 3 || p[0] != "1" || p[1] != "2" || p[2] != "4" {
+		t.Errorf("PathFromRoot = %v", p)
+	}
+	if f.PathFromRoot("zzz") != nil {
+		t.Error("PathFromRoot of absent node must be nil")
+	}
+	d := f.Descendants("2")
+	if len(d) != 2 || d[0] != "2" || d[1] != "4" {
+		t.Errorf("Descendants = %v", d)
+	}
+}
+
+func TestForestChildrenSorted(t *testing.T) {
+	f := buildForest(t)
+	kids := f.Children("1")
+	if len(kids) != 2 || kids[0] != "2" || kids[1] != "3" {
+		t.Errorf("Children = %v", kids)
+	}
+}
+
+func TestForestString(t *testing.T) {
+	if NewForest().String() != "(empty forest)" {
+		t.Error("empty forest string")
+	}
+	f := buildForest(t)
+	if got := f.String(); got != "1(2(4),3); 5" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestForestClone(t *testing.T) {
+	f := buildForest(t)
+	c := f.Clone()
+	if err := c.Delete("4"); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Has("4") {
+		t.Error("clone leaked into original")
+	}
+}

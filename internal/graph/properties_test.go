@@ -1,0 +1,165 @@
+package graph
+
+// testing/quick property tests on the graph substrate: random mutation
+// sequences must preserve structural invariants, dominators must respect
+// reachability, and forests must stay acyclic.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomMutations applies n random mutations to a fresh graph.
+func randomMutations(rng *rand.Rand, n int) *Digraph {
+	g := New()
+	nodes := make([]Node, 8)
+	for i := range nodes {
+		nodes[i] = Node(fmt.Sprintf("v%d", i))
+	}
+	for i := 0; i < n; i++ {
+		a := nodes[rng.Intn(len(nodes))]
+		b := nodes[rng.Intn(len(nodes))]
+		switch rng.Intn(5) {
+		case 0:
+			g.AddNode(a)
+		case 1:
+			g.AddEdge(a, b)
+		case 2:
+			g.RemoveEdge(a, b)
+		case 3:
+			g.RemoveNode(a)
+		case 4:
+			g.AddEdge(b, a)
+		}
+	}
+	return g
+}
+
+func TestDigraphInvariantsUnderMutation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomMutations(rng, 60)
+		if err := g.Validate(); err != nil {
+			t.Log(err)
+			return false
+		}
+		// Edge count equals the length of Edges().
+		if g.EdgeCount() != len(g.Edges()) {
+			return false
+		}
+		// Clone equality.
+		c := g.Clone()
+		if c.NodeCount() != g.NodeCount() || c.EdgeCount() != g.EdgeCount() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDominatorRespectsReachability(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomMutations(rng, 40)
+		nodes := g.Nodes()
+		if len(nodes) == 0 {
+			return true
+		}
+		root := nodes[rng.Intn(len(nodes))]
+		for trial := 0; trial < 10; trial++ {
+			d := nodes[rng.Intn(len(nodes))]
+			n := nodes[rng.Intn(len(nodes))]
+			dom := g.Dominates(root, d, n)
+			// If d dominates n and n is reachable, then removing d makes
+			// n unreachable — verified by rebuilding without d.
+			if dom && d != n && g.HasPath(root, n) {
+				h := g.Clone()
+				h.RemoveNode(d)
+				if h.HasPath(root, n) {
+					t.Logf("seed %d: Dominates(%s, %s, %s) true but path survives removal", seed, root, d, n)
+					return false
+				}
+			}
+			// Conversely, if removing d leaves a path, d must not
+			// dominate.
+			if !dom {
+				h := g.Clone()
+				h.RemoveNode(d)
+				if d != n && !h.HasPath(root, n) && g.HasPath(root, n) {
+					t.Logf("seed %d: Dominates false but removal cuts the path", seed)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForestInvariantsUnderMutation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fo := NewForest()
+		nodes := make([]Node, 8)
+		for i := range nodes {
+			nodes[i] = Node(fmt.Sprintf("t%d", i))
+		}
+		for i := 0; i < 50; i++ {
+			a := nodes[rng.Intn(len(nodes))]
+			b := nodes[rng.Intn(len(nodes))]
+			switch rng.Intn(4) {
+			case 0:
+				_ = fo.Add(a)
+			case 1:
+				_ = fo.Join(a, b)
+			case 2:
+				_ = fo.Delete(a)
+			case 3:
+				_ = fo.Graft(a, b)
+			}
+			if err := fo.Validate(); err != nil {
+				t.Logf("seed %d step %d: %v", seed, i, err)
+				return false
+			}
+		}
+		// Every node's root must be a root.
+		for _, n := range fo.Nodes() {
+			r := fo.Root(n)
+			if fo.Parent(r) != "" {
+				return false
+			}
+		}
+		// Roots() and Nodes() agree with parent structure.
+		for _, r := range fo.Roots() {
+			if fo.Parent(r) != "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopologicalPathsAgree(t *testing.T) {
+	// HasPath is reflexive-transitive: if a->b and b->c then path a~>c.
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("c", "d")
+	for _, from := range g.Nodes() {
+		reach := g.Reachable(from)
+		for _, to := range g.Nodes() {
+			if reach[to] != g.HasPath(from, to) {
+				t.Errorf("Reachable and HasPath disagree on %s~>%s", from, to)
+			}
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package lockmgr
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"locksafe/internal/model"
+)
+
+func TestGrantAndUnlock(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, "a", model.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if mode, ok := m.Holds(1, "a"); !ok || mode != model.Exclusive {
+		t.Fatal("holder not recorded")
+	}
+	if err := m.Unlock(1, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Holds(1, "a"); ok {
+		t.Fatal("lock not released")
+	}
+}
+
+func TestSharedCompatibility(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, "a", model.Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, "a", model.Shared); err != nil {
+		t.Fatal(err)
+	}
+	if !m.TryLock(3, "a", model.Shared) {
+		t.Fatal("third shared lock should be granted")
+	}
+	if m.TryLock(4, "a", model.Exclusive) {
+		t.Fatal("exclusive must not coexist with shared")
+	}
+}
+
+func TestExclusiveBlocksAndFIFO(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, "a", model.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan int, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := m.Lock(2, "a", model.Exclusive); err != nil {
+			t.Errorf("owner 2: %v", err)
+			return
+		}
+		order <- 2
+		_ = m.Unlock(2, "a")
+	}()
+	// Give owner 2 time to enqueue first (FIFO check).
+	for m.QueueLen("a") == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	go func() {
+		defer wg.Done()
+		if err := m.Lock(3, "a", model.Exclusive); err != nil {
+			t.Errorf("owner 3: %v", err)
+			return
+		}
+		order <- 3
+		_ = m.Unlock(3, "a")
+	}()
+	for m.QueueLen("a") < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := m.Unlock(1, "a"); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	first, second := <-order, <-order
+	if first != 2 || second != 3 {
+		t.Errorf("grant order = %d, %d; want FIFO 2, 3", first, second)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, "a", model.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, "b", model.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Lock(1, "b", model.Exclusive) }() // 1 waits for 2
+	for m.QueueLen("b") == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// 2 requesting a would close the cycle: it must be refused
+	// immediately as the victim.
+	if err := m.Lock(2, "a", model.Exclusive); err != ErrDeadlock {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	// Owner 2 releases b; owner 1's wait completes.
+	if err := m.Unlock(2, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("owner 1 should eventually get b: %v", err)
+	}
+}
+
+func TestReleaseAllCancelsWaiters(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, "a", model.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Lock(2, "a", model.Exclusive) }()
+	for m.QueueLen("a") == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	m.ReleaseAll(2) // owner 2 aborts while waiting
+	if err := <-done; err != ErrDeadlock {
+		t.Fatalf("cancelled waiter should see ErrDeadlock, got %v", err)
+	}
+	// Lock is still held by 1.
+	if _, ok := m.Holds(1, "a"); !ok {
+		t.Fatal("owner 1 lost its lock")
+	}
+	m.ReleaseAll(1)
+	if !m.TryLock(3, "a", model.Exclusive) {
+		t.Fatal("entity should be free after ReleaseAll(1)")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	m := New()
+	if err := m.Unlock(1, "zzz"); err == nil {
+		t.Error("unlock of never-locked entity must fail")
+	}
+	if err := m.Lock(1, "a", model.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unlock(2, "a"); err == nil {
+		t.Error("unlock by a non-holder must fail")
+	}
+	if err := m.Lock(1, "a", model.Shared); err == nil {
+		t.Error("re-locking a held entity must fail")
+	}
+	if m.TryLock(1, "a", model.Shared) {
+		t.Error("TryLock on own held entity must fail")
+	}
+}
+
+func TestHeldBy(t *testing.T) {
+	m := New()
+	_ = m.Lock(1, "a", model.Shared)
+	_ = m.Lock(2, "a", model.Shared)
+	holders := m.HeldBy("a")
+	if len(holders) != 2 {
+		t.Errorf("HeldBy = %v", holders)
+	}
+	if m.HeldBy("zzz") != nil {
+		t.Error("HeldBy of unknown entity")
+	}
+}
+
+// TestConcurrentStress hammers the manager from many goroutines; run with
+// -race to validate the synchronization.
+func TestConcurrentStress(t *testing.T) {
+	m := New()
+	ents := []model.Entity{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for owner := 0; owner < 16; owner++ {
+		wg.Add(1)
+		go func(owner int) {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				e := ents[(owner+round)%len(ents)]
+				mode := model.Shared
+				if (owner+round)%3 == 0 {
+					mode = model.Exclusive
+				}
+				if err := m.Lock(owner, e, mode); err != nil {
+					continue // deadlock victim: give up this round
+				}
+				if err := m.Unlock(owner, e); err != nil {
+					t.Errorf("unlock: %v", err)
+					return
+				}
+			}
+		}(owner)
+	}
+	wg.Wait()
+}

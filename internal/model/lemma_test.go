@@ -1,0 +1,192 @@
+package model_test
+
+// Property-based validation of the proof machinery of Section 3.2:
+//
+//   Lemma 1: transposing two adjacent, non-conflicting steps of different
+//   transactions preserves legality, properness, and D(S).
+//
+//   Lemma 2: move(S, S', T') — delaying the prefix steps of a transaction
+//   that is a sink of D(S') to the end of S' — preserves legality,
+//   properness, and D(S).
+//
+// The tests draw random systems with a known legal+proper complete schedule
+// from the workload generator and apply the transformations at random
+// positions.
+
+import (
+	"math/rand"
+	"testing"
+
+	"locksafe/internal/model"
+	"locksafe/internal/workload"
+)
+
+func randomLegalProper(t *testing.T, seed int64) (*model.System, model.Schedule) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	sys, sched := workload.Random(rng, workload.DefaultConfig())
+	if err := sched.PreservesOrder(sys); err != nil {
+		t.Fatalf("generator produced inconsistent schedule: %v", err)
+	}
+	if !sched.LegalAndProper(sys) {
+		t.Fatalf("generator must produce legal+proper schedules (seed %d)", seed)
+	}
+	return sys, sched
+}
+
+func TestGeneratorProducesWellFormedSystems(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		sys, sched := randomLegalProper(t, seed)
+		if err := sys.WellFormed(); err != nil {
+			t.Fatalf("seed %d: generated system not well-formed: %v", seed, err)
+		}
+		if !sched.CompleteOver(sys, allTIDs(sys)) {
+			t.Fatalf("seed %d: generated schedule not complete", seed)
+		}
+	}
+}
+
+func allTIDs(sys *model.System) []model.TID {
+	out := make([]model.TID, len(sys.Txns))
+	for i := range out {
+		out[i] = model.TID(i)
+	}
+	return out
+}
+
+// TestLemma1 transposes every admissible adjacent pair in many random
+// schedules and asserts all three preserved properties.
+func TestLemma1(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		sys, sched := randomLegalProper(t, seed)
+		g := sched.Graph(sys)
+		for i := 0; i+1 < len(sched); i++ {
+			swapped, ok := sched.Transpose(i)
+			if !ok {
+				continue // same transaction or conflicting: Lemma 1 does not apply
+			}
+			if err := swapped.PreservesOrder(sys); err != nil {
+				t.Fatalf("seed %d pos %d: transposed schedule invalid: %v", seed, i, err)
+			}
+			if !swapped.LegalAndProper(sys) {
+				t.Errorf("seed %d pos %d: Lemma 1 violated: transposition broke legality/properness\nbefore: %v\nafter: %v",
+					seed, i, sched, swapped)
+			}
+			if !swapped.Graph(sys).Equal(g) {
+				t.Errorf("seed %d pos %d: Lemma 1 violated: D(S) changed", seed, i)
+			}
+		}
+	}
+}
+
+// TestLemma1Inapplicable documents that the transposition is refused for
+// same-transaction and conflicting pairs.
+func TestLemma1Inapplicable(t *testing.T) {
+	sys := model.NewSystem(model.NewState("a"),
+		model.NewTxn("T1", model.LX("a"), model.W("a"), model.UX("a")),
+		model.NewTxn("T2", model.LX("a"), model.W("a"), model.UX("a")))
+	s := model.SerialSystem(sys)
+	if _, ok := s.Transpose(0); ok {
+		t.Error("steps 0,1 are both T1's: transposition must be refused")
+	}
+	// Position 2-3: T1's (UX a) and T2's (LX a) conflict.
+	if _, ok := s.Transpose(2); ok {
+		t.Error("conflicting steps must not be transposed")
+	}
+	if _, ok := s.Transpose(-1); ok {
+		t.Error("out of range")
+	}
+	if _, ok := s.Transpose(len(s) - 1); ok {
+		t.Error("out of range at end")
+	}
+}
+
+// TestLemma2 exercises move(S, S', T') for random prefixes and sink
+// transactions.
+func TestLemma2(t *testing.T) {
+	applied := 0
+	for seed := int64(0); seed < 300; seed++ {
+		sys, sched := randomLegalProper(t, seed)
+		g := sched.Graph(sys)
+		rng := rand.New(rand.NewSource(seed * 7919))
+		for trial := 0; trial < 8; trial++ {
+			prefixLen := rng.Intn(len(sched) + 1)
+			prefix := sched[:prefixLen]
+			parts := prefix.Participants()
+			if len(parts) == 0 {
+				continue
+			}
+			sinks := prefix.Graph(sys).Sinks(parts)
+			if len(sinks) == 0 {
+				continue
+			}
+			tid := sinks[rng.Intn(len(sinks))]
+			moved := sched.Move(prefixLen, tid)
+			applied++
+			if err := moved.PreservesOrder(sys); err != nil {
+				t.Fatalf("seed %d: move produced invalid schedule: %v", seed, err)
+			}
+			if !moved.LegalAndProper(sys) {
+				t.Errorf("seed %d: Lemma 2 violated: move broke legality/properness\nS:  %v\nS̄: %v (prefix %d, T%d)",
+					seed, sched, moved, prefixLen, int(tid))
+			}
+			if !moved.Graph(sys).Equal(g) {
+				t.Errorf("seed %d: Lemma 2 violated: D(S) changed after move", seed)
+			}
+		}
+	}
+	if applied < 100 {
+		t.Fatalf("too few applicable Lemma 2 instances (%d); generator too weak", applied)
+	}
+}
+
+// TestMoveMechanics pins down the permutation contract of Move on a
+// hand-built schedule.
+func TestMoveMechanics(t *testing.T) {
+	s := model.Schedule{
+		{0, model.LX("a")},
+		{1, model.LX("b")},
+		{0, model.UX("a")},
+		{2, model.LX("c")},
+		{1, model.UX("b")},
+	}
+	moved := s.Move(4, 0)
+	want := model.Schedule{
+		{1, model.LX("b")},
+		{2, model.LX("c")},
+		{0, model.LX("a")},
+		{0, model.UX("a")},
+		{1, model.UX("b")},
+	}
+	if len(moved) != len(want) {
+		t.Fatalf("Move = %v", moved)
+	}
+	for i := range want {
+		if moved[i] != want[i] {
+			t.Fatalf("Move = %v, want %v", moved, want)
+		}
+	}
+	// Prefix length beyond schedule length clamps.
+	all := s.Move(99, 1)
+	if len(all) != len(s) {
+		t.Fatal("clamped move must preserve length")
+	}
+}
+
+func TestSinkOfPrefix(t *testing.T) {
+	sys := model.NewSystem(model.NewState("a"),
+		model.NewTxn("T1", model.LX("a"), model.W("a"), model.UX("a")),
+		model.NewTxn("T2", model.LX("a"), model.W("a"), model.UX("a")))
+	s := model.SerialSystem(sys)
+	// After the full schedule, T2 is the unique sink (edge T1->T2).
+	if !s.SinkOfPrefix(sys, len(s), 1) {
+		t.Error("T2 should be a sink of the full schedule")
+	}
+	if s.SinkOfPrefix(sys, len(s), 0) {
+		t.Error("T1 has an outgoing edge; not a sink")
+	}
+	// Prefix covering only T1: T1 is trivially the sink.
+	if !s.SinkOfPrefix(sys, 3, 0) {
+		t.Error("T1 alone is a sink of its own prefix")
+	}
+}

@@ -1,0 +1,32 @@
+package model
+
+// Monitor restricts schedules to those admissible under a locking policy's
+// runtime rules (for example the altruistic wake rule or the DDAG policy's
+// "present state of the graph" conditions). Checkers and executors drive a
+// Monitor through the events of a schedule; the Monitor vetoes events that
+// violate the policy.
+//
+// Step is invoked only with events already known to respect
+// per-transaction order, legality and properness. Fork must return an
+// independent copy so that search procedures can branch. Key returns a
+// compact serialization of the monitor state for memoization, or "" to
+// disable memoization across states containing this monitor.
+type Monitor interface {
+	Fork() Monitor
+	Step(ev Ev) error
+	Key() string
+}
+
+// PermissiveMonitor admits every schedule; it represents the absence of
+// policy runtime rules and serves as the negative control in the policy
+// experiments.
+type PermissiveMonitor struct{}
+
+// Fork returns the monitor itself (it is stateless).
+func (PermissiveMonitor) Fork() Monitor { return PermissiveMonitor{} }
+
+// Step always succeeds.
+func (PermissiveMonitor) Step(Ev) error { return nil }
+
+// Key returns a constant: the monitor carries no state.
+func (PermissiveMonitor) Key() string { return "-" }

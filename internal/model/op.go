@@ -1,0 +1,137 @@
+// Package model implements the formal model of dynamic databases from
+// Chaudhri & Hadzilacos, "Safe Locking Policies for Dynamic Databases"
+// (PODS 1995 / JCSS 1998), Section 2: entities, operations, steps,
+// transactions, schedules, structural states, properness, legality,
+// well-formedness, conflicts, and the serializability graph D(S).
+//
+// Everything in this package is deterministic and allocation-conscious;
+// schedules are replayed, never mutated in place.
+package model
+
+import "fmt"
+
+// Op is one of the eight operations of the model: the four data operations
+// READ, WRITE, INSERT, DELETE and the four lock operations LOCK-SHARED,
+// LOCK-EXCLUSIVE, UNLOCK-SHARED, UNLOCK-EXCLUSIVE.
+type Op uint8
+
+const (
+	// Read (R) reads an entity's value. Defined only when the entity
+	// exists in the current structural state.
+	Read Op = iota
+	// Write (W) assigns a new value to an existing entity.
+	Write
+	// Insert (I) adds an entity to the structural state. Defined only
+	// when the entity does not exist.
+	Insert
+	// Delete (D) removes an entity from the structural state. Defined
+	// only when the entity exists.
+	Delete
+	// LockShared (LS) acquires a shared lock.
+	LockShared
+	// LockExclusive (LX) acquires an exclusive lock.
+	LockExclusive
+	// UnlockShared (US) releases a shared lock.
+	UnlockShared
+	// UnlockExclusive (UX) releases an exclusive lock.
+	UnlockExclusive
+
+	numOps = 8
+)
+
+var opNames = [numOps]string{"R", "W", "I", "D", "LS", "LX", "US", "UX"}
+
+// String returns the paper's abbreviation for the operation.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Valid reports whether o is one of the eight model operations.
+func (o Op) Valid() bool { return o < numOps }
+
+// IsData reports whether o is a READ, WRITE, INSERT or DELETE.
+func (o Op) IsData() bool { return o <= Delete }
+
+// IsLock reports whether o is LS or LX.
+func (o Op) IsLock() bool { return o == LockShared || o == LockExclusive }
+
+// IsUnlock reports whether o is US or UX.
+func (o Op) IsUnlock() bool { return o == UnlockShared || o == UnlockExclusive }
+
+// Mode is a lock mode: shared or exclusive.
+type Mode uint8
+
+const (
+	// Shared is the mode of LS/US locks.
+	Shared Mode = iota
+	// Exclusive is the mode of LX/UX locks.
+	Exclusive
+)
+
+// String returns "S" or "X".
+func (m Mode) String() string {
+	if m == Shared {
+		return "S"
+	}
+	return "X"
+}
+
+// Conflicts reports whether two lock modes conflict: every pairing except
+// Shared-Shared conflicts.
+func (m Mode) Conflicts(other Mode) bool {
+	return m == Exclusive || other == Exclusive
+}
+
+// LockMode returns the lock mode of a lock or unlock operation.
+// It panics if o is a data operation.
+func (o Op) LockMode() Mode {
+	switch o {
+	case LockShared, UnlockShared:
+		return Shared
+	case LockExclusive, UnlockExclusive:
+		return Exclusive
+	}
+	panic("model: LockMode of data operation " + o.String())
+}
+
+// LockOp returns the lock operation for mode m.
+func LockOp(m Mode) Op {
+	if m == Shared {
+		return LockShared
+	}
+	return LockExclusive
+}
+
+// UnlockOp returns the unlock operation for mode m.
+func UnlockOp(m Mode) Op {
+	if m == Shared {
+		return UnlockShared
+	}
+	return UnlockExclusive
+}
+
+// nonConflicting reports whether an operation belongs to the set {R, LS, US}:
+// two steps on a common entity conflict iff NOT both their operations are in
+// this set (paper, Section 2).
+func nonConflicting(o Op) bool {
+	return o == Read || o == LockShared || o == UnlockShared
+}
+
+// OpsConflict reports whether two operations on a common entity conflict.
+func OpsConflict(a, b Op) bool {
+	return !(nonConflicting(a) && nonConflicting(b))
+}
+
+// ParseOp parses the paper's abbreviation ("R", "W", "I", "D", "LS", "LX",
+// "US", "UX") into an Op.
+func ParseOp(s string) (Op, error) {
+	for i, n := range opNames {
+		if n == s {
+			return Op(i), nil
+		}
+	}
+	return 0, fmt.Errorf("model: unknown operation %q", s)
+}

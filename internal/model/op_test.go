@@ -1,0 +1,136 @@
+package model
+
+import "testing"
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		Read: "R", Write: "W", Insert: "I", Delete: "D",
+		LockShared: "LS", LockExclusive: "LX", UnlockShared: "US", UnlockExclusive: "UX",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+	if got := Op(200).String(); got != "Op(200)" {
+		t.Errorf("invalid op String() = %q", got)
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	for _, op := range []Op{Read, Write, Insert, Delete} {
+		if !op.IsData() || op.IsLock() || op.IsUnlock() {
+			t.Errorf("%v: wrong predicate classification", op)
+		}
+	}
+	for _, op := range []Op{LockShared, LockExclusive} {
+		if op.IsData() || !op.IsLock() || op.IsUnlock() {
+			t.Errorf("%v: wrong predicate classification", op)
+		}
+	}
+	for _, op := range []Op{UnlockShared, UnlockExclusive} {
+		if op.IsData() || op.IsLock() || !op.IsUnlock() {
+			t.Errorf("%v: wrong predicate classification", op)
+		}
+	}
+	if !Op(99).IsData() == false {
+		_ = 0 // nothing: predicate semantics for invalid ops unspecified
+	}
+	if Op(7).Valid() != true || Op(8).Valid() != false {
+		t.Error("Valid() boundary wrong")
+	}
+}
+
+func TestLockModes(t *testing.T) {
+	if LockShared.LockMode() != Shared || UnlockShared.LockMode() != Shared {
+		t.Error("shared ops must have Shared mode")
+	}
+	if LockExclusive.LockMode() != Exclusive || UnlockExclusive.LockMode() != Exclusive {
+		t.Error("exclusive ops must have Exclusive mode")
+	}
+	if LockOp(Shared) != LockShared || LockOp(Exclusive) != LockExclusive {
+		t.Error("LockOp wrong")
+	}
+	if UnlockOp(Shared) != UnlockShared || UnlockOp(Exclusive) != UnlockExclusive {
+		t.Error("UnlockOp wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("LockMode of data op should panic")
+		}
+	}()
+	_ = Read.LockMode()
+}
+
+func TestModeConflicts(t *testing.T) {
+	if Shared.Conflicts(Shared) {
+		t.Error("S-S must not conflict")
+	}
+	if !Shared.Conflicts(Exclusive) || !Exclusive.Conflicts(Shared) || !Exclusive.Conflicts(Exclusive) {
+		t.Error("any pairing with X must conflict")
+	}
+}
+
+// TestOpsConflict checks the paper's conflict definition exhaustively:
+// two operations conflict unless both are in {R, LS, US}.
+func TestOpsConflict(t *testing.T) {
+	quiet := map[Op]bool{Read: true, LockShared: true, UnlockShared: true}
+	for a := Op(0); a < numOps; a++ {
+		for b := Op(0); b < numOps; b++ {
+			want := !(quiet[a] && quiet[b])
+			if got := OpsConflict(a, b); got != want {
+				t.Errorf("OpsConflict(%v, %v) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestStepConflicts(t *testing.T) {
+	if !W("a").Conflicts(R("a")) {
+		t.Error("(W a) must conflict with (R a)")
+	}
+	if W("a").Conflicts(W("b")) {
+		t.Error("steps on distinct entities never conflict")
+	}
+	if R("a").Conflicts(LS("a")) {
+		t.Error("(R a) and (LS a) must not conflict")
+	}
+	if !UX("a").Conflicts(US("a")) {
+		t.Error("(UX a) conflicts with (US a): UX is not in {R, LS, US}")
+	}
+	if !LX("a").Conflicts(LS("a")) {
+		t.Error("(LX a) conflicts with (LS a)")
+	}
+}
+
+func TestParseOp(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		got, err := ParseOp(op.String())
+		if err != nil || got != op {
+			t.Errorf("ParseOp(%q) = %v, %v", op.String(), got, err)
+		}
+	}
+	if _, err := ParseOp("XX"); err == nil {
+		t.Error("ParseOp of unknown token should fail")
+	}
+}
+
+func TestParseStep(t *testing.T) {
+	for _, text := range []string{"(W a)", " ( W a ) ", "W a"} {
+		st, err := ParseStep(text)
+		if err != nil || st != W("a") {
+			t.Errorf("ParseStep(%q) = %v, %v; want (W a)", text, st, err)
+		}
+	}
+	for _, bad := range []string{"", "(W)", "(W a b)", "(Q a)"} {
+		if _, err := ParseStep(bad); err == nil {
+			t.Errorf("ParseStep(%q) should fail", bad)
+		}
+	}
+}
+
+func TestStepString(t *testing.T) {
+	if got := LX("n1").String(); got != "(LX n1)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,117 @@
+package model
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseSystem reads a transaction system from a simple text format:
+//
+//	# comment
+//	init: a b          # entities existing initially (optional line)
+//	T1: (LX a) (W a) (UX a)
+//	T2: (LX b) (I b) (UX b)
+//
+// Each non-comment line is "name: steps"; steps are parenthesized
+// "(OP entity)" groups. An optional "init:" line lists the initial
+// structural state; omitted means the empty database.
+func ParseSystem(r io.Reader) (*System, error) {
+	sys := &System{Init: NewState()}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("model: line %d: missing ':' in %q", lineNo, line)
+		}
+		name := strings.TrimSpace(line[:colon])
+		rest := strings.TrimSpace(line[colon+1:])
+		if name == "init" {
+			for _, f := range strings.Fields(rest) {
+				sys.Init[Entity(f)] = struct{}{}
+			}
+			continue
+		}
+		steps, err := parseSteps(rest)
+		if err != nil {
+			return nil, fmt.Errorf("model: line %d: %v", lineNo, err)
+		}
+		sys.Txns = append(sys.Txns, Txn{Name: name, Steps: steps})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(sys.Txns) == 0 {
+		return nil, fmt.Errorf("model: no transactions found")
+	}
+	return sys, nil
+}
+
+func parseSteps(text string) ([]Step, error) {
+	var steps []Step
+	rest := text
+	for {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			return steps, nil
+		}
+		if rest[0] != '(' {
+			return nil, fmt.Errorf("expected '(' at %q", rest)
+		}
+		end := strings.IndexByte(rest, ')')
+		if end < 0 {
+			return nil, fmt.Errorf("unclosed '(' at %q", rest)
+		}
+		st, err := ParseStep(rest[:end+1])
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, st)
+		rest = rest[end+1:]
+	}
+}
+
+// MustParseSystem parses a system from a string, panicking on error. It is
+// intended for tests and examples with literal inputs.
+func MustParseSystem(text string) *System {
+	sys, err := ParseSystem(strings.NewReader(text))
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+// Format renders the system in the format accepted by ParseSystem.
+func (sys *System) Format() string {
+	var b strings.Builder
+	if len(sys.Init) > 0 {
+		b.WriteString("init:")
+		for _, e := range sys.Init.Entities() {
+			b.WriteString(" ")
+			b.WriteString(string(e))
+		}
+		b.WriteString("\n")
+	}
+	for i, t := range sys.Txns {
+		b.WriteString(sys.Name(TID(i)))
+		b.WriteString(":")
+		for _, st := range t.Steps {
+			b.WriteString(" ")
+			b.WriteString(st.String())
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSystemRoundTrip(t *testing.T) {
+	text := `# example system
+init: a b
+T1: (LX a) (W a) (UX a)
+T2: (LS b) (R b) (US b) (LX c) (I c) (UX c)
+`
+	sys, err := ParseSystem(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Txns) != 2 {
+		t.Fatalf("parsed %d transactions", len(sys.Txns))
+	}
+	if !sys.Init.Equal(NewState("a", "b")) {
+		t.Errorf("init = %v", sys.Init)
+	}
+	if sys.Txns[1].Steps[3] != LX("c") {
+		t.Errorf("T2 step 3 = %v", sys.Txns[1].Steps[3])
+	}
+	// Round trip.
+	again, err := ParseSystem(strings.NewReader(sys.Format()))
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, sys.Format())
+	}
+	if len(again.Txns) != 2 || !again.Init.Equal(sys.Init) {
+		t.Error("round trip lost data")
+	}
+	for i := range sys.Txns {
+		if len(again.Txns[i].Steps) != len(sys.Txns[i].Steps) {
+			t.Errorf("round trip txn %d length mismatch", i)
+		}
+	}
+}
+
+func TestParseSystemErrors(t *testing.T) {
+	bad := []string{
+		"",                      // no transactions
+		"T1 (W a)",              // missing colon
+		"T1: (Q a)",             // unknown op
+		"T1: (W a",              // unclosed paren
+		"T1: W a)",              // missing open paren
+		"# only a comment\n\n ", // empty
+	}
+	for _, text := range bad {
+		if _, err := ParseSystem(strings.NewReader(text)); err == nil {
+			t.Errorf("ParseSystem(%q) should fail", text)
+		}
+	}
+}
+
+func TestParseSystemComments(t *testing.T) {
+	text := "T1: (LX a) (I a) (UX a) # trailing comment\n"
+	sys, err := ParseSystem(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Txns[0].Len() != 3 {
+		t.Errorf("comment not stripped: %v", sys.Txns[0])
+	}
+}
+
+func TestMustParseSystemPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseSystem should panic on bad input")
+		}
+	}()
+	MustParseSystem("not a system")
+}
+
+func TestFormatNoInit(t *testing.T) {
+	sys := NewSystem(nil, NewTxn("T1", LX("a"), UX("a")))
+	if strings.Contains(sys.Format(), "init:") {
+		t.Error("empty init must not be printed")
+	}
+}

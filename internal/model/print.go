@@ -1,0 +1,61 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Grid renders the schedule in the paper's multi-row figure format: one row
+// per transaction, one column per event, each event printed in its
+// transaction's row. Example:
+//
+//	T1: (I a) (I b)        (W c)       (I d)
+//	T2:              (R a)       (D b)       (I c)
+func (s Schedule) Grid(sys *System) string {
+	parts := s.Participants()
+	if len(parts) == 0 {
+		return "(empty schedule)"
+	}
+	row := make(map[TID]int, len(parts))
+	nameWidth := 0
+	for i, t := range parts {
+		row[t] = i
+		if w := len(sys.Name(t)); w > nameWidth {
+			nameWidth = w
+		}
+	}
+	cells := make([][]string, len(parts))
+	for i := range cells {
+		cells[i] = make([]string, len(s))
+	}
+	widths := make([]int, len(s))
+	for col, ev := range s {
+		text := ev.S.String()
+		cells[row[ev.T]][col] = text
+		widths[col] = len(text)
+	}
+	var b strings.Builder
+	for i, t := range parts {
+		fmt.Fprintf(&b, "%-*s:", nameWidth, sys.Name(t))
+		for col := range s {
+			c := cells[i][col]
+			fmt.Fprintf(&b, " %-*s", widths[col], c)
+		}
+		b.WriteString("\n")
+	}
+	return strings.TrimRight(b.String(), " \n") + "\n"
+}
+
+// DescribeGraph names the edges of an SGraph using the system's transaction
+// names, e.g. "T1->T2, T3->T1".
+func DescribeGraph(sys *System, g *SGraph) string {
+	edges := g.Edges()
+	if len(edges) == 0 {
+		return "(no edges)"
+	}
+	parts := make([]string, len(edges))
+	for i, e := range edges {
+		parts[i] = sys.Name(e[0]) + "->" + sys.Name(e[1])
+	}
+	return strings.Join(parts, ", ")
+}

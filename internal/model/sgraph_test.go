@@ -1,0 +1,173 @@
+package model
+
+import (
+	"testing"
+)
+
+func triangle() *SGraph {
+	g := NewSGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	return g
+}
+
+func chain(n int) *SGraph {
+	g := NewSGraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(TID(i), TID(i+1))
+	}
+	return g
+}
+
+func TestAcyclic(t *testing.T) {
+	if triangle().Acyclic() {
+		t.Error("triangle must be cyclic")
+	}
+	if !chain(5).Acyclic() {
+		t.Error("chain must be acyclic")
+	}
+	if !NewSGraph(0).Acyclic() {
+		t.Error("empty graph is acyclic")
+	}
+}
+
+func TestTopoSortDeterministic(t *testing.T) {
+	g := NewSGraph(4)
+	g.AddEdge(3, 1)
+	g.AddEdge(3, 0)
+	g.AddEdge(1, 2)
+	order, ok := g.TopoSort()
+	if !ok {
+		t.Fatal("graph is acyclic")
+	}
+	pos := make(map[TID]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e[0]] >= pos[e[1]] {
+			t.Errorf("edge %v violated by order %v", e, order)
+		}
+	}
+	// Determinism: repeated runs give identical output.
+	order2, _ := g.TopoSort()
+	for i := range order {
+		if order[i] != order2[i] {
+			t.Fatal("TopoSort must be deterministic")
+		}
+	}
+}
+
+func TestFindCycle(t *testing.T) {
+	c := triangle().FindCycle()
+	if len(c) != 3 {
+		t.Fatalf("FindCycle = %v, want a 3-cycle", c)
+	}
+	g := triangle()
+	// Verify consecutive edges exist (cyclically).
+	for i := range c {
+		if !g.HasEdge(c[i], c[(i+1)%len(c)]) {
+			t.Errorf("cycle %v has a missing edge %v->%v", c, c[i], c[(i+1)%len(c)])
+		}
+	}
+	if chain(4).FindCycle() != nil {
+		t.Error("acyclic graph must have no cycle")
+	}
+	// Self-loops are ignored by AddEdge.
+	g2 := NewSGraph(2)
+	g2.AddEdge(1, 1)
+	if g2.EdgeCount() != 0 {
+		t.Error("self-loop should be ignored")
+	}
+}
+
+func TestSinksAndSources(t *testing.T) {
+	g := chain(3) // 0 -> 1 -> 2
+	sinks := g.Sinks(nil)
+	if len(sinks) != 1 || sinks[0] != 2 {
+		t.Errorf("Sinks = %v, want [2]", sinks)
+	}
+	sources := g.Sources(nil)
+	if len(sources) != 1 || sources[0] != 0 {
+		t.Errorf("Sources = %v, want [0]", sources)
+	}
+	// Restricted to participants {0,1}: node 1 becomes the sink.
+	sinks = g.Sinks([]TID{0, 1})
+	if len(sinks) != 1 || sinks[0] != 1 {
+		t.Errorf("restricted Sinks = %v, want [1]", sinks)
+	}
+	sources = g.Sources([]TID{1, 2})
+	if len(sources) != 1 || sources[0] != 1 {
+		t.Errorf("restricted Sources = %v, want [1]", sources)
+	}
+}
+
+func TestMultipleSinks(t *testing.T) {
+	// Fan-out: 0 -> 1, 0 -> 2. Both 1 and 2 are sinks — the shape that
+	// arises in dynamic-database canonical schedules (Fig. 1b).
+	g := NewSGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	sinks := g.Sinks(nil)
+	if len(sinks) != 2 {
+		t.Errorf("Sinks = %v, want two", sinks)
+	}
+}
+
+func TestHasPath(t *testing.T) {
+	g := chain(4)
+	if !g.HasPath(0, 3) {
+		t.Error("path 0->3 exists")
+	}
+	if g.HasPath(3, 0) {
+		t.Error("no path 3->0")
+	}
+	if !g.HasPath(2, 2) {
+		t.Error("trivial path to self")
+	}
+}
+
+func TestGraphEqualClone(t *testing.T) {
+	g := triangle()
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Error("clone must equal original")
+	}
+	c.AddEdge(0, 2)
+	if g.Equal(c) {
+		t.Error("modified clone must differ")
+	}
+	if g.Equal(NewSGraph(4)) {
+		t.Error("different sizes are unequal")
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	if NewSGraph(2).String() != "(no edges)" {
+		t.Error("empty graph string")
+	}
+	g := NewSGraph(2)
+	g.AddEdge(1, 0)
+	if g.String() != "T1->T0" {
+		t.Errorf("String = %q", g.String())
+	}
+}
+
+func TestEdgeCount(t *testing.T) {
+	if triangle().EdgeCount() != 3 {
+		t.Error("triangle has 3 edges")
+	}
+}
+
+func TestDescribeGraph(t *testing.T) {
+	sys := NewSystem(nil, Txn{Name: "A"}, Txn{Name: "B"})
+	g := NewSGraph(2)
+	g.AddEdge(0, 1)
+	if got := DescribeGraph(sys, g); got != "A->B" {
+		t.Errorf("DescribeGraph = %q", got)
+	}
+	if DescribeGraph(sys, NewSGraph(2)) != "(no edges)" {
+		t.Error("empty describe")
+	}
+}

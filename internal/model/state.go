@@ -1,0 +1,111 @@
+package model
+
+import (
+	"sort"
+	"strings"
+)
+
+// State is a structural state of the database: the set of entities that
+// currently exist. Value states are not modeled separately because, as in
+// the paper, only the structural state determines which steps are defined.
+type State map[Entity]struct{}
+
+// NewState returns a structural state containing exactly the given entities.
+func NewState(ents ...Entity) State {
+	s := make(State, len(ents))
+	for _, e := range ents {
+		s[e] = struct{}{}
+	}
+	return s
+}
+
+// Has reports whether entity e exists in the state.
+func (s State) Has(e Entity) bool {
+	_, ok := s[e]
+	return ok
+}
+
+// Clone returns an independent copy of the state.
+func (s State) Clone() State {
+	c := make(State, len(s))
+	for e := range s {
+		c[e] = struct{}{}
+	}
+	return c
+}
+
+// Equal reports whether two structural states contain the same entities.
+func (s State) Equal(t State) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for e := range s {
+		if !t.Has(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// Entities returns the entities of the state in sorted order.
+func (s State) Entities() []Entity {
+	out := make([]Entity, 0, len(s))
+	for e := range s {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the state as "{a, b, c}" with entities sorted.
+func (s State) String() string {
+	ents := s.Entities()
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = string(e)
+	}
+	return "{" + strings.Join(names, ", ") + "}"
+}
+
+// Defined reports whether the step is defined in this structural state:
+// READ, WRITE and DELETE are defined iff the entity exists; INSERT is
+// defined iff it does not; lock and unlock steps are always defined (a
+// transaction must lock an entity before inserting it even though the
+// entity does not yet exist — Section 2).
+func (s State) Defined(st Step) bool {
+	switch st.Op {
+	case Read, Write, Delete:
+		return s.Has(st.Ent)
+	case Insert:
+		return !s.Has(st.Ent)
+	default:
+		return true
+	}
+}
+
+// Apply mutates the state by executing the step, assuming it is defined.
+// Only INSERT and DELETE change the structural state.
+func (s State) Apply(st Step) {
+	switch st.Op {
+	case Insert:
+		s[st.Ent] = struct{}{}
+	case Delete:
+		delete(s, st.Ent)
+	}
+}
+
+// ApplySeq computes the structural state that results from applying the
+// sequence of steps to a copy of s. The second result is false if some step
+// is not defined in the state in which it executes (i.e. the sequence is
+// not proper for s), in which case the returned state is the state just
+// before the offending step.
+func (s State) ApplySeq(steps []Step) (State, bool) {
+	cur := s.Clone()
+	for _, st := range steps {
+		if !cur.Defined(st) {
+			return cur, false
+		}
+		cur.Apply(st)
+	}
+	return cur, true
+}

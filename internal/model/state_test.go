@@ -1,0 +1,108 @@
+package model
+
+import "testing"
+
+func TestStateBasics(t *testing.T) {
+	s := NewState("a", "b")
+	if !s.Has("a") || !s.Has("b") || s.Has("c") {
+		t.Fatal("membership wrong")
+	}
+	c := s.Clone()
+	c.Apply(I("c"))
+	if s.Has("c") {
+		t.Error("Clone must be independent")
+	}
+	if !c.Has("c") {
+		t.Error("Apply(I c) must insert")
+	}
+	c.Apply(D("a"))
+	if c.Has("a") {
+		t.Error("Apply(D a) must delete")
+	}
+	if !s.Equal(NewState("b", "a")) {
+		t.Error("Equal must be order-insensitive")
+	}
+	if s.Equal(NewState("a")) || s.Equal(NewState("a", "c")) {
+		t.Error("Equal must compare contents")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if got := NewState("b", "a").String(); got != "{a, b}" {
+		t.Errorf("String = %q, want {a, b}", got)
+	}
+	if got := NewState().String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+// TestDefined covers the paper's definedness rules: R/W/D defined iff the
+// entity exists, I iff it does not, lock steps always.
+func TestDefined(t *testing.T) {
+	s := NewState("a")
+	cases := []struct {
+		st   Step
+		want bool
+	}{
+		{R("a"), true}, {W("a"), true}, {D("a"), true}, {I("a"), false},
+		{R("x"), false}, {W("x"), false}, {D("x"), false}, {I("x"), true},
+		{LS("x"), true}, {LX("x"), true}, {US("x"), true}, {UX("x"), true},
+		{LS("a"), true}, {LX("a"), true},
+	}
+	for _, c := range cases {
+		if got := s.Defined(c.st); got != c.want {
+			t.Errorf("Defined(%v) in {a} = %v, want %v", c.st, got, c.want)
+		}
+	}
+}
+
+// TestApplySeqPaperExample replays the paper's Section 2 example: starting
+// from the empty database, the interleaving
+//
+//	T1: (I a) (I b)        (W c)        (I d)
+//	T2:              (R a)       (D b) (I c)
+//
+// is proper, while executing T1 alone is not (it writes c before c exists).
+func TestApplySeqPaperExample(t *testing.T) {
+	proper := []Step{I("a"), I("b"), R("a"), D("b"), I("c"), W("c"), I("d")}
+	final, ok := NewState().ApplySeq(proper)
+	if !ok {
+		t.Fatal("the paper's interleaving must be proper from the empty database")
+	}
+	if !final.Equal(NewState("a", "c", "d")) {
+		t.Errorf("final state = %v, want {a, c, d}", final)
+	}
+
+	t1Alone := []Step{I("a"), I("b"), W("c"), I("d")}
+	if _, ok := NewState().ApplySeq(t1Alone); ok {
+		t.Error("T1 alone writes c before it exists; must be improper")
+	}
+
+	// The improper interleaving from the paper: T1 writes c when the
+	// database consists of only a and b.
+	improper := []Step{I("a"), I("b"), W("c"), R("a"), D("b"), I("c"), I("d")}
+	if _, ok := NewState().ApplySeq(improper); ok {
+		t.Error("interleaving with early (W c) must be improper")
+	}
+}
+
+func TestApplySeqReturnsStateBeforeOffendingStep(t *testing.T) {
+	st, ok := NewState().ApplySeq([]Step{I("a"), W("b")})
+	if ok {
+		t.Fatal("sequence should be improper")
+	}
+	if !st.Equal(NewState("a")) {
+		t.Errorf("state before offending step = %v, want {a}", st)
+	}
+}
+
+func TestEntitiesSorted(t *testing.T) {
+	s := NewState("z", "a", "m")
+	got := s.Entities()
+	want := []Entity{"a", "m", "z"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Entities() = %v, want %v", got, want)
+		}
+	}
+}

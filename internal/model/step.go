@@ -1,0 +1,68 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Entity is the name of a database entity. The universe U of all entities
+// that may ever exist is the set of all strings; a structural state selects
+// a finite subset of it.
+type Entity string
+
+// Step is a pair (operation, entity), the atomic unit of a transaction.
+type Step struct {
+	Op  Op
+	Ent Entity
+}
+
+// String renders the step in the paper's "(op entity)" notation.
+func (s Step) String() string { return "(" + s.Op.String() + " " + string(s.Ent) + ")" }
+
+// Conflicts reports whether s and t conflict: they operate on a common
+// entity and their operations are not both in {R, LS, US}.
+func (s Step) Conflicts(t Step) bool {
+	return s.Ent == t.Ent && OpsConflict(s.Op, t.Op)
+}
+
+// Convenience constructors, named after the paper's step notation.
+
+// R returns a (R e) step.
+func R(e Entity) Step { return Step{Read, e} }
+
+// W returns a (W e) step.
+func W(e Entity) Step { return Step{Write, e} }
+
+// I returns an (I e) step.
+func I(e Entity) Step { return Step{Insert, e} }
+
+// D returns a (D e) step.
+func D(e Entity) Step { return Step{Delete, e} }
+
+// LS returns a (LS e) step.
+func LS(e Entity) Step { return Step{LockShared, e} }
+
+// LX returns a (LX e) step.
+func LX(e Entity) Step { return Step{LockExclusive, e} }
+
+// US returns a (US e) step.
+func US(e Entity) Step { return Step{UnlockShared, e} }
+
+// UX returns a (UX e) step.
+func UX(e Entity) Step { return Step{UnlockExclusive, e} }
+
+// ParseStep parses a step written as "(OP entity)" or "OP entity".
+func ParseStep(text string) (Step, error) {
+	t := strings.TrimSpace(text)
+	t = strings.TrimPrefix(t, "(")
+	t = strings.TrimSuffix(t, ")")
+	fields := strings.Fields(t)
+	if len(fields) != 2 {
+		return Step{}, fmt.Errorf("model: cannot parse step %q: want \"(OP entity)\"", text)
+	}
+	op, err := ParseOp(fields[0])
+	if err != nil {
+		return Step{}, fmt.Errorf("model: cannot parse step %q: %v", text, err)
+	}
+	return Step{Op: op, Ent: Entity(fields[1])}, nil
+}

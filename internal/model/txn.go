@@ -1,0 +1,229 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Txn is a transaction: a finite sequence of steps. A locked transaction is
+// simply a transaction that contains lock and unlock steps.
+type Txn struct {
+	// Name identifies the transaction in printed schedules ("T1", "T2", …).
+	Name  string
+	Steps []Step
+}
+
+// NewTxn builds a transaction from steps.
+func NewTxn(name string, steps ...Step) Txn { return Txn{Name: name, Steps: steps} }
+
+// Len returns the number of steps.
+func (t Txn) Len() int { return len(t.Steps) }
+
+// Prefix returns the prefix of the transaction consisting of its first n
+// steps (sharing the underlying array).
+func (t Txn) Prefix(n int) Txn { return Txn{Name: t.Name, Steps: t.Steps[:n]} }
+
+// Clone returns a deep copy of the transaction.
+func (t Txn) Clone() Txn {
+	steps := make([]Step, len(t.Steps))
+	copy(steps, t.Steps)
+	return Txn{Name: t.Name, Steps: steps}
+}
+
+// String renders the transaction as "name: (op e) (op e) …".
+func (t Txn) String() string {
+	var b strings.Builder
+	b.WriteString(t.Name)
+	b.WriteString(":")
+	for _, s := range t.Steps {
+		b.WriteString(" ")
+		b.WriteString(s.String())
+	}
+	return b.String()
+}
+
+// Entities returns the set of entities mentioned by any step of t.
+func (t Txn) Entities() State {
+	s := make(State)
+	for _, st := range t.Steps {
+		s[st.Ent] = struct{}{}
+	}
+	return s
+}
+
+// HeldMode describes a lock held by a transaction at some point: the mode,
+// or nothing.
+type HeldMode struct {
+	Held bool
+	Mode Mode
+}
+
+// LockSet tracks, within a single transaction replay, which locks the
+// transaction currently holds. The paper's transactions hold at most one
+// lock per entity at a time (an entity may be locked at most once in total
+// under every policy considered), but LockSet itself only requires that a
+// lock is not acquired while one is already held on the same entity.
+type LockSet map[Entity]Mode
+
+// Holds reports whether a lock on e is held, and in which mode.
+func (l LockSet) Holds(e Entity) (Mode, bool) {
+	m, ok := l[e]
+	return m, ok
+}
+
+// WellFormedError explains a well-formedness violation.
+type WellFormedError struct {
+	Txn   string
+	Index int
+	Step  Step
+	Why   string
+}
+
+func (e *WellFormedError) Error() string {
+	return fmt.Sprintf("model: transaction %s is not well-formed at step %d %s: %s",
+		e.Txn, e.Index, e.Step, e.Why)
+}
+
+// WellFormed checks the paper's well-formedness condition: an INSERT,
+// DELETE or WRITE on A occurs only while A is locked in exclusive mode, and
+// a READ on A occurs only while A is locked in shared or exclusive mode.
+// It also rejects structurally meaningless lock usage: unlocking a lock
+// that is not held, unlocking in the wrong mode, and locking an entity
+// while already holding a lock on it.
+func (t Txn) WellFormed() error {
+	held := make(LockSet)
+	for i, st := range t.Steps {
+		switch st.Op {
+		case Read:
+			if _, ok := held[st.Ent]; !ok {
+				return &WellFormedError{t.Name, i, st, "READ without a shared or exclusive lock"}
+			}
+		case Write, Insert, Delete:
+			if m, ok := held[st.Ent]; !ok || m != Exclusive {
+				return &WellFormedError{t.Name, i, st, st.Op.String() + " without an exclusive lock"}
+			}
+		case LockShared, LockExclusive:
+			if _, ok := held[st.Ent]; ok {
+				return &WellFormedError{t.Name, i, st, "lock acquired while a lock on the entity is already held"}
+			}
+			held[st.Ent] = st.Op.LockMode()
+		case UnlockShared, UnlockExclusive:
+			m, ok := held[st.Ent]
+			if !ok {
+				return &WellFormedError{t.Name, i, st, "unlock of a lock that is not held"}
+			}
+			if m != st.Op.LockMode() {
+				return &WellFormedError{t.Name, i, st, "unlock mode does not match the held lock"}
+			}
+			delete(held, st.Ent)
+		default:
+			return &WellFormedError{t.Name, i, st, "invalid operation"}
+		}
+	}
+	return nil
+}
+
+// LocksAtMostOnce reports whether the transaction locks every entity at
+// most once over its whole lifetime. The paper assumes this throughout: a
+// policy that lets a transaction lock an entity twice is trivially unsafe.
+func (t Txn) LocksAtMostOnce() bool {
+	locked := make(map[Entity]bool)
+	for _, st := range t.Steps {
+		if st.Op.IsLock() {
+			if locked[st.Ent] {
+				return false
+			}
+			locked[st.Ent] = true
+		}
+	}
+	return true
+}
+
+// TwoPhase reports whether the transaction obeys two-phase locking: no lock
+// step follows an unlock step. Theorem 1's condition 1 requires the
+// distinguished transaction Tc to violate exactly this.
+func (t Txn) TwoPhase() bool {
+	unlocked := false
+	for _, st := range t.Steps {
+		switch {
+		case st.Op.IsUnlock():
+			unlocked = true
+		case st.Op.IsLock():
+			if unlocked {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// HoldsAt returns the set of locks the transaction holds after executing
+// its first n steps (its "prefix T'" in the paper's terminology).
+func (t Txn) HoldsAt(n int) LockSet {
+	held := make(LockSet)
+	for _, st := range t.Steps[:n] {
+		switch {
+		case st.Op.IsLock():
+			held[st.Ent] = st.Op.LockMode()
+		case st.Op.IsUnlock():
+			delete(held, st.Ent)
+		}
+	}
+	return held
+}
+
+// LockedPoint returns the index just after the transaction's last lock
+// step — the instant when the transaction acquires its last lock, known in
+// altruistic locking as the locked point. A transaction with no lock steps
+// has locked point 0.
+func (t Txn) LockedPoint() int {
+	last := 0
+	for i, st := range t.Steps {
+		if st.Op.IsLock() {
+			last = i + 1
+		}
+	}
+	return last
+}
+
+// FirstLocked returns the entity of the first lock step and true, or false
+// if the transaction acquires no locks.
+func (t Txn) FirstLocked() (Entity, bool) {
+	for _, st := range t.Steps {
+		if st.Op.IsLock() {
+			return st.Ent, true
+		}
+	}
+	return "", false
+}
+
+// NonTwoPhaseLocks returns the indices of all lock steps that occur after
+// some unlock step — the candidate (L A*) steps of Theorem 1 condition 1.
+func (t Txn) NonTwoPhaseLocks() []int {
+	var out []int
+	unlocked := false
+	for i, st := range t.Steps {
+		switch {
+		case st.Op.IsUnlock():
+			unlocked = true
+		case st.Op.IsLock():
+			if unlocked {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// StripLocks returns the data transaction underlying t: the subsequence of
+// READ, WRITE, INSERT and DELETE steps. P(T, T̄) holds for a locking policy
+// only if T is a subsequence of T̄; StripLocks recovers T.
+func (t Txn) StripLocks() Txn {
+	var steps []Step
+	for _, st := range t.Steps {
+		if st.Op.IsData() {
+			steps = append(steps, st)
+		}
+	}
+	return Txn{Name: t.Name, Steps: steps}
+}

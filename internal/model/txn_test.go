@@ -1,0 +1,165 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWellFormedAccepts(t *testing.T) {
+	good := []Txn{
+		NewTxn("t", LX("a"), I("a"), W("a"), D("a"), UX("a")),
+		NewTxn("t", LS("a"), R("a"), US("a")),
+		NewTxn("t", LX("a"), R("a"), UX("a")), // READ under exclusive lock is fine
+		NewTxn("t"),                           // empty transaction
+		NewTxn("t", LX("a"), LX("b"), W("b"), UX("a"), UX("b")),
+	}
+	for _, tx := range good {
+		if err := tx.WellFormed(); err != nil {
+			t.Errorf("%v: unexpected well-formedness error: %v", tx, err)
+		}
+	}
+}
+
+func TestWellFormedRejects(t *testing.T) {
+	bad := []struct {
+		tx  Txn
+		why string
+	}{
+		{NewTxn("t", R("a")), "READ without"},
+		{NewTxn("t", LS("a"), W("a"), US("a")), "without an exclusive lock"},
+		{NewTxn("t", LS("a"), I("a"), US("a")), "without an exclusive lock"},
+		{NewTxn("t", LS("a"), D("a"), US("a")), "without an exclusive lock"},
+		{NewTxn("t", W("a")), "without an exclusive lock"},
+		{NewTxn("t", UX("a")), "not held"},
+		{NewTxn("t", LS("a"), UX("a")), "mode does not match"},
+		{NewTxn("t", LX("a"), LX("a")), "already held"},
+		{NewTxn("t", LX("a"), LS("a")), "already held"},
+		{NewTxn("t", LX("a"), UX("a"), R("a")), "READ without"},
+	}
+	for _, c := range bad {
+		err := c.tx.WellFormed()
+		if err == nil {
+			t.Errorf("%v: expected well-formedness error", c.tx)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.why) {
+			t.Errorf("%v: error %q does not mention %q", c.tx, err, c.why)
+		}
+	}
+}
+
+func TestLocksAtMostOnce(t *testing.T) {
+	if !NewTxn("t", LX("a"), UX("a"), LX("b"), UX("b")).LocksAtMostOnce() {
+		t.Error("distinct entities: should pass")
+	}
+	if NewTxn("t", LX("a"), UX("a"), LX("a"), UX("a")).LocksAtMostOnce() {
+		t.Error("relocking a must fail")
+	}
+	if NewTxn("t", LS("a"), US("a"), LX("a"), UX("a")).LocksAtMostOnce() {
+		t.Error("relocking in a different mode still counts as twice")
+	}
+}
+
+func TestTwoPhase(t *testing.T) {
+	if !NewTxn("t", LX("a"), LX("b"), W("a"), UX("a"), UX("b")).TwoPhase() {
+		t.Error("growing then shrinking is two-phase")
+	}
+	if NewTxn("t", LX("a"), UX("a"), LX("b"), UX("b")).TwoPhase() {
+		t.Error("lock after unlock is not two-phase")
+	}
+	if !NewTxn("t").TwoPhase() {
+		t.Error("empty transaction is trivially two-phase")
+	}
+}
+
+func TestNonTwoPhaseLocks(t *testing.T) {
+	tx := NewTxn("t", LX("a"), UX("a"), LX("b"), LX("c"), UX("b"), UX("c"))
+	got := tx.NonTwoPhaseLocks()
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("NonTwoPhaseLocks = %v, want [2 3]", got)
+	}
+	if n := NewTxn("t", LX("a"), UX("a")).NonTwoPhaseLocks(); n != nil {
+		t.Errorf("two-phase txn should have no candidates, got %v", n)
+	}
+}
+
+func TestHoldsAt(t *testing.T) {
+	tx := NewTxn("t", LX("a"), LS("b"), UX("a"), LX("c"))
+	held := tx.HoldsAt(2)
+	if m, ok := held.Holds("a"); !ok || m != Exclusive {
+		t.Error("after 2 steps, a held exclusively")
+	}
+	if m, ok := held.Holds("b"); !ok || m != Shared {
+		t.Error("after 2 steps, b held shared")
+	}
+	held = tx.HoldsAt(4)
+	if _, ok := held.Holds("a"); ok {
+		t.Error("a released by step 3")
+	}
+	if m, ok := held.Holds("c"); !ok || m != Exclusive {
+		t.Error("c held exclusively at end")
+	}
+}
+
+func TestLockedPoint(t *testing.T) {
+	tx := NewTxn("t", LX("a"), W("a"), UX("a"), LX("b"), W("b"), UX("b"))
+	if got := tx.LockedPoint(); got != 4 {
+		t.Errorf("LockedPoint = %d, want 4 (just after (LX b))", got)
+	}
+	if got := NewTxn("t", W("a")).LockedPoint(); got != 0 {
+		t.Errorf("no locks: LockedPoint = %d, want 0", got)
+	}
+}
+
+func TestFirstLocked(t *testing.T) {
+	tx := NewTxn("t", LS("z"), LX("a"))
+	e, ok := tx.FirstLocked()
+	if !ok || e != "z" {
+		t.Errorf("FirstLocked = %v %v, want z", e, ok)
+	}
+	if _, ok := NewTxn("t", R("a")).FirstLocked(); ok {
+		t.Error("no lock steps: FirstLocked must report false")
+	}
+}
+
+func TestStripLocks(t *testing.T) {
+	tx := NewTxn("t", LX("a"), I("a"), W("a"), UX("a"), LS("b"), R("b"), US("b"))
+	got := tx.StripLocks()
+	want := []Step{I("a"), W("a"), R("b")}
+	if len(got.Steps) != len(want) {
+		t.Fatalf("StripLocks = %v", got)
+	}
+	for i := range want {
+		if got.Steps[i] != want[i] {
+			t.Fatalf("StripLocks = %v, want %v", got.Steps, want)
+		}
+	}
+}
+
+func TestPrefixAndClone(t *testing.T) {
+	tx := NewTxn("t", LX("a"), W("a"), UX("a"))
+	p := tx.Prefix(2)
+	if p.Len() != 2 || p.Steps[1] != W("a") {
+		t.Errorf("Prefix(2) = %v", p)
+	}
+	c := tx.Clone()
+	c.Steps[0] = LS("q")
+	if tx.Steps[0] != LX("a") {
+		t.Error("Clone must deep-copy steps")
+	}
+}
+
+func TestTxnString(t *testing.T) {
+	tx := NewTxn("T1", I("a"), W("b"))
+	if got := tx.String(); got != "T1: (I a) (W b)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestTxnEntities(t *testing.T) {
+	tx := NewTxn("t", LX("a"), W("a"), UX("a"), LS("b"), R("b"), US("b"))
+	ents := tx.Entities()
+	if !ents.Equal(NewState("a", "b")) {
+		t.Errorf("Entities = %v", ents)
+	}
+}

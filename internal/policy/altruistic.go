@@ -1,0 +1,165 @@
+package policy
+
+import (
+	"strconv"
+	"strings"
+
+	"locksafe/internal/model"
+)
+
+// Altruistic is the basic altruistic locking policy of Section 5 (from
+// Salem, Garcia-Molina & Shands [SGMS94]), with exclusive locks only.
+//
+// A transaction's *locked point* is the instant it acquires its last lock.
+// Ti is *in the wake of* Tj if Ti has locked an item that Tj unlocked
+// earlier, and Tj has not yet reached its own locked point. Rules:
+//
+//	AL1  A transaction must hold a lock on an item before an INSERT,
+//	     DELETE or ACCESS on it.
+//	AL2  If Ti is in the wake of an active Tj, then every item locked by
+//	     Ti so far must have been unlocked by Tj in the past.
+//	AL3  A transaction may lock an item only once.
+//
+// The monitor computes each transaction's locked point statically from its
+// step sequence and tracks the wake relation as the schedule unfolds; a
+// wake dissolves when the donor reaches its locked point.
+type Altruistic struct{}
+
+// Name returns "altruistic".
+func (Altruistic) Name() string { return "altruistic" }
+
+// NewMonitor returns a monitor enforcing AL1–AL3.
+func (Altruistic) NewMonitor(sys *model.System) model.Monitor {
+	n := len(sys.Txns)
+	m := &altruisticMonitor{
+		t:           newTracker(sys),
+		lockedPoint: make([]int, n),
+		unlocked:    make([]map[model.Entity]bool, n),
+		wake:        make([][]bool, n),
+	}
+	for i, tx := range sys.Txns {
+		m.lockedPoint[i] = tx.LockedPoint()
+		m.unlocked[i] = make(map[model.Entity]bool)
+		m.wake[i] = make([]bool, n)
+	}
+	return m
+}
+
+type altruisticMonitor struct {
+	t *tracker
+	// lockedPoint[i] is the static index just after Ti's last lock step.
+	lockedPoint []int
+	// unlocked[j] is the set of items Tj has unlocked so far.
+	unlocked []map[model.Entity]bool
+	// wake[i][j] records that Ti is currently in the wake of Tj.
+	wake [][]bool
+}
+
+func (m *altruisticMonitor) Fork() model.Monitor {
+	n := len(m.wake)
+	c := &altruisticMonitor{
+		t:           m.t.clone(),
+		lockedPoint: m.lockedPoint, // static, shared
+		unlocked:    make([]map[model.Entity]bool, n),
+		wake:        make([][]bool, n),
+	}
+	for i := range m.unlocked {
+		c.unlocked[i] = make(map[model.Entity]bool, len(m.unlocked[i]))
+		for e := range m.unlocked[i] {
+			c.unlocked[i][e] = true
+		}
+		c.wake[i] = make([]bool, n)
+		copy(c.wake[i], m.wake[i])
+	}
+	return c
+}
+
+// atLockedPoint reports whether Tj has reached its locked point.
+func (m *altruisticMonitor) atLockedPoint(j int) bool {
+	return m.t.pos[j] >= m.lockedPoint[j]
+}
+
+func (m *altruisticMonitor) Step(ev model.Ev) error {
+	i := int(ev.T)
+	st := ev.S
+	viol := func(rule, why string) error {
+		return &Violation{"altruistic", rule, ev, why}
+	}
+	switch st.Op {
+	case model.LockShared, model.UnlockShared:
+		return viol("X-only", "basic altruistic locking uses exclusive locks only")
+
+	case model.LockExclusive:
+		if m.t.lockedEver[i][st.Ent] {
+			return viol("AL3", "item locked twice")
+		}
+		// Entering wakes: locking an item donated by an active Tj puts
+		// Ti in Tj's wake.
+		for j := range m.wake[i] {
+			if j == i || m.atLockedPoint(j) {
+				continue
+			}
+			if m.unlocked[j][st.Ent] {
+				m.wake[i][j] = true
+			}
+		}
+		// AL2: while in the wake of Tj, everything Ti has locked —
+		// including this item — must have been unlocked by Tj.
+		for j, inWake := range m.wake[i] {
+			if !inWake || m.atLockedPoint(j) {
+				continue
+			}
+			if !m.unlocked[j][st.Ent] {
+				return viol("AL2", "locked an item not donated by "+m.t.sys.Name(model.TID(j))+" while in its wake")
+			}
+			for e := range m.t.lockedEver[i] {
+				if !m.unlocked[j][e] {
+					return viol("AL2", "previously locked item "+string(e)+" was not donated by "+m.t.sys.Name(model.TID(j)))
+				}
+			}
+		}
+
+	case model.UnlockExclusive:
+		m.unlocked[i][st.Ent] = true
+
+	case model.Insert, model.Delete, model.Read, model.Write:
+		if _, ok := m.t.held[i][st.Ent]; !ok {
+			return viol("AL1", "operation without a lock")
+		}
+	}
+	m.t.advance(ev)
+
+	// A transaction reaching its locked point dissolves all wakes it
+	// anchors (it can no longer donate: its lock set is final).
+	if st.Op.IsLock() && m.atLockedPoint(i) {
+		for k := range m.wake {
+			m.wake[k][i] = false
+		}
+	}
+	return nil
+}
+
+// Key: positions determine locked points, held sets and unlocked sets, but
+// the wake relation depends on event order, so it is part of the key.
+func (m *altruisticMonitor) Key() string {
+	var b strings.Builder
+	b.WriteString(m.t.posKey())
+	b.WriteByte('|')
+	for i := range m.wake {
+		for j, w := range m.wake[i] {
+			if w {
+				b.WriteString(strconv.Itoa(i))
+				b.WriteByte('w')
+				b.WriteString(strconv.Itoa(j))
+				b.WriteByte(';')
+			}
+		}
+	}
+	return b.String()
+}
+
+// InWake reports whether Ti is currently in the wake of Tj; the
+// figure-walkthrough experiment uses it to narrate the Fig. 4 scenario.
+func (m *altruisticMonitor) InWake(i, j model.TID) bool {
+	return m.wake[int(i)][int(j)]
+}

@@ -1,0 +1,155 @@
+package policy
+
+import (
+	"locksafe/internal/graph"
+	"locksafe/internal/model"
+)
+
+// DDAGSX is the shared/exclusive extension of the DDAG policy. The paper
+// proves safety only for the exclusive-lock version (Theorem 2) and
+// defers the general shared/exclusive version to [Cha95]; this
+// implementation is the *natural* extension — reads take shared locks,
+// structural updates and writes take exclusive locks, and rule L5 accepts
+// predecessors locked in either mode — and the repository treats its
+// safety as an empirical question: experiment E10 searches for
+// counterexamples over random conformant workloads (see EXPERIMENTS.md).
+//
+// Rules (deltas from DDAG):
+//
+//	L1'  READ requires a shared or exclusive lock on the node; WRITE,
+//	     INSERT and DELETE require exclusive; edge operations require
+//	     locks on both endpoints (exclusive for structural edge updates,
+//	     any mode for reads).
+//	L5'  A non-first lock of an existing node requires all its present
+//	     predecessors locked before (in any mode) and at least one of
+//	     them still held (in any mode).
+//
+// L2 (inserted nodes lockable any time), L3 (lock once) and L4 (first
+// lock free) carry over unchanged.
+type DDAGSX struct{}
+
+// Name returns "DDAG-SX".
+func (DDAGSX) Name() string { return "DDAG-SX" }
+
+// NewMonitor builds the initial graph exactly as DDAG does.
+func (DDAGSX) NewMonitor(sys *model.System) model.Monitor {
+	base := DDAG{}.NewMonitor(sys).(*ddagMonitor)
+	return &ddagSXMonitor{inner: base}
+}
+
+type ddagSXMonitor struct {
+	inner *ddagMonitor
+}
+
+func (m *ddagSXMonitor) Fork() model.Monitor {
+	return &ddagSXMonitor{inner: m.inner.Fork().(*ddagMonitor)}
+}
+
+func (m *ddagSXMonitor) Key() string { return m.inner.Key() }
+
+func (m *ddagSXMonitor) Step(ev model.Ev) error {
+	i := int(ev.T)
+	st := ev.S
+	in := m.inner
+	viol := func(rule, why string) error {
+		return &Violation{"DDAG-SX", rule, ev, why}
+	}
+	switch st.Op {
+	case model.LockShared, model.LockExclusive:
+		if a, b, isEdge := isEdgeEntity(st.Ent); isEdge {
+			if _, ok := in.t.held[i][model.Entity(a)]; !ok {
+				return viol("L1", "edge lock without a lock on endpoint "+string(a))
+			}
+			if _, ok := in.t.held[i][model.Entity(b)]; !ok {
+				return viol("L1", "edge lock without a lock on endpoint "+string(b))
+			}
+			break
+		}
+		n := graph.Node(st.Ent)
+		if in.t.lockedEver[i][st.Ent] {
+			return viol("L3", "node locked twice")
+		}
+		if in.firstNodeLock(i) {
+			break // L4
+		}
+		if !in.g.HasNode(n) {
+			if st.Op != model.LockExclusive {
+				return viol("L2", "a node being inserted must be locked exclusively")
+			}
+			break // L2
+		}
+		preds := in.g.Preds(n)
+		if len(preds) == 0 {
+			return viol("L5", "existing node has no predecessors and is not the first lock")
+		}
+		holdsOne := false
+		for _, p := range preds {
+			pe := model.Entity(p)
+			if !in.t.lockedEver[i][pe] {
+				return viol("L5", "predecessor "+string(p)+" was never locked")
+			}
+			if _, ok := in.t.held[i][pe]; ok {
+				holdsOne = true
+			}
+		}
+		if !holdsOne {
+			return viol("L5", "no predecessor lock is currently held")
+		}
+
+	case model.UnlockShared, model.UnlockExclusive:
+		// Always permitted.
+
+	case model.Read:
+		if a, b, isEdge := isEdgeEntity(st.Ent); isEdge {
+			if err := in.requireEndpoints(ev, a, b); err != nil {
+				return err
+			}
+			break
+		}
+		if _, ok := in.t.held[i][st.Ent]; !ok {
+			return viol("L1", "READ without a lock")
+		}
+
+	case model.Write, model.Insert, model.Delete:
+		// Reuse the exclusive-path structural logic of the base DDAG
+		// monitor (graph maintenance, no-reinsert, acyclicity), but
+		// additionally demand exclusive mode on the target(s).
+		if a, b, isEdge := isEdgeEntity(st.Ent); isEdge {
+			if mmode, ok := in.t.held[i][model.Entity(a)]; !ok || mmode != model.Exclusive {
+				return viol("L1", "structural edge operation without an exclusive lock on "+string(a))
+			}
+			if mmode, ok := in.t.held[i][model.Entity(b)]; !ok || mmode != model.Exclusive {
+				return viol("L1", "structural edge operation without an exclusive lock on "+string(b))
+			}
+		} else if mmode, ok := in.t.held[i][st.Ent]; !ok || mmode != model.Exclusive {
+			return viol("L1", st.Op.String()+" without an exclusive lock")
+		}
+		return m.stepInner(ev)
+	}
+	// Non-structural events share the base monitor's bookkeeping but
+	// bypass its exclusive-only restriction, so track them here.
+	return m.track(ev)
+}
+
+// stepInner delegates a structural event to the base monitor, which
+// performs graph maintenance and tracking. The base monitor never objects
+// to exclusive-mode structural steps that passed our checks, except for
+// its own structural rules (no-reinsert, DAG shape), which are exactly
+// what we want.
+func (m *ddagSXMonitor) stepInner(ev model.Ev) error {
+	err := m.inner.Step(ev)
+	if err == nil {
+		return nil
+	}
+	if v, ok := err.(*Violation); ok {
+		v.Policy = "DDAG-SX"
+	}
+	return err
+}
+
+// track advances the shared tracker for events the base monitor would
+// have rejected as shared-mode.
+func (m *ddagSXMonitor) track(ev model.Ev) error {
+	m.inner.t.advance(ev)
+	return nil
+}

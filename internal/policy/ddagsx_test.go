@@ -1,0 +1,148 @@
+package policy_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"locksafe/internal/checker"
+	"locksafe/internal/model"
+	"locksafe/internal/policy"
+	"locksafe/internal/workload"
+)
+
+// TestDDAGSXCounterexample verifies the central E10 finding: the
+// minimized two-transaction system is admissible under the naive
+// shared/exclusive DDAG extension yet nonserializable, while the same
+// traversals with exclusive locks only are safe (Theorem 2).
+func TestDDAGSXCounterexample(t *testing.T) {
+	sys := workload.DDAGSXCounterexample()
+	if err := sys.WellFormed(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := checker.Brute(sys, &checker.Options{Monitor: policy.DDAGSX{}.NewMonitor(sys)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Safe {
+		t.Fatal("naive S/X DDAG counterexample must be unsafe")
+	}
+	if err := res.Witness.Verify(sys); err != nil {
+		t.Fatalf("witness invalid: %v", err)
+	}
+
+	sysX := workload.DDAGSXCounterexampleAllX()
+	resX, err := checker.Brute(sysX, &checker.Options{Monitor: policy.DDAG{}.NewMonitor(sysX)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resX.Safe {
+		t.Fatal("exclusive-only variant must be safe (Theorem 2)")
+	}
+}
+
+// TestDDAGSXSerialAdmissible checks the generator contract: serial
+// executions of DDAG-SX workloads are admissible.
+func TestDDAGSXSerialAdmissible(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sys, _ := workload.DDAGSXSystem(rng, workload.DefaultDDAGConfig(), 0.5)
+		if err := sys.WellFormed(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		serialAdmissible(t, policy.DDAGSX{}, sys, int(seed))
+	}
+}
+
+// TestDDAGSXGeneratesSharedLocks ensures the demotion actually produces
+// shared locks (otherwise E10 would be vacuous).
+func TestDDAGSXGeneratesSharedLocks(t *testing.T) {
+	shared := 0
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sys, _ := workload.DDAGSXSystem(rng, workload.DefaultDDAGConfig(), 0.8)
+		for _, tx := range sys.Txns {
+			for _, st := range tx.Steps {
+				if st.Op == model.LockShared {
+					shared++
+				}
+			}
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no shared locks generated; DDAG-SX workload is vacuous")
+	}
+}
+
+// TestDDAGSXRules spot-checks the extension's own rule enforcement.
+func TestDDAGSXRules(t *testing.T) {
+	init := model.NewState("r", "a", "r->a")
+	cases := []struct {
+		name string
+		txn  model.Txn
+		rule string
+	}{
+		{"shared read ok", model.NewTxn("T",
+			model.LS("r"), model.R("r"), model.LS("a"), model.R("a"),
+			model.US("r"), model.US("a")), ""},
+		{"write under shared", model.NewTxn("T",
+			model.LS("r"), model.W("r"), model.US("r")), "L1"},
+		{"L5 via shared predecessor", model.NewTxn("T",
+			model.LS("r"), model.R("r"), model.LX("a"), model.W("a"),
+			model.US("r"), model.UX("a")), ""},
+		{"lock twice across modes", model.NewTxn("T",
+			model.LS("r"), model.R("r"), model.US("r"), model.LX("r")), "L3"},
+		{"skip predecessor", model.NewTxn("T",
+			model.LS("a"), model.R("a"), model.LS("r")), "L5"},
+		// A shared first lock is allowed by L4, but the INSERT itself
+		// then fails L1' (it demands exclusive mode).
+		{"shared lock for insert", model.NewTxn("T",
+			model.LS("x"), model.I("x"), model.US("x")), "L1"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sys := model.NewSystem(init.Clone(), c.txn)
+			mon := policy.DDAGSX{}.NewMonitor(sys)
+			var err error
+			r := model.NewReplay(sys)
+			for _, ev := range model.SerialSystem(sys) {
+				// Well-formedness of "write under shared" fixtures is
+				// intentionally broken at the model level, so drive the
+				// monitor without the strict replay when needed.
+				_ = r.Do(ev)
+				if err = mon.Step(ev); err != nil {
+					break
+				}
+			}
+			if c.rule == "" {
+				if err != nil {
+					t.Fatalf("unexpected violation: %v", err)
+				}
+				return
+			}
+			v := asViolation(t, err)
+			if v.Rule != c.rule {
+				t.Errorf("rule = %q, want %q (%v)", v.Rule, c.rule, err)
+			}
+		})
+	}
+}
+
+// TestE10Frequency mirrors experiment E10(c) at reduced size.
+func TestE10Frequency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	unsafeCount := 0
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sys, _ := workload.DDAGSXSystem(rng, workload.DefaultDDAGConfig(), 0.5)
+		res, err := checker.Brute(sys, &checker.Options{Monitor: policy.DDAGSX{}.NewMonitor(sys)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Safe {
+			unsafeCount++
+		}
+	}
+	t.Logf("naive S/X DDAG: %d/100 random workloads unsafe", unsafeCount)
+}

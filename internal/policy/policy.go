@@ -1,0 +1,190 @@
+// Package policy implements the locking policies studied in the paper as
+// runtime monitors: deterministic automata that accept or veto each next
+// event of a schedule according to the policy's rules.
+//
+//   - TwoPhase: classic two-phase locking (baseline; always safe).
+//   - Tree: the static tree policy of Silberschatz & Kedem [SK80]
+//     (baseline for the dynamic policies).
+//   - DDAG: the dynamic directed acyclic graph policy of Section 4
+//     (rules L1–L5), exclusive locks only.
+//   - Altruistic: altruistic locking of Salem, Garcia-Molina & Shands
+//     [SGMS94] as presented in Section 5 (rules AL1–AL3).
+//   - DTR: the dynamic tree policy of Croker & Maier [CM86] as presented
+//     in Section 6 (rules DT0–DT3).
+//   - Unrestricted: no rules at all (negative control).
+//
+// A monitor's Step is called only with events that already respect
+// per-transaction order, legality (no conflicting locks) and properness
+// (steps defined in the structural state); the monitor checks only the
+// policy's own rules. Monitors are used by the safety checkers to restrict
+// exploration to policy-admissible schedules and by the execution engine
+// to reject (and abort) transactions that break the rules at run time.
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"locksafe/internal/model"
+)
+
+// Policy constructs runtime monitors for transaction systems.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// NewMonitor returns a fresh monitor for schedules of sys starting at
+	// the system's initial state.
+	NewMonitor(sys *model.System) model.Monitor
+}
+
+// Violation is the error returned when a step breaks a policy rule.
+type Violation struct {
+	Policy string
+	Rule   string
+	Ev     model.Ev
+	Why    string
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("%s: rule %s violated by %s: %s", v.Policy, v.Rule, v.Ev, v.Why)
+}
+
+// tracker is the bookkeeping shared by all monitors: per-transaction
+// positions, held locks and locked-ever sets.
+type tracker struct {
+	sys        *model.System
+	pos        []int
+	held       []map[model.Entity]model.Mode
+	lockedEver []map[model.Entity]bool
+}
+
+func newTracker(sys *model.System) *tracker {
+	t := &tracker{
+		sys:        sys,
+		pos:        make([]int, len(sys.Txns)),
+		held:       make([]map[model.Entity]model.Mode, len(sys.Txns)),
+		lockedEver: make([]map[model.Entity]bool, len(sys.Txns)),
+	}
+	for i := range sys.Txns {
+		t.held[i] = make(map[model.Entity]model.Mode)
+		t.lockedEver[i] = make(map[model.Entity]bool)
+	}
+	return t
+}
+
+func (t *tracker) clone() *tracker {
+	c := &tracker{
+		sys:        t.sys,
+		pos:        make([]int, len(t.pos)),
+		held:       make([]map[model.Entity]model.Mode, len(t.held)),
+		lockedEver: make([]map[model.Entity]bool, len(t.lockedEver)),
+	}
+	copy(c.pos, t.pos)
+	for i := range t.held {
+		c.held[i] = make(map[model.Entity]model.Mode, len(t.held[i]))
+		for e, m := range t.held[i] {
+			c.held[i][e] = m
+		}
+		c.lockedEver[i] = make(map[model.Entity]bool, len(t.lockedEver[i]))
+		for e := range t.lockedEver[i] {
+			c.lockedEver[i][e] = true
+		}
+	}
+	return c
+}
+
+// advance applies the event's effect on positions, held locks and
+// locked-ever sets. It must be called after a monitor accepts the event.
+func (t *tracker) advance(ev model.Ev) {
+	i := int(ev.T)
+	t.pos[i]++
+	switch {
+	case ev.S.Op.IsLock():
+		t.held[i][ev.S.Ent] = ev.S.Op.LockMode()
+		t.lockedEver[i][ev.S.Ent] = true
+	case ev.S.Op.IsUnlock():
+		delete(t.held[i], ev.S.Ent)
+	}
+}
+
+// started reports whether transaction i has executed at least one event.
+func (t *tracker) started(i int) bool { return t.pos[i] > 0 }
+
+// finished reports whether transaction i has executed all its events.
+func (t *tracker) finished(i int) bool { return t.pos[i] >= t.sys.Txns[i].Len() }
+
+// active reports whether transaction i has started but not finished.
+func (t *tracker) active(i int) bool { return t.started(i) && !t.finished(i) }
+
+// anyHolds reports whether any transaction other than self currently holds
+// a lock on e (self < 0 checks all transactions).
+func (t *tracker) anyHolds(e model.Entity, self int) bool {
+	for i := range t.held {
+		if i == self {
+			continue
+		}
+		if _, ok := t.held[i][e]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// posKey serializes the position vector; for monitors whose entire state
+// is a function of positions this is a complete memoization key.
+func (t *tracker) posKey() string {
+	var b strings.Builder
+	for i, p := range t.pos {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(p))
+	}
+	return b.String()
+}
+
+func sortedEntities(set map[model.Entity]bool) []model.Entity {
+	out := make([]model.Entity, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DTRForest returns the current database forest of a DTR monitor, or nil
+// if m is not one. The figure walkthroughs use it to display the forest.
+func DTRForest(m model.Monitor) *forestView {
+	if d, ok := m.(*dtrMonitor); ok {
+		return &forestView{d}
+	}
+	return nil
+}
+
+// forestView renders a DTR monitor's forest.
+type forestView struct{ d *dtrMonitor }
+
+// String renders the forest in the graph.Forest format.
+func (v *forestView) String() string { return v.d.forest.String() }
+
+// DDAGGraph returns the current graph of a DDAG monitor, or nil if m is
+// not one.
+func DDAGGraph(m model.Monitor) fmt.Stringer {
+	if d, ok := m.(*ddagMonitor); ok {
+		return d.g
+	}
+	return nil
+}
+
+// Unrestricted is the no-rules policy: every legal proper schedule is
+// admissible. Randomly locked transaction systems run under Unrestricted
+// are the negative control of the policy-safety experiment.
+type Unrestricted struct{}
+
+// Name returns "unrestricted".
+func (Unrestricted) Name() string { return "unrestricted" }
+
+// NewMonitor returns a monitor that admits everything.
+func (Unrestricted) NewMonitor(*model.System) model.Monitor { return model.PermissiveMonitor{} }

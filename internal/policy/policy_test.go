@@ -1,0 +1,388 @@
+package policy_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"locksafe/internal/model"
+	"locksafe/internal/policy"
+	"locksafe/internal/workload"
+)
+
+// runMonitor drives the monitor through the schedule, also validating
+// order/legality/properness via a replay (monitors assume those hold).
+func runMonitor(t *testing.T, sys *model.System, mon model.Monitor, s model.Schedule) error {
+	t.Helper()
+	r := model.NewReplay(sys)
+	for i, ev := range s {
+		if err := r.Do(ev); err != nil {
+			t.Fatalf("event %d %s is not even legal/proper: %v", i, ev, err)
+		}
+		if err := mon.Step(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func asViolation(t *testing.T, err error) *policy.Violation {
+	t.Helper()
+	var v *policy.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("want *Violation, got %T: %v", err, err)
+	}
+	return v
+}
+
+func TestTwoPhaseMonitor(t *testing.T) {
+	sys := workload.StaticUnsafeSystem() // T1 is non-two-phase
+	mon := policy.TwoPhase{}.NewMonitor(sys)
+	s := model.SerialSystem(sys)
+	err := runMonitor(t, sys, mon, s)
+	v := asViolation(t, err)
+	if v.Rule != "two-phase" {
+		t.Errorf("rule = %q", v.Rule)
+	}
+	// A two-phase system passes.
+	sys2 := workload.TwoPhaseSystem()
+	if err := runMonitor(t, sys2, policy.TwoPhase{}.NewMonitor(sys2), model.SerialSystem(sys2)); err != nil {
+		t.Errorf("two-phase system rejected: %v", err)
+	}
+}
+
+func TestViolationMessage(t *testing.T) {
+	v := &policy.Violation{Policy: "DDAG", Rule: "L5", Ev: model.Ev{T: 1, S: model.LX("4")}, Why: "nope"}
+	msg := v.Error()
+	for _, want := range []string{"DDAG", "L5", "(LX 4)", "nope"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q missing %q", msg, want)
+		}
+	}
+}
+
+// TestDDAGFigure3Granted replays the permitted Fig. 3 run.
+func TestDDAGFigure3Granted(t *testing.T) {
+	sc := workload.Figure3()
+	mon := policy.DDAG{}.NewMonitor(sc.SysGranted)
+	if err := runMonitor(t, sc.SysGranted, mon, sc.Granted); err != nil {
+		t.Fatalf("granted run rejected: %v", err)
+	}
+}
+
+// TestDDAGFigure3EdgeInsertDenies replays the variant where T1 inserts the
+// edge (2,4): T2's (LX 4) must be denied by L5.
+func TestDDAGFigure3EdgeInsertDenies(t *testing.T) {
+	sc := workload.Figure3()
+	mon := policy.DDAG{}.NewMonitor(sc.SysEdge)
+	r := model.NewReplay(sc.SysEdge)
+	for i, ev := range sc.WithEdgeInsert {
+		if err := r.Do(ev); err != nil {
+			t.Fatalf("event %d %s illegal/improper: %v", i, ev, err)
+		}
+		err := mon.Step(ev)
+		if i == sc.DeniedIndex {
+			v := asViolation(t, err)
+			if v.Rule != "L5" {
+				t.Errorf("denial rule = %q, want L5", v.Rule)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("event %d %s unexpectedly denied: %v", i, ev, err)
+		}
+	}
+	t.Fatal("denial never happened")
+}
+
+func TestDDAGRules(t *testing.T) {
+	// Base DAG: r -> a, r -> b.
+	init := model.NewState("r", "a", "b", "r->a", "r->b")
+
+	cases := []struct {
+		name string
+		txn  model.Txn
+		rule string // "" means accepted
+	}{
+		{"lock twice", model.NewTxn("T",
+			model.LX("r"), model.W("r"), model.UX("r"), model.LX("r")), "L3"},
+		{"skip predecessor", model.NewTxn("T",
+			model.LX("r"), model.UX("r"), model.LX("b")), "L5"},
+		{"no held predecessor", model.NewTxn("T",
+			model.LX("r"), model.W("r"), model.UX("r"), model.LX("a")), "L5"},
+		{"second root", model.NewTxn("T",
+			model.LX("a"), model.W("a"), model.LX("r")), "L5"},
+		{"shared lock", model.NewTxn("T", model.LS("r"), model.R("r"), model.US("r")), "X-only"},
+		{"happy traversal", model.NewTxn("T",
+			model.LX("r"), model.W("r"), model.LX("a"), model.W("a"),
+			model.UX("r"), model.LX("b")), "L5"}, // b's pred r no longer held... but locked ever; rule demands holding one
+		{"valid traversal", model.NewTxn("T",
+			model.LX("r"), model.W("r"), model.LX("a"), model.W("a"),
+			model.LX("b"), model.W("b"), model.UX("r"), model.UX("a"), model.UX("b")), ""},
+		{"insert node", model.NewTxn("T",
+			model.LX("r"), model.W("r"),
+			model.LX("x"), model.I("x"),
+			model.LX("r->x"), model.I("r->x"), model.UX("r->x"),
+			model.UX("r"), model.UX("x")), ""},
+		{"edge without endpoint locks", model.NewTxn("T",
+			model.LX("a"), model.W("a"), model.LX("a->b")), "L1"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sys := model.NewSystem(init.Clone(), c.txn)
+			mon := policy.DDAG{}.NewMonitor(sys)
+			err := runMonitor(t, sys, mon, model.SerialSystem(sys))
+			if c.rule == "" {
+				if err != nil {
+					t.Fatalf("unexpected violation: %v", err)
+				}
+				return
+			}
+			v := asViolation(t, err)
+			if v.Rule != c.rule {
+				t.Errorf("rule = %q, want %q (err %v)", v.Rule, c.rule, err)
+			}
+		})
+	}
+}
+
+func TestDDAGNoReinsert(t *testing.T) {
+	// Delete a leaf (after removing its edge), then try to reinsert it.
+	init := model.NewState("r", "a", "r->a")
+	txn := model.NewTxn("T",
+		model.LX("r"), model.W("r"), model.LX("a"), model.W("a"),
+		model.LX("r->a"), model.D("r->a"), model.UX("r->a"),
+		model.D("a"),
+		model.I("a"), // reinsert: must be denied
+	)
+	sys := model.NewSystem(init, txn)
+	mon := policy.DDAG{}.NewMonitor(sys)
+	err := runMonitor(t, sys, mon, model.SerialSystem(sys))
+	v := asViolation(t, err)
+	if v.Rule != "no-reinsert" {
+		t.Errorf("rule = %q, want no-reinsert", v.Rule)
+	}
+}
+
+func TestDDAGCycleRejected(t *testing.T) {
+	// r -> a; inserting a -> r would create a cycle.
+	init := model.NewState("r", "a", "r->a")
+	txn := model.NewTxn("T",
+		model.LX("r"), model.W("r"), model.LX("a"), model.W("a"),
+		model.LX("a->r"), model.I("a->r"))
+	sys := model.NewSystem(init, txn)
+	err := runMonitor(t, sys, policy.DDAG{}.NewMonitor(sys), model.SerialSystem(sys))
+	v := asViolation(t, err)
+	if v.Rule != "DAG" {
+		t.Errorf("rule = %q, want DAG", v.Rule)
+	}
+}
+
+// TestAltruisticFigure4 replays the Fig. 4 walkthrough, asserting wake
+// entry, the AL2 denial while in the wake, and release at T1's locked
+// point.
+func TestAltruisticFigure4(t *testing.T) {
+	sc := workload.Figure4()
+	mon := policy.Altruistic{}.NewMonitor(sc.Sys)
+	r := model.NewReplay(sc.Sys)
+	for i, ev := range sc.Events {
+		if i == sc.DenyProbeAt {
+			probe := mon.Fork()
+			err := probe.Step(sc.DeniedEvent)
+			v := asViolation(t, err)
+			if v.Rule != "AL2" {
+				t.Errorf("probe denial rule = %q, want AL2", v.Rule)
+			}
+		}
+		if err := r.Do(ev); err != nil {
+			t.Fatalf("event %d %s illegal/improper: %v", i, ev, err)
+		}
+		if err := mon.Step(ev); err != nil {
+			t.Fatalf("event %d %s rejected: %v", i, ev, err)
+		}
+	}
+}
+
+func TestAltruisticRules(t *testing.T) {
+	init := model.NewState("1", "2", "3")
+	t1 := model.NewTxn("T1",
+		model.LX("1"), model.W("1"), model.UX("1"),
+		model.LX("2"), model.W("2"), model.UX("2"))
+	// T2 locks 1 (entering T1's wake) then locks 3, which T1 never
+	// donated: AL2 violation.
+	t2 := model.NewTxn("T2",
+		model.LX("1"), model.W("1"), model.LX("3"), model.W("3"),
+		model.UX("1"), model.UX("3"))
+	sys := model.NewSystem(init, t1, t2)
+	mon := policy.Altruistic{}.NewMonitor(sys)
+	s := model.Schedule{
+		{T: 0, S: model.LX("1")}, {T: 0, S: model.W("1")}, {T: 0, S: model.UX("1")},
+		{T: 1, S: model.LX("1")}, {T: 1, S: model.W("1")},
+		{T: 1, S: model.LX("3")}, // in T1's wake; 3 not donated
+	}
+	err := runMonitor(t, sys, mon, s)
+	v := asViolation(t, err)
+	if v.Rule != "AL2" {
+		t.Errorf("rule = %q, want AL2", v.Rule)
+	}
+
+	// AL3: locking twice.
+	t3 := model.NewTxn("T3", model.LX("1"), model.UX("1"), model.LX("1"))
+	sys3 := model.NewSystem(init.Clone(), t3)
+	err = runMonitor(t, sys3, policy.Altruistic{}.NewMonitor(sys3), model.SerialSystem(sys3))
+	if v := asViolation(t, err); v.Rule != "AL3" {
+		t.Errorf("rule = %q, want AL3", v.Rule)
+	}
+
+	// Shared locks are rejected.
+	t4 := model.NewTxn("T4", model.LS("1"), model.R("1"), model.US("1"))
+	sys4 := model.NewSystem(init.Clone(), t4)
+	err = runMonitor(t, sys4, policy.Altruistic{}.NewMonitor(sys4), model.SerialSystem(sys4))
+	if v := asViolation(t, err); v.Rule != "X-only" {
+		t.Errorf("rule = %q, want X-only", v.Rule)
+	}
+}
+
+// TestAltruisticWakeDissolves checks that reaching the donor's locked
+// point frees the waked transaction.
+func TestAltruisticWakeDissolves(t *testing.T) {
+	sc := workload.Figure4()
+	mon := policy.Altruistic{}.NewMonitor(sc.Sys)
+	r := model.NewReplay(sc.Sys)
+	// Execute up to and including T1's (LX 3) — its locked point.
+	for _, ev := range sc.Events[:12] {
+		if err := r.Do(ev); err != nil {
+			t.Fatal(err)
+		}
+		if err := mon.Step(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Event 12 is T2's (LX 4): accepted because the wake has dissolved.
+	if err := mon.Fork().Step(sc.Events[12]); err != nil {
+		t.Errorf("after the donor's locked point, T2 may lock anything: %v", err)
+	}
+}
+
+// TestDTRFigure5 replays the Fig. 5 walkthrough and asserts the forest
+// evolution after each checked event.
+func TestDTRFigure5(t *testing.T) {
+	sc := workload.Figure5()
+	mon := policy.DTR{}.NewMonitor(sc.Sys)
+	r := model.NewReplay(sc.Sys)
+	type forester interface{ ForestString() string }
+	for i, ev := range sc.Events {
+		if err := r.Do(ev); err != nil {
+			t.Fatalf("event %d %s illegal/improper: %v", i, ev, err)
+		}
+		if err := mon.Step(ev); err != nil {
+			t.Fatalf("event %d %s rejected: %v", i, ev, err)
+		}
+		if want, ok := sc.ForestChecks[i]; ok {
+			got := policy.DTRForest(mon).String()
+			if got != want {
+				t.Errorf("after event %d (%s): forest = %q, want %q", i, ev, got, want)
+			}
+		}
+	}
+}
+
+func TestDTRRules(t *testing.T) {
+	init := model.NewState("a", "b", "c")
+	// A(T) in first-appearance order of data steps is [a, b], so DT2
+	// chains a(b). The lock order b-then-a makes the non-first lock land
+	// on the chain root a: not tree-locked, so the start is vetoed.
+	bad := model.NewTxn("T", model.LX("b"), model.LX("a"), model.W("a"), model.W("b"),
+		model.UX("a"), model.UX("b"))
+	sys := model.NewSystem(init.Clone(), bad)
+	err := runMonitor(t, sys, policy.DTR{}.NewMonitor(sys), model.SerialSystem(sys))
+	if v := asViolation(t, err); v.Rule != "DT2" {
+		t.Errorf("rule = %q, want DT2", v.Rule)
+	}
+
+	// The canonical chain walk passes.
+	good := model.NewTxn("T", workload.DTRChainSteps([]model.Entity{"a", "b", "c"})...)
+	sys2 := model.NewSystem(init.Clone(), good)
+	if err := runMonitor(t, sys2, policy.DTR{}.NewMonitor(sys2), model.SerialSystem(sys2)); err != nil {
+		t.Errorf("chain walk rejected: %v", err)
+	}
+
+	// Shared locks rejected.
+	shared := model.NewTxn("T", model.LS("a"), model.R("a"), model.US("a"))
+	sys3 := model.NewSystem(init.Clone(), shared)
+	err = runMonitor(t, sys3, policy.DTR{}.NewMonitor(sys3), model.SerialSystem(sys3))
+	if v := asViolation(t, err); v.Rule != "X-only" {
+		t.Errorf("rule = %q, want X-only", v.Rule)
+	}
+}
+
+func TestTreePolicy(t *testing.T) {
+	// Tree: r -> a -> b.
+	init := model.NewState("r", "a", "b", "r->a", "a->b")
+	good := model.NewTxn("T",
+		model.LX("r"), model.W("r"), model.LX("a"), model.UX("r"),
+		model.W("a"), model.LX("b"), model.UX("a"), model.W("b"), model.UX("b"))
+	sys := model.NewSystem(init.Clone(), good)
+	if err := runMonitor(t, sys, policy.Tree{}.NewMonitor(sys), model.SerialSystem(sys)); err != nil {
+		t.Errorf("tree walk rejected: %v", err)
+	}
+	// Locking b without holding a.
+	bad := model.NewTxn("T",
+		model.LX("r"), model.W("r"), model.UX("r"), model.LX("b"))
+	sys2 := model.NewSystem(init.Clone(), bad)
+	err := runMonitor(t, sys2, policy.Tree{}.NewMonitor(sys2), model.SerialSystem(sys2))
+	if v := asViolation(t, err); v.Rule != "parent-held" {
+		t.Errorf("rule = %q, want parent-held", v.Rule)
+	}
+	// Structural updates are rejected.
+	ins := model.NewTxn("T", model.LX("x"), model.I("x"), model.UX("x"))
+	sys3 := model.NewSystem(init.Clone(), ins)
+	err = runMonitor(t, sys3, policy.Tree{}.NewMonitor(sys3), model.SerialSystem(sys3))
+	if v := asViolation(t, err); v.Rule != "static" {
+		t.Errorf("rule = %q, want static", v.Rule)
+	}
+}
+
+func TestUnrestricted(t *testing.T) {
+	sys := workload.StaticUnsafeSystem()
+	mon := policy.Unrestricted{}.NewMonitor(sys)
+	if err := runMonitor(t, sys, mon, model.SerialSystem(sys)); err != nil {
+		t.Errorf("unrestricted must accept everything: %v", err)
+	}
+	if (policy.Unrestricted{}).Name() != "unrestricted" {
+		t.Error("name")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	names := map[string]policy.Policy{
+		"2PL":        policy.TwoPhase{},
+		"tree":       policy.Tree{},
+		"DDAG":       policy.DDAG{},
+		"altruistic": policy.Altruistic{},
+		"DTR":        policy.DTR{},
+	}
+	for want, p := range names {
+		if p.Name() != want {
+			t.Errorf("Name() = %q, want %q", p.Name(), want)
+		}
+	}
+}
+
+// TestMonitorForkIsolation ensures forked monitors do not share mutable
+// state.
+func TestMonitorForkIsolation(t *testing.T) {
+	sc := workload.Figure4()
+	mon := policy.Altruistic{}.NewMonitor(sc.Sys)
+	f1 := mon.Fork()
+	if err := f1.Step(sc.Events[0]); err != nil {
+		t.Fatal(err)
+	}
+	// The original must still accept the same first event.
+	if err := mon.Step(sc.Events[0]); err != nil {
+		t.Fatalf("fork leaked state: %v", err)
+	}
+	if mon.Key() == "" || f1.Key() == "" {
+		t.Error("keys must be non-empty for memoization")
+	}
+}

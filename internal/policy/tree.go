@@ -1,0 +1,78 @@
+package policy
+
+import (
+	"locksafe/internal/graph"
+	"locksafe/internal/model"
+)
+
+// Tree is the static tree policy of Silberschatz & Kedem [SK80], the
+// ancestor of the DDAG policy: the database is a fixed tree (given by the
+// edge entities of the initial state), locks are exclusive, and apart from
+// its first lock a transaction may lock a node only while holding a lock
+// on the node's parent. A node may be locked at most once; the database
+// never changes (no INSERT or DELETE).
+type Tree struct{}
+
+// Name returns "tree".
+func (Tree) Name() string { return "tree" }
+
+// NewMonitor derives the tree from edge entities ("A->B") in the initial
+// state.
+func (Tree) NewMonitor(sys *model.System) model.Monitor {
+	parent := make(map[graph.Node]graph.Node)
+	for e := range sys.Init {
+		if a, b, ok := graph.ParseEdgeName(string(e)); ok {
+			parent[b] = a
+		}
+	}
+	return &treeMonitor{t: newTracker(sys), parent: parent}
+}
+
+type treeMonitor struct {
+	t      *tracker
+	parent map[graph.Node]graph.Node // static, shared across forks
+}
+
+func (m *treeMonitor) Fork() model.Monitor {
+	return &treeMonitor{t: m.t.clone(), parent: m.parent}
+}
+
+func (m *treeMonitor) Step(ev model.Ev) error {
+	i := int(ev.T)
+	st := ev.S
+	viol := func(rule, why string) error {
+		return &Violation{"tree", rule, ev, why}
+	}
+	switch st.Op {
+	case model.LockShared, model.UnlockShared:
+		return viol("X-only", "the tree policy uses exclusive locks only")
+	case model.Insert, model.Delete:
+		return viol("static", "the tree policy admits no structural updates")
+	case model.LockExclusive:
+		if _, _, isEdge := isEdgeEntity(st.Ent); isEdge {
+			return viol("nodes-only", "only tree nodes are lockable")
+		}
+		if m.t.lockedEver[i][st.Ent] {
+			return viol("lock-once", "node locked twice")
+		}
+		if len(m.t.lockedEver[i]) == 0 {
+			break // first lock: any node
+		}
+		p, ok := m.parent[graph.Node(st.Ent)]
+		if !ok {
+			return viol("parent-held", "non-first lock of a root (or unknown node)")
+		}
+		if _, held := m.t.held[i][model.Entity(p)]; !held {
+			return viol("parent-held", "parent "+string(p)+" is not currently locked")
+		}
+	case model.Read, model.Write:
+		if _, ok := m.t.held[i][st.Ent]; !ok {
+			return viol("lock-first", "operation without a lock")
+		}
+	}
+	m.t.advance(ev)
+	return nil
+}
+
+// Key: all monitor state is a function of positions.
+func (m *treeMonitor) Key() string { return m.t.posKey() }

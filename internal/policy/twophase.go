@@ -1,0 +1,50 @@
+package policy
+
+import "locksafe/internal/model"
+
+// TwoPhase is classic two-phase locking: a transaction must acquire all its
+// locks before releasing any. It is the baseline safe policy — by
+// Theorem 1, a system in which every transaction is two-phase admits no
+// canonical witness (condition 1 cannot hold).
+type TwoPhase struct{}
+
+// Name returns "2PL".
+func (TwoPhase) Name() string { return "2PL" }
+
+// NewMonitor returns a monitor enforcing the two-phase rule per
+// transaction.
+func (TwoPhase) NewMonitor(sys *model.System) model.Monitor {
+	return &twoPhaseMonitor{
+		t:        newTracker(sys),
+		unlocked: make([]bool, len(sys.Txns)),
+	}
+}
+
+type twoPhaseMonitor struct {
+	t        *tracker
+	unlocked []bool // has the transaction released any lock yet?
+}
+
+func (m *twoPhaseMonitor) Fork() model.Monitor {
+	c := &twoPhaseMonitor{t: m.t.clone(), unlocked: make([]bool, len(m.unlocked))}
+	copy(c.unlocked, m.unlocked)
+	return c
+}
+
+func (m *twoPhaseMonitor) Step(ev model.Ev) error {
+	i := int(ev.T)
+	switch {
+	case ev.S.Op.IsLock():
+		if m.unlocked[i] {
+			return &Violation{"2PL", "two-phase", ev, "lock acquired after an unlock"}
+		}
+	case ev.S.Op.IsUnlock():
+		m.unlocked[i] = true
+	}
+	m.t.advance(ev)
+	return nil
+}
+
+// Key is the position vector: the unlocked flags are a function of each
+// transaction's executed prefix.
+func (m *twoPhaseMonitor) Key() string { return m.t.posKey() }

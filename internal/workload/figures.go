@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"locksafe/internal/graph"
+	"locksafe/internal/model"
+)
+
+// This file encodes the walkthrough scenarios of Figures 3, 4 and 5 as
+// concrete systems and event sequences, following the prose of Sections
+// 4–6 step by step.
+
+// Figure3Scenario is the DDAG walkthrough of Fig. 3, in two variants over
+// the chain DAG 1 -> 2 -> 3 -> 4.
+type Figure3Scenario struct {
+	// SysGranted/Granted: the prose's permitted run — T1 locks 2, 3, 4,
+	// unlocks 3; T2 starts at 3; T1 unlocks 4; T2 locks 4. Every event
+	// must be granted.
+	SysGranted *model.System
+	Granted    model.Schedule
+	// SysEdge/WithEdgeInsert: the variant in which T1 inserts the edge
+	// (2, 4) while holding locks on 2 and 4. The final event — T2's
+	// (LX 4) — must now be DENIED by rule L5, because node 2 became a
+	// predecessor of 4 in the present graph and T2 never locked 2 ("T2
+	// must abort and start from node 2").
+	SysEdge        *model.System
+	WithEdgeInsert model.Schedule
+	// DeniedIndex is the index of the event in WithEdgeInsert that the
+	// policy must reject (all earlier events must be granted).
+	DeniedIndex int
+}
+
+// Figure3 builds the Fig. 3 scenario.
+func Figure3() Figure3Scenario {
+	g := graph.New()
+	g.AddEdge("1", "2")
+	g.AddEdge("2", "3")
+	g.AddEdge("3", "4")
+	init := DAGInitState(g)
+
+	// Variant 1 (granted): T1 traverses 2, 3, 4 with early release; T2
+	// follows behind through 3 and 4.
+	t1a := model.NewTxn("T1",
+		model.LX("2"), model.W("2"),
+		model.LX("3"), model.W("3"),
+		model.LX("4"), model.W("4"),
+		model.UX("3"), model.UX("4"), model.UX("2"),
+	)
+	t2 := model.NewTxn("T2",
+		model.LX("3"), model.W("3"),
+		model.LX("4"), model.W("4"),
+		model.UX("3"), model.UX("4"),
+	)
+	sysGranted := model.NewSystem(init.Clone(), t1a, t2)
+	granted := model.Schedule{
+		{T: 0, S: model.LX("2")}, {T: 0, S: model.W("2")},
+		{T: 0, S: model.LX("3")}, {T: 0, S: model.W("3")},
+		{T: 0, S: model.LX("4")}, {T: 0, S: model.W("4")},
+		{T: 0, S: model.UX("3")},
+		{T: 1, S: model.LX("3")}, {T: 1, S: model.W("3")},
+		{T: 0, S: model.UX("4")},
+		{T: 1, S: model.LX("4")}, {T: 1, S: model.W("4")},
+		{T: 0, S: model.UX("2")},
+		{T: 1, S: model.UX("3")}, {T: 1, S: model.UX("4")},
+	}
+
+	// Variant 2 (denied): T1 additionally inserts the edge (2, 4) while
+	// holding locks on 2 and 4; T2's (LX 4) must then be rejected.
+	t1b := model.NewTxn("T1",
+		model.LX("2"), model.W("2"),
+		model.LX("3"), model.W("3"),
+		model.LX("4"), model.W("4"),
+		model.UX("3"),
+		model.LX("2->4"), model.I("2->4"), model.UX("2->4"),
+		model.UX("4"), model.UX("2"),
+	)
+	sysEdge := model.NewSystem(init.Clone(), t1b, t2)
+	withEdge := model.Schedule{
+		{T: 0, S: model.LX("2")}, {T: 0, S: model.W("2")},
+		{T: 0, S: model.LX("3")}, {T: 0, S: model.W("3")},
+		{T: 0, S: model.LX("4")}, {T: 0, S: model.W("4")},
+		{T: 0, S: model.UX("3")},
+		{T: 1, S: model.LX("3")}, {T: 1, S: model.W("3")},
+		{T: 0, S: model.LX("2->4")}, {T: 0, S: model.I("2->4")}, {T: 0, S: model.UX("2->4")},
+		{T: 0, S: model.UX("4")}, {T: 0, S: model.UX("2")},
+		{T: 1, S: model.LX("4")}, // must be denied: predecessor 2 never locked by T2
+	}
+	return Figure3Scenario{
+		SysGranted:     sysGranted,
+		Granted:        granted,
+		SysEdge:        sysEdge,
+		WithEdgeInsert: withEdge,
+		DeniedIndex:    len(withEdge) - 1,
+	}
+}
+
+// Figure4Scenario is the altruistic-locking walkthrough of Fig. 4.
+type Figure4Scenario struct {
+	Sys *model.System
+	// Events is the narrated sequence; WakeAfter[i] gives, after event i,
+	// whether T2 is in the wake of T1.
+	Events model.Schedule
+	// DeniedEvent is an event that must be rejected while T2 is in T1's
+	// wake (locking a non-donated entity), to be probed — not executed —
+	// at position DenyProbeAt of Events.
+	DeniedEvent model.Ev
+	DenyProbeAt int
+}
+
+// Figure4 builds the Fig. 4 scenario: T1 visits entities 1, 2, 3 with
+// early release; its locked point is at (LX 3). T2 locks entity 1 after T1
+// donates it (entering T1's wake), may then lock only donated entities,
+// and is freed when T1 reaches its locked point, after which it locks
+// entity 4.
+func Figure4() Figure4Scenario {
+	t1 := model.NewTxn("T1",
+		model.LX("1"), model.W("1"), model.UX("1"),
+		model.LX("2"), model.W("2"), model.UX("2"),
+		model.LX("3"), model.W("3"), model.UX("3"),
+	)
+	t2 := model.NewTxn("T2",
+		model.LX("1"), model.W("1"),
+		model.LX("2"), model.W("2"), // lockable only once T1 has donated 2
+		model.LX("4"), model.W("4"),
+		model.UX("1"), model.UX("2"), model.UX("4"),
+	)
+	sys := model.NewSystem(model.NewState("1", "2", "3", "4"), t1, t2)
+	events := model.Schedule{
+		{T: 0, S: model.LX("1")}, {T: 0, S: model.W("1")}, {T: 0, S: model.UX("1")},
+		{T: 1, S: model.LX("1")}, // T2 enters the wake of T1
+		{T: 1, S: model.W("1")},
+		{T: 0, S: model.LX("2")}, {T: 0, S: model.W("2")}, {T: 0, S: model.UX("2")},
+		{T: 1, S: model.LX("2")}, // donated: allowed
+		{T: 1, S: model.W("2")},
+		{T: 0, S: model.LX("3")}, // T1's locked point: the wake dissolves
+		{T: 1, S: model.LX("4")}, // no longer in the wake: any entity
+		{T: 1, S: model.W("4")},
+		{T: 0, S: model.W("3")}, {T: 0, S: model.UX("3")},
+		{T: 1, S: model.UX("1")}, {T: 1, S: model.UX("2")}, {T: 1, S: model.UX("4")},
+	}
+	return Figure4Scenario{
+		Sys:    sys,
+		Events: events,
+		// Just after entering the wake (event index 3), T2 must not be
+		// able to lock entity 4, which T1 never donated.
+		DeniedEvent: model.Ev{T: 1, S: model.LX("4")},
+		DenyProbeAt: 5,
+	}
+}
+
+// Figure5Scenario is the dynamic-tree walkthrough of Fig. 5.
+type Figure5Scenario struct {
+	Sys *model.System
+	// Events interleaves T1's chain walk over {1,2,3} with T2 accessing
+	// node 4 and T3 accessing node 5.
+	Events model.Schedule
+	// ForestChecks maps event indices to assertions on the forest
+	// rendered right after that event.
+	ForestChecks map[int]string
+}
+
+// Figure5 builds the Fig. 5 scenario. T1 accesses entities 1, 2, 3, which
+// DT2 chains into the tree 1(2(3)); T2 accesses the new node 4 (added to
+// the forest, Fig. 5b, and deletable under DT3 once T2 completes); T3
+// accesses the new node 5 likewise.
+func Figure5() Figure5Scenario {
+	t1 := model.NewTxn("T1", DTRChainSteps([]model.Entity{"1", "2", "3"})...)
+	t2 := model.NewTxn("T2", DTRChainSteps([]model.Entity{"4"})...)
+	t3 := model.NewTxn("T3", DTRChainSteps([]model.Entity{"5"})...)
+	sys := model.NewSystem(model.NewState("1", "2", "3", "4", "5"), t1, t2, t3)
+
+	// T1's chain walk: LX1 W1 | LX2 W2 UX1 | LX3 W3 UX2 | UX3 (9 events);
+	// T2: LX4 W4 UX4; T3: LX5 W5 UX5.
+	events := model.Schedule{
+		{T: 0, S: model.LX("1")}, {T: 0, S: model.W("1")}, // T1 starts: forest 1(2(3))
+		{T: 1, S: model.LX("4")}, {T: 1, S: model.W("4")}, // T2 starts: 4 added
+		{T: 0, S: model.LX("2")}, {T: 0, S: model.W("2")},
+		{T: 1, S: model.UX("4")}, // T2 finishes: 4 deleted (DT3)
+		{T: 0, S: model.UX("1")},
+		{T: 2, S: model.LX("5")}, {T: 2, S: model.W("5")}, // T3 starts: 5 added
+		{T: 0, S: model.LX("3")}, {T: 0, S: model.W("3")},
+		{T: 2, S: model.UX("5")},                           // T3 finishes: 5 deleted
+		{T: 0, S: model.UX("2")}, {T: 0, S: model.UX("3")}, // T1 finishes: forest empties
+	}
+	return Figure5Scenario{
+		Sys:    sys,
+		Events: events,
+		ForestChecks: map[int]string{
+			1:  "1(2(3))",        // after T1 starts (DT0 + DT2)
+			3:  "1(2(3)); 4",     // 4 added for T2 (DT1, DT2)
+			6:  "1(2(3))",        // 4 deleted once T2 is done (DT3)
+			9:  "1(2(3)); 5",     // 5 added for T3
+			12: "1(2(3))",        // 5 deleted once T3 is done
+			14: "(empty forest)", // T1 done: everything deletable
+		},
+	}
+}

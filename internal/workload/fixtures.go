@@ -1,0 +1,212 @@
+package workload
+
+import "locksafe/internal/model"
+
+// This file contains the hand-built transaction systems used by the
+// experiments and tests: the paper's worked examples, reconstructed where
+// the original figure bodies are not recoverable from the text (see
+// DESIGN.md, "Substitutions").
+
+// Figure2System reconstructs the role of Fig. 2: three transactions over an
+// initially empty database such that
+//
+//   - the full system admits a legal, proper, nonserializable schedule
+//     (each Ti inserts an entity and later writes the entity inserted by
+//     the next transaction around a 3-cycle), yet
+//   - no proper complete schedule exists over any strict subset of the
+//     transactions (every transaction writes an entity only another
+//     transaction inserts), so
+//   - any analysis restricted to fewer than all three transactions
+//     (e.g. the static-case chordless-cycle argument) misses the
+//     nonserializable schedule.
+//
+// T1 inserts a, then writes c; T2 inserts b, then writes a; T3 inserts c,
+// then writes b.
+func Figure2System() *model.System {
+	t1 := model.NewTxn("T1",
+		model.LX("a"), model.I("a"), model.UX("a"),
+		model.LX("c"), model.W("c"), model.UX("c"))
+	t2 := model.NewTxn("T2",
+		model.LX("b"), model.I("b"), model.UX("b"),
+		model.LX("a"), model.W("a"), model.UX("a"))
+	t3 := model.NewTxn("T3",
+		model.LX("c"), model.I("c"), model.UX("c"),
+		model.LX("b"), model.W("b"), model.UX("b"))
+	return model.NewSystem(nil, t1, t2, t3)
+}
+
+// Figure2Schedule is the legal, proper, nonserializable schedule of
+// Figure2System: first all three inserts, then the three writes. Its
+// serializability graph is the 3-cycle T1 -> T2 -> T3 -> T1.
+func Figure2Schedule() model.Schedule {
+	return model.Schedule{
+		{T: 0, S: model.LX("a")}, {T: 0, S: model.I("a")}, {T: 0, S: model.UX("a")},
+		{T: 1, S: model.LX("b")}, {T: 1, S: model.I("b")}, {T: 1, S: model.UX("b")},
+		{T: 2, S: model.LX("c")}, {T: 2, S: model.I("c")}, {T: 2, S: model.UX("c")},
+		{T: 0, S: model.LX("c")}, {T: 0, S: model.W("c")}, {T: 0, S: model.UX("c")},
+		{T: 1, S: model.LX("a")}, {T: 1, S: model.W("a")}, {T: 1, S: model.UX("a")},
+		{T: 2, S: model.LX("b")}, {T: 2, S: model.W("b")}, {T: 2, S: model.UX("b")},
+	}
+}
+
+// StaticUnsafeSystem is a classic static-database unsafe pair: both
+// transactions access a then b, but T1 unlocks a before locking b
+// (violating two-phase locking), so T2 can slip in between. Its canonical
+// witness has the Fig. 1a shape: D(S') is the simple path T1 -> T2, T2 is
+// the unique sink, and T1's pending (LX b) adds the back edge T2 -> T1.
+func StaticUnsafeSystem() *model.System {
+	t1 := model.NewTxn("T1",
+		model.LX("a"), model.W("a"), model.UX("a"),
+		model.LX("b"), model.W("b"), model.UX("b"))
+	t2 := model.NewTxn("T2",
+		model.LX("a"), model.W("a"), model.UX("a"),
+		model.LX("b"), model.W("b"), model.UX("b"))
+	return model.NewSystem(model.NewState("a", "b"), t1, t2)
+}
+
+// TwoPhaseSystem is a safe system: both transactions are two-phase.
+func TwoPhaseSystem() *model.System {
+	t1 := model.NewTxn("T1",
+		model.LX("a"), model.LX("b"), model.W("a"), model.W("b"),
+		model.UX("a"), model.UX("b"))
+	t2 := model.NewTxn("T2",
+		model.LX("a"), model.LX("b"), model.R("a"), model.W("b"),
+		model.UX("a"), model.UX("b"))
+	return model.NewSystem(model.NewState("a", "b"), t1, t2)
+}
+
+// SharedMultiSinkSystem is an unsafe system admitting a canonical witness
+// of the Fig. 1b shape possible only in the generalized theorem: D(S') has
+// multiple sinks, which arise because two transactions lock A* in shared
+// mode before Tc relocks it exclusively.
+//
+//	T1: (LX a1) (W a1) (LX a2) (W a2) (UX a1) (UX a2) (LX b) (W b) (UX b)
+//	T2: (LX a1) (W a1) (UX a1) (LS b) (R b) (US b)
+//	T3: (LX a2) (W a2) (UX a2) (LS b) (R b) (US b)
+//
+// T1 is non-two-phase (it locks b after unlocking a1, a2). In the serial
+// partial schedule S' = T1' T2 T3 (T1' being T1's first six steps), the
+// edges are T1->T2 (via a1) and T1->T3 (via a2); T2 and T3 do not conflict
+// with each other because their common steps on b are all in {R, LS, US}.
+// Both are sinks, both unlocked b in shared mode — conflicting with T1's
+// pending exclusive lock of b, which closes two cycles at once.
+func SharedMultiSinkSystem() *model.System {
+	t1 := model.NewTxn("T1",
+		model.LX("a1"), model.W("a1"), model.LX("a2"), model.W("a2"),
+		model.UX("a1"), model.UX("a2"),
+		model.LX("b"), model.W("b"), model.UX("b"))
+	t2 := model.NewTxn("T2",
+		model.LX("a1"), model.W("a1"), model.UX("a1"),
+		model.LS("b"), model.R("b"), model.US("b"))
+	t3 := model.NewTxn("T3",
+		model.LX("a2"), model.W("a2"), model.UX("a2"),
+		model.LS("b"), model.R("b"), model.US("b"))
+	return model.NewSystem(model.NewState("a1", "a2", "b"), t1, t2, t3)
+}
+
+// SharedMultiSinkPrefix returns the serial partial schedule S' = T1' T2 T3
+// of SharedMultiSinkSystem exhibiting the two-sink Fig. 1b shape, together
+// with the distinguished transaction (T1) and entity A* ("b").
+func SharedMultiSinkPrefix() (sprime model.Schedule, c model.TID, astar model.Entity) {
+	sys := SharedMultiSinkSystem()
+	ids := []model.TID{0, 1, 2}
+	prefixes := []model.Txn{sys.Txns[0].Prefix(6), sys.Txns[1], sys.Txns[2]}
+	return model.Serial(ids, prefixes), 0, "b"
+}
+
+// DynamicLateCSystem is an unsafe dynamic-database system in which the
+// distinguished transaction Tc cannot be first in the canonical serial
+// order: the properness of Tc's prefix depends on an entity inserted by an
+// earlier transaction. This exhibits the paper's first structural
+// difference from the static theorem (Section 3.1): "the transaction Tc
+// ... is not necessarily the first transaction in the sequence".
+//
+//	T0: (LX n) (I n) (UX n)                          — creates entity n
+//	T1: (LX n) (W n) (UX n) (LX m) (W m) (UX m)      — non-two-phase
+//	T2: (LX n) (W n) (UX n) (LX m) (W m) (UX m)      — non-two-phase
+//
+// The initial state contains m but not n, so any transaction writing n can
+// run only after T0's insert. In the canonical witness with Tc = T1, the
+// serial prefix is S' = T0 T1' T2 (T1' = T1's first three steps); its
+// edges are T0->T1, T0->T2 and T1->T2 (all via n), T2 is the unique sink
+// and has unlocked m, and T1's pending (LX m) closes the cycle T1->T2->T1.
+// Every canonical witness of this system places Tc strictly after T0.
+func DynamicLateCSystem() *model.System {
+	t0 := model.NewTxn("T0",
+		model.LX("n"), model.I("n"), model.UX("n"))
+	t1 := model.NewTxn("T1",
+		model.LX("n"), model.W("n"), model.UX("n"),
+		model.LX("m"), model.W("m"), model.UX("m"))
+	t2 := model.NewTxn("T2",
+		model.LX("n"), model.W("n"), model.UX("n"),
+		model.LX("m"), model.W("m"), model.UX("m"))
+	return model.NewSystem(model.NewState("m"), t0, t1, t2)
+}
+
+// DDAGSXCounterexample is a two-transaction system over the chain DAG
+// n0 -> n1 -> n2 -> n3 that conforms to the *naive* shared/exclusive
+// extension of the DDAG policy (policy.DDAGSX) yet admits a
+// nonserializable admissible schedule. It was minimized from a
+// counterexample found automatically by the brute-force checker over
+// random DDAG-SX workloads (experiment E10).
+//
+//	TA: (LX n1) (W n1) (LS n2) (R n2) (LS n3) (R n3) (UX n1) (US n2) (US n3)
+//	TB: (LX n1) (W n1) (LS n2) (R n2) (UX n1) (LX n3) (W n3) (US n2) (UX n3)
+//
+// TB is non-two-phase (it releases n1 before exclusively locking n3), and
+// the shared lock it retains on n2 satisfies rule L5 for that lock; but a
+// shared lock does not exclude the reader TA, which can slip through n2
+// and n3 between TB's write of n1 and TB's write of n3, closing the cycle
+// TA -> TB -> TA. With exclusive locks only (the paper's Theorem 2
+// setting) the same traversal shapes are safe: the n2 lock would block TA.
+func DDAGSXCounterexample() *model.System {
+	init := model.NewState(
+		"n0", "n1", "n2", "n3",
+		model.Entity("n0->n1"), model.Entity("n1->n2"), model.Entity("n2->n3"))
+	ta := model.NewTxn("TA",
+		model.LX("n1"), model.W("n1"),
+		model.LS("n2"), model.R("n2"),
+		model.LS("n3"), model.R("n3"),
+		model.UX("n1"), model.US("n2"), model.US("n3"))
+	tb := model.NewTxn("TB",
+		model.LX("n1"), model.W("n1"),
+		model.LS("n2"), model.R("n2"),
+		model.UX("n1"),
+		model.LX("n3"), model.W("n3"),
+		model.US("n2"), model.UX("n3"))
+	return model.NewSystem(init, ta, tb)
+}
+
+// DDAGSXCounterexampleAllX is the same pair of traversals with every lock
+// exclusive (reads become ACCESSes). It conforms to the paper's
+// exclusive-only DDAG policy and is safe (Theorem 2) — the contrast that
+// isolates shared locks as the culprit.
+func DDAGSXCounterexampleAllX() *model.System {
+	init := model.NewState(
+		"n0", "n1", "n2", "n3",
+		model.Entity("n0->n1"), model.Entity("n1->n2"), model.Entity("n2->n3"))
+	ta := model.NewTxn("TA",
+		model.LX("n1"), model.W("n1"),
+		model.LX("n2"), model.W("n2"),
+		model.LX("n3"), model.W("n3"),
+		model.UX("n1"), model.UX("n2"), model.UX("n3"))
+	tb := model.NewTxn("TB",
+		model.LX("n1"), model.W("n1"),
+		model.LX("n2"), model.W("n2"),
+		model.UX("n1"),
+		model.LX("n3"), model.W("n3"),
+		model.UX("n2"), model.UX("n3"))
+	return model.NewSystem(init, ta, tb)
+}
+
+// SafeDynamicSystem is a safe dynamic system: one transaction creates an
+// entity, another consumes it, both two-phase.
+func SafeDynamicSystem() *model.System {
+	t1 := model.NewTxn("T1",
+		model.LX("a"), model.LX("b"), model.I("a"), model.W("b"),
+		model.UX("a"), model.UX("b"))
+	t2 := model.NewTxn("T2",
+		model.LX("a"), model.LX("b"), model.R("a"), model.D("a"), model.W("b"),
+		model.UX("a"), model.UX("b"))
+	return model.NewSystem(model.NewState("b"), t1, t2)
+}

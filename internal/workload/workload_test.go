@@ -1,0 +1,222 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"locksafe/internal/model"
+)
+
+func TestRandomDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	s1, sch1 := Random(rand.New(rand.NewSource(42)), cfg)
+	s2, sch2 := Random(rand.New(rand.NewSource(42)), cfg)
+	if s1.Format() != s2.Format() {
+		t.Error("same seed must produce the same system")
+	}
+	if sch1.String() != sch2.String() {
+		t.Error("same seed must produce the same schedule")
+	}
+	s3, _ := Random(rand.New(rand.NewSource(43)), cfg)
+	if s1.Format() == s3.Format() {
+		t.Error("different seeds should produce different systems")
+	}
+}
+
+// TestRandomInvariants is a testing/quick property: for arbitrary seeds the
+// generator emits well-formed systems whose witness schedule is a complete
+// legal proper schedule.
+func TestRandomInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys, sched := Random(rng, DefaultConfig())
+		if err := sys.WellFormed(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := sched.PreservesOrder(sys); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if !sched.LegalAndProper(sys) {
+			t.Logf("seed %d: schedule not legal+proper", seed)
+			return false
+		}
+		all := make([]model.TID, len(sys.Txns))
+		for i := range all {
+			all[i] = model.TID(i)
+		}
+		return sched.CompleteOver(sys, all)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomScheduleWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sys, _ := Random(rng, DefaultConfig())
+	sched, ok := RandomSchedule(rand.New(rand.NewSource(9)), sys)
+	if !ok {
+		t.Skip("walk got stuck (acceptable; depends on seed)")
+	}
+	if !sched.LegalAndProper(sys) {
+		t.Error("RandomSchedule must produce legal proper schedules")
+	}
+}
+
+func TestFixturesAreWellFormed(t *testing.T) {
+	for name, sys := range map[string]*model.System{
+		"Figure2":         Figure2System(),
+		"StaticUnsafe":    StaticUnsafeSystem(),
+		"TwoPhase":        TwoPhaseSystem(),
+		"SharedMultiSink": SharedMultiSinkSystem(),
+		"DynamicLateC":    DynamicLateCSystem(),
+		"SafeDynamic":     SafeDynamicSystem(),
+	} {
+		if err := sys.WellFormed(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestSharedMultiSinkPrefixShape(t *testing.T) {
+	sys := SharedMultiSinkSystem()
+	sprime, c, astar := SharedMultiSinkPrefix()
+	if !sprime.LegalAndProper(sys) {
+		t.Fatal("S' must be legal and proper")
+	}
+	if c != 0 || astar != "b" {
+		t.Errorf("c=%v astar=%v", c, astar)
+	}
+}
+
+func TestDTRChainSteps(t *testing.T) {
+	steps := DTRChainSteps([]model.Entity{"a", "b"})
+	want := []model.Step{
+		model.LX("a"), model.W("a"),
+		model.LX("b"), model.W("b"), model.UX("a"),
+		model.UX("b"),
+	}
+	if len(steps) != len(want) {
+		t.Fatalf("steps = %v", steps)
+	}
+	for i := range want {
+		if steps[i] != want[i] {
+			t.Fatalf("steps = %v, want %v", steps, want)
+		}
+	}
+	if DTRChainSteps(nil) != nil {
+		t.Error("empty chain must be empty")
+	}
+}
+
+func TestRandomRootedDAG(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		g := RandomRootedDAG(rand.New(rand.NewSource(seed)), DefaultDDAGConfig())
+		if !g.Acyclic() {
+			t.Fatalf("seed %d: generated graph has a cycle", seed)
+		}
+		root, ok := g.Rooted()
+		if !ok || root != "n0" {
+			t.Fatalf("seed %d: graph not rooted at n0", seed)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDAGInitState(t *testing.T) {
+	g := RandomRootedDAG(rand.New(rand.NewSource(1)), DefaultDDAGConfig())
+	init := DAGInitState(g)
+	for _, n := range g.Nodes() {
+		if !init.Has(model.Entity(n)) {
+			t.Errorf("node %s missing from init state", n)
+		}
+	}
+	if len(init) != g.NodeCount()+g.EdgeCount() {
+		t.Errorf("init size %d, want %d nodes + %d edges", len(init), g.NodeCount(), g.EdgeCount())
+	}
+}
+
+func TestDDAGSystemWellFormed(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		sys, g := DDAGSystem(rand.New(rand.NewSource(seed)), DefaultDDAGConfig())
+		if err := sys.WellFormed(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if g.NodeCount() == 0 {
+			t.Fatal("empty DAG")
+		}
+		// Serial execution must be legal and proper.
+		if !model.SerialSystem(sys).LegalAndProper(sys) {
+			t.Fatalf("seed %d: serial schedule not legal+proper:\n%s", seed, sys.Format())
+		}
+	}
+}
+
+func TestFigureScenariosConsistent(t *testing.T) {
+	f3 := Figure3()
+	if err := f3.SysGranted.WellFormed(); err != nil {
+		t.Error(err)
+	}
+	if err := f3.SysEdge.WellFormed(); err != nil {
+		t.Error(err)
+	}
+	if err := f3.Granted.PreservesOrder(f3.SysGranted); err != nil {
+		t.Error(err)
+	}
+	if err := f3.WithEdgeInsert.PreservesOrder(f3.SysEdge); err != nil {
+		t.Error(err)
+	}
+
+	f4 := Figure4()
+	if err := f4.Sys.WellFormed(); err != nil {
+		t.Error(err)
+	}
+	if err := f4.Events.PreservesOrder(f4.Sys); err != nil {
+		t.Error(err)
+	}
+	if !f4.Events.LegalAndProper(f4.Sys) {
+		t.Error("Figure 4 events must be legal and proper")
+	}
+
+	f5 := Figure5()
+	if err := f5.Sys.WellFormed(); err != nil {
+		t.Error(err)
+	}
+	if !f5.Events.LegalAndProper(f5.Sys) {
+		t.Error("Figure 5 events must be legal and proper")
+	}
+}
+
+func TestAltruisticSystemShape(t *testing.T) {
+	nonTwoPhase := 0
+	for seed := int64(0); seed < 50; seed++ {
+		sys := AltruisticSystem(rand.New(rand.NewSource(seed)), DefaultPolicyConfig())
+		if err := sys.WellFormed(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, tx := range sys.Txns {
+			if !tx.TwoPhase() {
+				nonTwoPhase++
+			}
+		}
+	}
+	if nonTwoPhase == 0 {
+		t.Error("altruistic generator never prereleases; workload too weak")
+	}
+}
+
+func TestTwoPhaseSystemRandomIsTwoPhase(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		sys := TwoPhaseSystemRandom(rand.New(rand.NewSource(seed)), DefaultPolicyConfig())
+		for _, tx := range sys.Txns {
+			if !tx.TwoPhase() {
+				t.Fatalf("seed %d: generator emitted non-two-phase txn %v", seed, tx)
+			}
+		}
+	}
+}
