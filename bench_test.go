@@ -1,6 +1,6 @@
 package locksafe_test
 
-// One benchmark per experiment (E1–E9; see DESIGN.md's experiment index
+// One benchmark per experiment (E1–E12; see DESIGN.md's experiment index
 // and EXPERIMENTS.md for recorded results), plus micro-benchmarks of the
 // core machinery: replay, serializability-graph construction, the two
 // safety deciders, policy monitors and the execution engine.

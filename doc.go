@@ -13,10 +13,12 @@
 //	internal/checker     — Brute and Canonical safety deciders (§3)
 //	internal/policy      — 2PL, tree, DDAG (§4), altruistic (§5), DTR (§6)
 //	internal/graph       — rooted DAGs, dominators, forests
-//	internal/lockmgr     — concurrent S/X lock manager with deadlock detection
+//	internal/locktable   — single-owner lock-table core (FIFO, upgrades,
+//	                       waits-for deadlock detection)
+//	internal/lockmgr     — concurrent S/X lock manager over the core
 //	internal/engine      — deterministic virtual-time execution engine
 //	internal/workload    — generators and the paper's worked examples
-//	internal/experiments — the E1–E9 evaluation suite
+//	internal/experiments — the E1–E12 evaluation suite
 //
 // Executables: cmd/locksafe (safety decider), cmd/figures (figure
 // walkthroughs), cmd/lockbench (quantitative tables). Runnable examples

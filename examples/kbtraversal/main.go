@@ -50,17 +50,19 @@ func main() {
 	for _, tx := range sys.Txns {
 		var steps []model.Step
 		locked := map[model.Entity]bool{}
+		var order []model.Entity
 		for _, st := range tx.Steps {
 			if !st.Op.IsData() {
 				continue
 			}
 			if !locked[st.Ent] {
 				locked[st.Ent] = true
+				order = append(order, st.Ent)
 				steps = append(steps, model.LX(st.Ent))
 			}
 			steps = append(steps, st)
 		}
-		for e := range locked {
+		for _, e := range order {
 			steps = append(steps, model.UX(e))
 		}
 		twopl = append(twopl, model.Txn{Name: tx.Name, Steps: steps})

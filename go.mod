@@ -1,0 +1,3 @@
+module locksafe
+
+go 1.24

@@ -185,11 +185,8 @@ func (s *search) enabled(r *model.Replay, mon model.Monitor) []model.Ev {
 		if r.Check(ev) != nil {
 			continue
 		}
-		if mon != nil {
-			probe := mon.Fork()
-			if probe.Step(ev) != nil {
-				continue
-			}
+		if mon != nil && mon.Check(ev) != nil {
+			continue
 		}
 		out = append(out, ev)
 	}

@@ -10,13 +10,23 @@
 // [CHMS94] (see DESIGN.md): it reproduces the *shape* of that study —
 // early-release policies admit more concurrency than two-phase locking on
 // their target workloads — on synthetic workloads, deterministically.
+//
+// Locks are managed by the shared lock-table core
+// (locksafe/internal/locktable), the same grant, upgrade and deadlock
+// rules the concurrent lock manager wraps. Policy rules are consulted
+// through the Monitor's speculative Check — no monitor cloning on the
+// per-event path — and abort recovery is incremental: the simulator keeps
+// periodic monitor/state checkpoints and replays only the log suffix from
+// the victims' first event, not the whole history.
 package engine
 
 import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"sort"
 
+	"locksafe/internal/locktable"
 	"locksafe/internal/model"
 	"locksafe/internal/policy"
 )
@@ -39,6 +49,11 @@ type Config struct {
 	// MaxEvents bounds total executed events as a runaway guard
 	// (default 2,000,000).
 	MaxEvents int
+	// CheckpointEvery is the number of executed events between
+	// monitor/state snapshots used for incremental abort recovery
+	// (default 128). Smaller values make aborts cheaper and the hot path
+	// more expensive.
+	CheckpointEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -56,6 +71,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxEvents == 0 {
 		c.MaxEvents = 2_000_000
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 128
 	}
 	return c
 }
@@ -118,8 +136,8 @@ type txnState struct {
 	attempts int
 	// epoch invalidates stale heap events after aborts.
 	epoch int
-	// blockedOn/blockedAt describe the current lock wait.
-	blockedOn model.Entity
+	// blockedAt is when the current lock wait began (for WaitTicks); the
+	// awaited entity itself lives in the lock table's waiting map.
 	blockedAt int64
 }
 
@@ -149,6 +167,19 @@ func (h *eventHeap) Pop() any {
 	return x
 }
 
+// checkpoint is a snapshot of the world state after the first n log
+// events, used to bound replay work on abort.
+type checkpoint struct {
+	n       int
+	state   model.State
+	monitor model.Monitor
+}
+
+// maxCheckpoints bounds retained snapshots: when exceeded, density is
+// halved and the interval doubled, keeping memory O(maxCheckpoints)
+// regardless of run length.
+const maxCheckpoints = 64
+
 type sim struct {
 	sys  *model.System
 	cfg  Config
@@ -160,14 +191,23 @@ type sim struct {
 	admitQueue []int
 	active     int
 
-	// Virtual lock table: holders and FIFO waiter queues per entity.
-	holders map[model.Entity]map[int]model.Mode
-	queues  map[model.Entity][]int
+	// tab is the shared lock-table core: entries, FIFO queues, upgrades
+	// and waits-for deadlock detection.
+	tab *locktable.Table
 
-	// World state, rebuilt from the log on aborts.
-	log     model.Schedule
-	state   model.State
-	monitor model.Monitor
+	// World state. The log is the executed surviving events; evIdx maps
+	// each transaction to the indices of its events in the log; ckpts are
+	// periodic snapshots (ckpts[0] is the initial state) enabling
+	// incremental rollback.
+	log   model.Schedule
+	evIdx [][]int
+	ckpts []checkpoint
+	// ckptEvery is the current snapshot interval; it starts at
+	// cfg.CheckpointEvery and doubles whenever the checkpoint list is
+	// thinned.
+	ckptEvery int
+	state     model.State
+	monitor   model.Monitor
 
 	met Metrics
 }
@@ -177,14 +217,16 @@ type sim struct {
 func Run(sys *model.System, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	s := &sim{
-		sys:     sys,
-		cfg:     cfg,
-		txns:    make([]txnState, len(sys.Txns)),
-		holders: make(map[model.Entity]map[int]model.Mode),
-		queues:  make(map[model.Entity][]int),
-		state:   sys.Init.Clone(),
-		monitor: cfg.Policy.NewMonitor(sys),
+		sys:       sys,
+		cfg:       cfg,
+		txns:      make([]txnState, len(sys.Txns)),
+		tab:       locktable.New(),
+		evIdx:     make([][]int, len(sys.Txns)),
+		ckptEvery: cfg.CheckpointEvery,
+		state:     sys.Init.Clone(),
+		monitor:   cfg.Policy.NewMonitor(sys),
 	}
+	s.ckpts = []checkpoint{{n: 0, state: s.state.Clone(), monitor: s.monitor.Fork()}}
 	for i := range sys.Txns {
 		s.admitQueue = append(s.admitQueue, i)
 	}
@@ -263,31 +305,35 @@ func (s *sim) step(t int) error {
 
 	switch {
 	case step.Op.IsLock():
-		_, alreadyGranted := s.holders[step.Ent][t]
-		if !alreadyGranted {
-			if !s.lockAvailable(t, step.Ent, step.Op.LockMode()) {
-				if s.wouldDeadlock(t, step.Ent) {
-					s.met.DeadlockAborts++
-					return s.abort(t)
-				}
-				st.status = blocked
-				st.blockedOn = step.Ent
-				st.blockedAt = s.now
-				s.queues[step.Ent] = append(s.queues[step.Ent], t)
-				return nil
-			}
-			s.setHolder(t, step.Ent, step.Op.LockMode())
+		switch s.tab.Acquire(t, step.Ent, step.Op.LockMode()) {
+		case locktable.Blocked:
+			st.status = blocked
+			st.blockedAt = s.now
+			return nil
+		case locktable.Deadlock:
+			s.met.DeadlockAborts++
+			return s.abort(t)
 		}
-		// Consult the policy at grant time (the graph/forest/wake state
-		// is the one in force when the lock is actually acquired).
-		if err := s.monitor.Fork().Step(mev); err != nil {
+		// Granted (possibly by upgrade) or already held: consult the
+		// policy at grant time (the graph/forest/wake state is the one in
+		// force when the lock is actually acquired).
+		if err := s.monitor.Check(mev); err != nil {
 			s.met.PolicyAborts++
 			return s.abort(t)
 		}
 
 	case step.Op.IsUnlock():
-		delete(s.holders[step.Ent], t)
-		s.wakeWaiters(step.Ent)
+		// Consult the policy before mutating the table (e.g. X-only
+		// policies veto shared unlocks).
+		if err := s.monitor.Check(mev); err != nil {
+			s.met.PolicyAborts++
+			return s.abort(t)
+		}
+		granted, err := s.tab.Release(t, step.Ent)
+		if err != nil {
+			return fmt.Errorf("engine: %v", err)
+		}
+		s.wake(granted)
 
 	default: // data step
 		if !s.state.Defined(step) {
@@ -296,7 +342,7 @@ func (s *sim) step(t int) error {
 			s.met.ImproperAborts++
 			return s.abort(t)
 		}
-		if err := s.monitor.Fork().Step(mev); err != nil {
+		if err := s.monitor.Check(mev); err != nil {
 			s.met.PolicyAborts++
 			return s.abort(t)
 		}
@@ -304,129 +350,86 @@ func (s *sim) step(t int) error {
 	}
 
 	if err := s.monitor.Step(mev); err != nil {
-		return fmt.Errorf("engine: monitor accepted fork but rejected step: %v", err)
+		return fmt.Errorf("engine: monitor accepted Check but rejected Step: %v", err)
 	}
-	s.log = append(s.log, mev)
-	s.met.Events++
+	s.append(mev)
 	st.pos++
 	s.schedule(t, s.now+s.cfg.OpTicks)
 	return nil
 }
 
-func (s *sim) lockAvailable(t int, e model.Entity, mode model.Mode) bool {
-	if len(s.queues[e]) > 0 {
-		return false // FIFO: no overtaking
-	}
-	for h, hm := range s.holders[e] {
-		if h != t && hm.Conflicts(mode) {
-			return false
+// append records an executed event in the log and takes a periodic
+// checkpoint of the monitor and structural state.
+func (s *sim) append(ev model.Ev) {
+	idx := len(s.log)
+	s.log = append(s.log, ev)
+	s.evIdx[int(ev.T)] = append(s.evIdx[int(ev.T)], idx)
+	s.met.Events++
+	if idx+1-s.ckpts[len(s.ckpts)-1].n >= s.ckptEvery {
+		s.ckpts = append(s.ckpts, checkpoint{
+			n:       idx + 1,
+			state:   s.state.Clone(),
+			monitor: s.monitor.Fork(),
+		})
+		if len(s.ckpts) > maxCheckpoints {
+			s.thinCheckpoints()
 		}
 	}
-	return true
 }
 
-func (s *sim) setHolder(t int, e model.Entity, mode model.Mode) {
-	h := s.holders[e]
-	if h == nil {
-		h = make(map[int]model.Mode)
-		s.holders[e] = h
+// thinCheckpoints halves the snapshot density (keeping the initial state
+// and the most recent snapshot) and doubles the interval for future
+// snapshots, bounding retained memory over long runs.
+func (s *sim) thinCheckpoints() {
+	last := s.ckpts[len(s.ckpts)-1]
+	kept := s.ckpts[:1] // ckpts[0] is the initial state
+	for i := 2; i < len(s.ckpts)-1; i += 2 {
+		kept = append(kept, s.ckpts[i])
 	}
-	h[t] = mode
+	if kept[len(kept)-1].n != last.n {
+		kept = append(kept, last)
+	}
+	s.ckpts = kept
+	s.ckptEvery *= 2
 }
 
-// wouldDeadlock reports whether t waiting on e would close a waits-for
-// cycle.
-func (s *sim) wouldDeadlock(t int, e model.Entity) bool {
-	blockersOf := func(x int, ent model.Entity) []int {
-		var out []int
-		for h := range s.holders[ent] {
-			if h != x {
-				out = append(out, h)
-			}
-		}
-		for _, w := range s.queues[ent] {
-			if w != x {
-				out = append(out, w)
-			}
-		}
-		return out
-	}
-	seen := make(map[int]bool)
-	stack := blockersOf(t, e)
-	for len(stack) > 0 {
-		x := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if x == t {
-			return true
-		}
-		if seen[x] {
+// wake resumes transactions whose queued lock requests the table just
+// granted: each is already recorded as a holder and re-runs its lock step,
+// which observes the grant and performs the policy check.
+func (s *sim) wake(granted []locktable.Waiter) {
+	for _, w := range granted {
+		st := &s.txns[w.Owner]
+		if st.status != blocked {
 			continue
 		}
-		seen[x] = true
-		if s.txns[x].status == blocked {
-			stack = append(stack, blockersOf(x, s.txns[x].blockedOn)...)
-		}
-	}
-	return false
-}
-
-// wakeWaiters grants e's FIFO queue as far as compatibility allows. A
-// granted waiter becomes a holder immediately (so it cannot lose the lock
-// to a later wakeup) and is scheduled to re-run its lock step, which will
-// observe the grant and perform the policy check.
-func (s *sim) wakeWaiters(e model.Entity) {
-	q := s.queues[e]
-	for len(q) > 0 {
-		t := q[0]
-		st := &s.txns[t]
-		if st.status != blocked || st.blockedOn != e {
-			q = q[1:]
-			continue
-		}
-		step := s.sys.Txns[t].Steps[st.pos]
-		compatible := true
-		for h, hm := range s.holders[e] {
-			if h != t && hm.Conflicts(step.Op.LockMode()) {
-				compatible = false
-				break
-			}
-		}
-		if !compatible {
-			break
-		}
-		q = q[1:]
-		s.setHolder(t, e, step.Op.LockMode())
 		st.status = running
 		s.met.WaitTicks += s.now - st.blockedAt
-		st.blockedOn = ""
-		s.schedule(t, s.now)
+		s.schedule(w.Owner, s.now)
 	}
-	s.queues[e] = q
 }
 
 // abort rolls back transaction t, cascading to transactions whose history
 // becomes invalid (for example wake members of an aborted altruistic
 // donor), and schedules retries.
 func (s *sim) abort(t int) error {
-	aborted := map[int]bool{t: true}
+	victims := map[int]bool{t: true}
 	s.rollbackOne(t)
 	for {
-		ok, victim := s.rebuild(aborted)
+		ok, victim := s.compact(victims)
 		if ok {
 			return nil
 		}
-		if aborted[victim] {
+		if victims[victim] {
 			return fmt.Errorf("engine: abort cascade cannot converge on T%d", victim+1)
 		}
-		aborted[victim] = true
+		victims[victim] = true
 		s.met.CascadeAborts++
 		s.rollbackOne(victim)
 	}
 }
 
-// rollbackOne releases t's locks, removes it from wait queues, bumps its
-// epoch (invalidating scheduled events) and schedules its retry or
-// abandons it.
+// rollbackOne releases t's locks and pending request, bumps its epoch
+// (invalidating scheduled events) and schedules its retry or abandons it.
 func (s *sim) rollbackOne(t int) {
 	st := &s.txns[t]
 	st.epoch++
@@ -439,29 +442,9 @@ func (s *sim) rollbackOne(t int) {
 		s.met.Commits--
 		s.active++
 	}
-	for e, h := range s.holders {
-		if _, ok := h[t]; ok {
-			delete(h, t)
-			s.wakeWaiters(e)
-		}
-	}
-	for e, q := range s.queues {
-		out := q[:0]
-		removed := false
-		for _, w := range q {
-			if w == t {
-				removed = true
-			} else {
-				out = append(out, w)
-			}
-		}
-		s.queues[e] = out
-		if removed {
-			s.wakeWaiters(e)
-		}
-	}
+	granted, _ := s.tab.ReleaseAll(t)
+	s.wake(granted)
 	st.pos = 0
-	st.blockedOn = ""
 	st.attempts++
 	if st.attempts > s.cfg.MaxRetries {
 		st.status = abandoned
@@ -474,15 +457,37 @@ func (s *sim) rollbackOne(t int) {
 	s.schedule(t, s.now+s.cfg.BackoffTicks*int64(st.attempts))
 }
 
-// rebuild replays the log minus aborted transactions' events into fresh
-// world state, returning ok=false and the owner of the first event that no
-// longer replays (a cascade victim).
-func (s *sim) rebuild(aborted map[int]bool) (bool, int) {
-	var newLog model.Schedule
-	state := s.sys.Init.Clone()
-	monitor := s.cfg.Policy.NewMonitor(s.sys)
-	for _, ev := range s.log {
-		if aborted[int(ev.T)] {
+// compact removes the victims' events from the log incrementally: world
+// state is rolled back to the latest checkpoint at or before the victims'
+// first event and only the surviving suffix is replayed, instead of the
+// whole history. It returns ok=false and the owner of the first surviving
+// event that no longer replays (a cascade victim), leaving the log
+// untouched.
+func (s *sim) compact(victims map[int]bool) (bool, int) {
+	first := len(s.log)
+	for v := range victims {
+		if idxs := s.evIdx[v]; len(idxs) > 0 && idxs[0] < first {
+			first = idxs[0]
+		}
+	}
+	if first == len(s.log) {
+		return true, 0 // the victims contributed no surviving events
+	}
+
+	ci := len(s.ckpts) - 1
+	for s.ckpts[ci].n > first {
+		ci--
+	}
+	ck := s.ckpts[ci]
+	state := ck.state.Clone()
+	monitor := ck.monitor.Fork()
+	suffix := make(model.Schedule, 0, len(s.log)-ck.n)
+	// Snapshot at the usual interval while replaying, so a later abort in
+	// the same region does not replay it from ck again.
+	lastCkptN := ck.n
+	var fresh []checkpoint
+	for _, ev := range s.log[ck.n:] {
+		if victims[int(ev.T)] {
 			continue
 		}
 		if ev.S.Op.IsData() && !state.Defined(ev.S) {
@@ -492,9 +497,29 @@ func (s *sim) rebuild(aborted map[int]bool) (bool, int) {
 			return false, int(ev.T)
 		}
 		state.Apply(ev.S)
-		newLog = append(newLog, ev)
+		suffix = append(suffix, ev)
+		if ck.n+len(suffix)-lastCkptN >= s.ckptEvery {
+			lastCkptN = ck.n + len(suffix)
+			fresh = append(fresh, checkpoint{n: lastCkptN, state: state.Clone(), monitor: monitor.Fork()})
+		}
 	}
-	s.log = newLog
+
+	// Commit the compaction: rewrite the log suffix, re-index the moved
+	// events and replace the checkpoints the removals invalidated.
+	s.ckpts = append(s.ckpts[:ci+1], fresh...)
+	for len(s.ckpts) > maxCheckpoints {
+		s.thinCheckpoints()
+	}
+	s.log = append(s.log[:ck.n], suffix...)
+	for i := range s.evIdx {
+		// Each index list is ascending: truncate at the first replayed
+		// position rather than rescanning the whole run.
+		s.evIdx[i] = s.evIdx[i][:sort.SearchInts(s.evIdx[i], ck.n)]
+	}
+	for x := ck.n; x < len(s.log); x++ {
+		ti := int(s.log[x].T)
+		s.evIdx[ti] = append(s.evIdx[ti], x)
+	}
 	s.state = state
 	s.monitor = monitor
 	return true, 0

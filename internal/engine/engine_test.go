@@ -234,6 +234,81 @@ func TestEarlyReleaseBeatsTwoPhaseOnChains(t *testing.T) {
 	}
 }
 
+// TestUpgradeWaitsForReaders is the regression test for the lock-upgrade
+// bug: a transaction holding S that requests X used to be treated as
+// already granted and proceeded without upgrading, so its exclusive work
+// coexisted with other shared holders (an illegal schedule). The upgrade
+// must instead wait for the other reader to release.
+func TestUpgradeWaitsForReaders(t *testing.T) {
+	sys := model.NewSystem(model.NewState("a"),
+		model.NewTxn("T1", model.LS("a"), model.R("a"), model.LX("a"), model.W("a"), model.UX("a")),
+		model.NewTxn("T2", model.LS("a"), model.R("a"), model.R("a"), model.US("a")))
+	res, err := engine.Run(sys, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Commits != 2 {
+		t.Fatalf("metrics = %+v", res.Metrics)
+	}
+	if !res.Schedule.Legal(sys) {
+		t.Errorf("upgrade let X coexist with S: illegal schedule %s", res.Schedule)
+	}
+	if res.Metrics.WaitTicks == 0 {
+		t.Error("the upgrader must wait for the other reader to release")
+	}
+}
+
+// TestUpgradeDeadlockAborts: two shared holders that both upgrade form a
+// conversion deadlock; one is victimized, retries, and both commit.
+func TestUpgradeDeadlockAborts(t *testing.T) {
+	mk := func(name string) model.Txn {
+		return model.NewTxn(name, model.LS("a"), model.R("a"), model.LX("a"), model.W("a"), model.UX("a"))
+	}
+	sys := model.NewSystem(model.NewState("a"), mk("T1"), mk("T2"))
+	res, err := engine.Run(sys, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Commits != 2 {
+		t.Fatalf("both transactions must commit: %+v", res.Metrics)
+	}
+	if res.Metrics.DeadlockAborts == 0 {
+		t.Error("the upgrade cycle must produce a deadlock abort")
+	}
+	if !res.Schedule.Legal(sys) {
+		t.Errorf("illegal schedule: %s", res.Schedule)
+	}
+}
+
+// TestCheckpointIntervalInvariance: incremental abort recovery must be
+// semantically invisible — a contended run replaying from per-event
+// checkpoints, sparse checkpoints, or only the initial state (interval
+// larger than the log) produces identical metrics and schedules.
+func TestCheckpointIntervalInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sys, _ := workload.DDAGSystem(rng, workload.DefaultDDAGConfig())
+	var base *engine.Result
+	for _, every := range []int{1, 2, 7, 128, 1 << 20} {
+		res, err := engine.Run(sys, engine.Config{Policy: policy.DDAG{}, MPL: 3, CheckpointEvery: every})
+		if err != nil {
+			t.Fatalf("CheckpointEvery=%d: %v", every, err)
+		}
+		if base == nil {
+			base = res
+			if res.Metrics.Aborts() == 0 {
+				t.Fatal("fixture must exercise the abort path")
+			}
+			continue
+		}
+		if res.Metrics != base.Metrics {
+			t.Errorf("CheckpointEvery=%d metrics differ:\n%+v\n%+v", every, res.Metrics, base.Metrics)
+		}
+		if res.Schedule.String() != base.Schedule.String() {
+			t.Errorf("CheckpointEvery=%d schedule differs", every)
+		}
+	}
+}
+
 func TestEventBudget(t *testing.T) {
 	sys := model.NewSystem(model.NewState("a"),
 		model.NewTxn("T1", model.LX("a"), model.W("a"), model.UX("a")))

@@ -191,8 +191,7 @@ func E4AltruisticWalkthrough() Report {
 	r := model.NewReplay(sc.Sys)
 	for i, ev := range sc.Events {
 		if i == sc.DenyProbeAt {
-			probe := mon.Fork()
-			if err := probe.Step(sc.DeniedEvent); err != nil {
+			if err := mon.Check(sc.DeniedEvent); err != nil {
 				fmt.Fprintf(&b, "  DENY  %s:%s — %v\n", sc.Sys.Name(sc.DeniedEvent.T), sc.DeniedEvent.S, err)
 			} else {
 				failed = "T2 locked a non-donated entity while in T1's wake"

@@ -1,8 +1,15 @@
 // Package lockmgr implements a concurrent shared/exclusive lock manager
-// with FIFO wait queues and waits-for deadlock detection. It is the
-// substrate under the execution engine and the concurrent examples: the
-// locking policies decide *which* locks a transaction may request; the
-// lock manager decides *when* a compatible request is granted.
+// with FIFO wait queues, S→X upgrades and waits-for deadlock detection. It
+// is the substrate under the concurrent examples: the locking policies
+// decide *which* locks a transaction may request; the lock manager decides
+// *when* a compatible request is granted.
+//
+// The manager is a thin concurrency layer — a mutex plus channel-based
+// blocking — over the single-owner lock-table core in
+// locksafe/internal/locktable, which owns entries, compatibility, FIFO
+// grant order and deadlock detection. The execution engine drives the same
+// core synchronously, so both substrates share one implementation of the
+// locking rules.
 package lockmgr
 
 import (
@@ -10,146 +17,75 @@ import (
 	"fmt"
 	"sync"
 
+	"locksafe/internal/locktable"
 	"locksafe/internal/model"
 )
 
-// ErrDeadlock is returned to a requester chosen as the deadlock victim.
+// ErrDeadlock is returned to a requester chosen as the deadlock victim,
+// and to waiters cancelled by ReleaseAll.
 var ErrDeadlock = errors.New("lockmgr: deadlock detected; requester aborted")
 
 // Manager is a concurrent lock manager. The zero value is not usable; call
 // New.
 type Manager struct {
-	mu       sync.Mutex
-	entities map[model.Entity]*entry
-	// waitsFor[a][b] records that owner a waits for a lock held (or
-	// requested earlier) by owner b.
-	waitsFor map[int]map[int]bool
-}
-
-type entry struct {
-	holders map[int]model.Mode
-	queue   []*waiter
-}
-
-type waiter struct {
-	owner int
-	mode  model.Mode
-	ready chan error // closed/sent when granted or aborted
+	mu  sync.Mutex
+	tab *locktable.Table
+	// ready holds the parking channel of each blocked owner. An owner has
+	// at most one outstanding request (it is parked inside Lock).
+	ready map[int]chan error
 }
 
 // New returns an empty lock manager.
 func New() *Manager {
 	return &Manager{
-		entities: make(map[model.Entity]*entry),
-		waitsFor: make(map[int]map[int]bool),
+		tab:   locktable.New(),
+		ready: make(map[int]chan error),
 	}
 }
 
-func (m *Manager) entry(e model.Entity) *entry {
-	en := m.entities[e]
-	if en == nil {
-		en = &entry{holders: make(map[int]model.Mode)}
-		m.entities[e] = en
-	}
-	return en
-}
-
-// compatible reports whether owner may hold e in the given mode alongside
-// the current holders.
-func compatible(en *entry, owner int, mode model.Mode) bool {
-	for h, hm := range en.holders {
-		if h != owner && hm.Conflicts(mode) {
-			return false
+// resume hands the granted waiters their verdict. Called with mu held; the
+// channels are buffered so the sends never block.
+func (m *Manager) resume(waiters []locktable.Waiter, verdict error) {
+	for _, w := range waiters {
+		if ch, ok := m.ready[w.Owner]; ok {
+			delete(m.ready, w.Owner)
+			ch <- verdict
 		}
 	}
-	return true
 }
 
 // Lock blocks until the lock is granted or the request is chosen as a
-// deadlock victim (ErrDeadlock). Re-locking an entity already held by the
-// same owner is an error.
+// deadlock victim (ErrDeadlock). Requesting an entity already held in the
+// same or a stronger mode is an error; a holder of a shared lock that
+// requests exclusive performs an upgrade, which waits at the front of the
+// queue for the other holders to release.
 func (m *Manager) Lock(owner int, e model.Entity, mode model.Mode) error {
 	m.mu.Lock()
-	en := m.entry(e)
-	if _, dup := en.holders[owner]; dup {
-		m.mu.Unlock()
-		return fmt.Errorf("lockmgr: owner %d already holds %s", owner, e)
-	}
-	if len(en.queue) == 0 && compatible(en, owner, mode) {
-		en.holders[owner] = mode
+	switch m.tab.Acquire(owner, e, mode) {
+	case locktable.Granted:
 		m.mu.Unlock()
 		return nil
-	}
-	// Enqueue and record waits-for edges: toward conflicting holders and
-	// all earlier queued waiters (FIFO fairness: we cannot overtake).
-	w := &waiter{owner: owner, mode: mode, ready: make(chan error, 1)}
-	blockers := make(map[int]bool)
-	for h, hm := range en.holders {
-		if h != owner && hm.Conflicts(mode) {
-			blockers[h] = true
-		}
-	}
-	for _, q := range en.queue {
-		if q.owner != owner {
-			blockers[q.owner] = true
-		}
-	}
-	edges := m.waitsFor[owner]
-	if edges == nil {
-		edges = make(map[int]bool)
-		m.waitsFor[owner] = edges
-	}
-	for b := range blockers {
-		edges[b] = true
-	}
-	if m.cyclic(owner) {
-		// Victim: the requester. Undo the edges, do not enqueue.
-		for b := range blockers {
-			delete(edges, b)
-		}
+	case locktable.AlreadyHeld:
+		m.mu.Unlock()
+		return fmt.Errorf("lockmgr: owner %d already holds %s", owner, e)
+	case locktable.Deadlock:
 		m.mu.Unlock()
 		return ErrDeadlock
 	}
-	en.queue = append(en.queue, w)
+	ch := make(chan error, 1)
+	m.ready[owner] = ch
 	m.mu.Unlock()
-	return <-w.ready
+	return <-ch
 }
 
 // TryLock grants the lock immediately or reports false without blocking.
+// Like Lock, a shared holder requesting exclusive upgrades — but only
+// when it can be granted at once; re-requesting a covering mode reports
+// false.
 func (m *Manager) TryLock(owner int, e model.Entity, mode model.Mode) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	en := m.entry(e)
-	if _, dup := en.holders[owner]; dup {
-		return false
-	}
-	if len(en.queue) == 0 && compatible(en, owner, mode) {
-		en.holders[owner] = mode
-		return true
-	}
-	return false
-}
-
-// cyclic reports whether the waits-for graph has a cycle through start.
-// Called with mu held.
-func (m *Manager) cyclic(start int) bool {
-	seen := map[int]bool{}
-	var dfs func(x int) bool
-	dfs = func(x int) bool {
-		for y := range m.waitsFor[x] {
-			if y == start {
-				return true
-			}
-			if !seen[y] {
-				seen[y] = true
-				if dfs(y) {
-					return true
-				}
-			}
-		}
-		return false
-	}
-	return dfs(start)
+	return m.tab.TryAcquire(owner, e, mode)
 }
 
 // Unlock releases owner's lock on e and grants queued waiters FIFO as far
@@ -157,54 +93,22 @@ func (m *Manager) cyclic(start int) bool {
 func (m *Manager) Unlock(owner int, e model.Entity) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	en := m.entities[e]
-	if en == nil {
-		return fmt.Errorf("lockmgr: unlock of never-locked entity %s", e)
+	granted, err := m.tab.Release(owner, e)
+	if err != nil {
+		return fmt.Errorf("lockmgr: %w", err)
 	}
-	if _, ok := en.holders[owner]; !ok {
-		return fmt.Errorf("lockmgr: owner %d does not hold %s", owner, e)
-	}
-	delete(en.holders, owner)
-	m.grant(en)
+	m.resume(granted, nil)
 	return nil
 }
 
-// grant admits queued waiters in FIFO order while they remain compatible.
-// Called with mu held.
-func (m *Manager) grant(en *entry) {
-	for len(en.queue) > 0 {
-		w := en.queue[0]
-		if !compatible(en, w.owner, w.mode) {
-			return
-		}
-		en.queue = en.queue[1:]
-		en.holders[w.owner] = w.mode
-		delete(m.waitsFor, w.owner)
-		w.ready <- nil
-	}
-}
-
 // ReleaseAll releases every lock owner holds and cancels any pending
-// request (the waiter receives ErrDeadlock). Used on abort.
+// request (the cancelled waiter receives ErrDeadlock). Used on abort.
 func (m *Manager) ReleaseAll(owner int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	delete(m.waitsFor, owner)
-	for _, en := range m.entities {
-		if _, ok := en.holders[owner]; ok {
-			delete(en.holders, owner)
-		}
-		for i := 0; i < len(en.queue); {
-			if en.queue[i].owner == owner {
-				w := en.queue[i]
-				en.queue = append(en.queue[:i], en.queue[i+1:]...)
-				w.ready <- ErrDeadlock
-			} else {
-				i++
-			}
-		}
-		m.grant(en)
-	}
+	granted, cancelled := m.tab.ReleaseAll(owner)
+	m.resume(cancelled, ErrDeadlock)
+	m.resume(granted, nil)
 }
 
 // Holds reports whether owner currently holds a lock on e and in which
@@ -212,36 +116,19 @@ func (m *Manager) ReleaseAll(owner int) {
 func (m *Manager) Holds(owner int, e model.Entity) (model.Mode, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	en := m.entities[e]
-	if en == nil {
-		return 0, false
-	}
-	mode, ok := en.holders[owner]
-	return mode, ok
+	return m.tab.Holds(owner, e)
 }
 
 // HeldBy returns the owners currently holding e.
 func (m *Manager) HeldBy(e model.Entity) []int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	en := m.entities[e]
-	if en == nil {
-		return nil
-	}
-	out := make([]int, 0, len(en.holders))
-	for h := range en.holders {
-		out = append(out, h)
-	}
-	return out
+	return m.tab.HeldBy(e)
 }
 
 // QueueLen returns the number of waiters on e (for tests and metrics).
 func (m *Manager) QueueLen(e model.Entity) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	en := m.entities[e]
-	if en == nil {
-		return 0
-	}
-	return len(en.queue)
+	return m.tab.QueueLen(e)
 }

@@ -166,6 +166,96 @@ func TestHeldBy(t *testing.T) {
 	}
 }
 
+// TestUpgradeWaitsForReaders: a shared holder requesting exclusive blocks
+// until the other shared holders release, then proceeds in exclusive mode.
+func TestUpgradeWaitsForReaders(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, "a", model.Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, "a", model.Shared); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Lock(1, "a", model.Exclusive) }()
+	for m.QueueLen("a") == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("upgrade completed while owner 2 still held shared: %v", err)
+	case <-time.After(5 * time.Millisecond):
+	}
+	if err := m.Unlock(2, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("upgrade: %v", err)
+	}
+	if mode, ok := m.Holds(1, "a"); !ok || mode != model.Exclusive {
+		t.Fatalf("after upgrade Holds = %v, %v; want X", mode, ok)
+	}
+}
+
+// TestUpgradeDeadlock: two shared holders that both request an upgrade
+// deadlock; the second requester is refused immediately as the victim.
+func TestUpgradeDeadlock(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, "a", model.Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, "a", model.Shared); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Lock(1, "a", model.Exclusive) }()
+	for m.QueueLen("a") == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := m.Lock(2, "a", model.Exclusive); err != ErrDeadlock {
+		t.Fatalf("second upgrade: want ErrDeadlock, got %v", err)
+	}
+	if err := m.Unlock(2, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("surviving upgrade: %v", err)
+	}
+}
+
+// TestConcurrentUpgradeStress has many goroutines take shared locks,
+// attempt upgrades and release, validating the upgrade path under -race.
+// Deadlock victims release and retry, so every worker finishes.
+func TestConcurrentUpgradeStress(t *testing.T) {
+	m := New()
+	ents := []model.Entity{"a", "b", "c"}
+	var wg sync.WaitGroup
+	for owner := 0; owner < 12; owner++ {
+		wg.Add(1)
+		go func(owner int) {
+			defer wg.Done()
+			for round := 0; round < 40; round++ {
+				e := ents[(owner+round)%len(ents)]
+				if err := m.Lock(owner, e, model.Shared); err != nil {
+					continue // victim while acquiring shared: retry next round
+				}
+				if err := m.Lock(owner, e, model.Exclusive); err == nil {
+					if mode, ok := m.Holds(owner, e); !ok || mode != model.Exclusive {
+						t.Errorf("owner %d: upgrade granted but mode = %v, %v", owner, mode, ok)
+					}
+				}
+				// Whether or not the upgrade succeeded, the shared (or
+				// upgraded) lock is still held and must be released.
+				if err := m.Unlock(owner, e); err != nil {
+					t.Errorf("owner %d unlock %s: %v", owner, e, err)
+					return
+				}
+			}
+		}(owner)
+	}
+	wg.Wait()
+}
+
 // TestConcurrentStress hammers the manager from many goroutines; run with
 // -race to validate the synchronization.
 func TestConcurrentStress(t *testing.T) {

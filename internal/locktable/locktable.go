@@ -1,0 +1,353 @@
+// Package locktable is the single-owner core of the locking substrate: one
+// implementation of lock entries, shared/exclusive mode compatibility, FIFO
+// wait queues with no overtaking, S→X upgrades, grant logic and waits-for
+// deadlock detection.
+//
+// The Table is deliberately not safe for concurrent use and performs no
+// blocking itself: callers layer their own execution discipline on top.
+// lockmgr.Manager wraps it in a mutex and parks goroutines on channels; the
+// execution engine drives it from a deterministic single-threaded
+// simulation loop. Keeping the core synchronous keeps the grant and
+// deadlock rules in exactly one place (see DESIGN.md, "Lock table").
+package locktable
+
+import (
+	"fmt"
+
+	"locksafe/internal/model"
+)
+
+// Outcome reports the result of an Acquire.
+type Outcome uint8
+
+const (
+	// Granted means the lock was granted: the owner is recorded as a
+	// holder, either freshly or by upgrading a held shared lock to
+	// exclusive.
+	Granted Outcome = iota
+	// AlreadyHeld means the owner already holds the entity in a mode that
+	// covers the request; the table is unchanged.
+	AlreadyHeld
+	// Blocked means the request was appended to the entity's FIFO queue
+	// (or, for an upgrade, placed at its front); the caller must park the
+	// owner until a release grants it.
+	Blocked
+	// Deadlock means enqueueing the request would close a waits-for cycle;
+	// the request was not enqueued and the owner is the chosen victim.
+	Deadlock
+)
+
+// String names the outcome for diagnostics.
+func (o Outcome) String() string {
+	switch o {
+	case Granted:
+		return "granted"
+	case AlreadyHeld:
+		return "already-held"
+	case Blocked:
+		return "blocked"
+	default:
+		return "deadlock"
+	}
+}
+
+// Waiter is a queued lock request.
+type Waiter struct {
+	Owner int
+	Mode  model.Mode
+	// Upgrade marks an S→X upgrade request, which waits at the front of
+	// the queue (it cannot wait behind a request that conflicts with the
+	// shared lock it already holds).
+	Upgrade bool
+}
+
+type entry struct {
+	holders map[int]model.Mode
+	queue   []Waiter
+}
+
+// Table is the lock-table core. Each owner may have at most one
+// outstanding (blocked) request at a time, which both consumers guarantee
+// by construction: a lock-manager goroutine is parked inside Lock, and an
+// engine transaction executes one step at a time.
+type Table struct {
+	entities map[model.Entity]*entry
+	// held lists each owner's held entities in acquisition order, so that
+	// bulk release is deterministic and proportional to the owner's own
+	// footprint.
+	held map[int][]model.Entity
+	// waiting maps a blocked owner to the entity it waits on.
+	waiting map[int]model.Entity
+}
+
+// New returns an empty lock table.
+func New() *Table {
+	return &Table{
+		entities: make(map[model.Entity]*entry),
+		held:     make(map[int][]model.Entity),
+		waiting:  make(map[int]model.Entity),
+	}
+}
+
+func (t *Table) entry(e model.Entity) *entry {
+	en := t.entities[e]
+	if en == nil {
+		en = &entry{holders: make(map[int]model.Mode)}
+		t.entities[e] = en
+	}
+	return en
+}
+
+// compatible reports whether owner could hold e in the given mode alongside
+// the current holders (ignoring any lock owner itself holds, which covers
+// the upgrade case).
+func (en *entry) compatible(owner int, mode model.Mode) bool {
+	for h, hm := range en.holders {
+		if h != owner && hm.Conflicts(mode) {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Table) setHolder(owner int, e model.Entity, mode model.Mode) {
+	en := t.entry(e)
+	if _, already := en.holders[owner]; !already {
+		t.held[owner] = append(t.held[owner], e)
+	}
+	en.holders[owner] = mode
+}
+
+// Acquire requests a lock on e for owner in the given mode and reports the
+// outcome. A Blocked owner stays queued until a Release/ReleaseAll grants
+// it (the grant records the owner as holder; the returned Waiter tells the
+// caller whom to resume). A Deadlock outcome leaves the table unchanged:
+// the requester is the victim.
+//
+// An owner holding the entity in the same or a stronger mode gets
+// AlreadyHeld; an owner holding a shared lock that requests exclusive
+// starts an upgrade, which bypasses the queue (it conflicts only with the
+// other holders, never with queued requests behind its own shared lock).
+func (t *Table) Acquire(owner int, e model.Entity, mode model.Mode) Outcome {
+	en := t.entry(e)
+	if hm, ok := en.holders[owner]; ok {
+		if hm == model.Exclusive || mode == model.Shared {
+			return AlreadyHeld
+		}
+		// S→X upgrade.
+		if en.compatible(owner, model.Exclusive) {
+			en.holders[owner] = model.Exclusive
+			return Granted
+		}
+		w := Waiter{Owner: owner, Mode: model.Exclusive, Upgrade: true}
+		if t.wouldDeadlock(owner, e, w) {
+			return Deadlock
+		}
+		en.queue = append([]Waiter{w}, en.queue...)
+		t.waiting[owner] = e
+		return Blocked
+	}
+	if len(en.queue) == 0 && en.compatible(owner, mode) {
+		t.setHolder(owner, e, mode)
+		return Granted
+	}
+	w := Waiter{Owner: owner, Mode: mode}
+	if t.wouldDeadlock(owner, e, w) {
+		return Deadlock
+	}
+	en.queue = append(en.queue, w)
+	t.waiting[owner] = e
+	return Blocked
+}
+
+// TryAcquire grants the lock immediately or reports false without
+// enqueueing. An entity already held in a covering mode reports false
+// (matching the lock manager's re-lock semantics); a shared holder
+// requesting exclusive upgrades in place when no other holder conflicts,
+// as Acquire would.
+func (t *Table) TryAcquire(owner int, e model.Entity, mode model.Mode) bool {
+	en := t.entry(e)
+	if hm, held := en.holders[owner]; held {
+		if hm == model.Exclusive || mode == model.Shared {
+			return false
+		}
+		if en.compatible(owner, model.Exclusive) {
+			en.holders[owner] = model.Exclusive
+			return true
+		}
+		return false
+	}
+	if len(en.queue) == 0 && en.compatible(owner, mode) {
+		t.setHolder(owner, e, mode)
+		return true
+	}
+	return false
+}
+
+// blockers appends the owners that waiter w on entity e currently waits
+// for: holders whose mode conflicts with the request, plus — for ordinary
+// requests — every waiter queued ahead of it (FIFO: it cannot overtake
+// them). Upgrades wait only on conflicting holders, since they sit at the
+// queue front.
+func (t *Table) blockers(e model.Entity, w Waiter, out []int) []int {
+	en := t.entities[e]
+	if en == nil {
+		return out
+	}
+	for h, hm := range en.holders {
+		if h != w.Owner && hm.Conflicts(w.Mode) {
+			out = append(out, h)
+		}
+	}
+	if !w.Upgrade {
+		for _, q := range en.queue {
+			if q.Owner == w.Owner {
+				break
+			}
+			out = append(out, q.Owner)
+		}
+	}
+	return out
+}
+
+// wouldDeadlock reports whether enqueueing request w for owner on e would
+// close a cycle in the waits-for graph. The graph is derived on the fly
+// from the table: each blocked owner waits for the blockers of its queued
+// request.
+func (t *Table) wouldDeadlock(owner int, e model.Entity, w Waiter) bool {
+	seen := make(map[int]bool)
+	stack := t.blockers(e, w, nil)
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == owner {
+			return true
+		}
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		we, blocked := t.waiting[x]
+		if !blocked {
+			continue
+		}
+		wen := t.entities[we]
+		for _, q := range wen.queue {
+			if q.Owner == x {
+				stack = t.blockers(we, q, stack)
+				break
+			}
+		}
+	}
+	return false
+}
+
+// grant admits e's queued waiters in FIFO order while they remain
+// compatible with the holders, recording each as a holder, and returns the
+// newly granted waiters so the caller can resume them.
+func (t *Table) grant(e model.Entity, en *entry) []Waiter {
+	var granted []Waiter
+	for len(en.queue) > 0 {
+		w := en.queue[0]
+		if !en.compatible(w.Owner, w.Mode) {
+			break
+		}
+		en.queue = en.queue[1:]
+		t.setHolder(w.Owner, e, w.Mode)
+		delete(t.waiting, w.Owner)
+		granted = append(granted, w)
+	}
+	return granted
+}
+
+func (t *Table) dropHeld(owner int, e model.Entity) {
+	hs := t.held[owner]
+	for i, he := range hs {
+		if he == e {
+			t.held[owner] = append(hs[:i], hs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Release releases owner's lock on e (whatever its mode) and returns the
+// waiters granted by the release.
+func (t *Table) Release(owner int, e model.Entity) ([]Waiter, error) {
+	en := t.entities[e]
+	if en == nil {
+		return nil, fmt.Errorf("locktable: release of never-locked entity %s", e)
+	}
+	if _, ok := en.holders[owner]; !ok {
+		return nil, fmt.Errorf("locktable: owner %d does not hold %s", owner, e)
+	}
+	delete(en.holders, owner)
+	t.dropHeld(owner, e)
+	return t.grant(e, en), nil
+}
+
+// ReleaseAll releases every lock owner holds and cancels its pending
+// request, if any. It returns the waiters granted by the releases and the
+// cancelled request (nil or owner's own). Release order follows the
+// owner's acquisition order, so the grant sequence is deterministic.
+func (t *Table) ReleaseAll(owner int) (granted, cancelled []Waiter) {
+	if we, ok := t.waiting[owner]; ok {
+		en := t.entities[we]
+		for i, q := range en.queue {
+			if q.Owner == owner {
+				en.queue = append(en.queue[:i], en.queue[i+1:]...)
+				cancelled = append(cancelled, q)
+				break
+			}
+		}
+		delete(t.waiting, owner)
+		// Removing a queued request can unblock the new queue head.
+		granted = append(granted, t.grant(we, en)...)
+	}
+	for _, e := range t.held[owner] {
+		en := t.entities[e]
+		delete(en.holders, owner)
+		granted = append(granted, t.grant(e, en)...)
+	}
+	delete(t.held, owner)
+	return granted, cancelled
+}
+
+// Holds reports whether owner currently holds a lock on e and in which
+// mode.
+func (t *Table) Holds(owner int, e model.Entity) (model.Mode, bool) {
+	en := t.entities[e]
+	if en == nil {
+		return 0, false
+	}
+	mode, ok := en.holders[owner]
+	return mode, ok
+}
+
+// HeldBy returns the owners currently holding e (in no particular order),
+// or nil.
+func (t *Table) HeldBy(e model.Entity) []int {
+	en := t.entities[e]
+	if en == nil || len(en.holders) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(en.holders))
+	for h := range en.holders {
+		out = append(out, h)
+	}
+	return out
+}
+
+// QueueLen returns the number of waiters on e.
+func (t *Table) QueueLen(e model.Entity) int {
+	en := t.entities[e]
+	if en == nil {
+		return 0
+	}
+	return len(en.queue)
+}
+
+// Waiting reports the entity owner is currently blocked on, if any.
+func (t *Table) Waiting(owner int) (model.Entity, bool) {
+	e, ok := t.waiting[owner]
+	return e, ok
+}

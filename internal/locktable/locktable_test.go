@@ -1,0 +1,282 @@
+package locktable
+
+import (
+	"testing"
+
+	"locksafe/internal/model"
+)
+
+func TestGrantReleaseBasic(t *testing.T) {
+	tab := New()
+	if got := tab.Acquire(1, "a", model.Exclusive); got != Granted {
+		t.Fatalf("Acquire = %v, want granted", got)
+	}
+	if mode, ok := tab.Holds(1, "a"); !ok || mode != model.Exclusive {
+		t.Fatal("holder not recorded")
+	}
+	if got := tab.Acquire(1, "a", model.Exclusive); got != AlreadyHeld {
+		t.Fatalf("re-acquire = %v, want already-held", got)
+	}
+	granted, err := tab.Release(1, "a")
+	if err != nil || len(granted) != 0 {
+		t.Fatalf("Release = %v, %v", granted, err)
+	}
+	if _, ok := tab.Holds(1, "a"); ok {
+		t.Fatal("lock not released")
+	}
+}
+
+func TestSharedCompatibility(t *testing.T) {
+	tab := New()
+	if tab.Acquire(1, "a", model.Shared) != Granted {
+		t.Fatal("first shared")
+	}
+	if tab.Acquire(2, "a", model.Shared) != Granted {
+		t.Fatal("second shared")
+	}
+	if tab.Acquire(3, "a", model.Exclusive) != Blocked {
+		t.Fatal("exclusive must block behind shared holders")
+	}
+	if e, ok := tab.Waiting(3); !ok || e != "a" {
+		t.Fatalf("Waiting(3) = %q, %v", e, ok)
+	}
+}
+
+// TestFIFONoOvertake: a shared request compatible with the holders must
+// still wait behind a queued exclusive request.
+func TestFIFONoOvertake(t *testing.T) {
+	tab := New()
+	if tab.Acquire(1, "a", model.Shared) != Granted {
+		t.Fatal("holder")
+	}
+	if tab.Acquire(2, "a", model.Exclusive) != Blocked {
+		t.Fatal("writer must queue")
+	}
+	if tab.Acquire(3, "a", model.Shared) != Blocked {
+		t.Fatal("reader must not overtake the queued writer")
+	}
+	if tab.QueueLen("a") != 2 {
+		t.Fatalf("queue = %d, want 2", tab.QueueLen("a"))
+	}
+	granted, err := tab.Release(1, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the writer is granted: the reader conflicts with it.
+	if len(granted) != 1 || granted[0].Owner != 2 {
+		t.Fatalf("granted = %v, want owner 2", granted)
+	}
+	granted, err = tab.Release(2, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(granted) != 1 || granted[0].Owner != 3 {
+		t.Fatalf("granted = %v, want owner 3", granted)
+	}
+}
+
+// TestGrantCascade: releasing an exclusive lock grants every compatible
+// queued reader at once, in FIFO order.
+func TestGrantCascade(t *testing.T) {
+	tab := New()
+	tab.Acquire(1, "a", model.Exclusive)
+	tab.Acquire(2, "a", model.Shared)
+	tab.Acquire(3, "a", model.Shared)
+	granted, err := tab.Release(1, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(granted) != 2 || granted[0].Owner != 2 || granted[1].Owner != 3 {
+		t.Fatalf("granted = %v, want owners 2, 3", granted)
+	}
+}
+
+func TestUpgradeImmediate(t *testing.T) {
+	tab := New()
+	tab.Acquire(1, "a", model.Shared)
+	if got := tab.Acquire(1, "a", model.Exclusive); got != Granted {
+		t.Fatalf("sole-holder upgrade = %v, want granted", got)
+	}
+	if mode, _ := tab.Holds(1, "a"); mode != model.Exclusive {
+		t.Fatalf("mode after upgrade = %v, want X", mode)
+	}
+}
+
+// TestUpgradeWaitsForReaders: an upgrade with other shared holders blocks
+// until they release, and jumps ahead of queued requests.
+func TestUpgradeWaitsForReaders(t *testing.T) {
+	tab := New()
+	tab.Acquire(1, "a", model.Shared)
+	tab.Acquire(2, "a", model.Shared)
+	if tab.Acquire(3, "a", model.Exclusive) != Blocked {
+		t.Fatal("writer queues")
+	}
+	if got := tab.Acquire(1, "a", model.Exclusive); got != Blocked {
+		t.Fatalf("upgrade with another reader = %v, want blocked", got)
+	}
+	// The upgrade waits at the front, ahead of the earlier writer.
+	granted, err := tab.Release(2, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(granted) != 1 || granted[0].Owner != 1 || !granted[0].Upgrade {
+		t.Fatalf("granted = %v, want owner 1's upgrade", granted)
+	}
+	if mode, _ := tab.Holds(1, "a"); mode != model.Exclusive {
+		t.Fatal("upgrade did not record exclusive mode")
+	}
+	// Writer 3 is granted only after the upgraded holder releases.
+	granted, err = tab.Release(1, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(granted) != 1 || granted[0].Owner != 3 {
+		t.Fatalf("granted = %v, want owner 3", granted)
+	}
+}
+
+// TestUpgradeDeadlock: two shared holders that both request an upgrade
+// deadlock; the second requester is the victim and the table is left
+// unchanged by its request.
+func TestUpgradeDeadlock(t *testing.T) {
+	tab := New()
+	tab.Acquire(1, "a", model.Shared)
+	tab.Acquire(2, "a", model.Shared)
+	if tab.Acquire(1, "a", model.Exclusive) != Blocked {
+		t.Fatal("first upgrade blocks")
+	}
+	if got := tab.Acquire(2, "a", model.Exclusive); got != Deadlock {
+		t.Fatalf("second upgrade = %v, want deadlock", got)
+	}
+	if _, ok := tab.Waiting(2); ok {
+		t.Fatal("victim must not stay enqueued")
+	}
+	// Victim releases; the surviving upgrade completes.
+	granted, _ := tab.ReleaseAll(2)
+	if len(granted) != 1 || granted[0].Owner != 1 || !granted[0].Upgrade {
+		t.Fatalf("granted = %v, want owner 1's upgrade", granted)
+	}
+}
+
+// TestWaitsForCycle: the classic two-entity crossing order. The request
+// that closes the cycle is refused as the victim; everything else keeps
+// working.
+func TestWaitsForCycle(t *testing.T) {
+	tab := New()
+	tab.Acquire(1, "a", model.Exclusive)
+	tab.Acquire(2, "b", model.Exclusive)
+	if tab.Acquire(1, "b", model.Exclusive) != Blocked {
+		t.Fatal("1 waits for 2")
+	}
+	if got := tab.Acquire(2, "a", model.Exclusive); got != Deadlock {
+		t.Fatalf("cycle-closing request = %v, want deadlock", got)
+	}
+	// 2 releases b: 1's wait completes.
+	granted, err := tab.Release(2, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(granted) != 1 || granted[0].Owner != 1 {
+		t.Fatalf("granted = %v, want owner 1", granted)
+	}
+}
+
+// TestTransitiveDeadlock: a three-party cycle through queued waiters.
+func TestTransitiveDeadlock(t *testing.T) {
+	tab := New()
+	tab.Acquire(1, "a", model.Exclusive)
+	tab.Acquire(2, "b", model.Exclusive)
+	tab.Acquire(3, "c", model.Exclusive)
+	if tab.Acquire(1, "b", model.Exclusive) != Blocked {
+		t.Fatal("1→2")
+	}
+	if tab.Acquire(2, "c", model.Exclusive) != Blocked {
+		t.Fatal("2→3")
+	}
+	if got := tab.Acquire(3, "a", model.Exclusive); got != Deadlock {
+		t.Fatalf("3→1 closes the cycle: got %v", got)
+	}
+}
+
+func TestReleaseAllCancelsAndGrants(t *testing.T) {
+	tab := New()
+	tab.Acquire(1, "a", model.Exclusive)
+	tab.Acquire(1, "b", model.Exclusive)
+	if tab.Acquire(2, "a", model.Exclusive) != Blocked {
+		t.Fatal("2 queues on a")
+	}
+	if tab.Acquire(3, "b", model.Exclusive) != Blocked {
+		t.Fatal("3 queues on b")
+	}
+	granted, cancelled := tab.ReleaseAll(1)
+	if len(cancelled) != 0 {
+		t.Fatalf("cancelled = %v, want none", cancelled)
+	}
+	// Acquisition order a, b ⇒ grants are owner 2 then owner 3.
+	if len(granted) != 2 || granted[0].Owner != 2 || granted[1].Owner != 3 {
+		t.Fatalf("granted = %v, want owners 2, 3", granted)
+	}
+
+	// A blocked owner's own pending request is cancelled, and its removal
+	// can unblock the queue behind it.
+	tab2 := New()
+	tab2.Acquire(1, "x", model.Exclusive)
+	tab2.Acquire(2, "x", model.Exclusive) // blocked
+	tab2.Acquire(3, "x", model.Shared)    // blocked behind 2
+	granted, cancelled = tab2.ReleaseAll(2)
+	if len(cancelled) != 1 || cancelled[0].Owner != 2 {
+		t.Fatalf("cancelled = %v, want owner 2", cancelled)
+	}
+	if len(granted) != 0 {
+		t.Fatalf("granted = %v; 1 still holds x", granted)
+	}
+	granted, _ = tab2.ReleaseAll(1)
+	if len(granted) != 1 || granted[0].Owner != 3 {
+		t.Fatalf("granted = %v, want owner 3", granted)
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	tab := New()
+	if !tab.TryAcquire(1, "a", model.Shared) {
+		t.Fatal("free entity")
+	}
+	if tab.TryAcquire(1, "a", model.Shared) {
+		t.Fatal("re-lock of a held entity must fail")
+	}
+	if tab.TryAcquire(2, "a", model.Exclusive) {
+		t.Fatal("conflicting TryAcquire must fail")
+	}
+	if !tab.TryAcquire(2, "a", model.Shared) {
+		t.Fatal("compatible TryAcquire must succeed")
+	}
+	if tab.QueueLen("a") != 0 {
+		t.Fatal("TryAcquire must never enqueue")
+	}
+
+	// Upgrade via TryAcquire: refused while another reader holds,
+	// granted in place once it is the sole holder.
+	if tab.TryAcquire(1, "a", model.Exclusive) {
+		t.Fatal("upgrade with another shared holder must fail without enqueueing")
+	}
+	if _, err := tab.Release(2, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if !tab.TryAcquire(1, "a", model.Exclusive) {
+		t.Fatal("sole-holder upgrade via TryAcquire must succeed")
+	}
+	if mode, _ := tab.Holds(1, "a"); mode != model.Exclusive {
+		t.Fatalf("mode after TryAcquire upgrade = %v, want X", mode)
+	}
+}
+
+func TestReleaseErrors(t *testing.T) {
+	tab := New()
+	if _, err := tab.Release(1, "zzz"); err == nil {
+		t.Error("release of never-locked entity must fail")
+	}
+	tab.Acquire(1, "a", model.Exclusive)
+	if _, err := tab.Release(2, "a"); err == nil {
+		t.Error("release by a non-holder must fail")
+	}
+}

@@ -6,14 +6,22 @@ package model
 // Monitor through the events of a schedule; the Monitor vetoes events that
 // violate the policy.
 //
-// Step is invoked only with events already known to respect
-// per-transaction order, legality and properness. Fork must return an
-// independent copy so that search procedures can branch. Key returns a
-// compact serialization of the monitor state for memoization, or "" to
-// disable memoization across states containing this monitor.
+// Check and Step are invoked only with events already known to respect
+// per-transaction order, legality and properness.
+//
+// Check is the speculative half of the protocol: it reports whether ev
+// would be admissible as the next event without mutating the monitor, so
+// hot paths can probe candidate events without cloning monitor state.
+// Step applies the event; it must veto exactly the events Check vetoes and
+// must leave the monitor unchanged when it returns an error (validate
+// first, then mutate). Fork returns an independent deep copy for search
+// procedures that genuinely branch, such as checker state expansion. Key
+// returns a compact serialization of the monitor state for memoization, or
+// "" to disable memoization across states containing this monitor.
 type Monitor interface {
-	Fork() Monitor
+	Check(ev Ev) error
 	Step(ev Ev) error
+	Fork() Monitor
 	Key() string
 }
 
@@ -22,11 +30,14 @@ type Monitor interface {
 // experiments.
 type PermissiveMonitor struct{}
 
-// Fork returns the monitor itself (it is stateless).
-func (PermissiveMonitor) Fork() Monitor { return PermissiveMonitor{} }
+// Check always succeeds.
+func (PermissiveMonitor) Check(Ev) error { return nil }
 
 // Step always succeeds.
 func (PermissiveMonitor) Step(Ev) error { return nil }
+
+// Fork returns the monitor itself (it is stateless).
+func (PermissiveMonitor) Fork() Monitor { return PermissiveMonitor{} }
 
 // Key returns a constant: the monitor carries no state.
 func (PermissiveMonitor) Key() string { return "-" }

@@ -79,7 +79,11 @@ func (m *altruisticMonitor) atLockedPoint(j int) bool {
 	return m.t.pos[j] >= m.lockedPoint[j]
 }
 
-func (m *altruisticMonitor) Step(ev model.Ev) error {
+// Check validates AL1–AL3 without mutating the monitor. Wake entry is
+// evaluated hypothetically: a lock of an item donated by an active Tj
+// would put Ti in Tj's wake, so AL2 is checked against the union of the
+// current and entered wakes.
+func (m *altruisticMonitor) Check(ev model.Ev) error {
 	i := int(ev.T)
 	st := ev.S
 	viol := func(rule, why string) error {
@@ -93,21 +97,15 @@ func (m *altruisticMonitor) Step(ev model.Ev) error {
 		if m.t.lockedEver[i][st.Ent] {
 			return viol("AL3", "item locked twice")
 		}
-		// Entering wakes: locking an item donated by an active Tj puts
-		// Ti in Tj's wake.
+		// AL2: while in the wake of Tj — including the wakes this very
+		// lock would enter — everything Ti has locked, including this
+		// item, must have been unlocked by Tj.
 		for j := range m.wake[i] {
 			if j == i || m.atLockedPoint(j) {
 				continue
 			}
-			if m.unlocked[j][st.Ent] {
-				m.wake[i][j] = true
-			}
-		}
-		// AL2: while in the wake of Tj, everything Ti has locked —
-		// including this item — must have been unlocked by Tj.
-		for j, inWake := range m.wake[i] {
-			if !inWake || m.atLockedPoint(j) {
-				continue
+			if !m.wake[i][j] && !m.unlocked[j][st.Ent] {
+				continue // not in Tj's wake, and this lock would not enter it
 			}
 			if !m.unlocked[j][st.Ent] {
 				return viol("AL2", "locked an item not donated by "+m.t.sys.Name(model.TID(j))+" while in its wake")
@@ -120,12 +118,36 @@ func (m *altruisticMonitor) Step(ev model.Ev) error {
 		}
 
 	case model.UnlockExclusive:
-		m.unlocked[i][st.Ent] = true
+		// Always permitted.
 
 	case model.Insert, model.Delete, model.Read, model.Write:
 		if _, ok := m.t.held[i][st.Ent]; !ok {
 			return viol("AL1", "operation without a lock")
 		}
+	}
+	return nil
+}
+
+func (m *altruisticMonitor) Step(ev model.Ev) error {
+	if err := m.Check(ev); err != nil {
+		return err
+	}
+	i := int(ev.T)
+	st := ev.S
+	switch st.Op {
+	case model.LockExclusive:
+		// Entering wakes: locking an item donated by an active Tj puts
+		// Ti in Tj's wake.
+		for j := range m.wake[i] {
+			if j == i || m.atLockedPoint(j) {
+				continue
+			}
+			if m.unlocked[j][st.Ent] {
+				m.wake[i][j] = true
+			}
+		}
+	case model.UnlockExclusive:
+		m.unlocked[i][st.Ent] = true
 	}
 	m.t.advance(ev)
 

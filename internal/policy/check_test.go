@@ -1,0 +1,110 @@
+package policy_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"locksafe/internal/model"
+	"locksafe/internal/policy"
+	"locksafe/internal/workload"
+)
+
+// assertCheckStepAgree walks the monitor through sched and, before every
+// event, probes each transaction's candidate next event with both halves
+// of the protocol, asserting that
+//
+//   - Check agrees with Fork+Step on admissibility (same verdict, same
+//     rule on denial), and
+//   - Check never mutates the monitor, and a failed Step leaves it
+//     unchanged.
+//
+// Mutation is detected behaviorally: a shadow monitor steps through the
+// same schedule but never receives Check or failed-Step probes. If a
+// probe mutated hidden state (which a positions-only Key cannot expose),
+// the probed and unprobed monitors diverge on some later verdict.
+func assertCheckStepAgree(t *testing.T, sys *model.System, mon model.Monitor, sched model.Schedule) {
+	t.Helper()
+	shadow := mon.Fork()
+	pos := make([]int, len(sys.Txns))
+	for i, ev := range sched {
+		for ti := range sys.Txns {
+			if pos[ti] >= sys.Txns[ti].Len() {
+				continue
+			}
+			cand := model.Ev{T: model.TID(ti), S: sys.Txns[ti].Steps[pos[ti]]}
+			before := mon.Key()
+			cerr := mon.Check(cand)
+			if mon.Key() != before {
+				t.Fatalf("event %d: Check(%s) mutated the monitor", i, cand)
+			}
+			serr := shadow.Check(cand)
+			if (cerr == nil) != (serr == nil) {
+				t.Fatalf("event %d: probed monitor Check(%s) = %v but unprobed = %v (earlier probe mutated state)", i, cand, cerr, serr)
+			}
+			probe := mon.Fork()
+			perr := probe.Step(cand)
+			if (cerr == nil) != (perr == nil) {
+				t.Fatalf("event %d: Check(%s) = %v but Step = %v", i, cand, cerr, perr)
+			}
+			if perr != nil {
+				// A failed Step must leave the monitor unchanged: the
+				// schedule's actual next event is admissible, so the
+				// failed probe must still accept it.
+				if err := probe.Check(ev); err != nil {
+					t.Fatalf("event %d: failed Step(%s) mutated the monitor: %v", i, cand, err)
+				}
+				cv, cok := cerr.(*policy.Violation)
+				sv, sok := perr.(*policy.Violation)
+				if cok != sok || (cok && cv.Rule != sv.Rule) {
+					t.Fatalf("event %d: Check(%s) rule %v but Step rule %v", i, cand, cerr, perr)
+				}
+			}
+		}
+		if err := mon.Step(ev); err != nil {
+			t.Fatalf("event %d: schedule event %s rejected: %v", i, ev, err)
+		}
+		if err := shadow.Step(ev); err != nil {
+			t.Fatalf("event %d: shadow rejected schedule event %s: %v", i, ev, err)
+		}
+		if mon.Key() != shadow.Key() {
+			t.Fatalf("event %d: probed and unprobed monitors diverged after %s", i, ev)
+		}
+		pos[int(ev.T)]++
+	}
+}
+
+// TestCheckAgreesWithStep exercises the speculative-check protocol on each
+// policy's reference workload.
+func TestCheckAgreesWithStep(t *testing.T) {
+	t.Run("2PL", func(t *testing.T) {
+		sys := workload.TwoPhaseSystemRandom(rand.New(rand.NewSource(7)), workload.DefaultPolicyConfig())
+		assertCheckStepAgree(t, sys, policy.TwoPhase{}.NewMonitor(sys), model.SerialSystem(sys))
+	})
+	t.Run("DDAG", func(t *testing.T) {
+		sc := workload.Figure3()
+		assertCheckStepAgree(t, sc.SysGranted, policy.DDAG{}.NewMonitor(sc.SysGranted), sc.Granted)
+	})
+	t.Run("DDAG-SX", func(t *testing.T) {
+		sys := workload.DDAGSXCounterexample()
+		assertCheckStepAgree(t, sys, policy.DDAGSX{}.NewMonitor(sys), model.SerialSystem(sys))
+	})
+	t.Run("altruistic", func(t *testing.T) {
+		sc := workload.Figure4()
+		assertCheckStepAgree(t, sc.Sys, policy.Altruistic{}.NewMonitor(sc.Sys), sc.Events)
+	})
+	t.Run("DTR", func(t *testing.T) {
+		sc := workload.Figure5()
+		assertCheckStepAgree(t, sc.Sys, policy.DTR{}.NewMonitor(sc.Sys), sc.Events)
+	})
+	t.Run("tree", func(t *testing.T) {
+		init := model.NewState("r", "a", "b", "r->a", "r->b")
+		sys := model.NewSystem(init,
+			model.NewTxn("T1", model.LX("r"), model.R("r"), model.LX("a"), model.W("a"), model.UX("a"), model.UX("r")),
+			model.NewTxn("T2", model.LX("b"), model.W("b"), model.UX("b")))
+		assertCheckStepAgree(t, sys, policy.Tree{}.NewMonitor(sys), model.SerialSystem(sys))
+	})
+	t.Run("unrestricted", func(t *testing.T) {
+		sys := workload.TwoPhaseSystemRandom(rand.New(rand.NewSource(9)), workload.DefaultPolicyConfig())
+		assertCheckStepAgree(t, sys, policy.Unrestricted{}.NewMonitor(sys), model.SerialSystem(sys))
+	})
+}

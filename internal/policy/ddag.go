@@ -94,6 +94,39 @@ func (m *ddagMonitor) firstNodeLock(i int) bool {
 }
 
 func (m *ddagMonitor) Step(ev model.Ev) error {
+	if err := m.Check(ev); err != nil {
+		return err
+	}
+	m.apply(ev)
+	return nil
+}
+
+// apply performs the structural-graph maintenance and tracker bookkeeping
+// for an event that passed Check.
+func (m *ddagMonitor) apply(ev model.Ev) {
+	st := ev.S
+	switch st.Op {
+	case model.Insert:
+		if a, b, isEdge := isEdgeEntity(st.Ent); isEdge {
+			m.g.AddEdge(a, b)
+		} else {
+			m.g.AddNode(graph.Node(st.Ent))
+		}
+	case model.Delete:
+		if a, b, isEdge := isEdgeEntity(st.Ent); isEdge {
+			m.g.RemoveEdge(a, b)
+		} else {
+			n := graph.Node(st.Ent)
+			m.g.RemoveNode(n)
+			m.deleted[n] = true
+		}
+	}
+	m.t.advance(ev)
+}
+
+// Check validates rules L1–L5 and the structural assumptions against the
+// present state of the graph, without mutating the monitor.
+func (m *ddagMonitor) Check(ev model.Ev) error {
 	i := int(ev.T)
 	st := ev.S
 	viol := func(rule, why string) error {
@@ -157,7 +190,6 @@ func (m *ddagMonitor) Step(ev model.Ev) error {
 			if m.g.HasPath(b, a) {
 				return viol("DAG", "edge insertion would create a cycle")
 			}
-			m.g.AddEdge(a, b)
 			break
 		}
 		n := graph.Node(st.Ent)
@@ -167,14 +199,12 @@ func (m *ddagMonitor) Step(ev model.Ev) error {
 		if err := m.requireHeld(ev, st.Ent); err != nil {
 			return err
 		}
-		m.g.AddNode(n)
 
 	case model.Delete:
 		if a, b, isEdge := isEdgeEntity(st.Ent); isEdge {
 			if err := m.requireEndpoints(ev, a, b); err != nil {
 				return err
 			}
-			m.g.RemoveEdge(a, b)
 			break
 		}
 		n := graph.Node(st.Ent)
@@ -184,8 +214,6 @@ func (m *ddagMonitor) Step(ev model.Ev) error {
 		if len(m.g.Succs(n)) > 0 || len(m.g.Preds(n)) > 0 {
 			return viol("DAG", "cannot delete a node with incident edges")
 		}
-		m.g.RemoveNode(n)
-		m.deleted[n] = true
 
 	case model.Read, model.Write:
 		if a, b, isEdge := isEdgeEntity(st.Ent); isEdge {
@@ -198,7 +226,6 @@ func (m *ddagMonitor) Step(ev model.Ev) error {
 			return err
 		}
 	}
-	m.t.advance(ev)
 	return nil
 }
 

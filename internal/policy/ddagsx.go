@@ -48,6 +48,17 @@ func (m *ddagSXMonitor) Fork() model.Monitor {
 func (m *ddagSXMonitor) Key() string { return m.inner.Key() }
 
 func (m *ddagSXMonitor) Step(ev model.Ev) error {
+	if err := m.Check(ev); err != nil {
+		return err
+	}
+	// All bookkeeping lives in the base monitor: graph maintenance for
+	// structural ops, tracker advancement for everything.
+	m.inner.apply(ev)
+	return nil
+}
+
+// Check validates rules L1'–L5' without mutating the monitor.
+func (m *ddagSXMonitor) Check(ev model.Ev) error {
 	i := int(ev.T)
 	st := ev.S
 	in := m.inner
@@ -111,8 +122,8 @@ func (m *ddagSXMonitor) Step(ev model.Ev) error {
 		}
 
 	case model.Write, model.Insert, model.Delete:
-		// Reuse the exclusive-path structural logic of the base DDAG
-		// monitor (graph maintenance, no-reinsert, acyclicity), but
+		// Reuse the exclusive-path structural rules of the base DDAG
+		// monitor (no-reinsert, acyclicity, lock presence), but
 		// additionally demand exclusive mode on the target(s).
 		if a, b, isEdge := isEdgeEntity(st.Ent); isEdge {
 			if mmode, ok := in.t.held[i][model.Entity(a)]; !ok || mmode != model.Exclusive {
@@ -124,32 +135,12 @@ func (m *ddagSXMonitor) Step(ev model.Ev) error {
 		} else if mmode, ok := in.t.held[i][st.Ent]; !ok || mmode != model.Exclusive {
 			return viol("L1", st.Op.String()+" without an exclusive lock")
 		}
-		return m.stepInner(ev)
+		if err := in.Check(ev); err != nil {
+			if v, ok := err.(*Violation); ok {
+				v.Policy = "DDAG-SX"
+			}
+			return err
+		}
 	}
-	// Non-structural events share the base monitor's bookkeeping but
-	// bypass its exclusive-only restriction, so track them here.
-	return m.track(ev)
-}
-
-// stepInner delegates a structural event to the base monitor, which
-// performs graph maintenance and tracking. The base monitor never objects
-// to exclusive-mode structural steps that passed our checks, except for
-// its own structural rules (no-reinsert, DAG shape), which are exactly
-// what we want.
-func (m *ddagSXMonitor) stepInner(ev model.Ev) error {
-	err := m.inner.Step(ev)
-	if err == nil {
-		return nil
-	}
-	if v, ok := err.(*Violation); ok {
-		v.Policy = "DDAG-SX"
-	}
-	return err
-}
-
-// track advances the shared tracker for events the base monitor would
-// have rejected as shared-mode.
-func (m *ddagSXMonitor) track(ev model.Ev) error {
-	m.inner.t.advance(ev)
 	return nil
 }

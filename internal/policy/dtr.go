@@ -128,16 +128,16 @@ func treeLocked(tx model.Txn, parentOf func(model.Entity) (model.Entity, bool)) 
 }
 
 // dt2 applies rule DT2 for transaction i against the current forest and
-// reports whether the transaction is tree-locked with respect to the
-// resulting tree. On success the forest mutation is kept; on failure the
-// forest is left unchanged.
+// returns the resulting forest, with ok=false if the transaction is not
+// tree-locked with respect to the tree it produces. The monitor's own
+// forest is never touched: Step commits the result, Check discards it.
 //
 // The deterministic DT1 choices: the entities of A(T) that are not yet in
 // the forest are connected into a *chain* in first-appearance order (DT1
 // allows any tree shape here); then the trees containing the existing
 // entities of A(T) are joined root-to-root in first-appearance order, and
 // the chain of new entities is joined on last.
-func (m *dtrMonitor) dt2(i int) bool {
+func (m *dtrMonitor) dt2(i int) (*graph.Forest, bool) {
 	tx := m.t.sys.Txns[i]
 	ents := accessSet(tx)
 	f := m.forest.Clone()
@@ -169,7 +169,7 @@ func (m *dtrMonitor) dt2(i int) bool {
 	// nodes); they must already be in the forest.
 	for _, e := range lockSeq(tx) {
 		if !f.Has(graph.Node(e)) {
-			return false
+			return nil, false
 		}
 	}
 	ok := treeLocked(tx, func(e model.Entity) (model.Entity, bool) {
@@ -180,10 +180,9 @@ func (m *dtrMonitor) dt2(i int) bool {
 		return model.Entity(p), true
 	})
 	if !ok {
-		return false
+		return nil, false
 	}
-	m.forest = f
-	return true
+	return f, true
 }
 
 // dt3 eagerly deletes every node that (a) is not currently locked by any
@@ -225,27 +224,50 @@ func (m *dtrMonitor) dt3() {
 	}
 }
 
-func (m *dtrMonitor) Step(ev model.Ev) error {
+// validate checks the X-only, lock-first and DT2 rules without mutating
+// the monitor. For a transaction's first event it returns the DT2 forest
+// to commit; otherwise the forest is nil.
+func (m *dtrMonitor) validate(ev model.Ev) (*graph.Forest, error) {
 	i := int(ev.T)
 	st := ev.S
 	viol := func(rule, why string) error {
 		return &Violation{"DTR", rule, ev, why}
 	}
 	if st.Op == model.LockShared || st.Op == model.UnlockShared {
-		return viol("X-only", "the DTR policy of Section 6 uses exclusive locks only")
+		return nil, viol("X-only", "the DTR policy of Section 6 uses exclusive locks only")
+	}
+	if st.Op.IsData() {
+		if _, ok := m.t.held[i][st.Ent]; !ok {
+			return nil, viol("lock-first", "operation without a lock")
+		}
 	}
 	if !m.t.started(i) {
 		// The locked transaction is precomputed: rule DT2 runs now and
 		// the whole lock sequence must be tree-locked with respect to
 		// the tree it produces.
-		if !m.dt2(i) {
-			return viol("DT2", "transaction is not tree-locked with respect to its joined tree")
+		f, ok := m.dt2(i)
+		if !ok {
+			return nil, viol("DT2", "transaction is not tree-locked with respect to its joined tree")
 		}
+		return f, nil
 	}
-	if st.Op.IsData() {
-		if _, ok := m.t.held[i][st.Ent]; !ok {
-			return viol("lock-first", "operation without a lock")
-		}
+	return nil, nil
+}
+
+// Check validates without mutating the monitor: the DT2 forest is
+// computed on a clone and discarded.
+func (m *dtrMonitor) Check(ev model.Ev) error {
+	_, err := m.validate(ev)
+	return err
+}
+
+func (m *dtrMonitor) Step(ev model.Ev) error {
+	f, err := m.validate(ev)
+	if err != nil {
+		return err
+	}
+	if f != nil {
+		m.forest = f
 	}
 	m.t.advance(ev)
 	m.dt3()

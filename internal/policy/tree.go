@@ -38,6 +38,16 @@ func (m *treeMonitor) Fork() model.Monitor {
 }
 
 func (m *treeMonitor) Step(ev model.Ev) error {
+	if err := m.Check(ev); err != nil {
+		return err
+	}
+	m.t.advance(ev)
+	return nil
+}
+
+// Check validates the tree rules against the current state without
+// mutating the monitor.
+func (m *treeMonitor) Check(ev model.Ev) error {
 	i := int(ev.T)
 	st := ev.S
 	viol := func(rule, why string) error {
@@ -70,7 +80,6 @@ func (m *treeMonitor) Step(ev model.Ev) error {
 			return viol("lock-first", "operation without a lock")
 		}
 	}
-	m.t.advance(ev)
 	return nil
 }
 

@@ -31,15 +31,21 @@ func (m *twoPhaseMonitor) Fork() model.Monitor {
 	return c
 }
 
+// Check vetoes a lock acquired after an unlock, without mutating the
+// monitor.
+func (m *twoPhaseMonitor) Check(ev model.Ev) error {
+	if ev.S.Op.IsLock() && m.unlocked[int(ev.T)] {
+		return &Violation{"2PL", "two-phase", ev, "lock acquired after an unlock"}
+	}
+	return nil
+}
+
 func (m *twoPhaseMonitor) Step(ev model.Ev) error {
-	i := int(ev.T)
-	switch {
-	case ev.S.Op.IsLock():
-		if m.unlocked[i] {
-			return &Violation{"2PL", "two-phase", ev, "lock acquired after an unlock"}
-		}
-	case ev.S.Op.IsUnlock():
-		m.unlocked[i] = true
+	if err := m.Check(ev); err != nil {
+		return err
+	}
+	if ev.S.Op.IsUnlock() {
+		m.unlocked[int(ev.T)] = true
 	}
 	m.t.advance(ev)
 	return nil
