@@ -1,19 +1,25 @@
 package locksafe_test
 
-// One benchmark per experiment (E1–E12; see DESIGN.md's experiment index
+// One benchmark per experiment (E1–E13; see DESIGN.md's experiment index
 // and EXPERIMENTS.md for recorded results), plus micro-benchmarks of the
 // core machinery: replay, serializability-graph construction, the two
-// safety deciders, policy monitors and the execution engine.
+// safety deciders, policy monitors, the execution engine, the sharded
+// lock manager and the goroutine transaction runtime.
 
 import (
+	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"locksafe/internal/checker"
 	"locksafe/internal/engine"
 	"locksafe/internal/experiments"
+	"locksafe/internal/lockmgr"
 	"locksafe/internal/model"
 	"locksafe/internal/policy"
+	txnruntime "locksafe/internal/runtime"
 	"locksafe/internal/workload"
 )
 
@@ -211,14 +217,7 @@ func BenchmarkEngine2PLContention(b *testing.B) {
 	ents := []model.Entity{"a", "b", "c", "d"}
 	var txns []model.Txn
 	for i := 0; i < 8; i++ {
-		var steps []model.Step
-		for _, e := range ents {
-			steps = append(steps, model.LX(e), model.W(e))
-		}
-		for _, e := range ents {
-			steps = append(steps, model.UX(e))
-		}
-		txns = append(txns, model.Txn{Steps: steps})
+		txns = append(txns, model.Txn{Steps: workload.TwoPhaseSteps(ents)})
 	}
 	sys := model.NewSystem(model.NewState(ents...), txns...)
 	b.ReportAllocs()
@@ -259,6 +258,87 @@ func BenchmarkDDAGSXCounterexample(b *testing.B) {
 		res, err := checker.Brute(sys, &checker.Options{Monitor: policy.DDAGSX{}.NewMonitor(sys)})
 		if err != nil || res.Safe {
 			b.Fatal("counterexample must be unsafe")
+		}
+	}
+}
+
+// BenchmarkLockMgrSharded measures lock/unlock pairs against the manager
+// from all cores: with one shard every pair serializes on one mutex, so
+// the per-shard-count comparison is the sharding refactor's headline
+// number (recorded in EXPERIMENTS.md).
+func BenchmarkLockMgrSharded(b *testing.B) {
+	pool := make([]model.Entity, 256)
+	for i := range pool {
+		pool[i] = model.Entity(fmt.Sprintf("k%d", i))
+	}
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			m := lockmgr.NewSharded(shards)
+			var owners atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				owner := int(owners.Add(1))
+				i := owner * 37
+				for pb.Next() {
+					e := pool[i%len(pool)]
+					i++
+					// Single-entity holds cannot deadlock; conflicts just
+					// queue and drain FIFO.
+					if err := m.Lock(owner, e, model.Exclusive); err == nil {
+						_ = m.Unlock(owner, e)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkRuntime2PLContention is the concurrent counterpart of
+// BenchmarkEngine2PLContention: the same workload shape executed by real
+// goroutines against the sharded manager.
+func BenchmarkRuntime2PLContention(b *testing.B) {
+	ents := []model.Entity{"a", "b", "c", "d"}
+	var txns []model.Txn
+	for i := 0; i < 8; i++ {
+		txns = append(txns, model.Txn{Steps: workload.TwoPhaseSteps(ents)})
+	}
+	sys := model.NewSystem(model.NewState(ents...), txns...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := txnruntime.Run(sys, txnruntime.Config{
+			Policy: policy.TwoPhase{}, Shards: 4, Backoff: 20 * time.Microsecond, MaxRetries: 500,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuntimeDTRChain runs the DTR crabbing pipeline on the
+// goroutine runtime.
+func BenchmarkRuntimeDTRChain(b *testing.B) {
+	ents := []model.Entity{"e0", "e1", "e2", "e3", "e4", "e5"}
+	var txns []model.Txn
+	for i := 0; i < 8; i++ {
+		txns = append(txns, model.Txn{Steps: workload.DTRChainSteps(ents)})
+	}
+	sys := model.NewSystem(model.NewState(ents...), txns...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := txnruntime.Run(sys, txnruntime.Config{
+			Policy: policy.DTR{}, Shards: 4, Backoff: 20 * time.Microsecond, MaxRetries: 500,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE13Scaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, r := experiments.E13Scaling(1, []int{1, 8}, []int{4}); r.Failed != "" {
+			b.Fatal(r.Failed)
 		}
 	}
 }

@@ -8,28 +8,59 @@
 //	E10 — the naive shared/exclusive DDAG extension is unsafe (machine-found)
 //	E11 — ablation: early lock release vs hold-to-end on fixed workloads
 //	E12 — ablation: shared-mode readers vs exclusive-only readers
+//	E13 — multi-core scaling of the sharded lock manager and the
+//	      goroutine transaction runtime
 //
 // Usage:
 //
-//	lockbench [-seed N] [-systems N] [e6|e7|e8|e9]...
+//	lockbench [-seed N] [-systems N] [-shards 1,4,16] [-goroutines 1,4,8] [e6|e7|...|e13]...
 //
 // With no experiment arguments the full suite runs. Output is
-// deterministic for a fixed seed (timing columns excepted).
+// deterministic for a fixed seed (timing columns excepted; E13 measures
+// wall-clock scaling and is inherently machine-dependent).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"locksafe/internal/experiments"
 )
+
+// intList parses a comma-separated list of positive ints.
+func intList(name, s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("lockbench: -%s wants positive ints, got %q", name, s)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
 
 func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	systems := flag.Int("systems", 250, "random systems for E6")
 	perPolicy := flag.Int("per-policy", 40, "systems per policy for E7")
+	shards := flag.String("shards", "1,4,16", "shard counts for E13 (comma-separated)")
+	goroutines := flag.String("goroutines", "1,4,8", "goroutine counts for E13 (comma-separated)")
 	flag.Parse()
+
+	shardCounts, err := intList("shards", *shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	gorCounts, err := intList("goroutines", *goroutines)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	runs := map[string]func() experiments.Report{
 		"e6":  func() experiments.Report { return experiments.E6Differential(*systems, *seed) },
@@ -39,8 +70,12 @@ func main() {
 		"e10": func() experiments.Report { return experiments.E10SharedDDAG(60, *seed) },
 		"e11": func() experiments.Report { _, r := experiments.E11Ablation(*seed); return r },
 		"e12": func() experiments.Report { return experiments.E12SharedReaders(*seed) },
+		"e13": func() experiments.Report {
+			_, r := experiments.E13Scaling(*seed, shardCounts, gorCounts)
+			return r
+		},
 	}
-	order := []string{"e6", "e7", "e8", "e9", "e10", "e11", "e12"}
+	order := []string{"e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"}
 
 	want := flag.Args()
 	if len(want) == 0 {
@@ -50,7 +85,7 @@ func main() {
 	for _, name := range want {
 		f, ok := runs[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "lockbench: unknown experiment %q (want e6..e12)\n", name)
+			fmt.Fprintf(os.Stderr, "lockbench: unknown experiment %q (want e6..e13)\n", name)
 			os.Exit(2)
 		}
 		r := f()

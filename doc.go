@@ -15,10 +15,15 @@
 //	internal/graph       — rooted DAGs, dominators, forests
 //	internal/locktable   — single-owner lock-table core (FIFO, upgrades,
 //	                       waits-for deadlock detection)
-//	internal/lockmgr     — concurrent S/X lock manager over the core
+//	internal/lockmgr     — concurrent S/X lock manager over the core,
+//	                       entity-hash sharded with cross-shard deadlock
+//	                       sweeps
 //	internal/engine      — deterministic virtual-time execution engine
+//	internal/runtime     — goroutine transaction runtime over the sharded
+//	                       manager (abort/retry, cascades, wall-clock
+//	                       metrics)
 //	internal/workload    — generators and the paper's worked examples
-//	internal/experiments — the E1–E12 evaluation suite
+//	internal/experiments — the E1–E13 evaluation suite
 //
 // Executables: cmd/locksafe (safety decider), cmd/figures (figure
 // walkthroughs), cmd/lockbench (quantitative tables). Runnable examples

@@ -12,8 +12,12 @@
 //	E9 cost    — canonical vs brute-force decision cost scaling
 //	E10 ext    — the naive shared/exclusive DDAG extension is unsafe
 //	             (machine-found counterexample; see e10.go)
+//	E13 scale  — multi-core scaling of the sharded lock manager and the
+//	             goroutine transaction runtime (see e13.go)
 //
-// Every function is deterministic given its seed arguments.
+// Every function is deterministic given its seed arguments, except E13,
+// which measures real goroutines on wall-clock time (its correctness
+// assertions are deterministic; its speeds are not).
 package experiments
 
 import (
@@ -395,7 +399,7 @@ func E8Performance(seed int64) ([]E8Row, Report) {
 	var crab, crab2PL []model.Txn
 	for i := 0; i < n; i++ {
 		crab = append(crab, model.Txn{Steps: workload.DTRChainSteps(ents)})
-		crab2PL = append(crab2PL, model.Txn{Steps: twoPhaseSteps(ents)})
+		crab2PL = append(crab2PL, model.Txn{Steps: workload.TwoPhaseSteps(ents)})
 	}
 	sysCrab := model.NewSystem(model.NewState(ents...), crab...)
 	sys2PL := model.NewSystem(model.NewState(ents...), crab2PL...)
@@ -483,17 +487,6 @@ func runE8(wl string, pol policy.Policy, sys *model.System, mpl int) E8Row {
 	}
 }
 
-func twoPhaseSteps(ents []model.Entity) []model.Step {
-	var steps []model.Step
-	for _, e := range ents {
-		steps = append(steps, model.LX(e), model.W(e))
-	}
-	for _, e := range ents {
-		steps = append(steps, model.UX(e))
-	}
-	return steps
-}
-
 // twoPhaseTxns rewrites each transaction of sys into a two-phase variant
 // performing the same data operations: lock each entity at first use,
 // release everything at the end.
@@ -575,6 +568,7 @@ func E9Scalability(seed int64) Report {
 func All() []Report {
 	_, e8 := E8Performance(1)
 	_, e11 := E11Ablation(3)
+	_, e13 := E13Scaling(1, []int{1, 8}, []int{2, 8})
 	return []Report{
 		E1CanonicalShapes(),
 		E2Figure2(),
@@ -588,5 +582,6 @@ func All() []Report {
 		E10SharedDDAG(60, 1),
 		e11,
 		E12SharedReaders(1),
+		e13,
 	}
 }

@@ -163,6 +163,38 @@ func TestE11Ablation(t *testing.T) {
 	}
 }
 
+func TestE13Scaling(t *testing.T) {
+	shards, gors := []int{1, 4}, []int{2, 4}
+	if testing.Short() {
+		shards, gors = []int{1, 2}, []int{2}
+	}
+	rows, r := E13Scaling(1, shards, gors)
+	if r.Failed != "" {
+		t.Fatalf("E13 failed: %s\n%s", r.Failed, r.Text)
+	}
+	if !strings.Contains(r.Text, "exactly one refused") {
+		t.Errorf("E13 must prove cross-shard deadlock detection:\n%s", r.Text)
+	}
+	var mgrRows, runtimeRows int
+	for _, row := range rows {
+		switch row.Section {
+		case "lockmgr":
+			mgrRows++
+			if row.OpsPerSec <= 0 {
+				t.Errorf("row %+v has no measured ops", row)
+			}
+		case "runtime":
+			runtimeRows++
+			if row.Commits == 0 {
+				t.Errorf("row %+v committed nothing", row)
+			}
+		}
+	}
+	if mgrRows != len(shards)*len(gors) || runtimeRows == 0 {
+		t.Fatalf("unexpected row counts: mgr=%d runtime=%d", mgrRows, runtimeRows)
+	}
+}
+
 func TestE12SharedReaders(t *testing.T) {
 	r := E12SharedReaders(1)
 	if r.Failed != "" {

@@ -1,0 +1,248 @@
+package lockmgr
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"locksafe/internal/locktable"
+	"locksafe/internal/model"
+)
+
+// TestShardEquivalence is the property test for the sharding refactor:
+// the sharded manager with shards=1 must behave identically to the raw
+// lock-table core on randomized request traces — same immediate outcomes
+// (grant / already-held / block / deadlock victim), same upgrade
+// behavior, same grant sets on every release, same cancellations, and
+// the same holder/queue/waiting state after every step.
+//
+// The reference is a locktable.Table driven synchronously; the subject is
+// a real Manager whose Lock calls park goroutines. The driver advances
+// one trace action at a time and waits for the concurrent side to settle
+// before comparing state, so the comparison is deterministic even though
+// the subject is concurrent.
+func TestShardEquivalence(t *testing.T) {
+	seeds := 30
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runEquivalenceTrace(t, rand.New(rand.NewSource(int64(seed))), 160)
+		})
+	}
+}
+
+const (
+	owners = 6
+	// settleTimeout bounds every wait on the concurrent side; a divergence
+	// in blocking behavior shows up as a timeout here.
+	settleTimeout = 10 * time.Second
+)
+
+var traceEntities = []model.Entity{"a", "b", "c", "d", "e"}
+
+type eqDriver struct {
+	t   *testing.T
+	m   *Manager
+	ref *locktable.Table
+	// pending holds the result channel of each parked concurrent Lock.
+	pending map[int]chan error
+	// waitingOn mirrors ref.Waiting for bookkeeping of grant entities.
+	waitingOn map[int]model.Entity
+	// held mirrors the reference's held sets, for generating release
+	// actions.
+	held map[int]map[model.Entity]bool
+}
+
+func runEquivalenceTrace(t *testing.T, rng *rand.Rand, steps int) {
+	d := &eqDriver{
+		t:         t,
+		m:         NewSharded(1),
+		ref:       locktable.New(),
+		pending:   make(map[int]chan error),
+		waitingOn: make(map[int]model.Entity),
+		held:      make(map[int]map[model.Entity]bool),
+	}
+	for o := 0; o < owners; o++ {
+		d.held[o] = make(map[model.Entity]bool)
+	}
+	for i := 0; i < steps; i++ {
+		owner := rng.Intn(owners)
+		if _, blocked := d.waitingOn[owner]; blocked {
+			continue // one outstanding request per owner
+		}
+		switch r := rng.Intn(10); {
+		case r < 6:
+			e := traceEntities[rng.Intn(len(traceEntities))]
+			mode := model.Shared
+			if rng.Intn(2) == 0 {
+				mode = model.Exclusive
+			}
+			d.lock(owner, e, mode)
+		case r < 9:
+			if e, ok := anyHeld(d.held[owner], rng); ok {
+				d.unlock(owner, e)
+			}
+		default:
+			d.releaseAll(owner)
+		}
+		d.compareState()
+	}
+	// Drain: abort every parked owner, then release the rest.
+	for o := 0; o < owners; o++ {
+		d.releaseAll(o)
+		d.compareState()
+	}
+}
+
+func anyHeld(held map[model.Entity]bool, rng *rand.Rand) (model.Entity, bool) {
+	if len(held) == 0 {
+		return "", false
+	}
+	// Deterministic pick: order by name, then index by rng.
+	var es []model.Entity
+	for _, e := range traceEntities {
+		if held[e] {
+			es = append(es, e)
+		}
+	}
+	return es[rng.Intn(len(es))], true
+}
+
+// lock performs one Lock action on both sides and checks the immediate
+// outcome agrees with the reference's Acquire outcome.
+func (d *eqDriver) lock(owner int, e model.Entity, mode model.Mode) {
+	want := d.ref.Acquire(owner, e, mode)
+	ch := make(chan error, 1)
+	go func() { ch <- d.m.Lock(owner, e, mode) }()
+
+	switch want {
+	case locktable.Granted:
+		d.awaitResult(ch, nil, fmt.Sprintf("grant %d %s %s", owner, e, mode))
+		d.held[owner][e] = true
+	case locktable.AlreadyHeld:
+		err := d.await(ch, fmt.Sprintf("already-held %d %s", owner, e))
+		if err == nil || errors.Is(err, ErrDeadlock) {
+			d.t.Fatalf("owner %d re-lock %s: got %v, want already-holds error", owner, e, err)
+		}
+	case locktable.Deadlock:
+		err := d.await(ch, fmt.Sprintf("deadlock %d %s", owner, e))
+		if !errors.Is(err, ErrDeadlock) || errors.Is(err, ErrCancelled) {
+			d.t.Fatalf("owner %d on %s: got %v, want ErrDeadlock (victim)", owner, e, err)
+		}
+	case locktable.Blocked:
+		d.pending[owner] = ch
+		d.waitingOn[owner] = e
+		// The concurrent side must park, not complete.
+		deadline := time.Now().Add(settleTimeout)
+		for {
+			if _, ok := d.m.Waiting(owner); ok {
+				break
+			}
+			select {
+			case err := <-ch:
+				d.t.Fatalf("owner %d on %s completed with %v, reference says blocked", owner, e, err)
+			default:
+			}
+			if time.Now().After(deadline) {
+				d.t.Fatalf("owner %d on %s never parked", owner, e)
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}
+
+// unlock performs one Unlock on both sides and awaits the grants the
+// reference predicts.
+func (d *eqDriver) unlock(owner int, e model.Entity) {
+	granted, err := d.ref.Release(owner, e)
+	if err != nil {
+		d.t.Fatalf("reference release: %v", err)
+	}
+	delete(d.held[owner], e)
+	if err := d.m.Unlock(owner, e); err != nil {
+		d.t.Fatalf("manager unlock %d %s: %v", owner, e, err)
+	}
+	d.settleGrants(granted)
+}
+
+// releaseAll performs ReleaseAll on both sides, awaiting the predicted
+// cancellation and grants.
+func (d *eqDriver) releaseAll(owner int) {
+	granted, cancelled := d.ref.ReleaseAll(owner)
+	d.held[owner] = make(map[model.Entity]bool)
+	d.m.ReleaseAll(owner)
+	for _, c := range cancelled {
+		ch, ok := d.pending[c.Owner]
+		if !ok {
+			d.t.Fatalf("reference cancelled owner %d, but no pending request", c.Owner)
+		}
+		delete(d.pending, c.Owner)
+		delete(d.waitingOn, c.Owner)
+		err := d.await(ch, fmt.Sprintf("cancel %d", c.Owner))
+		if !errors.Is(err, ErrCancelled) {
+			d.t.Fatalf("cancelled owner %d got %v, want ErrCancelled", c.Owner, err)
+		}
+	}
+	d.settleGrants(granted)
+}
+
+// settleGrants awaits the parked Lock completions the reference predicts
+// and records the new holders.
+func (d *eqDriver) settleGrants(granted []locktable.Waiter) {
+	for _, g := range granted {
+		ch, ok := d.pending[g.Owner]
+		if !ok {
+			d.t.Fatalf("reference granted owner %d, but no pending request", g.Owner)
+		}
+		delete(d.pending, g.Owner)
+		e := d.waitingOn[g.Owner]
+		delete(d.waitingOn, g.Owner)
+		d.awaitResult(ch, nil, fmt.Sprintf("wake %d %s", g.Owner, e))
+		d.held[g.Owner][e] = true
+	}
+}
+
+func (d *eqDriver) await(ch chan error, what string) error {
+	select {
+	case err := <-ch:
+		return err
+	case <-time.After(settleTimeout):
+		d.t.Fatalf("timed out awaiting %s", what)
+		return nil
+	}
+}
+
+func (d *eqDriver) awaitResult(ch chan error, want error, what string) {
+	if err := d.await(ch, what); !errors.Is(err, want) && err != want {
+		d.t.Fatalf("%s: got %v, want %v", what, err, want)
+	}
+}
+
+// compareState asserts the manager and the reference agree on every
+// holder, mode, queue length and waiting owner.
+func (d *eqDriver) compareState() {
+	for o := 0; o < owners; o++ {
+		for _, e := range traceEntities {
+			rm, rok := d.ref.Holds(o, e)
+			mm, mok := d.m.Holds(o, e)
+			if rok != mok || (rok && rm != mm) {
+				d.t.Fatalf("Holds(%d, %s): manager %v,%v; reference %v,%v", o, e, mm, mok, rm, rok)
+			}
+		}
+		re, rok := d.ref.Waiting(o)
+		me, mok := d.m.Waiting(o)
+		if rok != mok || (rok && re != me) {
+			d.t.Fatalf("Waiting(%d): manager %v,%v; reference %v,%v", o, me, mok, re, rok)
+		}
+	}
+	for _, e := range traceEntities {
+		if rq, mq := d.ref.QueueLen(e), d.m.QueueLen(e); rq != mq {
+			d.t.Fatalf("QueueLen(%s): manager %d, reference %d", e, mq, rq)
+		}
+	}
+}

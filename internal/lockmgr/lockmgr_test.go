@@ -1,6 +1,7 @@
 package lockmgr
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -121,8 +122,18 @@ func TestReleaseAllCancelsWaiters(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	m.ReleaseAll(2) // owner 2 aborts while waiting
-	if err := <-done; err != ErrDeadlock {
-		t.Fatalf("cancelled waiter should see ErrDeadlock, got %v", err)
+	err := <-done
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("cancelled waiter should see ErrCancelled, got %v", err)
+	}
+	// Compatibility: cancellation still reads as an abort signal to
+	// callers that only check for ErrDeadlock.
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("ErrCancelled must wrap ErrDeadlock, got %v", err)
+	}
+	// A genuine victim is distinguishable: it is NOT a cancellation.
+	if errors.Is(ErrDeadlock, ErrCancelled) {
+		t.Fatal("ErrDeadlock must not match ErrCancelled")
 	}
 	// Lock is still held by 1.
 	if _, ok := m.Holds(1, "a"); !ok {

@@ -1,0 +1,250 @@
+package lockmgr
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"locksafe/internal/model"
+)
+
+// crossShardEntities returns n entities that all hash to pairwise distinct
+// shards of m.
+func crossShardEntities(t *testing.T, m *Manager, n int) []model.Entity {
+	t.Helper()
+	if n > m.Shards() {
+		t.Fatalf("cannot pick %d distinct shards out of %d", n, m.Shards())
+	}
+	used := make(map[int]bool)
+	var out []model.Entity
+	for i := 0; len(out) < n && i < 10000; i++ {
+		e := model.Entity(fmt.Sprintf("x%d", i))
+		if s := m.ShardOf(e); !used[s] {
+			used[s] = true
+			out = append(out, e)
+		}
+	}
+	if len(out) < n {
+		t.Fatal("entity search exhausted")
+	}
+	return out
+}
+
+func TestShardOfStable(t *testing.T) {
+	m := NewSharded(8)
+	for _, e := range []model.Entity{"a", "b", "entity-with-a-long-name"} {
+		s := m.ShardOf(e)
+		if s < 0 || s >= 8 {
+			t.Fatalf("ShardOf(%s) = %d out of range", e, s)
+		}
+		if m.ShardOf(e) != s {
+			t.Fatalf("ShardOf(%s) not stable", e)
+		}
+	}
+	if NewSharded(0).Shards() != 1 {
+		t.Fatal("NewSharded(0) must clamp to 1")
+	}
+	if New().Shards() != 1 {
+		t.Fatal("New() must be the single-shard manager")
+	}
+}
+
+// TestCrossShardDeadlockTwo builds the minimal cycle spanning two shards:
+// owner 1 holds a (shard A) and requests b (shard B); owner 2 holds b and
+// requests a. No single shard sees both edges, so only the cross-shard
+// sweep can refuse a victim. Exactly one owner must get ErrDeadlock; the
+// other is granted once the victim releases.
+func TestCrossShardDeadlockTwo(t *testing.T) {
+	m := NewSharded(4)
+	ents := crossShardEntities(t, m, 2)
+	a, b := ents[0], ents[1]
+	if err := m.Lock(1, a, model.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, b, model.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	type res struct {
+		owner int
+		err   error
+	}
+	ch := make(chan res, 2)
+	go func() { ch <- res{1, m.Lock(1, b, model.Exclusive)} }()
+	go func() { ch <- res{2, m.Lock(2, a, model.Exclusive)} }()
+
+	var first res
+	select {
+	case first = <-ch:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cross-shard cycle was not detected (both requests still parked)")
+	}
+	if !errors.Is(first.err, ErrDeadlock) || errors.Is(first.err, ErrCancelled) {
+		t.Fatalf("victim owner %d got %v, want ErrDeadlock", first.owner, first.err)
+	}
+	// The victim aborts: releasing its held lock lets the survivor finish.
+	m.ReleaseAll(first.owner)
+	select {
+	case second := <-ch:
+		if second.err != nil {
+			t.Fatalf("survivor owner %d got %v, want grant", second.owner, second.err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("survivor never granted after victim release")
+	}
+	m.ReleaseAll(1)
+	m.ReleaseAll(2)
+}
+
+// TestCrossShardDeadlockRing runs a three-owner ring across three distinct
+// shards: exactly one victim is refused, the remaining chain drains.
+func TestCrossShardDeadlockRing(t *testing.T) {
+	m := NewSharded(8)
+	ents := crossShardEntities(t, m, 3)
+	for i := 0; i < 3; i++ {
+		if err := m.Lock(i, ents[i], model.Exclusive); err != nil {
+			t.Fatal(err)
+		}
+	}
+	type res struct {
+		owner int
+		err   error
+	}
+	ch := make(chan res, 3)
+	for i := 0; i < 3; i++ {
+		go func(i int) {
+			err := m.Lock(i, ents[(i+1)%3], model.Exclusive)
+			// Victim or not, drop everything so the remaining chain drains.
+			m.ReleaseAll(i)
+			ch <- res{i, err}
+		}(i)
+	}
+	victims := 0
+	for i := 0; i < 3; i++ {
+		select {
+		case r := <-ch:
+			if r.err != nil {
+				if !errors.Is(r.err, ErrDeadlock) {
+					t.Fatalf("owner %d: unexpected error %v", r.owner, r.err)
+				}
+				victims++
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("ring did not drain: cycle missed or grant lost")
+		}
+	}
+	if victims != 1 {
+		t.Fatalf("victims = %d, want exactly 1", victims)
+	}
+	for i := 0; i < 3; i++ {
+		m.ReleaseAll(i)
+	}
+}
+
+// TestCrossShardStress fans many goroutines over many shards acquiring
+// entity pairs in opposing orders, so cross-shard cycles form constantly.
+// Completion is the assertion: a missed cycle parks two goroutines
+// forever and the test times out; a livelocked sweep would do the same.
+func TestCrossShardStress(t *testing.T) {
+	m := NewSharded(8)
+	pool := make([]model.Entity, 24)
+	for i := range pool {
+		pool[i] = model.Entity(fmt.Sprintf("e%d", i))
+	}
+	var deadlocks, cancelled atomic.Int64
+	var wg sync.WaitGroup
+	for owner := 0; owner < 16; owner++ {
+		wg.Add(1)
+		go func(owner int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(owner)))
+			for round := 0; round < 120; round++ {
+				i, j := rng.Intn(len(pool)), rng.Intn(len(pool))
+				if i == j {
+					continue
+				}
+				// Half the owners acquire in ascending, half in descending
+				// index order: opposing orders manufacture cycles.
+				if owner%2 == 0 && i > j {
+					i, j = j, i
+				} else if owner%2 == 1 && i < j {
+					i, j = j, i
+				}
+				mode := model.Exclusive
+				if rng.Intn(3) == 0 {
+					mode = model.Shared
+				}
+				if err := m.Lock(owner, pool[i], mode); err != nil {
+					countAbort(t, err, &deadlocks, &cancelled)
+					m.ReleaseAll(owner)
+					continue
+				}
+				if err := m.Lock(owner, pool[j], model.Exclusive); err != nil {
+					countAbort(t, err, &deadlocks, &cancelled)
+				}
+				m.ReleaseAll(owner)
+			}
+		}(owner)
+	}
+	wg.Wait()
+	t.Logf("deadlock victims: %d, cancellations: %d", deadlocks.Load(), cancelled.Load())
+	// Nothing may be left held or queued.
+	for owner := 0; owner < 16; owner++ {
+		if e, ok := m.Waiting(owner); ok {
+			t.Errorf("owner %d still waiting on %s", owner, e)
+		}
+	}
+	for _, e := range pool {
+		if h := m.HeldBy(e); len(h) != 0 {
+			t.Errorf("entity %s still held by %v", e, h)
+		}
+		if q := m.QueueLen(e); q != 0 {
+			t.Errorf("entity %s still has %d waiters", e, q)
+		}
+	}
+}
+
+func countAbort(t *testing.T, err error, deadlocks, cancelled *atomic.Int64) {
+	t.Helper()
+	switch {
+	case errors.Is(err, ErrCancelled):
+		cancelled.Add(1)
+	case errors.Is(err, ErrDeadlock):
+		deadlocks.Add(1)
+	default:
+		t.Errorf("unexpected lock error: %v", err)
+	}
+}
+
+// TestShardedUpgradeStress is the upgrade stress test across many shards:
+// shared acquire, upgrade attempt, release, under -race.
+func TestShardedUpgradeStress(t *testing.T) {
+	m := NewSharded(4)
+	ents := []model.Entity{"a", "b", "c", "d", "e"}
+	var wg sync.WaitGroup
+	for owner := 0; owner < 12; owner++ {
+		wg.Add(1)
+		go func(owner int) {
+			defer wg.Done()
+			for round := 0; round < 40; round++ {
+				e := ents[(owner+round)%len(ents)]
+				if err := m.Lock(owner, e, model.Shared); err != nil {
+					continue
+				}
+				if err := m.Lock(owner, e, model.Exclusive); err == nil {
+					if mode, ok := m.Holds(owner, e); !ok || mode != model.Exclusive {
+						t.Errorf("owner %d: upgrade granted but mode = %v, %v", owner, mode, ok)
+					}
+				}
+				if err := m.Unlock(owner, e); err != nil {
+					t.Errorf("owner %d unlock %s: %v", owner, e, err)
+					return
+				}
+			}
+		}(owner)
+	}
+	wg.Wait()
+}

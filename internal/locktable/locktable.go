@@ -210,6 +210,34 @@ func (t *Table) blockers(e model.Entity, w Waiter, out []int) []int {
 	return out
 }
 
+// Edge is one waits-for edge of the table: Waiter cannot proceed until
+// Blocker either releases a conflicting lock or leaves the queue ahead of
+// it.
+type Edge struct {
+	Waiter, Blocker int
+}
+
+// WaitEdges appends the table's current waits-for edges to out and returns
+// the result. The edges of several tables can be concatenated into one
+// global graph: owner identity is table-independent, so a cycle spanning
+// entity-sharded tables is a cycle in the concatenation. The sharded lock
+// manager uses this to run deadlock detection across its shards, which
+// individually see only their own entities' edges.
+func (t *Table) WaitEdges(out []Edge) []Edge {
+	for owner, e := range t.waiting {
+		en := t.entities[e]
+		for _, q := range en.queue {
+			if q.Owner == owner {
+				for _, b := range t.blockers(e, q, nil) {
+					out = append(out, Edge{Waiter: owner, Blocker: b})
+				}
+				break
+			}
+		}
+	}
+	return out
+}
+
 // wouldDeadlock reports whether enqueueing request w for owner on e would
 // close a cycle in the waits-for graph. The graph is derived on the fly
 // from the table: each blocked owner waits for the blockers of its queued
@@ -285,23 +313,39 @@ func (t *Table) Release(owner int, e model.Entity) ([]Waiter, error) {
 	return t.grant(e, en), nil
 }
 
+// Cancel removes owner's pending request, if any, leaving its held locks
+// untouched. It returns the request it removed (valid only when ok) and
+// the waiters granted because the removal unblocked the queue. The
+// sharded lock manager uses it to refuse a cross-shard deadlock victim
+// without disturbing the locks the victim still holds.
+func (t *Table) Cancel(owner int) (granted []Waiter, cancelled Waiter, ok bool) {
+	we, waiting := t.waiting[owner]
+	if !waiting {
+		return nil, Waiter{}, false
+	}
+	en := t.entities[we]
+	for i, q := range en.queue {
+		if q.Owner == owner {
+			en.queue = append(en.queue[:i], en.queue[i+1:]...)
+			cancelled, ok = q, true
+			break
+		}
+	}
+	delete(t.waiting, owner)
+	// Removing a queued request can unblock the new queue head.
+	return t.grant(we, en), cancelled, ok
+}
+
 // ReleaseAll releases every lock owner holds and cancels its pending
 // request, if any. It returns the waiters granted by the releases and the
 // cancelled request (nil or owner's own). Release order follows the
 // owner's acquisition order, so the grant sequence is deterministic.
 func (t *Table) ReleaseAll(owner int) (granted, cancelled []Waiter) {
-	if we, ok := t.waiting[owner]; ok {
-		en := t.entities[we]
-		for i, q := range en.queue {
-			if q.Owner == owner {
-				en.queue = append(en.queue[:i], en.queue[i+1:]...)
-				cancelled = append(cancelled, q)
-				break
-			}
+	if g, c, ok := t.Cancel(owner); ok || len(g) > 0 {
+		granted = append(granted, g...)
+		if ok {
+			cancelled = append(cancelled, c)
 		}
-		delete(t.waiting, owner)
-		// Removing a queued request can unblock the new queue head.
-		granted = append(granted, t.grant(we, en)...)
 	}
 	for _, e := range t.held[owner] {
 		en := t.entities[e]

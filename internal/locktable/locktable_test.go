@@ -1,6 +1,7 @@
 package locktable
 
 import (
+	"sort"
 	"testing"
 
 	"locksafe/internal/model"
@@ -278,5 +279,92 @@ func TestReleaseErrors(t *testing.T) {
 	tab.Acquire(1, "a", model.Exclusive)
 	if _, err := tab.Release(2, "a"); err == nil {
 		t.Error("release by a non-holder must fail")
+	}
+}
+
+// sortEdges orders edges deterministically for comparison.
+func sortEdges(edges []Edge) []Edge {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Waiter != edges[j].Waiter {
+			return edges[i].Waiter < edges[j].Waiter
+		}
+		return edges[i].Blocker < edges[j].Blocker
+	})
+	return edges
+}
+
+func TestWaitEdges(t *testing.T) {
+	tab := New()
+	tab.Acquire(1, "a", model.Exclusive)
+	tab.Acquire(2, "b", model.Shared)
+	if tab.WaitEdges(nil) != nil {
+		t.Fatal("no waiters, no edges")
+	}
+	// 3 blocks behind the holder of a; 4 queues behind 3 (FIFO edge to
+	// both the holder and the waiter ahead).
+	tab.Acquire(3, "a", model.Exclusive)
+	tab.Acquire(4, "a", model.Shared)
+	// 2 upgrades on b behind shared holder 5: upgrade edges point only at
+	// conflicting holders.
+	tab.Acquire(5, "b", model.Shared)
+	tab.Acquire(2, "b", model.Exclusive)
+	got := sortEdges(tab.WaitEdges(nil))
+	want := []Edge{{2, 5}, {3, 1}, {4, 1}, {4, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("WaitEdges = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("WaitEdges = %v, want %v", got, want)
+		}
+	}
+	// Edges compose across tables: the same call appends.
+	other := New()
+	other.Acquire(9, "z", model.Exclusive)
+	other.Acquire(3, "z", model.Exclusive) // fictional second table edge
+	all := other.WaitEdges(tab.WaitEdges(nil))
+	if len(all) != len(want)+1 {
+		t.Fatalf("composed edges = %v", all)
+	}
+}
+
+func TestCancelPendingRequest(t *testing.T) {
+	tab := New()
+	tab.Acquire(1, "a", model.Exclusive)
+	tab.Acquire(2, "a", model.Exclusive)
+	tab.Acquire(3, "a", model.Shared)
+
+	// Cancelling a non-waiter is a no-op.
+	if _, _, ok := tab.Cancel(1); ok {
+		t.Fatal("holder must not be cancellable")
+	}
+	// Cancelling 2 (queue head) must not grant 3: the holder still
+	// conflicts.
+	granted, cancelled, ok := tab.Cancel(2)
+	if !ok || cancelled.Owner != 2 {
+		t.Fatalf("Cancel(2) = %v, %v, %v", granted, cancelled, ok)
+	}
+	if len(granted) != 0 {
+		t.Fatalf("granted = %v, want none (1 still holds X)", granted)
+	}
+	if _, waiting := tab.Waiting(2); waiting {
+		t.Fatal("2 still recorded as waiting")
+	}
+	// Held locks survive cancellation.
+	if _, ok := tab.Holds(1, "a"); !ok {
+		t.Fatal("holder lost its lock")
+	}
+
+	// Cancelling the head in front of a compatible waiter grants it.
+	tab2 := New()
+	tab2.Acquire(1, "a", model.Shared)
+	tab2.Acquire(2, "a", model.Exclusive)
+	tab2.Acquire(3, "a", model.Shared)
+	granted, _, ok = tab2.Cancel(2)
+	if !ok || len(granted) != 1 || granted[0].Owner != 3 {
+		t.Fatalf("Cancel(2) granted %v, want owner 3", granted)
+	}
+	if mode, held := tab2.Holds(3, "a"); !held || mode != model.Shared {
+		t.Fatal("3 not promoted to holder")
 	}
 }

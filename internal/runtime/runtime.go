@@ -1,0 +1,441 @@
+// Package runtime executes transaction systems as real goroutines against
+// the sharded concurrent lock manager under a locking-policy monitor. It
+// is the concurrent counterpart of the virtual-time execution engine
+// (locksafe/internal/engine): the same abort/retry discipline, the same
+// cascading-abort rule (a surviving event that no longer replays — for
+// example a wake member of an aborted altruistic donor — is aborted too),
+// and comparable metrics, but measured on real cores and wall-clock time
+// instead of a deterministic simulation.
+//
+// Locking goes through lockmgr.Manager, so grant order, upgrades and
+// deadlock detection (including cross-shard sweeps) are the shared
+// lock-table core's. Policy rules are consulted through a serialized
+// monitor gate: one mutex orders every Check/Step, the structural-state
+// update and the log append, which defines the executed schedule. The
+// lock manager may observe a slightly different interleaving than the
+// gate, but conflicting operations cannot reorder across it: a grant only
+// follows a release whose unlock event was logged under the same gate, so
+// the logged schedule is legal — and Run verifies the committed schedule
+// is serializable before returning.
+//
+// Abort recovery: on abort the victim's events are erased and the
+// monitor and structural state are rebuilt by replaying the surviving
+// log through a fresh monitor. A survivor that no longer replays is a
+// cascade victim: its generation is bumped (invalidating its in-flight
+// attempt), its locks and pending request are torn down through
+// ReleaseAll — waking it with lockmgr.ErrCancelled if parked — and, if
+// it had already committed, it is un-committed and re-spawned, exactly
+// as the engine re-runs such transactions.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"locksafe/internal/lockmgr"
+	"locksafe/internal/model"
+	"locksafe/internal/policy"
+)
+
+// Config controls a run.
+type Config struct {
+	// Policy supplies the runtime rules; nil means policy.Unrestricted.
+	Policy policy.Policy
+	// Shards is the lock manager's shard count (default 1).
+	Shards int
+	// MPL is the multiprogramming level: how many transactions may be
+	// active simultaneously. 0 means unbounded.
+	MPL int
+	// MaxRetries bounds retries per transaction (default 40); beyond it
+	// the transaction is abandoned and counted in Metrics.GaveUp.
+	MaxRetries int
+	// Backoff is the base retry delay (default 200µs); the k-th retry
+	// waits k*Backoff.
+	Backoff time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Policy == nil {
+		c.Policy = policy.Unrestricted{}
+	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 40
+	}
+	if c.Backoff == 0 {
+		c.Backoff = 200 * time.Microsecond
+	}
+	return c
+}
+
+// Metrics summarizes a run. The fields mirror engine.Metrics, with
+// wall-clock durations in place of virtual ticks.
+type Metrics struct {
+	// Commits and GaveUp partition the transactions.
+	Commits, GaveUp int
+	// DeadlockAborts, PolicyAborts, ImproperAborts and CascadeAborts
+	// count abort events by cause.
+	DeadlockAborts, PolicyAborts, ImproperAborts, CascadeAborts int
+	// Wait accumulates wall time spent inside lock acquisition.
+	Wait time.Duration
+	// Elapsed is the wall-clock makespan of the whole run.
+	Elapsed time.Duration
+	// Events is the number of executed (surviving) events.
+	Events int
+}
+
+// Aborts returns the total abort count.
+func (m Metrics) Aborts() int {
+	return m.DeadlockAborts + m.PolicyAborts + m.ImproperAborts + m.CascadeAborts
+}
+
+// Throughput returns commits per second of wall-clock time.
+func (m Metrics) Throughput() float64 {
+	if m.Elapsed <= 0 {
+		return 0
+	}
+	return float64(m.Commits) / m.Elapsed.Seconds()
+}
+
+// Result is the outcome of a run: metrics plus the committed schedule,
+// which Run verifies to be serializable before returning.
+type Result struct {
+	Metrics  Metrics
+	Schedule model.Schedule // events of committed transactions, in gate order
+}
+
+type txnStatus uint8
+
+const (
+	txActive txnStatus = iota
+	txCommitted
+	txAbandoned
+)
+
+type runner struct {
+	sys *model.System
+	cfg Config
+	mgr *lockmgr.Manager
+
+	sem chan struct{} // MPL admission; nil = unbounded
+	wg  sync.WaitGroup
+
+	// mu is the monitor gate: it serializes monitor Check/Step, the
+	// structural state, the log and all transaction bookkeeping.
+	mu      sync.Mutex
+	state   model.State
+	monitor model.Monitor
+	log     model.Schedule
+	status  []txnStatus
+	// gen is the abort generation: bumping gen[t] invalidates t's
+	// in-flight attempt, which notices at its next gate entry (or when
+	// its parked lock request is cancelled) and restarts.
+	gen      []int
+	attempts []int
+	met      Metrics
+	// fatal records an internal invariant breach (monitor Check/Step
+	// disagreement); the run stops admitting events and reports it.
+	fatal error
+}
+
+// Run executes the system's transactions as goroutines and returns
+// metrics and the committed schedule.
+func Run(sys *model.System, cfg Config) (*Result, error) {
+	r := newRunner(sys, cfg)
+	start := time.Now()
+	r.wg.Add(len(sys.Txns))
+	for t := range sys.Txns {
+		go r.runTxn(t)
+	}
+	r.wg.Wait()
+	r.met.Elapsed = time.Since(start)
+	if r.fatal != nil {
+		return nil, r.fatal
+	}
+	r.met.Events = len(r.log)
+	// Abandoned transactions' events were erased at their final abort, so
+	// the log is exactly the committed schedule.
+	if !r.log.Serializable(sys) {
+		return nil, fmt.Errorf("runtime: committed schedule is NOT serializable under policy %q", r.cfg.Policy.Name())
+	}
+	return &Result{Metrics: r.met, Schedule: r.log}, nil
+}
+
+func newRunner(sys *model.System, cfg Config) *runner {
+	cfg = cfg.withDefaults()
+	r := &runner{
+		sys:      sys,
+		cfg:      cfg,
+		mgr:      lockmgr.NewSharded(cfg.Shards),
+		state:    sys.Init.Clone(),
+		monitor:  cfg.Policy.NewMonitor(sys),
+		status:   make([]txnStatus, len(sys.Txns)),
+		gen:      make([]int, len(sys.Txns)),
+		attempts: make([]int, len(sys.Txns)),
+	}
+	if cfg.MPL > 0 {
+		r.sem = make(chan struct{}, cfg.MPL)
+	}
+	return r
+}
+
+// runTxn drives one transaction to commit or abandonment, retrying with
+// linear backoff after each abort.
+func (r *runner) runTxn(t int) {
+	defer r.wg.Done()
+	if r.sem != nil {
+		r.sem <- struct{}{}
+		defer func() { <-r.sem }()
+	}
+	for {
+		again, delay := r.attempt(t)
+		if !again {
+			return
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+	}
+}
+
+func (r *runner) backoff(k int) time.Duration {
+	return time.Duration(k) * r.cfg.Backoff
+}
+
+// attempt executes one full pass over t's steps. It reports whether to
+// retry and after what delay.
+func (r *runner) attempt(t int) (bool, time.Duration) {
+	r.mu.Lock()
+	if r.status[t] != txActive || r.fatal != nil {
+		r.mu.Unlock()
+		return false, 0
+	}
+	gen := r.gen[t]
+	r.mu.Unlock()
+
+	tx := r.sys.Txns[t]
+	for pos := 0; pos < tx.Len(); pos++ {
+		step := tx.Steps[pos]
+		ev := model.Ev{T: model.TID(t), S: step}
+		switch {
+		case step.Op.IsLock():
+			t0 := time.Now()
+			err := r.mgr.Lock(t, step.Ent, step.Op.LockMode())
+			wait := time.Since(t0)
+			r.mu.Lock()
+			r.met.Wait += wait
+			if stale, out := r.staleLocked(t, gen); stale {
+				return out.again, out.delay
+			}
+			if err != nil {
+				if !errors.Is(err, lockmgr.ErrDeadlock) {
+					// Re-locking a held entity: a malformed workload, not
+					// an abortable conflict.
+					r.fatal = fmt.Errorf("runtime: %w", err)
+					return r.bailLocked(t)
+				}
+				// Deadlock victim (intra- or cross-shard).
+				r.met.DeadlockAborts++
+				return r.abortLocked(t)
+			}
+			// Consult the policy at grant time, as the engine does.
+			if err := r.monitor.Check(ev); err != nil {
+				r.met.PolicyAborts++
+				return r.abortLocked(t)
+			}
+			if !r.commitEventLocked(ev) {
+				return r.bailLocked(t)
+			}
+			r.mu.Unlock()
+
+		case step.Op.IsUnlock():
+			r.mu.Lock()
+			if stale, out := r.staleLocked(t, gen); stale {
+				return out.again, out.delay
+			}
+			// Consult the policy before mutating the table (e.g. X-only
+			// policies veto shared unlocks).
+			if err := r.monitor.Check(ev); err != nil {
+				r.met.PolicyAborts++
+				return r.abortLocked(t)
+			}
+			if err := r.mgr.Unlock(t, step.Ent); err != nil {
+				r.fatal = fmt.Errorf("runtime: %w", err)
+				return r.bailLocked(t)
+			}
+			if !r.commitEventLocked(ev) {
+				return r.bailLocked(t)
+			}
+			r.mu.Unlock()
+
+		default: // data step
+			r.mu.Lock()
+			if stale, out := r.staleLocked(t, gen); stale {
+				return out.again, out.delay
+			}
+			if !r.state.Defined(step) {
+				// The workload raced ahead of a creator transaction:
+				// retry later.
+				r.met.ImproperAborts++
+				return r.abortLocked(t)
+			}
+			if err := r.monitor.Check(ev); err != nil {
+				r.met.PolicyAborts++
+				return r.abortLocked(t)
+			}
+			r.state.Apply(step)
+			if !r.commitEventLocked(ev) {
+				return r.bailLocked(t)
+			}
+			r.mu.Unlock()
+		}
+	}
+
+	r.mu.Lock()
+	if stale, out := r.staleLocked(t, gen); stale {
+		return out.again, out.delay
+	}
+	r.status[t] = txCommitted
+	r.met.Commits++
+	// Well-formed transactions have released everything; drop strays (so
+	// a workload bug cannot wedge the rest of the run) while still under
+	// the gate — after mu is released a cascade may un-commit and
+	// re-spawn t, and a stray teardown would tear the new attempt down.
+	r.mgr.ReleaseAll(t)
+	r.mu.Unlock()
+	return false, 0
+}
+
+type retryOut struct {
+	again bool
+	delay time.Duration
+}
+
+// staleLocked checks whether t's attempt was invalidated by a concurrent
+// cascade (or the run hit a fatal error). Called with mu held; on stale
+// it releases mu, sheds any lock the attempt acquired inside the race
+// window after the cascade's ReleaseAll, and reports how to continue.
+func (r *runner) staleLocked(t, gen int) (bool, retryOut) {
+	if r.fatal != nil {
+		r.mu.Unlock()
+		r.mgr.ReleaseAll(t)
+		return true, retryOut{again: false}
+	}
+	if r.gen[t] == gen {
+		return false, retryOut{}
+	}
+	again := r.status[t] == txActive
+	delay := r.backoff(r.attempts[t])
+	r.mu.Unlock()
+	// The aborter already erased our events, charged the retry and
+	// released our locks; only locks acquired after that teardown can
+	// remain, and they were never observed by the monitor.
+	r.mgr.ReleaseAll(t)
+	return true, retryOut{again: again, delay: delay}
+}
+
+// bailLocked stops t after a fatal error. Called with mu held; releases
+// it.
+func (r *runner) bailLocked(t int) (bool, time.Duration) {
+	r.mu.Unlock()
+	r.mgr.ReleaseAll(t)
+	return false, 0
+}
+
+// commitEventLocked applies ev to the monitor and appends it to the log.
+// Called with mu held after a successful Check; reports false (recording
+// a fatal error) if the monitor reneges on its Check.
+func (r *runner) commitEventLocked(ev model.Ev) bool {
+	if err := r.monitor.Step(ev); err != nil {
+		r.fatal = fmt.Errorf("runtime: monitor accepted Check but rejected Step: %w", err)
+		return false
+	}
+	r.log = append(r.log, ev)
+	return true
+}
+
+// abortLocked aborts t's current attempt: erase its events (cascading as
+// needed), charge the retry, tear down its locks. Called with mu held;
+// returns with mu released.
+func (r *runner) abortLocked(t int) (bool, time.Duration) {
+	r.eraseLocked(map[int]bool{t: true})
+	r.chargeLocked(t)
+	again := r.status[t] == txActive
+	delay := r.backoff(r.attempts[t])
+	r.mu.Unlock()
+	r.mgr.ReleaseAll(t)
+	return again, delay
+}
+
+// chargeLocked bumps t's generation and retry count, abandoning it past
+// MaxRetries. Called with mu held.
+func (r *runner) chargeLocked(t int) {
+	r.gen[t]++
+	r.attempts[t]++
+	if r.attempts[t] > r.cfg.MaxRetries && r.status[t] == txActive {
+		r.status[t] = txAbandoned
+		r.met.GaveUp++
+	}
+}
+
+// eraseLocked removes the victims' events from the log and rebuilds the
+// monitor and structural state by replaying the survivors through a
+// fresh monitor. A surviving event that no longer replays identifies a
+// cascade victim (for example a wake member of an aborted altruistic
+// donor): it is torn down too — un-committing and re-spawning it if it
+// had already finished — and the replay restarts. Victims only grow, so
+// the loop converges. Called with mu held.
+func (r *runner) eraseLocked(victims map[int]bool) {
+	for {
+		state := r.sys.Init.Clone()
+		monitor := r.cfg.Policy.NewMonitor(r.sys)
+		survivors := make(model.Schedule, 0, len(r.log))
+		cascade := -1
+		for _, ev := range r.log {
+			if victims[int(ev.T)] {
+				continue
+			}
+			if ev.S.Op.IsData() && !state.Defined(ev.S) {
+				cascade = int(ev.T)
+				break
+			}
+			if err := monitor.Step(ev); err != nil {
+				cascade = int(ev.T)
+				break
+			}
+			state.Apply(ev.S)
+			survivors = append(survivors, ev)
+		}
+		if cascade < 0 {
+			r.log = survivors
+			r.state = state
+			r.monitor = monitor
+			return
+		}
+		victims[cascade] = true
+		r.met.CascadeAborts++
+		respawn := false
+		if r.status[cascade] == txCommitted {
+			// The cascade reached an already-committed transaction (e.g.
+			// a wake member whose altruistic donor aborts after the
+			// member finished). Un-commit and re-run it, as the engine
+			// does.
+			r.status[cascade] = txActive
+			r.met.Commits--
+			respawn = true
+		}
+		r.chargeLocked(cascade)
+		// Tear down the victim's locks and wake it if parked
+		// (ErrCancelled); a running victim notices its stale generation
+		// at its next gate entry.
+		r.mgr.ReleaseAll(cascade)
+		if respawn && r.status[cascade] == txActive {
+			r.wg.Add(1)
+			go r.runTxn(cascade)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"locksafe/internal/model"
+	"locksafe/internal/policy"
+	"locksafe/internal/workload"
+)
+
+func entities(n int) []model.Entity {
+	out := make([]model.Entity, n)
+	for i := range out {
+		out[i] = model.Entity(fmt.Sprintf("e%d", i))
+	}
+	return out
+}
+
+func checkPartition(t *testing.T, res *Result, txns int) {
+	t.Helper()
+	m := res.Metrics
+	if m.Commits+m.GaveUp != txns {
+		t.Fatalf("Commits(%d) + GaveUp(%d) != txns(%d)", m.Commits, m.GaveUp, txns)
+	}
+	if m.Commits == 0 {
+		t.Fatal("nothing committed")
+	}
+	if m.Elapsed <= 0 {
+		t.Fatal("no elapsed time recorded")
+	}
+	if m.Commits > 0 && m.Events == 0 {
+		t.Fatal("commits without surviving events")
+	}
+}
+
+func TestRun2PLContention(t *testing.T) {
+	ents := entities(4)
+	var txns []model.Txn
+	for i := 0; i < 8; i++ {
+		txns = append(txns, model.Txn{Steps: workload.TwoPhaseSteps(ents)})
+	}
+	sys := model.NewSystem(model.NewState(ents...), txns...)
+	for _, shards := range []int{1, 4} {
+		res, err := Run(sys, Config{Policy: policy.TwoPhase{}, Shards: shards, Backoff: 50 * time.Microsecond})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		checkPartition(t, res, len(txns))
+		// Identical lock-order transactions cannot deadlock... but they
+		// can conflict; every committed schedule must carry all events.
+		if res.Metrics.Commits == len(txns) && len(res.Schedule) != len(txns)*len(ents)*3 {
+			t.Fatalf("shards=%d: schedule has %d events", shards, len(res.Schedule))
+		}
+	}
+}
+
+func TestRunDeadlockProneWorkload(t *testing.T) {
+	// Opposing lock orders across goroutines: deadlocks happen and are
+	// resolved by abort/retry rather than hanging the run.
+	ents := entities(6)
+	var txns []model.Txn
+	for i := 0; i < 10; i++ {
+		perm := append([]model.Entity(nil), ents...)
+		rng := rand.New(rand.NewSource(int64(i)))
+		rng.Shuffle(len(perm), func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+		txns = append(txns, model.Txn{Steps: workload.TwoPhaseSteps(perm[:4])})
+	}
+	sys := model.NewSystem(model.NewState(ents...), txns...)
+	res, err := Run(sys, Config{Policy: policy.TwoPhase{}, Shards: 8, Backoff: 50 * time.Microsecond, MaxRetries: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, res, len(txns))
+}
+
+func TestRunDTRChain(t *testing.T) {
+	ents := entities(6)
+	var txns []model.Txn
+	for i := 0; i < 8; i++ {
+		txns = append(txns, model.Txn{Steps: workload.DTRChainSteps(ents)})
+	}
+	sys := model.NewSystem(model.NewState(ents...), txns...)
+	res, err := Run(sys, Config{Policy: policy.DTR{}, Shards: 4, Backoff: 50 * time.Microsecond, MaxRetries: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, res, len(txns))
+}
+
+func TestRunAltruistic(t *testing.T) {
+	ents := entities(6)
+	var txns []model.Txn
+	for i := 0; i < 8; i++ {
+		var steps []model.Step
+		for _, e := range ents {
+			steps = append(steps, model.LX(e), model.W(e), model.UX(e))
+		}
+		txns = append(txns, model.Txn{Steps: steps})
+	}
+	sys := model.NewSystem(model.NewState(ents...), txns...)
+	res, err := Run(sys, Config{Policy: policy.Altruistic{}, Shards: 4, Backoff: 50 * time.Microsecond, MaxRetries: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, res, len(txns))
+}
+
+func TestRunMPLOneSerializes(t *testing.T) {
+	// With one transaction active at a time there is no contention at
+	// all: everything commits first try.
+	ents := entities(4)
+	var txns []model.Txn
+	for i := 0; i < 6; i++ {
+		txns = append(txns, model.Txn{Steps: workload.TwoPhaseSteps(ents)})
+	}
+	sys := model.NewSystem(model.NewState(ents...), txns...)
+	res, err := Run(sys, Config{Policy: policy.TwoPhase{}, MPL: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Commits != len(txns) || res.Metrics.Aborts() != 0 {
+		t.Fatalf("MPL=1: Commits=%d Aborts=%d, want %d and 0", res.Metrics.Commits, res.Metrics.Aborts(), len(txns))
+	}
+}
+
+func TestRunPolicyVetoGivesUp(t *testing.T) {
+	// Locking after unlocking violates two-phase rules on every attempt:
+	// the transaction must be abandoned, not retried forever.
+	sys := model.NewSystem(model.NewState("a", "b"), model.Txn{Steps: []model.Step{
+		model.LX("a"), model.W("a"), model.UX("a"),
+		model.LX("b"), model.W("b"), model.UX("b"),
+	}})
+	res, err := Run(sys, Config{Policy: policy.TwoPhase{}, MaxRetries: 3, Backoff: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.GaveUp != 1 || m.Commits != 0 {
+		t.Fatalf("GaveUp=%d Commits=%d, want 1 and 0", m.GaveUp, m.Commits)
+	}
+	if m.PolicyAborts != 4 { // initial attempt + MaxRetries retries
+		t.Fatalf("PolicyAborts = %d, want 4", m.PolicyAborts)
+	}
+	if len(res.Schedule) != 0 {
+		t.Fatalf("abandoned transaction left %d events in the schedule", len(res.Schedule))
+	}
+}
+
+// TestCascadeUnCommitsAndRespawns drives eraseLocked directly: T1
+// inserted x and T2 (already committed) read it; aborting T1 must
+// cascade into T2, un-commit it, and re-run it — whereupon the re-run
+// finds x undefined and eventually gives up.
+func TestCascadeUnCommitsAndRespawns(t *testing.T) {
+	sys := model.NewSystem(model.NewState(),
+		model.Txn{Name: "T1", Steps: []model.Step{model.LX("x"), model.I("x"), model.UX("x")}},
+		model.Txn{Name: "T2", Steps: []model.Step{model.LX("x"), model.R("x"), model.UX("x")}},
+	)
+	r := newRunner(sys, Config{MaxRetries: 2, Backoff: time.Microsecond})
+	// Hand-build the state as if T1 ran its first two steps and T2 ran to
+	// commit inside them.
+	r.mu.Lock()
+	for _, ev := range []model.Ev{
+		{T: 0, S: model.LX("x")},
+		{T: 0, S: model.I("x")},
+		{T: 0, S: model.UX("x")},
+		{T: 1, S: model.LX("x")},
+		{T: 1, S: model.R("x")},
+		{T: 1, S: model.UX("x")},
+	} {
+		if !r.commitEventLocked(ev) {
+			t.Fatal(r.fatal)
+		}
+		r.state.Apply(ev.S)
+	}
+	r.status[1] = txCommitted
+	r.met.Commits = 1
+
+	// T1 aborts.
+	r.eraseLocked(map[int]bool{0: true})
+	r.chargeLocked(0)
+	r.mu.Unlock()
+
+	// The cascade must have re-spawned T2; wait for it to run out.
+	r.wg.Wait()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.met.CascadeAborts != 1 {
+		t.Fatalf("CascadeAborts = %d, want 1", r.met.CascadeAborts)
+	}
+	if r.met.Commits != 0 {
+		t.Fatalf("Commits = %d, want 0 (T2 un-committed)", r.met.Commits)
+	}
+	if r.met.GaveUp != 1 || r.status[1] != txAbandoned {
+		t.Fatalf("GaveUp = %d status = %d; T2's re-run must abandon (x never exists)", r.met.GaveUp, r.status[1])
+	}
+	if len(r.log) != 0 {
+		t.Fatalf("log still has %d events", len(r.log))
+	}
+	if r.met.ImproperAborts == 0 {
+		t.Fatal("T2's re-run should have recorded improper aborts")
+	}
+}
+
+// TestRunStress exercises the full concurrent stack under -race: many
+// goroutines, many shards, conflicting random workloads, MPL admission.
+func TestRunStress(t *testing.T) {
+	ents := entities(10)
+	rng := rand.New(rand.NewSource(7))
+	var txns []model.Txn
+	for i := 0; i < 14; i++ {
+		k := 3 + rng.Intn(3)
+		perm := append([]model.Entity(nil), ents...)
+		rng.Shuffle(len(perm), func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+		pick := append([]model.Entity(nil), perm[:k]...)
+		sort.Slice(pick, func(a, b int) bool { return pick[a] < pick[b] })
+		txns = append(txns, model.Txn{Steps: workload.TwoPhaseSteps(pick)})
+	}
+	sys := model.NewSystem(model.NewState(ents...), txns...)
+	res, err := Run(sys, Config{Policy: policy.TwoPhase{}, Shards: 8, MPL: 6, Backoff: 20 * time.Microsecond, MaxRetries: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, res, len(txns))
+	if res.Metrics.Throughput() <= 0 {
+		t.Fatal("throughput not recorded")
+	}
+}
+
+func TestMetricsHelpers(t *testing.T) {
+	m := Metrics{Commits: 10, DeadlockAborts: 1, PolicyAborts: 2, ImproperAborts: 3, CascadeAborts: 4, Elapsed: 2 * time.Second}
+	if m.Aborts() != 10 {
+		t.Fatalf("Aborts = %d", m.Aborts())
+	}
+	if m.Throughput() != 5 {
+		t.Fatalf("Throughput = %v", m.Throughput())
+	}
+	if (Metrics{}).Throughput() != 0 {
+		t.Fatal("zero-elapsed throughput must be 0")
+	}
+}

@@ -147,6 +147,21 @@ func DTRChainSteps(ents []model.Entity) []model.Step {
 	return steps
 }
 
+// TwoPhaseSteps builds the strict two-phase walk over the given
+// entities: lock and write each in slice order, then release everything
+// at the end. It is the hold-to-end baseline the early-release policies
+// are measured against.
+func TwoPhaseSteps(ents []model.Entity) []model.Step {
+	var steps []model.Step
+	for _, e := range ents {
+		steps = append(steps, model.LX(e), model.W(e))
+	}
+	for _, e := range ents {
+		steps = append(steps, model.UX(e))
+	}
+	return steps
+}
+
 // DDAGConfig extends PolicyConfig with the shape of the initial DAG.
 type DDAGConfig struct {
 	PolicyConfig
