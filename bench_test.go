@@ -19,6 +19,7 @@ import (
 	"locksafe/internal/lockmgr"
 	"locksafe/internal/model"
 	"locksafe/internal/policy"
+	"locksafe/internal/recovery"
 	txnruntime "locksafe/internal/runtime"
 	"locksafe/internal/workload"
 )
@@ -340,6 +341,84 @@ func BenchmarkE13Scaling(b *testing.B) {
 		if _, r := experiments.E13Scaling(1, []int{1, 8}, []int{4}); r.Failed != "" {
 			b.Fatal(r.Failed)
 		}
+	}
+}
+
+func BenchmarkE14Recovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, r := experiments.E14Recovery(1, []int{600, 1200}); r.Failed != "" {
+			b.Fatal(r.Failed)
+		}
+	}
+}
+
+// BenchmarkRecoveryCompact measures one abort's recovery on a ~4096-event
+// log shaped like a real run — a bounded set of long transactions, the
+// victim's events near the tail: checkpointed suffix replay vs the naive
+// full replay the runtime used before the shared recovery core. The
+// per-op gap is the headline number of the recovery refactor (recorded
+// in EXPERIMENTS.md); it grows with log length.
+func BenchmarkRecoveryCompact(b *testing.B) {
+	const txnCount, rounds = 16, 85 // 16 × 85 × 3 ≈ 4080 events
+	ents := make([]model.Entity, txnCount)
+	events := make(model.Schedule, 0, txnCount*rounds*3)
+	for t := 0; t < txnCount; t++ {
+		e := model.Entity(fmt.Sprintf("r%d", t))
+		ents[t] = e
+		for r := 0; r < rounds; r++ {
+			events = append(events,
+				model.Ev{T: model.TID(t), S: model.LX(e)},
+				model.Ev{T: model.TID(t), S: model.W(e)},
+				model.Ev{T: model.TID(t), S: model.UX(e)})
+		}
+	}
+	init := model.NewState(ents...)
+	for _, mode := range []struct {
+		name string
+		full bool
+	}{{"checkpointed", false}, {"full-replay", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				c := recovery.New(txnCount, init, model.PermissiveMonitor{}, 0)
+				c.SetFullReplay(mode.full)
+				for _, ev := range events {
+					if err := c.Append(ev); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				// The victim is the last transaction: its events occupy the
+				// log tail, the common case for a freshly aborted attempt.
+				if ok, _ := c.Compact(map[int]bool{txnCount - 1: true}); !ok {
+					b.Fatal("compact cascaded")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRuntimeAbortHeavy runs the E14 churn workload (transactions
+// that abort every attempt, forcing recovery) through the goroutine
+// runtime in both recovery modes.
+func BenchmarkRuntimeAbortHeavy(b *testing.B) {
+	sys := experiments.AbortHeavySystem(1, 8)
+	for _, mode := range []struct {
+		name string
+		full bool
+	}{{"checkpointed", false}, {"full-replay", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := txnruntime.Run(sys, txnruntime.Config{
+					Policy: policy.TwoPhase{}, Shards: 4, Backoff: 5 * time.Microsecond,
+					MaxRetries: 40, FullReplayRecovery: mode.full,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -10,14 +10,17 @@
 //	E12 — ablation: shared-mode readers vs exclusive-only readers
 //	E13 — multi-core scaling of the sharded lock manager and the
 //	      goroutine transaction runtime
+//	E14 — abort-heavy recovery scaling: checkpointed suffix replay vs
+//	      naive full replay
 //
 // Usage:
 //
-//	lockbench [-seed N] [-systems N] [-shards 1,4,16] [-goroutines 1,4,8] [e6|e7|...|e13]...
+//	lockbench [-seed N] [-systems N] [-shards 1,4,16] [-goroutines 1,4,8] [-e14-sizes 1000,2000,4000,8000] [e6|e7|...|e14]...
 //
 // With no experiment arguments the full suite runs. Output is
-// deterministic for a fixed seed (timing columns excepted; E13 measures
-// wall-clock scaling and is inherently machine-dependent).
+// deterministic for a fixed seed (timing columns excepted; E13 and E14's
+// runtime section measure wall-clock behavior and are inherently
+// machine-dependent; E14's core replay counts are deterministic).
 package main
 
 import (
@@ -49,6 +52,7 @@ func main() {
 	perPolicy := flag.Int("per-policy", 40, "systems per policy for E7")
 	shards := flag.String("shards", "1,4,16", "shard counts for E13 (comma-separated)")
 	goroutines := flag.String("goroutines", "1,4,8", "goroutine counts for E13 (comma-separated)")
+	e14Sizes := flag.String("e14-sizes", "1000,2000,4000,8000", "log sizes for E14 (comma-separated event counts)")
 	flag.Parse()
 
 	shardCounts, err := intList("shards", *shards)
@@ -57,6 +61,11 @@ func main() {
 		os.Exit(2)
 	}
 	gorCounts, err := intList("goroutines", *goroutines)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sizeCounts, err := intList("e14-sizes", *e14Sizes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -74,8 +83,12 @@ func main() {
 			_, r := experiments.E13Scaling(*seed, shardCounts, gorCounts)
 			return r
 		},
+		"e14": func() experiments.Report {
+			_, r := experiments.E14Recovery(*seed, sizeCounts)
+			return r
+		},
 	}
-	order := []string{"e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"}
+	order := []string{"e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14"}
 
 	want := flag.Args()
 	if len(want) == 0 {
@@ -85,7 +98,7 @@ func main() {
 	for _, name := range want {
 		f, ok := runs[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "lockbench: unknown experiment %q (want e6..e13)\n", name)
+			fmt.Fprintf(os.Stderr, "lockbench: unknown experiment %q (want e6..e14)\n", name)
 			os.Exit(2)
 		}
 		r := f()

@@ -4,32 +4,68 @@
 // on the paper's canonical-schedules theorem (Theorem 1), runtime
 // implementations of the DDAG, altruistic and dynamic-tree locking
 // policies, and an evaluation harness regenerating every figure and
-// theorem of the paper.
+// theorem of the paper — grown into a concurrent locking system with a
+// sharded lock manager, a goroutine transaction runtime and a shared
+// checkpointed-recovery core.
 //
-// The implementation lives under internal/:
+// # Architecture
+//
+// The system is layered; each layer depends only on the ones above it.
+//
+// Foundation — the paper's formal model:
 //
 //	internal/model       — entities, steps, transactions, schedules,
-//	                       properness, legality, serializability (§2)
-//	internal/checker     — Brute and Canonical safety deciders (§3)
-//	internal/policy      — 2PL, tree, DDAG (§4), altruistic (§5), DTR (§6)
-//	internal/graph       — rooted DAGs, dominators, forests
-//	internal/locktable   — single-owner lock-table core (FIFO, upgrades,
-//	                       waits-for deadlock detection)
-//	internal/lockmgr     — concurrent S/X lock manager over the core,
-//	                       entity-hash sharded with cross-shard deadlock
-//	                       sweeps
-//	internal/engine      — deterministic virtual-time execution engine
-//	internal/runtime     — goroutine transaction runtime over the sharded
-//	                       manager (abort/retry, cascades, wall-clock
-//	                       metrics)
+//	                       properness, legality, serializability graph
+//	                       D(S), and the Monitor protocol (§2)
+//	internal/graph       — rooted DAGs, dominators, forests: the
+//	                       substrate of the DDAG and DTR policies (§4, §6)
+//
+// Policies and safety — which schedules a policy admits, and whether
+// everything it admits is serializable:
+//
+//	internal/policy      — 2PL, tree [SK80], DDAG (§4), DDAG-SX,
+//	                       altruistic [SGMS94] (§5), DTR [CM86] (§6) as
+//	                       runtime monitors with speculative Check
+//	internal/checker     — Brute and Canonical safety deciders (§3,
+//	                       Theorem 1)
+//
+// Locking substrate — one implementation of the locking rules, two
+// execution disciplines over it:
+//
+//	internal/locktable   — single-owner lock-table core: S/X
+//	                       compatibility, FIFO queues, upgrades,
+//	                       waits-for deadlock detection, composable
+//	                       wait edges
+//	internal/lockmgr     — concurrent lock manager: entity-hashed shards
+//	                       over the core, channel-parked waiters,
+//	                       cross-shard deadlock sweeps
+//
+// Execution — two substrates running locked transaction systems under a
+// policy monitor, sharing one recovery discipline:
+//
+//	internal/recovery    — checkpointed-recovery core: the event log,
+//	                       periodic monitor/state snapshots on a doubling
+//	                       schedule, and victim compaction by suffix
+//	                       replay
+//	internal/engine      — deterministic virtual-time simulator over the
+//	                       lock-table core
+//	internal/runtime     — real-goroutine runtime over the sharded
+//	                       manager: monitor gate, abort/retry, cascading
+//	                       aborts, wall-clock metrics
+//
+// Evaluation — workloads and the experiment suite:
+//
 //	internal/workload    — generators and the paper's worked examples
-//	internal/experiments — the E1–E13 evaluation suite
+//	                       (Figures 1–5)
+//	internal/experiments — the E1–E14 evaluation suite
 //
 // Executables: cmd/locksafe (safety decider), cmd/figures (figure
 // walkthroughs), cmd/lockbench (quantitative tables). Runnable examples
-// are under examples/.
+// are under examples/, and godoc Example functions cover the lockmgr and
+// runtime entry points.
 //
 // The benchmarks in bench_test.go regenerate each experiment; see
 // EXPERIMENTS.md for recorded results and DESIGN.md for the full system
-// inventory.
+// inventory and the design notes on the lock table, the sharded manager,
+// the monitor protocol and the unified recovery core.
 package locksafe

@@ -15,20 +15,22 @@
 // (locksafe/internal/locktable), the same grant, upgrade and deadlock
 // rules the concurrent lock manager wraps. Policy rules are consulted
 // through the Monitor's speculative Check — no monitor cloning on the
-// per-event path — and abort recovery is incremental: the simulator keeps
-// periodic monitor/state checkpoints and replays only the log suffix from
-// the victims' first event, not the whole history.
+// per-event path — and abort recovery is incremental: the event log,
+// periodic monitor/state checkpoints and victim compaction live in the
+// shared recovery core (locksafe/internal/recovery), which replays only
+// the log suffix from the victims' first event, not the whole history.
+// The goroutine runtime uses the same core under its monitor gate.
 package engine
 
 import (
 	"container/heap"
 	"errors"
 	"fmt"
-	"sort"
 
 	"locksafe/internal/locktable"
 	"locksafe/internal/model"
 	"locksafe/internal/policy"
+	"locksafe/internal/recovery"
 )
 
 // Config controls a run.
@@ -73,7 +75,7 @@ func (c Config) withDefaults() Config {
 		c.MaxEvents = 2_000_000
 	}
 	if c.CheckpointEvery == 0 {
-		c.CheckpointEvery = 128
+		c.CheckpointEvery = recovery.DefaultEvery
 	}
 	return c
 }
@@ -167,19 +169,6 @@ func (h *eventHeap) Pop() any {
 	return x
 }
 
-// checkpoint is a snapshot of the world state after the first n log
-// events, used to bound replay work on abort.
-type checkpoint struct {
-	n       int
-	state   model.State
-	monitor model.Monitor
-}
-
-// maxCheckpoints bounds retained snapshots: when exceeded, density is
-// halved and the interval doubled, keeping memory O(maxCheckpoints)
-// regardless of run length.
-const maxCheckpoints = 64
-
 type sim struct {
 	sys  *model.System
 	cfg  Config
@@ -195,19 +184,10 @@ type sim struct {
 	// and waits-for deadlock detection.
 	tab *locktable.Table
 
-	// World state. The log is the executed surviving events; evIdx maps
-	// each transaction to the indices of its events in the log; ckpts are
-	// periodic snapshots (ckpts[0] is the initial state) enabling
-	// incremental rollback.
-	log   model.Schedule
-	evIdx [][]int
-	ckpts []checkpoint
-	// ckptEvery is the current snapshot interval; it starts at
-	// cfg.CheckpointEvery and doubles whenever the checkpoint list is
-	// thinned.
-	ckptEvery int
-	state     model.State
-	monitor   model.Monitor
+	// rec is the shared recovery core: it owns the log of executed
+	// surviving events, the live monitor and structural state, the
+	// periodic checkpoints and victim compaction.
+	rec *recovery.Core
 
 	met Metrics
 }
@@ -217,16 +197,12 @@ type sim struct {
 func Run(sys *model.System, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	s := &sim{
-		sys:       sys,
-		cfg:       cfg,
-		txns:      make([]txnState, len(sys.Txns)),
-		tab:       locktable.New(),
-		evIdx:     make([][]int, len(sys.Txns)),
-		ckptEvery: cfg.CheckpointEvery,
-		state:     sys.Init.Clone(),
-		monitor:   cfg.Policy.NewMonitor(sys),
+		sys:  sys,
+		cfg:  cfg,
+		txns: make([]txnState, len(sys.Txns)),
+		tab:  locktable.New(),
+		rec:  recovery.New(len(sys.Txns), sys.Init, cfg.Policy.NewMonitor(sys), cfg.CheckpointEvery),
 	}
-	s.ckpts = []checkpoint{{n: 0, state: s.state.Clone(), monitor: s.monitor.Fork()}}
 	for i := range sys.Txns {
 		s.admitQueue = append(s.admitQueue, i)
 	}
@@ -244,7 +220,7 @@ func Run(sys *model.System, cfg Config) (*Result, error) {
 
 func (s *sim) committedSchedule() model.Schedule {
 	var out model.Schedule
-	for _, ev := range s.log {
+	for _, ev := range s.rec.Events() {
 		if s.txns[int(ev.T)].status == committed {
 			out = append(out, ev)
 		}
@@ -317,7 +293,7 @@ func (s *sim) step(t int) error {
 		// Granted (possibly by upgrade) or already held: consult the
 		// policy at grant time (the graph/forest/wake state is the one in
 		// force when the lock is actually acquired).
-		if err := s.monitor.Check(mev); err != nil {
+		if err := s.rec.Monitor().Check(mev); err != nil {
 			s.met.PolicyAborts++
 			return s.abort(t)
 		}
@@ -325,7 +301,7 @@ func (s *sim) step(t int) error {
 	case step.Op.IsUnlock():
 		// Consult the policy before mutating the table (e.g. X-only
 		// policies veto shared unlocks).
-		if err := s.monitor.Check(mev); err != nil {
+		if err := s.rec.Monitor().Check(mev); err != nil {
 			s.met.PolicyAborts++
 			return s.abort(t)
 		}
@@ -336,61 +312,25 @@ func (s *sim) step(t int) error {
 		s.wake(granted)
 
 	default: // data step
-		if !s.state.Defined(step) {
+		if !s.rec.State().Defined(step) {
 			// The workload raced ahead of a creator transaction: retry
 			// later.
 			s.met.ImproperAborts++
 			return s.abort(t)
 		}
-		if err := s.monitor.Check(mev); err != nil {
+		if err := s.rec.Monitor().Check(mev); err != nil {
 			s.met.PolicyAborts++
 			return s.abort(t)
 		}
-		s.state.Apply(step)
 	}
 
-	if err := s.monitor.Step(mev); err != nil {
+	if err := s.rec.Append(mev); err != nil {
 		return fmt.Errorf("engine: monitor accepted Check but rejected Step: %v", err)
 	}
-	s.append(mev)
+	s.met.Events++
 	st.pos++
 	s.schedule(t, s.now+s.cfg.OpTicks)
 	return nil
-}
-
-// append records an executed event in the log and takes a periodic
-// checkpoint of the monitor and structural state.
-func (s *sim) append(ev model.Ev) {
-	idx := len(s.log)
-	s.log = append(s.log, ev)
-	s.evIdx[int(ev.T)] = append(s.evIdx[int(ev.T)], idx)
-	s.met.Events++
-	if idx+1-s.ckpts[len(s.ckpts)-1].n >= s.ckptEvery {
-		s.ckpts = append(s.ckpts, checkpoint{
-			n:       idx + 1,
-			state:   s.state.Clone(),
-			monitor: s.monitor.Fork(),
-		})
-		if len(s.ckpts) > maxCheckpoints {
-			s.thinCheckpoints()
-		}
-	}
-}
-
-// thinCheckpoints halves the snapshot density (keeping the initial state
-// and the most recent snapshot) and doubles the interval for future
-// snapshots, bounding retained memory over long runs.
-func (s *sim) thinCheckpoints() {
-	last := s.ckpts[len(s.ckpts)-1]
-	kept := s.ckpts[:1] // ckpts[0] is the initial state
-	for i := 2; i < len(s.ckpts)-1; i += 2 {
-		kept = append(kept, s.ckpts[i])
-	}
-	if kept[len(kept)-1].n != last.n {
-		kept = append(kept, last)
-	}
-	s.ckpts = kept
-	s.ckptEvery *= 2
 }
 
 // wake resumes transactions whose queued lock requests the table just
@@ -415,7 +355,7 @@ func (s *sim) abort(t int) error {
 	victims := map[int]bool{t: true}
 	s.rollbackOne(t)
 	for {
-		ok, victim := s.compact(victims)
+		ok, victim := s.rec.Compact(victims)
 		if ok {
 			return nil
 		}
@@ -455,74 +395,6 @@ func (s *sim) rollbackOne(t int) {
 	}
 	st.status = running
 	s.schedule(t, s.now+s.cfg.BackoffTicks*int64(st.attempts))
-}
-
-// compact removes the victims' events from the log incrementally: world
-// state is rolled back to the latest checkpoint at or before the victims'
-// first event and only the surviving suffix is replayed, instead of the
-// whole history. It returns ok=false and the owner of the first surviving
-// event that no longer replays (a cascade victim), leaving the log
-// untouched.
-func (s *sim) compact(victims map[int]bool) (bool, int) {
-	first := len(s.log)
-	for v := range victims {
-		if idxs := s.evIdx[v]; len(idxs) > 0 && idxs[0] < first {
-			first = idxs[0]
-		}
-	}
-	if first == len(s.log) {
-		return true, 0 // the victims contributed no surviving events
-	}
-
-	ci := len(s.ckpts) - 1
-	for s.ckpts[ci].n > first {
-		ci--
-	}
-	ck := s.ckpts[ci]
-	state := ck.state.Clone()
-	monitor := ck.monitor.Fork()
-	suffix := make(model.Schedule, 0, len(s.log)-ck.n)
-	// Snapshot at the usual interval while replaying, so a later abort in
-	// the same region does not replay it from ck again.
-	lastCkptN := ck.n
-	var fresh []checkpoint
-	for _, ev := range s.log[ck.n:] {
-		if victims[int(ev.T)] {
-			continue
-		}
-		if ev.S.Op.IsData() && !state.Defined(ev.S) {
-			return false, int(ev.T)
-		}
-		if err := monitor.Step(ev); err != nil {
-			return false, int(ev.T)
-		}
-		state.Apply(ev.S)
-		suffix = append(suffix, ev)
-		if ck.n+len(suffix)-lastCkptN >= s.ckptEvery {
-			lastCkptN = ck.n + len(suffix)
-			fresh = append(fresh, checkpoint{n: lastCkptN, state: state.Clone(), monitor: monitor.Fork()})
-		}
-	}
-
-	// Commit the compaction: rewrite the log suffix, re-index the moved
-	// events and replace the checkpoints the removals invalidated.
-	s.ckpts = append(s.ckpts[:ci+1], fresh...)
-	for len(s.ckpts) > maxCheckpoints {
-		s.thinCheckpoints()
-	}
-	s.log = append(s.log[:ck.n], suffix...)
-	for i := range s.evIdx {
-		// Each index list is ascending: truncate at the first replayed
-		// position rather than rescanning the whole run.
-		s.evIdx[i] = s.evIdx[i][:sort.SearchInts(s.evIdx[i], ck.n)]
-	}
-	for x := ck.n; x < len(s.log); x++ {
-		ti := int(s.log[x].T)
-		s.evIdx[ti] = append(s.evIdx[ti], x)
-	}
-	s.state = state
-	s.monitor = monitor
-	return true, 0
 }
 
 func (s *sim) commit(t int) {

@@ -14,10 +14,14 @@
 //	             (machine-found counterexample; see e10.go)
 //	E13 scale  — multi-core scaling of the sharded lock manager and the
 //	             goroutine transaction runtime (see e13.go)
+//	E14 recov  — abort-heavy recovery scaling: checkpointed suffix replay
+//	             vs naive full replay, on the shared recovery core and on
+//	             the goroutine runtime (see e14.go)
 //
-// Every function is deterministic given its seed arguments, except E13,
-// which measures real goroutines on wall-clock time (its correctness
-// assertions are deterministic; its speeds are not).
+// Every function is deterministic given its seed arguments, except E13
+// and E14's runtime section, which measure real goroutines on wall-clock
+// time (their correctness assertions are deterministic; their speeds are
+// not).
 package experiments
 
 import (
@@ -569,6 +573,7 @@ func All() []Report {
 	_, e8 := E8Performance(1)
 	_, e11 := E11Ablation(3)
 	_, e13 := E13Scaling(1, []int{1, 8}, []int{2, 8})
+	_, e14 := E14Recovery(1, []int{600, 1200, 2400})
 	return []Report{
 		E1CanonicalShapes(),
 		E2Figure2(),
@@ -583,5 +588,6 @@ func All() []Report {
 		e11,
 		E12SharedReaders(1),
 		e13,
+		e14,
 	}
 }

@@ -1,0 +1,67 @@
+package lockmgr_test
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"locksafe/internal/lockmgr"
+	"locksafe/internal/model"
+)
+
+// ExampleManager shows the uncontended fast path: shared readers
+// coexist, an upgrade converts in place once the other reader leaves,
+// and ReleaseAll tears everything down deterministically.
+func ExampleManager() {
+	m := lockmgr.NewSharded(4)
+
+	// Two readers share entity a.
+	_ = m.Lock(1, "a", model.Shared)
+	_ = m.Lock(2, "a", model.Shared)
+	fmt.Println("holders of a:", len(m.HeldBy("a")))
+
+	// Reader 2 leaves; reader 1 upgrades to exclusive in place.
+	_ = m.Unlock(2, "a")
+	_ = m.Lock(1, "a", model.Exclusive)
+	mode, held := m.Holds(1, "a")
+	fmt.Println("owner 1 holds a:", held, "mode:", mode)
+
+	m.ReleaseAll(1)
+	fmt.Println("holders of a after teardown:", len(m.HeldBy("a")))
+	// Output:
+	// holders of a: 2
+	// owner 1 holds a: true mode: X
+	// holders of a after teardown: 0
+}
+
+// ExampleManager_deadlock provokes the conversion deadlock the table
+// refuses synchronously: two shared holders of the same entity both
+// request the upgrade to exclusive; each would have to wait for the
+// other, so the second requester is refused with ErrDeadlock and must
+// abort.
+func ExampleManager_deadlock() {
+	m := lockmgr.New()
+	_ = m.Lock(1, "a", model.Shared)
+	_ = m.Lock(2, "a", model.Shared)
+
+	go func() {
+		// Owner 1's upgrade parks behind owner 2's shared hold; it is
+		// granted as soon as the cycle is broken and owner 2's locks are
+		// torn down.
+		_ = m.Lock(1, "a", model.Exclusive)
+	}()
+	// Wait until owner 1's upgrade is parked, so the second upgrade
+	// reliably closes the cycle.
+	for {
+		if _, waiting := m.Waiting(1); waiting {
+			break
+		}
+		runtime.Gosched()
+	}
+
+	err := m.Lock(2, "a", model.Exclusive)
+	fmt.Println("second upgrader refused:", errors.Is(err, lockmgr.ErrDeadlock))
+	m.ReleaseAll(2) // the victim aborts, releasing its shared hold
+	// Output:
+	// second upgrader refused: true
+}

@@ -1,0 +1,270 @@
+// Package recovery is the shared checkpointed-recovery core of the two
+// execution substrates: it owns the log of executed surviving events, the
+// per-transaction event indices, periodic monitor/structural-state
+// checkpoints on a doubling schedule, and victim compaction — erasing an
+// aborted transaction's events and re-verifying that the surviving
+// history still replays.
+//
+// In the paper's terms the log is the executed prefix of a schedule, the
+// structural state is the set of entities it leaves in existence (§2),
+// and the monitor is the policy automaton that admitted each event. An
+// abort must remove the victim's events and check the survivors still
+// form an admissible schedule: a surviving event that is no longer
+// defined (its creator vanished) or that the policy monitor now vetoes
+// (for example a wake member of an aborted altruistic donor, §5)
+// identifies a cascade victim. The paper's model permits rebuilding this
+// from scratch — O(log) per abort, O(events²) on abort-heavy runs; real
+// engines checkpoint. The Core replays only the suffix after the last
+// snapshot at or before the victims' first event.
+//
+// Invariants:
+//
+//   - Between calls, Monitor() and State() are exactly the monitor and
+//     structural state produced by replaying the current log from the
+//     initial state.
+//   - Checkpoint n is the monitor/state after the first n log events;
+//     ckpts[0] is the initial state and is never discarded.
+//   - Compact only removes events; victims only grow across a cascade
+//     (the caller re-invokes Compact with the grown set), so the cascade
+//     loop converges.
+//
+// Both internal/engine (virtual-time simulation) and internal/runtime
+// (goroutine execution under the monitor gate) are thin clients of this
+// package; neither keeps private recovery machinery. The Core is not
+// safe for concurrent use — the engine is single-threaded and the
+// runtime serializes access under its monitor gate.
+package recovery
+
+import (
+	"sort"
+
+	"locksafe/internal/model"
+)
+
+// checkpoint is a snapshot of the world state after the first n log
+// events, used to bound replay work on abort.
+type checkpoint struct {
+	n       int
+	state   model.State
+	monitor model.Monitor
+}
+
+// maxCheckpoints bounds retained snapshots: when exceeded, density is
+// halved and the interval doubled, keeping memory O(maxCheckpoints)
+// regardless of run length.
+const maxCheckpoints = 64
+
+// DefaultEvery is the default checkpoint interval: the number of appended
+// events between monitor/state snapshots. Smaller values make aborts
+// cheaper and the hot path more expensive.
+const DefaultEvery = 128
+
+// Stats counts the work the core has performed, for the E14 recovery
+// experiment and the substrates' metrics.
+type Stats struct {
+	// Checkpoints is the number of snapshots taken (hot-path and
+	// replay-time), not counting the initial state.
+	Checkpoints int
+	// Compactions counts Compact calls that replayed a suffix (calls
+	// whose victims had no surviving events are free and not counted).
+	Compactions int
+	// Replayed is the total number of surviving events re-verified
+	// across all compactions — the recovery cost the checkpoints bound.
+	Replayed int
+}
+
+// Core owns an execution's event log, checkpoints and victim compaction.
+// Create one with New, record executed events with Append, and erase
+// aborted transactions with Compact.
+type Core struct {
+	// every is the current snapshot interval; it starts at the value
+	// given to New and doubles whenever the checkpoint list is thinned.
+	every int
+	// full disables suffix replay: Compact rebuilds from the initial
+	// state and takes no replay-time checkpoints, reproducing the naive
+	// full-replay recovery. Reference mode for tests and E14.
+	full bool
+
+	log   model.Schedule
+	evIdx [][]int
+	ckpts []checkpoint
+
+	state   model.State
+	monitor model.Monitor
+
+	stats Stats
+}
+
+// New returns a Core for txns transactions starting from the given
+// initial structural state and a freshly constructed policy monitor
+// (which New takes ownership of). every is the checkpoint interval;
+// values < 1 select DefaultEvery.
+func New(txns int, init model.State, monitor model.Monitor, every int) *Core {
+	if every < 1 {
+		every = DefaultEvery
+	}
+	c := &Core{
+		every:   every,
+		evIdx:   make([][]int, txns),
+		state:   init.Clone(),
+		monitor: monitor,
+	}
+	c.ckpts = []checkpoint{{n: 0, state: c.state.Clone(), monitor: monitor.Fork()}}
+	return c
+}
+
+// SetFullReplay switches the Core to the naive recovery discipline:
+// Compact replays the entire surviving log from the initial state and no
+// checkpoints beyond the initial one are retained. It exists so the old
+// behavior stays measurable (E14) and pinnable (equivalence tests); new
+// code should not enable it.
+func (c *Core) SetFullReplay(on bool) {
+	c.full = on
+	if on {
+		c.ckpts = c.ckpts[:1]
+	}
+}
+
+// State returns the live structural state: the result of applying every
+// logged event to the initial state. Callers may read and probe it
+// (Defined) but must mutate it only through Append.
+func (c *Core) State() model.State { return c.state }
+
+// Monitor returns the live policy monitor, positioned after the last
+// logged event. Callers may probe it (Check) but must advance it only
+// through Append.
+func (c *Core) Monitor() model.Monitor { return c.monitor }
+
+// Len returns the number of surviving logged events.
+func (c *Core) Len() int { return len(c.log) }
+
+// Events returns the surviving log in execution order. The slice is live:
+// it is valid only until the next Append or Compact and must not be
+// mutated.
+func (c *Core) Events() model.Schedule { return c.log }
+
+// Stats reports the cumulative recovery work counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// Checkpoints returns the number of currently retained snapshots,
+// including the initial state.
+func (c *Core) Checkpoints() int { return len(c.ckpts) }
+
+// Append records one executed event: it advances the monitor (returning
+// the monitor's veto, if any, with the Core unchanged), applies the
+// event's step to the structural state, appends to the log and takes a
+// periodic checkpoint. The caller has already established admissibility
+// (Monitor().Check, State().Defined), so an error here is an invariant
+// breach on the caller's side.
+func (c *Core) Append(ev model.Ev) error {
+	if err := c.monitor.Step(ev); err != nil {
+		return err
+	}
+	c.state.Apply(ev.S)
+	idx := len(c.log)
+	c.log = append(c.log, ev)
+	c.evIdx[int(ev.T)] = append(c.evIdx[int(ev.T)], idx)
+	if c.full {
+		return nil
+	}
+	if idx+1-c.ckpts[len(c.ckpts)-1].n >= c.every {
+		c.stats.Checkpoints++
+		c.ckpts = append(c.ckpts, checkpoint{
+			n:       idx + 1,
+			state:   c.state.Clone(),
+			monitor: c.monitor.Fork(),
+		})
+		if len(c.ckpts) > maxCheckpoints {
+			c.thin()
+		}
+	}
+	return nil
+}
+
+// thin halves the snapshot density (keeping the initial state and the
+// most recent snapshot) and doubles the interval for future snapshots,
+// bounding retained memory over long runs.
+func (c *Core) thin() {
+	last := c.ckpts[len(c.ckpts)-1]
+	kept := c.ckpts[:1] // ckpts[0] is the initial state
+	for i := 2; i < len(c.ckpts)-1; i += 2 {
+		kept = append(kept, c.ckpts[i])
+	}
+	if kept[len(kept)-1].n != last.n {
+		kept = append(kept, last)
+	}
+	c.ckpts = kept
+	c.every *= 2
+}
+
+// Compact removes the victims' events from the log incrementally: world
+// state is rolled back to the latest checkpoint at or before the victims'
+// first event and only the surviving suffix is replayed, instead of the
+// whole history. It returns ok=false and the owner of the first surviving
+// event that no longer replays (a cascade victim), leaving the log
+// untouched; the caller adds that victim to the set (it can only grow)
+// and calls Compact again.
+func (c *Core) Compact(victims map[int]bool) (ok bool, cascade int) {
+	first := len(c.log)
+	for v := range victims {
+		if idxs := c.evIdx[v]; len(idxs) > 0 && idxs[0] < first {
+			first = idxs[0]
+		}
+	}
+	if first == len(c.log) {
+		return true, 0 // the victims contributed no surviving events
+	}
+
+	ci := len(c.ckpts) - 1
+	for c.ckpts[ci].n > first {
+		ci--
+	}
+	ck := c.ckpts[ci]
+	state := ck.state.Clone()
+	monitor := ck.monitor.Fork()
+	suffix := make(model.Schedule, 0, len(c.log)-ck.n)
+	// Snapshot at the usual interval while replaying, so a later abort in
+	// the same region does not replay it from ck again.
+	lastCkptN := ck.n
+	var fresh []checkpoint
+	for _, ev := range c.log[ck.n:] {
+		if victims[int(ev.T)] {
+			continue
+		}
+		c.stats.Replayed++
+		if ev.S.Op.IsData() && !state.Defined(ev.S) {
+			return false, int(ev.T)
+		}
+		if err := monitor.Step(ev); err != nil {
+			return false, int(ev.T)
+		}
+		state.Apply(ev.S)
+		suffix = append(suffix, ev)
+		if !c.full && ck.n+len(suffix)-lastCkptN >= c.every {
+			lastCkptN = ck.n + len(suffix)
+			fresh = append(fresh, checkpoint{n: lastCkptN, state: state.Clone(), monitor: monitor.Fork()})
+		}
+	}
+	c.stats.Compactions++
+	c.stats.Checkpoints += len(fresh)
+
+	// Commit the compaction: rewrite the log suffix, re-index the moved
+	// events and replace the checkpoints the removals invalidated.
+	c.ckpts = append(c.ckpts[:ci+1], fresh...)
+	for len(c.ckpts) > maxCheckpoints {
+		c.thin()
+	}
+	c.log = append(c.log[:ck.n], suffix...)
+	for i := range c.evIdx {
+		// Each index list is ascending: truncate at the first replayed
+		// position rather than rescanning the whole run.
+		c.evIdx[i] = c.evIdx[i][:sort.SearchInts(c.evIdx[i], ck.n)]
+	}
+	for x := ck.n; x < len(c.log); x++ {
+		ti := int(c.log[x].T)
+		c.evIdx[ti] = append(c.evIdx[ti], x)
+	}
+	c.state = state
+	c.monitor = monitor
+	return true, 0
+}

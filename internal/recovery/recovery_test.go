@@ -1,0 +1,301 @@
+package recovery_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"locksafe/internal/model"
+	"locksafe/internal/policy"
+	"locksafe/internal/recovery"
+	"locksafe/internal/workload"
+)
+
+func TestAppendMaintainsLiveState(t *testing.T) {
+	sys := model.NewSystem(model.NewState("a"),
+		model.NewTxn("T1", model.LX("b"), model.I("b"), model.UX("b")),
+	)
+	c := recovery.New(len(sys.Txns), sys.Init, policy.Unrestricted{}.NewMonitor(sys), 0)
+	for _, ev := range []model.Ev{
+		{T: 0, S: model.LX("b")},
+		{T: 0, S: model.I("b")},
+		{T: 0, S: model.UX("b")},
+	} {
+		if err := c.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	if !c.State().Has("b") || !c.State().Has("a") {
+		t.Fatalf("state %v must contain a and b", c.State())
+	}
+}
+
+// TestStructuralCascade: T0 inserts x, T1 reads it. Erasing T0 must
+// report T1 as a cascade victim (its READ is no longer defined), and the
+// grown victim set must empty the log.
+func TestStructuralCascade(t *testing.T) {
+	sys := model.NewSystem(model.NewState(),
+		model.NewTxn("T1", model.LX("x"), model.I("x"), model.UX("x")),
+		model.NewTxn("T2", model.LX("x"), model.R("x"), model.UX("x")),
+	)
+	for _, full := range []bool{false, true} {
+		c := recovery.New(len(sys.Txns), sys.Init, policy.Unrestricted{}.NewMonitor(sys), 1)
+		c.SetFullReplay(full)
+		for _, ev := range []model.Ev{
+			{T: 0, S: model.LX("x")},
+			{T: 0, S: model.I("x")},
+			{T: 0, S: model.UX("x")},
+			{T: 1, S: model.LX("x")},
+			{T: 1, S: model.R("x")},
+			{T: 1, S: model.UX("x")},
+		} {
+			if err := c.Append(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		victims := map[int]bool{0: true}
+		ok, cascade := c.Compact(victims)
+		if ok || cascade != 1 {
+			t.Fatalf("full=%v: Compact = (%v, %d), want cascade on T2", full, ok, cascade)
+		}
+		victims[1] = true
+		if ok, _ := c.Compact(victims); !ok {
+			t.Fatalf("full=%v: grown victim set must compact", full)
+		}
+		if c.Len() != 0 {
+			t.Fatalf("full=%v: log still has %d events", full, c.Len())
+		}
+		if c.State().Has("x") {
+			t.Fatalf("full=%v: x must not survive the cascade", full)
+		}
+	}
+}
+
+// depMonitor admits T1's events only after it has seen an event of T0 —
+// a miniature of the altruistic wake dependency, used to drive the
+// monitor-veto cascade branch deterministically.
+type depMonitor struct{ seen [2]bool }
+
+func (m *depMonitor) Check(ev model.Ev) error {
+	if ev.T == 1 && !m.seen[0] {
+		return errors.New("T2 depends on T1")
+	}
+	return nil
+}
+
+func (m *depMonitor) Step(ev model.Ev) error {
+	if err := m.Check(ev); err != nil {
+		return err
+	}
+	if int(ev.T) < len(m.seen) {
+		m.seen[int(ev.T)] = true
+	}
+	return nil
+}
+
+func (m *depMonitor) Fork() model.Monitor { cp := *m; return &cp }
+func (m *depMonitor) Key() string         { return fmt.Sprint(m.seen) }
+
+// TestMonitorVetoCascade drives the policy-veto branch of Compact: after
+// the dependency-carrying transaction is erased, the dependent's events
+// no longer pass the monitor and it cascades.
+func TestMonitorVetoCascade(t *testing.T) {
+	init := model.NewState("a", "b")
+	for _, full := range []bool{false, true} {
+		c := recovery.New(2, init, &depMonitor{}, 1)
+		c.SetFullReplay(full)
+		for _, ev := range []model.Ev{
+			{T: 0, S: model.LX("a")},
+			{T: 1, S: model.LX("b")},
+			{T: 1, S: model.W("b")},
+			{T: 0, S: model.UX("a")},
+			{T: 1, S: model.UX("b")},
+		} {
+			if err := c.Append(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		victims := map[int]bool{0: true}
+		ok, cascade := c.Compact(victims)
+		if ok || cascade != 1 {
+			t.Fatalf("full=%v: Compact = (%v, %d), want monitor-veto cascade on T2", full, ok, cascade)
+		}
+		victims[1] = true
+		if ok, _ := c.Compact(victims); !ok || c.Len() != 0 {
+			t.Fatalf("full=%v: grown victim set must empty the log", full)
+		}
+	}
+}
+
+// compactAll runs the cascade loop to convergence, returning the cascade
+// victims in discovery order. victims is mutated (it grows), exactly as
+// the substrates use it.
+func compactAll(t *testing.T, c *recovery.Core, victims map[int]bool) []int {
+	t.Helper()
+	var cascades []int
+	for i := 0; ; i++ {
+		if i > 10_000 {
+			t.Fatal("cascade loop did not converge")
+		}
+		ok, v := c.Compact(victims)
+		if ok {
+			return cascades
+		}
+		if victims[v] {
+			t.Fatalf("Compact re-reported victim T%d", v+1)
+		}
+		victims[v] = true
+		cascades = append(cascades, v)
+	}
+}
+
+// TestEquivalenceRandomTraces is the pinning property test for the
+// recovery refactor: on randomized legal+proper traces, checkpointed
+// suffix replay at several intervals and the naive full replay must be
+// observably identical — same cascade victim sequences, same surviving
+// logs, same structural states, same monitor states (via Key) and the
+// same serializability verdict — across interleaved append and compact
+// phases.
+func TestEquivalenceRandomTraces(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sys, sched := workload.Random(rng, workload.DefaultConfig())
+		if len(sched) == 0 {
+			continue
+		}
+
+		type variant struct {
+			name string
+			c    *recovery.Core
+		}
+		mk := func(every int, full bool) *recovery.Core {
+			c := recovery.New(len(sys.Txns), sys.Init, policy.Unrestricted{}.NewMonitor(sys), every)
+			c.SetFullReplay(full)
+			return c
+		}
+		vars := []variant{
+			{"every=1", mk(1, false)},
+			{"every=3", mk(3, false)},
+			{"every=16", mk(16, false)},
+			{"full-replay", mk(128, true)},
+		}
+		base := vars[0].c
+
+		erased := map[int]bool{}
+		feed := func(evs model.Schedule) {
+			for _, ev := range evs {
+				if erased[int(ev.T)] {
+					continue
+				}
+				// All cores hold identical states (asserted below), so this
+				// skip decision is shared.
+				if ev.S.Op.IsData() && !base.State().Defined(ev.S) {
+					continue
+				}
+				for _, v := range vars {
+					if err := v.c.Append(ev); err != nil {
+						t.Fatalf("seed %d %s: append %v: %v", seed, v.name, ev, err)
+					}
+				}
+			}
+		}
+		agree := func(phase string) {
+			for _, v := range vars[1:] {
+				if got, want := v.c.Events().String(), base.Events().String(); got != want {
+					t.Fatalf("seed %d %s after %s: log\n%s\nwant\n%s", seed, v.name, phase, got, want)
+				}
+				if !v.c.State().Equal(base.State()) {
+					t.Fatalf("seed %d %s after %s: state %v, want %v", seed, v.name, phase, v.c.State(), base.State())
+				}
+				if got, want := v.c.Monitor().Key(), base.Monitor().Key(); got != want {
+					t.Fatalf("seed %d %s after %s: monitor key %q, want %q", seed, v.name, phase, got, want)
+				}
+				if got, want := v.c.Events().Serializable(sys), base.Events().Serializable(sys); got != want {
+					t.Fatalf("seed %d %s after %s: serializability verdict %v, want %v", seed, v.name, phase, got, want)
+				}
+			}
+		}
+
+		half := len(sched) / 2
+		feed(sched[:half])
+		agree("first half")
+
+		// Two compaction rounds with an append phase between them, so the
+		// second round exercises replay-time checkpoints and truncated
+		// event indices.
+		for round := 0; round < 2; round++ {
+			victim := rng.Intn(len(sys.Txns))
+			var baseCascades []int
+			for i, v := range vars {
+				victims := map[int]bool{victim: true}
+				cascades := compactAll(t, v.c, victims)
+				if i == 0 {
+					baseCascades = cascades
+					for x := range victims {
+						erased[x] = true
+					}
+					continue
+				}
+				if fmt.Sprint(cascades) != fmt.Sprint(baseCascades) {
+					t.Fatalf("seed %d %s round %d: cascades %v, want %v", seed, v.name, round, cascades, baseCascades)
+				}
+			}
+			agree(fmt.Sprintf("compaction round %d", round))
+			if round == 0 {
+				feed(sched[half:])
+				agree("second half")
+			}
+		}
+	}
+}
+
+// TestCheckpointedRecoveryIsSuffixBounded pins the asymptotic claim: on a
+// long log, erasing a recent transaction replays a bounded suffix under
+// checkpointed recovery but nearly the whole log under full replay.
+func TestCheckpointedRecoveryIsSuffixBounded(t *testing.T) {
+	const txns = 10_000
+	init := model.NewState("a")
+	events := make(model.Schedule, txns)
+	for i := range events {
+		events[i] = model.Ev{T: model.TID(i), S: model.W("a")}
+	}
+
+	ck := recovery.New(txns, init, model.PermissiveMonitor{}, 1)
+	full := recovery.New(txns, init, model.PermissiveMonitor{}, 1)
+	full.SetFullReplay(true)
+	for _, ev := range events {
+		if err := ck.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+		if err := full.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := ck.Checkpoints(); n > 65 {
+		t.Fatalf("doubling schedule must bound retained checkpoints, got %d", n)
+	}
+
+	// Erase the most recent transaction from both.
+	if ok, _ := ck.Compact(map[int]bool{txns - 1: true}); !ok {
+		t.Fatal("checkpointed compact failed")
+	}
+	if ok, _ := full.Compact(map[int]bool{txns - 1: true}); !ok {
+		t.Fatal("full compact failed")
+	}
+	ckN, fullN := ck.Stats().Replayed, full.Stats().Replayed
+	if fullN != txns-1 {
+		t.Fatalf("full replay must walk the whole surviving log: replayed %d, want %d", fullN, txns-1)
+	}
+	// With interval doubling the effective interval for a 10k log is at
+	// most 512, so the replayed suffix stays far below the log length.
+	if ckN > 1024 {
+		t.Fatalf("checkpointed replay not suffix-bounded: replayed %d of %d", ckN, txns)
+	}
+	if ck.Len() != full.Len() || ck.Len() != txns-1 {
+		t.Fatalf("logs diverge: %d vs %d", ck.Len(), full.Len())
+	}
+}

@@ -18,14 +18,19 @@
 // the logged schedule is legal — and Run verifies the committed schedule
 // is serializable before returning.
 //
-// Abort recovery: on abort the victim's events are erased and the
-// monitor and structural state are rebuilt by replaying the surviving
-// log through a fresh monitor. A survivor that no longer replays is a
-// cascade victim: its generation is bumped (invalidating its in-flight
-// attempt), its locks and pending request are torn down through
+// Abort recovery is incremental, through the same checkpointed recovery
+// core the engine uses (locksafe/internal/recovery): the core keeps
+// periodic monitor/state snapshots of the log, and an abort erases the
+// victim's events by replaying only the suffix after the last checkpoint
+// at or before the victim's first event — recovery cost scales with the
+// suffix, not the whole surviving log. A survivor that no longer replays
+// is a cascade victim: its generation is bumped (invalidating its
+// in-flight attempt), its locks and pending request are torn down through
 // ReleaseAll — waking it with lockmgr.ErrCancelled if parked — and, if
 // it had already committed, it is un-committed and re-spawned, exactly
-// as the engine re-runs such transactions.
+// as the engine re-runs such transactions. Victims only grow across a
+// cascade, so compaction restarts from the earliest invalidated
+// checkpoint and converges.
 package runtime
 
 import (
@@ -37,6 +42,7 @@ import (
 	"locksafe/internal/lockmgr"
 	"locksafe/internal/model"
 	"locksafe/internal/policy"
+	"locksafe/internal/recovery"
 )
 
 // Config controls a run.
@@ -54,6 +60,17 @@ type Config struct {
 	// Backoff is the base retry delay (default 200µs); the k-th retry
 	// waits k*Backoff.
 	Backoff time.Duration
+	// CheckpointEvery is the number of logged events between
+	// monitor/state snapshots used for incremental abort recovery
+	// (default 128, as in the engine). Smaller values make aborts
+	// cheaper and the gate path more expensive.
+	CheckpointEvery int
+	// FullReplayRecovery disables checkpointed suffix replay: abort
+	// recovery rebuilds the monitor and state by replaying the entire
+	// surviving log from the initial state, as before the shared
+	// recovery core. Reference mode for the E14 experiment and the
+	// equivalence tests; O(events²) on abort-heavy runs.
+	FullReplayRecovery bool
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +103,11 @@ type Metrics struct {
 	Elapsed time.Duration
 	// Events is the number of executed (surviving) events.
 	Events int
+	// Replayed is the total number of surviving events re-verified
+	// during abort recovery — the work the checkpoints bound. With
+	// FullReplayRecovery it grows with the whole log per abort; with
+	// checkpointed recovery it is bounded by the replayed suffixes.
+	Replayed int
 }
 
 // Aborts returns the total abort count.
@@ -126,11 +148,12 @@ type runner struct {
 
 	// mu is the monitor gate: it serializes monitor Check/Step, the
 	// structural state, the log and all transaction bookkeeping.
-	mu      sync.Mutex
-	state   model.State
-	monitor model.Monitor
-	log     model.Schedule
-	status  []txnStatus
+	mu sync.Mutex
+	// rec is the shared recovery core: it owns the log, the live monitor
+	// and structural state, the periodic checkpoints and victim
+	// compaction. Accessed only under mu.
+	rec    *recovery.Core
+	status []txnStatus
 	// gen is the abort generation: bumping gen[t] invalidates t's
 	// in-flight attempt, which notices at its next gate entry (or when
 	// its parked lock request is cancelled) and restarts.
@@ -156,13 +179,15 @@ func Run(sys *model.System, cfg Config) (*Result, error) {
 	if r.fatal != nil {
 		return nil, r.fatal
 	}
-	r.met.Events = len(r.log)
+	r.met.Events = r.rec.Len()
+	r.met.Replayed = r.rec.Stats().Replayed
 	// Abandoned transactions' events were erased at their final abort, so
 	// the log is exactly the committed schedule.
-	if !r.log.Serializable(sys) {
+	sched := r.rec.Events()
+	if !sched.Serializable(sys) {
 		return nil, fmt.Errorf("runtime: committed schedule is NOT serializable under policy %q", r.cfg.Policy.Name())
 	}
-	return &Result{Metrics: r.met, Schedule: r.log}, nil
+	return &Result{Metrics: r.met, Schedule: sched}, nil
 }
 
 func newRunner(sys *model.System, cfg Config) *runner {
@@ -171,11 +196,13 @@ func newRunner(sys *model.System, cfg Config) *runner {
 		sys:      sys,
 		cfg:      cfg,
 		mgr:      lockmgr.NewSharded(cfg.Shards),
-		state:    sys.Init.Clone(),
-		monitor:  cfg.Policy.NewMonitor(sys),
+		rec:      recovery.New(len(sys.Txns), sys.Init, cfg.Policy.NewMonitor(sys), cfg.CheckpointEvery),
 		status:   make([]txnStatus, len(sys.Txns)),
 		gen:      make([]int, len(sys.Txns)),
 		attempts: make([]int, len(sys.Txns)),
+	}
+	if cfg.FullReplayRecovery {
+		r.rec.SetFullReplay(true)
 	}
 	if cfg.MPL > 0 {
 		r.sem = make(chan struct{}, cfg.MPL)
@@ -243,7 +270,7 @@ func (r *runner) attempt(t int) (bool, time.Duration) {
 				return r.abortLocked(t)
 			}
 			// Consult the policy at grant time, as the engine does.
-			if err := r.monitor.Check(ev); err != nil {
+			if err := r.rec.Monitor().Check(ev); err != nil {
 				r.met.PolicyAborts++
 				return r.abortLocked(t)
 			}
@@ -259,7 +286,7 @@ func (r *runner) attempt(t int) (bool, time.Duration) {
 			}
 			// Consult the policy before mutating the table (e.g. X-only
 			// policies veto shared unlocks).
-			if err := r.monitor.Check(ev); err != nil {
+			if err := r.rec.Monitor().Check(ev); err != nil {
 				r.met.PolicyAborts++
 				return r.abortLocked(t)
 			}
@@ -277,17 +304,16 @@ func (r *runner) attempt(t int) (bool, time.Duration) {
 			if stale, out := r.staleLocked(t, gen); stale {
 				return out.again, out.delay
 			}
-			if !r.state.Defined(step) {
+			if !r.rec.State().Defined(step) {
 				// The workload raced ahead of a creator transaction:
 				// retry later.
 				r.met.ImproperAborts++
 				return r.abortLocked(t)
 			}
-			if err := r.monitor.Check(ev); err != nil {
+			if err := r.rec.Monitor().Check(ev); err != nil {
 				r.met.PolicyAborts++
 				return r.abortLocked(t)
 			}
-			r.state.Apply(step)
 			if !r.commitEventLocked(ev) {
 				return r.bailLocked(t)
 			}
@@ -346,15 +372,15 @@ func (r *runner) bailLocked(t int) (bool, time.Duration) {
 	return false, 0
 }
 
-// commitEventLocked applies ev to the monitor and appends it to the log.
-// Called with mu held after a successful Check; reports false (recording
-// a fatal error) if the monitor reneges on its Check.
+// commitEventLocked applies ev to the monitor and structural state and
+// appends it to the log, all through the recovery core. Called with mu
+// held after a successful Check; reports false (recording a fatal error)
+// if the monitor reneges on its Check.
 func (r *runner) commitEventLocked(ev model.Ev) bool {
-	if err := r.monitor.Step(ev); err != nil {
+	if err := r.rec.Append(ev); err != nil {
 		r.fatal = fmt.Errorf("runtime: monitor accepted Check but rejected Step: %w", err)
 		return false
 	}
-	r.log = append(r.log, ev)
 	return true
 }
 
@@ -382,38 +408,25 @@ func (r *runner) chargeLocked(t int) {
 	}
 }
 
-// eraseLocked removes the victims' events from the log and rebuilds the
-// monitor and structural state by replaying the survivors through a
-// fresh monitor. A surviving event that no longer replays identifies a
-// cascade victim (for example a wake member of an aborted altruistic
-// donor): it is torn down too — un-committing and re-spawning it if it
-// had already finished — and the replay restarts. Victims only grow, so
+// eraseLocked removes the victims' events from the log through the
+// recovery core's checkpointed compaction: only the suffix after the
+// last snapshot at or before the victims' first event is replayed. A
+// surviving event that no longer replays identifies a cascade victim
+// (for example a wake member of an aborted altruistic donor): it is torn
+// down too — un-committing and re-spawning it if it had already finished
+// — and compaction retries with the grown victim set, restarting from
+// the earliest checkpoint the removals invalidate. Victims only grow, so
 // the loop converges. Called with mu held.
 func (r *runner) eraseLocked(victims map[int]bool) {
 	for {
-		state := r.sys.Init.Clone()
-		monitor := r.cfg.Policy.NewMonitor(r.sys)
-		survivors := make(model.Schedule, 0, len(r.log))
-		cascade := -1
-		for _, ev := range r.log {
-			if victims[int(ev.T)] {
-				continue
-			}
-			if ev.S.Op.IsData() && !state.Defined(ev.S) {
-				cascade = int(ev.T)
-				break
-			}
-			if err := monitor.Step(ev); err != nil {
-				cascade = int(ev.T)
-				break
-			}
-			state.Apply(ev.S)
-			survivors = append(survivors, ev)
+		ok, cascade := r.rec.Compact(victims)
+		if ok {
+			return
 		}
-		if cascade < 0 {
-			r.log = survivors
-			r.state = state
-			r.monitor = monitor
+		if victims[cascade] {
+			// Compact never re-reports a transaction already in the set;
+			// seeing one is an invariant breach, not a livelock to spin on.
+			r.fatal = fmt.Errorf("runtime: abort cascade cannot converge on T%d", cascade+1)
 			return
 		}
 		victims[cascade] = true
