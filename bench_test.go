@@ -422,6 +422,69 @@ func BenchmarkRuntimeAbortHeavy(b *testing.B) {
 	}
 }
 
+// gateBenchSystem is the E15 disjoint shape: every transaction two-phase
+// walks its own private entities, so all admissions are
+// footprint-disjoint and the gate is the only shared resource — the
+// striping refactor's headline configuration (recorded in
+// EXPERIMENTS.md).
+func gateBenchSystem() *model.System {
+	const txns, perTxn = 8, 16
+	var ts []model.Txn
+	var all []model.Entity
+	for i := 0; i < txns; i++ {
+		var own []model.Entity
+		for j := 0; j < perTxn; j++ {
+			own = append(own, model.Entity(fmt.Sprintf("g%d_%d", i, j)))
+		}
+		all = append(all, own...)
+		ts = append(ts, model.Txn{Steps: workload.TwoPhaseSteps(own)})
+	}
+	return model.NewSystem(model.NewState(all...), ts...)
+}
+
+func benchGate(b *testing.B, cfg txnruntime.Config) {
+	sys := gateBenchSystem()
+	cfg.Policy = policy.TwoPhase{}
+	cfg.Shards = 16
+	cfg.Backoff = 20 * time.Microsecond
+	cfg.MaxRetries = 500
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := txnruntime.Run(sys, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Metrics.Commits != len(sys.Txns) {
+			b.Fatalf("only %d commits", res.Metrics.Commits)
+		}
+	}
+}
+
+// BenchmarkGateStriped measures the footprint-striped admission pipeline
+// on the disjoint workload; BenchmarkGateSerialized is the same workload
+// through the legacy single-mutex monitor gate. Their ratio is the gate
+// refactor's headline number.
+func BenchmarkGateStriped(b *testing.B) {
+	for _, stripes := range []int{4, 16} {
+		b.Run(fmt.Sprintf("stripes=%d", stripes), func(b *testing.B) {
+			benchGate(b, txnruntime.Config{GateStripes: stripes})
+		})
+	}
+}
+
+func BenchmarkGateSerialized(b *testing.B) {
+	benchGate(b, txnruntime.Config{SerializedGate: true})
+}
+
+func BenchmarkE15GateScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, r := experiments.E15GateScaling(1, []int{8}, []int{8}); r.Failed != "" {
+			b.Fatal(r.Failed)
+		}
+	}
+}
+
 func BenchmarkE11Ablation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, r := experiments.E11Ablation(3); r.Failed != "" {

@@ -12,14 +12,16 @@
 //	      goroutine transaction runtime
 //	E14 — abort-heavy recovery scaling: checkpointed suffix replay vs
 //	      naive full replay
+//	E15 — gate scaling: footprint-striped vs serialized policy admission
+//	      on disjoint and Zipf-skewed workloads
 //
 // Usage:
 //
-//	lockbench [-seed N] [-systems N] [-shards 1,4,16] [-goroutines 1,4,8] [-e14-sizes 1000,2000,4000,8000] [e6|e7|...|e14]...
+//	lockbench [-seed N] [-systems N] [-shards 1,4,16] [-goroutines 1,4,8] [-stripes 4,16] [-e14-sizes 1000,2000,4000,8000] [e6|e7|...|e15]...
 //
 // With no experiment arguments the full suite runs. Output is
-// deterministic for a fixed seed (timing columns excepted; E13 and E14's
-// runtime section measure wall-clock behavior and are inherently
+// deterministic for a fixed seed (timing columns excepted; E13, E14 and
+// E15's runtime sections measure wall-clock behavior and are inherently
 // machine-dependent; E14's core replay counts are deterministic).
 package main
 
@@ -53,6 +55,7 @@ func main() {
 	shards := flag.String("shards", "1,4,16", "shard counts for E13 (comma-separated)")
 	goroutines := flag.String("goroutines", "1,4,8", "goroutine counts for E13 (comma-separated)")
 	e14Sizes := flag.String("e14-sizes", "1000,2000,4000,8000", "log sizes for E14 (comma-separated event counts)")
+	stripes := flag.String("stripes", "4,16", "gate stripe counts for E15 (comma-separated)")
 	flag.Parse()
 
 	shardCounts, err := intList("shards", *shards)
@@ -66,6 +69,11 @@ func main() {
 		os.Exit(2)
 	}
 	sizeCounts, err := intList("e14-sizes", *e14Sizes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	stripeCounts, err := intList("stripes", *stripes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -87,8 +95,12 @@ func main() {
 			_, r := experiments.E14Recovery(*seed, sizeCounts)
 			return r
 		},
+		"e15": func() experiments.Report {
+			_, r := experiments.E15GateScaling(*seed, stripeCounts, gorCounts)
+			return r
+		},
 	}
-	order := []string{"e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14"}
+	order := []string{"e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15"}
 
 	want := flag.Args()
 	if len(want) == 0 {
@@ -98,7 +110,7 @@ func main() {
 	for _, name := range want {
 		f, ok := runs[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "lockbench: unknown experiment %q (want e6..e14)\n", name)
+			fmt.Fprintf(os.Stderr, "lockbench: unknown experiment %q (want e6..e15)\n", name)
 			os.Exit(2)
 		}
 		r := f()

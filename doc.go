@@ -25,7 +25,8 @@
 //
 //	internal/policy      — 2PL, tree [SK80], DDAG (§4), DDAG-SX,
 //	                       altruistic [SGMS94] (§5), DTR [CM86] (§6) as
-//	                       runtime monitors with speculative Check
+//	                       runtime monitors with speculative Check and
+//	                       declared rule footprints
 //	internal/checker     — Brute and Canonical safety deciders (§3,
 //	                       Theorem 1)
 //
@@ -50,14 +51,15 @@
 //	internal/engine      — deterministic virtual-time simulator over the
 //	                       lock-table core
 //	internal/runtime     — real-goroutine runtime over the sharded
-//	                       manager: monitor gate, abort/retry, cascading
-//	                       aborts, wall-clock metrics
+//	                       manager: footprint-striped monitor gate with a
+//	                       sequenced log, abort/retry, cascading aborts,
+//	                       wall-clock metrics
 //
 // Evaluation — workloads and the experiment suite:
 //
-//	internal/workload    — generators and the paper's worked examples
-//	                       (Figures 1–5)
-//	internal/experiments — the E1–E14 evaluation suite
+//	internal/workload    — generators (uniform or Zipf hot-key skewed)
+//	                       and the paper's worked examples (Figures 1–5)
+//	internal/experiments — the E1–E15 evaluation suite
 //
 // Executables: cmd/locksafe (safety decider), cmd/figures (figure
 // walkthroughs), cmd/lockbench (quantitative tables). Runnable examples
@@ -67,5 +69,6 @@
 // The benchmarks in bench_test.go regenerate each experiment; see
 // EXPERIMENTS.md for recorded results and DESIGN.md for the full system
 // inventory and the design notes on the lock table, the sharded manager,
-// the monitor protocol and the unified recovery core.
+// the monitor protocol, the footprint-striped gate and the unified
+// recovery core.
 package locksafe

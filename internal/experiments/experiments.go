@@ -17,11 +17,13 @@
 //	E14 recov  — abort-heavy recovery scaling: checkpointed suffix replay
 //	             vs naive full replay, on the shared recovery core and on
 //	             the goroutine runtime (see e14.go)
+//	E15 gate   — footprint-striped vs serialized policy admission on
+//	             disjoint and Zipf-skewed workloads (see e15.go)
 //
-// Every function is deterministic given its seed arguments, except E13
-// and E14's runtime section, which measure real goroutines on wall-clock
-// time (their correctness assertions are deterministic; their speeds are
-// not).
+// Every function is deterministic given its seed arguments, except E13,
+// E15 and E14's runtime section, which measure real goroutines on
+// wall-clock time (their correctness assertions are deterministic; their
+// speeds are not).
 package experiments
 
 import (
@@ -574,6 +576,7 @@ func All() []Report {
 	_, e11 := E11Ablation(3)
 	_, e13 := E13Scaling(1, []int{1, 8}, []int{2, 8})
 	_, e14 := E14Recovery(1, []int{600, 1200, 2400})
+	_, e15 := E15GateScaling(1, []int{2, 8}, []int{8})
 	return []Report{
 		E1CanonicalShapes(),
 		E2Figure2(),
@@ -589,5 +592,6 @@ func All() []Report {
 		E12SharedReaders(1),
 		e13,
 		e14,
+		e15,
 	}
 }

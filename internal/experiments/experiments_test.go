@@ -204,3 +204,36 @@ func TestE12SharedReaders(t *testing.T) {
 		t.Error("missing table")
 	}
 }
+
+func TestE15GateScaling(t *testing.T) {
+	stripes, gors := []int{2, 8}, []int{4, 8}
+	if testing.Short() {
+		stripes, gors = []int{2}, []int{4}
+	}
+	rows, r := E15GateScaling(1, stripes, gors)
+	if r.Failed != "" {
+		t.Fatalf("E15 failed: %s\n%s", r.Failed, r.Text)
+	}
+	// Per (workload, goroutines) cell: one serialized row plus one per
+	// stripe count, both workloads.
+	if want := 2 * len(gors) * (1 + len(stripes)); len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	var serialized, striped int
+	for _, row := range rows {
+		if row.Throughput <= 0 || row.Commits == 0 {
+			t.Errorf("row %+v measured nothing", row)
+		}
+		if row.Gate == "serialized" {
+			serialized++
+		} else {
+			striped++
+		}
+		if row.Workload == "disjoint" && row.Commits != row.Goroutines {
+			t.Errorf("disjoint row %+v: all transactions must commit", row)
+		}
+	}
+	if serialized == 0 || striped == 0 {
+		t.Fatalf("missing gate rows: serialized=%d striped=%d", serialized, striped)
+	}
+}

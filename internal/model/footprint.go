@@ -1,0 +1,110 @@
+package model
+
+// Footprint declares what a monitor's rule evaluation for one event
+// reads and writes: the transactions whose per-transaction bookkeeping
+// (positions, held locks, locked-ever sets, policy flags) it touches and
+// the entities whose shared state it consults. Concurrent executors use
+// footprints to admit rule evaluations in parallel: two events whose
+// footprints do not overlap touch disjoint monitor state, so their
+// Check/Step calls commute — evaluating them concurrently and logging
+// them in either order yields the same monitor state and the same
+// verdicts as any serial order.
+//
+// Footprints do not distinguish reads from writes; any overlap is
+// treated as a conflict. That is conservative (two pure readers of the
+// same state serialize needlessly) but always sound.
+//
+// The zero value is the empty footprint (touches nothing). The common
+// case — an event whose evaluation touches only its own transaction's
+// bookkeeping and its own entity — is expressed with the inline T/Ent
+// fields and allocates nothing; cross-cutting evaluations list extra
+// transactions and entities or declare themselves Global.
+type Footprint struct {
+	// Global marks a footprint covering the entire system: the
+	// evaluation may read or write any monitor state. It is always
+	// correct and is the fallback for cross-cutting rules (the
+	// altruistic wake relation, the DTR forest). A global footprint
+	// overlaps every non-empty footprint, including another global one.
+	Global bool
+	// T is the primary transaction of the footprint — for an event
+	// footprint, the event's own transaction, whose bookkeeping every
+	// monitor touches. Valid unless the footprint is empty or Global.
+	T TID
+	// HasT reports whether T is meaningful (a zero TID is a real
+	// transaction, so presence needs its own bit).
+	HasT bool
+	// Ent is the primary entity, or "" if the evaluation consults no
+	// entity state.
+	Ent Entity
+	// ExtraTxns and ExtraEnts extend the footprint beyond the primary
+	// transaction and entity, for rules that consult a bounded
+	// neighborhood (for example both endpoints of an edge entity).
+	ExtraTxns []TID
+	ExtraEnts []Entity
+}
+
+// GlobalFootprint returns the conservative footprint covering the whole
+// system.
+func GlobalFootprint() Footprint { return Footprint{Global: true} }
+
+// LocalFootprint returns the footprint of an evaluation that touches
+// only the event's own transaction and entity — the common case for
+// per-transaction rules like two-phase or tree locking. It allocates
+// nothing.
+func LocalFootprint(ev Ev) Footprint {
+	return Footprint{T: ev.T, HasT: true, Ent: ev.S.Ent}
+}
+
+// txns calls f for each transaction in the footprint.
+func (f Footprint) txns(fn func(TID)) {
+	if f.HasT {
+		fn(f.T)
+	}
+	for _, t := range f.ExtraTxns {
+		fn(t)
+	}
+}
+
+// ents calls f for each entity in the footprint.
+func (f Footprint) ents(fn func(Entity)) {
+	if f.Ent != "" {
+		fn(f.Ent)
+	}
+	for _, e := range f.ExtraEnts {
+		fn(e)
+	}
+}
+
+// Empty reports whether the footprint touches nothing at all.
+func (f Footprint) Empty() bool {
+	return !f.Global && !f.HasT && f.Ent == "" && len(f.ExtraTxns) == 0 && len(f.ExtraEnts) == 0
+}
+
+// Overlaps reports whether two footprints conflict: either is Global (and
+// the other non-empty), they share a transaction, or they share an
+// entity. Events with non-overlapping footprints may be admitted
+// concurrently.
+func (f Footprint) Overlaps(g Footprint) bool {
+	if f.Empty() || g.Empty() {
+		return false
+	}
+	if f.Global || g.Global {
+		return true
+	}
+	overlap := false
+	f.txns(func(a TID) {
+		g.txns(func(b TID) {
+			if a == b {
+				overlap = true
+			}
+		})
+	})
+	f.ents(func(a Entity) {
+		g.ents(func(b Entity) {
+			if a == b {
+				overlap = true
+			}
+		})
+	})
+	return overlap
+}

@@ -1,0 +1,49 @@
+package model
+
+import "testing"
+
+func TestFootprintOverlaps(t *testing.T) {
+	evA := Ev{T: 0, S: W("a")}
+	evB := Ev{T: 1, S: W("b")}
+	sameEnt := Ev{T: 2, S: R("a")}
+
+	local := LocalFootprint(evA)
+	if !local.HasT || local.T != 0 || local.Ent != "a" {
+		t.Fatalf("LocalFootprint = %+v", local)
+	}
+	if local.Empty() || local.Global {
+		t.Fatal("local footprint must be neither empty nor global")
+	}
+
+	cases := []struct {
+		name string
+		f, g Footprint
+		want bool
+	}{
+		{"disjoint txn+ent", LocalFootprint(evA), LocalFootprint(evB), false},
+		{"shared entity", LocalFootprint(evA), LocalFootprint(sameEnt), true},
+		{"same txn", LocalFootprint(evA), Footprint{T: 0, HasT: true, Ent: "zzz"}, true},
+		{"global vs local", GlobalFootprint(), LocalFootprint(evB), true},
+		{"global vs global", GlobalFootprint(), GlobalFootprint(), true},
+		{"global vs empty", GlobalFootprint(), Footprint{}, false},
+		{"empty vs empty", Footprint{}, Footprint{}, false},
+		{"extra txns", Footprint{T: 0, HasT: true, ExtraTxns: []TID{5}}, Footprint{T: 5, HasT: true}, true},
+		{"extra ents", Footprint{T: 0, HasT: true, ExtraEnts: []Entity{"q"}}, Footprint{T: 1, HasT: true, Ent: "q"}, true},
+	}
+	for _, c := range cases {
+		if got := c.f.Overlaps(c.g); got != c.want {
+			t.Errorf("%s: Overlaps = %v, want %v", c.name, got, c.want)
+		}
+		// Overlap is symmetric.
+		if got := c.g.Overlaps(c.f); got != c.want {
+			t.Errorf("%s (flipped): Overlaps = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestPermissiveFootprintLocal(t *testing.T) {
+	fp := (PermissiveMonitor{}).Footprint(Ev{T: 2, S: R("a")})
+	if !fp.HasT || fp.T != 2 || fp.Ent != "a" || fp.Global {
+		t.Fatalf("permissive footprint = %+v, want the event's own txn and entity", fp)
+	}
+}

@@ -18,9 +18,20 @@ package model
 // procedures that genuinely branch, such as checker state expansion. Key
 // returns a compact serialization of the monitor state for memoization, or
 // "" to disable memoization across states containing this monitor.
+//
+// Footprint declares which transactions' bookkeeping and which entities'
+// shared state evaluating ev (Check and Step) reads or writes, so
+// concurrent executors can admit footprint-disjoint events in parallel.
+// The declaration must be sound — everything the evaluation touches must
+// be covered — and it must be *pure*: computable from the event and the
+// monitor's static configuration (the transaction system, parsed entity
+// names) alone, never from mutable monitor state, because executors call
+// it before taking any lock. GlobalFootprint() is always a correct
+// answer and is the expected fallback for cross-cutting rules.
 type Monitor interface {
 	Check(ev Ev) error
 	Step(ev Ev) error
+	Footprint(ev Ev) Footprint
 	Fork() Monitor
 	Key() string
 }
@@ -35,6 +46,10 @@ func (PermissiveMonitor) Check(Ev) error { return nil }
 
 // Step always succeeds.
 func (PermissiveMonitor) Step(Ev) error { return nil }
+
+// Footprint is local: the monitor reads no state at all, so only the
+// executor's own per-event bookkeeping is covered.
+func (PermissiveMonitor) Footprint(ev Ev) Footprint { return LocalFootprint(ev) }
 
 // Fork returns the monitor itself (it is stateless).
 func (PermissiveMonitor) Fork() Monitor { return PermissiveMonitor{} }

@@ -161,6 +161,20 @@ func (m *altruisticMonitor) Step(ev model.Ev) error {
 	return nil
 }
 
+// Footprint: LX is global — rule AL2 reads every transaction's unlocked
+// set and position, wake entry writes the requester's wake row, and
+// reaching a locked point clears the requester's column in *every* row.
+// UX writes only the unlocker's own unlocked set (read elsewhere solely
+// by the global LX evaluations), data operations read only the event's
+// own held set (AL1), and LS/US are vetoed by the X-only rule without
+// reading mutable state — all local.
+func (m *altruisticMonitor) Footprint(ev model.Ev) model.Footprint {
+	if ev.S.Op == model.LockExclusive {
+		return model.GlobalFootprint()
+	}
+	return model.LocalFootprint(ev)
+}
+
 // Key: positions determine locked points, held sets and unlocked sets, but
 // the wake relation depends on event order, so it is part of the key.
 func (m *altruisticMonitor) Key() string {

@@ -247,6 +247,27 @@ func (m *ddagMonitor) requireEndpoints(ev model.Ev, a, b graph.Node) error {
 	return nil
 }
 
+// Footprint: READ/WRITE, unlocks and edge-entity locks consult only the
+// event's own transaction's held set (rule L1 / no rule), so they are
+// local; so is LS, vetoed by the X-only rule without reading mutable
+// state. Node locks are global — rules L2/L5 evaluate against the
+// *present* graph — and so are INSERT/DELETE, which mutate it. The
+// edge-vs-node distinction is a property of the entity name, so the
+// footprint stays pure.
+func (m *ddagMonitor) Footprint(ev model.Ev) model.Footprint {
+	switch ev.S.Op {
+	case model.Read, model.Write, model.UnlockShared, model.UnlockExclusive, model.LockShared:
+		return model.LocalFootprint(ev)
+	case model.LockExclusive:
+		if _, _, isEdge := isEdgeEntity(ev.S.Ent); isEdge {
+			return model.LocalFootprint(ev)
+		}
+		return model.GlobalFootprint() // L2/L5 read the graph
+	default: // INSERT/DELETE write the graph
+		return model.GlobalFootprint()
+	}
+}
+
 // Key: the graph, deleted set, held and locked-ever sets are all functions
 // of the executed prefixes, so the position vector is a complete key.
 func (m *ddagMonitor) Key() string { return m.t.posKey() }

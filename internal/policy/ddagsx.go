@@ -47,6 +47,24 @@ func (m *ddagSXMonitor) Fork() model.Monitor {
 
 func (m *ddagSXMonitor) Key() string { return m.inner.Key() }
 
+// Footprint mirrors the base DDAG monitor's: READ/WRITE, unlocks and
+// edge-entity locks touch only the event's own transaction's held set;
+// node locks read the present graph and INSERT/DELETE mutate it, so
+// those are global.
+func (m *ddagSXMonitor) Footprint(ev model.Ev) model.Footprint {
+	switch ev.S.Op {
+	case model.Read, model.Write, model.UnlockShared, model.UnlockExclusive:
+		return model.LocalFootprint(ev)
+	case model.LockShared, model.LockExclusive:
+		if _, _, isEdge := isEdgeEntity(ev.S.Ent); isEdge {
+			return model.LocalFootprint(ev)
+		}
+		return model.GlobalFootprint()
+	default:
+		return model.GlobalFootprint()
+	}
+}
+
 func (m *ddagSXMonitor) Step(ev model.Ev) error {
 	if err := m.Check(ev); err != nil {
 		return err

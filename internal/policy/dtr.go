@@ -274,6 +274,16 @@ func (m *dtrMonitor) Step(ev model.Ev) error {
 	return nil
 }
 
+// Footprint is global for every event: rule DT3 runs after each Step and
+// both reads the whole system (is any node locked by *any* active
+// transaction? does every active transaction stay tree-locked?) and
+// mutates the shared forest; DT2 joins trees at transaction start. The
+// DTR monitor is the canonical cross-cutting policy the conservative
+// fallback exists for.
+func (m *dtrMonitor) Footprint(model.Ev) model.Footprint {
+	return model.GlobalFootprint()
+}
+
 // Key serializes positions plus the forest (whose shape depends on the
 // order in which transactions started, not positions alone).
 func (m *dtrMonitor) Key() string {

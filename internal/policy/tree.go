@@ -83,5 +83,12 @@ func (m *treeMonitor) Check(ev model.Ev) error {
 	return nil
 }
 
+// Footprint is local: the tree rules consult the static parent map and
+// the event's own transaction's held/locked-ever sets only (the policy
+// admits no structural updates, so the tree never changes).
+func (m *treeMonitor) Footprint(ev model.Ev) model.Footprint {
+	return model.LocalFootprint(ev)
+}
+
 // Key: all monitor state is a function of positions.
 func (m *treeMonitor) Key() string { return m.t.posKey() }

@@ -51,6 +51,12 @@ func (m *twoPhaseMonitor) Step(ev model.Ev) error {
 	return nil
 }
 
+// Footprint is local: the two-phase rule reads and writes only the
+// event's own transaction's unlocked flag and tracker row.
+func (m *twoPhaseMonitor) Footprint(ev model.Ev) model.Footprint {
+	return model.LocalFootprint(ev)
+}
+
 // Key is the position vector: the unlocked flags are a function of each
 // transaction's executed prefix.
 func (m *twoPhaseMonitor) Key() string { return m.t.posKey() }

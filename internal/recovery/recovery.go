@@ -164,21 +164,55 @@ func (c *Core) Append(ev model.Ev) error {
 	idx := len(c.log)
 	c.log = append(c.log, ev)
 	c.evIdx[int(ev.T)] = append(c.evIdx[int(ev.T)], idx)
-	if c.full {
-		return nil
-	}
-	if idx+1-c.ckpts[len(c.ckpts)-1].n >= c.every {
-		c.stats.Checkpoints++
-		c.ckpts = append(c.ckpts, checkpoint{
-			n:       idx + 1,
-			state:   c.state.Clone(),
-			monitor: c.monitor.Fork(),
-		})
-		if len(c.ckpts) > maxCheckpoints {
-			c.thin()
-		}
-	}
+	c.maybeCheckpoint()
 	return nil
+}
+
+// maybeCheckpoint snapshots the live monitor and state at the current
+// log position if at least the snapshot interval has elapsed since the
+// last checkpoint (and full replay is off), thinning past the retention
+// bound.
+func (c *Core) maybeCheckpoint() {
+	if c.full || len(c.log)-c.ckpts[len(c.ckpts)-1].n < c.every {
+		return
+	}
+	c.stats.Checkpoints++
+	c.ckpts = append(c.ckpts, checkpoint{
+		n:       len(c.log),
+		state:   c.state.Clone(),
+		monitor: c.monitor.Fork(),
+	})
+	if len(c.ckpts) > maxCheckpoints {
+		c.thin()
+	}
+}
+
+// AppendApplied records a batch of executed events whose monitor Step
+// and structural-state Apply the caller has *already* performed, in the
+// batch's order, under its own concurrency discipline — the striped
+// runtime gate evaluates footprint-disjoint events in parallel and
+// sequences them into batches, feeding the core only at drain points.
+// The core appends to the log and the per-transaction indices without
+// touching the live monitor or state; the caller is responsible for the
+// package invariant that Monitor() and State() equal a replay of the
+// resulting log (for footprint-disjoint events the Steps commute, so any
+// execution order reproduces the batch order's result).
+//
+// The caller must be quiescent for the duration of the call (single
+// owner, no concurrent Steps). A checkpoint is taken at the end of the
+// batch if at least the snapshot interval has elapsed since the last one
+// — mid-batch positions cannot be snapshotted, because the live monitor
+// is already past them, so the cadence is approximate where Append's is
+// exact.
+func (c *Core) AppendApplied(evs ...model.Ev) {
+	for _, ev := range evs {
+		idx := len(c.log)
+		c.log = append(c.log, ev)
+		c.evIdx[int(ev.T)] = append(c.evIdx[int(ev.T)], idx)
+	}
+	if len(evs) > 0 {
+		c.maybeCheckpoint()
+	}
 }
 
 // thin halves the snapshot density (keeping the initial state and the

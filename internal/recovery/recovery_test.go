@@ -100,6 +100,10 @@ func (m *depMonitor) Step(ev model.Ev) error {
 func (m *depMonitor) Fork() model.Monitor { cp := *m; return &cp }
 func (m *depMonitor) Key() string         { return fmt.Sprint(m.seen) }
 
+// Footprint is global: the cross-transaction dependency reads the shared
+// seen flags.
+func (m *depMonitor) Footprint(model.Ev) model.Footprint { return model.GlobalFootprint() }
+
 // TestMonitorVetoCascade drives the policy-veto branch of Compact: after
 // the dependency-carrying transaction is erased, the dependent's events
 // no longer pass the monitor and it cascades.
@@ -297,5 +301,66 @@ func TestCheckpointedRecoveryIsSuffixBounded(t *testing.T) {
 	}
 	if ck.Len() != full.Len() || ck.Len() != txns-1 {
 		t.Fatalf("logs diverge: %d vs %d", ck.Len(), full.Len())
+	}
+}
+
+// TestAppendAppliedMatchesAppend pins the batched path the striped
+// runtime gate uses: stepping the live monitor/state by hand and feeding
+// the core through AppendApplied batches must leave the same log,
+// indices (observed through Compact) and live world as per-event Append,
+// and later compactions must behave identically on both.
+func TestAppendAppliedMatchesAppend(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sys, sched := workload.Random(rng, workload.DefaultConfig())
+		if len(sched) == 0 {
+			continue
+		}
+		mon := func() model.Monitor { return policy.Unrestricted{}.NewMonitor(sys) }
+
+		ref := recovery.New(len(sys.Txns), sys.Init, mon(), 4)
+		bat := recovery.New(len(sys.Txns), sys.Init, mon(), 4)
+		var pending model.Schedule
+		flush := func() {
+			bat.AppendApplied(pending...)
+			pending = pending[:0]
+		}
+		for _, ev := range sched {
+			if err := ref.Append(ev); err != nil {
+				t.Fatal(err)
+			}
+			// The batched discipline: the caller advances the live world
+			// itself, the core only records.
+			if err := bat.Monitor().Step(ev); err != nil {
+				t.Fatal(err)
+			}
+			bat.State().Apply(ev.S)
+			pending = append(pending, ev)
+			if len(pending) >= 3 {
+				flush()
+			}
+		}
+		flush()
+
+		if got, want := bat.Events().String(), ref.Events().String(); got != want {
+			t.Fatalf("seed %d: logs diverge:\n%s\nwant\n%s", seed, got, want)
+		}
+		if !bat.State().Equal(ref.State()) {
+			t.Fatalf("seed %d: states diverge", seed)
+		}
+		if bat.Checkpoints() == 1 && ref.Checkpoints() > 1 {
+			t.Fatalf("seed %d: batched path took no checkpoints", seed)
+		}
+
+		// Both must compact a victim identically (evIdx equivalence).
+		victim := int(sched[len(sched)/2].T)
+		refCasc := compactAll(t, ref, map[int]bool{victim: true})
+		batCasc := compactAll(t, bat, map[int]bool{victim: true})
+		if fmt.Sprint(refCasc) != fmt.Sprint(batCasc) {
+			t.Fatalf("seed %d: cascades %v, want %v", seed, batCasc, refCasc)
+		}
+		if got, want := bat.Events().String(), ref.Events().String(); got != want {
+			t.Fatalf("seed %d: post-compact logs diverge:\n%s\nwant\n%s", seed, got, want)
+		}
 	}
 }

@@ -9,14 +9,27 @@
 //
 // Locking goes through lockmgr.Manager, so grant order, upgrades and
 // deadlock detection (including cross-shard sweeps) are the shared
-// lock-table core's. Policy rules are consulted through a serialized
-// monitor gate: one mutex orders every Check/Step, the structural-state
-// update and the log append, which defines the executed schedule. The
-// lock manager may observe a slightly different interleaving than the
-// gate, but conflicting operations cannot reorder across it: a grant only
-// follows a release whose unlock event was logged under the same gate, so
-// the logged schedule is legal — and Run verifies the committed schedule
-// is serializable before returning.
+// lock-table core's. Policy rules are consulted through a *footprint-
+// striped admission gate*: each event's monitor declares (via
+// model.Monitor.Footprint) which transactions' bookkeeping and which
+// entities' state evaluating the event touches, and the gate maps that
+// footprint onto hash-addressed stripe locks. Footprint-disjoint events
+// evaluate Check/Step concurrently under their stripes, while
+// overlapping events serialize on a shared stripe and global-footprint
+// events (plus structural updates, aborts, commits and checkpoints)
+// drain every stripe. A sequencer assigns log order before an event's
+// stripes are released, so conflicting events — which always share a
+// stripe — appear in the log in their execution order and the logged
+// schedule is legal; footprint-disjoint events commute, so any log order
+// reproduces the same monitor state. The sequenced batch is fed to the
+// recovery core at drain points, preserving its single-owner discipline.
+// Run verifies the committed schedule is serializable before returning.
+//
+// With Config.GateStripes = 1 (or Config.SerializedGate) every admission
+// drains the single stripe and the gate is behavior-identical to the
+// serialized monitor gate this pipeline replaced — the equivalence
+// property test pins that, and E15 measures what striping buys on
+// footprint-disjoint workloads.
 //
 // Abort recovery is incremental, through the same checkpointed recovery
 // core the engine uses (locksafe/internal/recovery): the core keeps
@@ -37,6 +50,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"locksafe/internal/lockmgr"
@@ -46,6 +60,11 @@ import (
 )
 
 // Config controls a run.
+//
+// MaxRetries and Backoff follow a sentinel convention: the zero value
+// selects the documented default (so Config{} is immediately usable),
+// and a *negative* value selects literally zero — no retries, or no
+// backoff delay — which the zero value cannot express.
 type Config struct {
 	// Policy supplies the runtime rules; nil means policy.Unrestricted.
 	Policy policy.Policy
@@ -54,16 +73,19 @@ type Config struct {
 	// MPL is the multiprogramming level: how many transactions may be
 	// active simultaneously. 0 means unbounded.
 	MPL int
-	// MaxRetries bounds retries per transaction (default 40); beyond it
-	// the transaction is abandoned and counted in Metrics.GaveUp.
+	// MaxRetries bounds retries per transaction; beyond it the
+	// transaction is abandoned and counted in Metrics.GaveUp.
+	// 0 selects the default (40); negative means no retries at all.
 	MaxRetries int
-	// Backoff is the base retry delay (default 200µs); the k-th retry
-	// waits k*Backoff.
+	// Backoff is the base retry delay; the k-th retry waits k*Backoff.
+	// 0 selects the default (200µs); negative means no delay.
 	Backoff time.Duration
 	// CheckpointEvery is the number of logged events between
 	// monitor/state snapshots used for incremental abort recovery
 	// (default 128, as in the engine). Smaller values make aborts
-	// cheaper and the gate path more expensive.
+	// cheaper and the gate path more expensive. It also paces the
+	// striped gate's sequencer: once that many events are buffered, the
+	// next admission drains the stripes and flushes them to the core.
 	CheckpointEvery int
 	// FullReplayRecovery disables checkpointed suffix replay: abort
 	// recovery rebuilds the monitor and state by replaying the entire
@@ -71,6 +93,17 @@ type Config struct {
 	// recovery core. Reference mode for the E14 experiment and the
 	// equivalence tests; O(events²) on abort-heavy runs.
 	FullReplayRecovery bool
+	// GateStripes is the number of stripe locks in the admission gate
+	// (default: sized from GOMAXPROCS). 1 serializes every admission,
+	// reproducing the pre-striping monitor gate exactly.
+	GateStripes int
+	// SerializedGate forces GateStripes = 1: the legacy single-mutex
+	// monitor gate. Reference mode for the E15 experiment and the gate
+	// equivalence tests — and the sensible choice for a policy whose
+	// footprints are always global (DTR), where every admission would
+	// otherwise pay a full drain of GateStripes mutexes to buy no
+	// concurrency.
+	SerializedGate bool
 }
 
 func (c Config) withDefaults() Config {
@@ -80,11 +113,25 @@ func (c Config) withDefaults() Config {
 	if c.Shards < 1 {
 		c.Shards = 1
 	}
-	if c.MaxRetries == 0 {
+	switch {
+	case c.MaxRetries == 0:
 		c.MaxRetries = 40
+	case c.MaxRetries < 0:
+		c.MaxRetries = 0
 	}
-	if c.Backoff == 0 {
+	switch {
+	case c.Backoff == 0:
 		c.Backoff = 200 * time.Microsecond
+	case c.Backoff < 0:
+		c.Backoff = 0
+	}
+	if c.SerializedGate {
+		c.GateStripes = 1
+	} else if c.GateStripes < 1 {
+		c.GateStripes = defaultGateStripes()
+	}
+	if c.CheckpointEvery < 1 {
+		c.CheckpointEvery = recovery.DefaultEvery
 	}
 	return c
 }
@@ -127,7 +174,7 @@ func (m Metrics) Throughput() float64 {
 // which Run verifies to be serializable before returning.
 type Result struct {
 	Metrics  Metrics
-	Schedule model.Schedule // events of committed transactions, in gate order
+	Schedule model.Schedule // events of committed transactions, in log order
 }
 
 type txnStatus uint8
@@ -138,20 +185,46 @@ const (
 	txAbandoned
 )
 
+// maxStripeBuf is the stack buffer for per-admission stripe sets; the
+// monitors' footprints cover at most a primary transaction/entity plus a
+// bounded neighborhood.
+const maxStripeBuf = 8
+
 type runner struct {
-	sys *model.System
-	cfg Config
-	mgr *lockmgr.Manager
+	sys  *model.System
+	cfg  Config
+	mgr  *lockmgr.Manager
+	gate *gate
+	// fpMon is a dedicated monitor instance consulted only for
+	// Footprint, which is pure (static configuration + the event), so
+	// it can be called before any stripe is held. The *live* monitor
+	// object is replaced by compaction and must not be touched unlocked.
+	fpMon model.Monitor
 
 	sem chan struct{} // MPL admission; nil = unbounded
 	wg  sync.WaitGroup
 
-	// mu is the monitor gate: it serializes monitor Check/Step, the
-	// structural state, the log and all transaction bookkeeping.
-	mu sync.Mutex
-	// rec is the shared recovery core: it owns the log, the live monitor
-	// and structural state, the periodic checkpoints and victim
-	// compaction. Accessed only under mu.
+	// seqMu is the sequencer: it assigns log order by appending to
+	// pending while the admitting goroutine still holds its stripes.
+	// Conflicting events always share a stripe, so their pending order
+	// is their execution order; the batch is flushed into the recovery
+	// core at drain points.
+	seqMu   sync.Mutex
+	pending []model.Ev
+	// drainReq asks the next admission to drain the gate and flush the
+	// sequencer (checkpoint pacing).
+	drainReq atomic.Bool
+	// waitNs accumulates lock-wait time from the fast path; folded into
+	// met.Wait when the run ends.
+	waitNs atomic.Int64
+
+	// The fields below are stripe-protected. Per-transaction entries
+	// (status, gen, attempts) are read under any stripe set covering
+	// that transaction and written only under a full drain; everything
+	// else — the recovery core, the aggregate metrics, fatal — is
+	// touched only under a full drain. fatal is additionally *read* on
+	// the fast path, which is safe because its writers hold every
+	// stripe including the reader's.
 	rec    *recovery.Core
 	status []txnStatus
 	// gen is the abort generation: bumping gen[t] invalidates t's
@@ -175,7 +248,12 @@ func Run(sys *model.System, cfg Config) (*Result, error) {
 		go r.runTxn(t)
 	}
 	r.wg.Wait()
+	// Single-threaded from here on; drain for the helpers' discipline.
+	r.gate.drain()
+	r.flushPending()
+	r.gate.undrain()
 	r.met.Elapsed = time.Since(start)
+	r.met.Wait = time.Duration(r.waitNs.Load())
 	if r.fatal != nil {
 		return nil, r.fatal
 	}
@@ -196,6 +274,8 @@ func newRunner(sys *model.System, cfg Config) *runner {
 		sys:      sys,
 		cfg:      cfg,
 		mgr:      lockmgr.NewSharded(cfg.Shards),
+		gate:     newGate(cfg.GateStripes),
+		fpMon:    cfg.Policy.NewMonitor(sys),
 		rec:      recovery.New(len(sys.Txns), sys.Init, cfg.Policy.NewMonitor(sys), cfg.CheckpointEvery),
 		status:   make([]txnStatus, len(sys.Txns)),
 		gen:      make([]int, len(sys.Txns)),
@@ -233,106 +313,230 @@ func (r *runner) backoff(k int) time.Duration {
 	return time.Duration(k) * r.cfg.Backoff
 }
 
+// txnStripes returns the stripe set covering transaction t's bookkeeping.
+func (r *runner) txnStripes(buf []int, t int) []int {
+	if r.gate.size() == 1 {
+		return append(buf, 0)
+	}
+	return append(buf, r.gate.stripeOfTxn(t))
+}
+
 // attempt executes one full pass over t's steps. It reports whether to
 // retry and after what delay.
 func (r *runner) attempt(t int) (bool, time.Duration) {
-	r.mu.Lock()
+	var buf [maxStripeBuf]int
+	tset := r.txnStripes(buf[:0], t)
+	r.gate.lockSet(tset)
 	if r.status[t] != txActive || r.fatal != nil {
-		r.mu.Unlock()
+		r.gate.unlockSet(tset)
 		return false, 0
 	}
 	gen := r.gen[t]
-	r.mu.Unlock()
+	r.gate.unlockSet(tset)
 
 	tx := r.sys.Txns[t]
 	for pos := 0; pos < tx.Len(); pos++ {
 		step := tx.Steps[pos]
 		ev := model.Ev{T: model.TID(t), S: step}
-		switch {
-		case step.Op.IsLock():
+		if step.Op.IsLock() {
 			t0 := time.Now()
 			err := r.mgr.Lock(t, step.Ent, step.Op.LockMode())
-			wait := time.Since(t0)
-			r.mu.Lock()
-			r.met.Wait += wait
-			if stale, out := r.staleLocked(t, gen); stale {
-				return out.again, out.delay
-			}
+			r.waitNs.Add(int64(time.Since(t0)))
 			if err != nil {
-				if !errors.Is(err, lockmgr.ErrDeadlock) {
-					// Re-locking a held entity: a malformed workload, not
-					// an abortable conflict.
-					r.fatal = fmt.Errorf("runtime: %w", err)
-					return r.bailLocked(t)
-				}
-				// Deadlock victim (intra- or cross-shard).
-				r.met.DeadlockAborts++
-				return r.abortLocked(t)
+				return r.lockFailed(t, gen, err)
 			}
-			// Consult the policy at grant time, as the engine does.
-			if err := r.rec.Monitor().Check(ev); err != nil {
-				r.met.PolicyAborts++
-				return r.abortLocked(t)
-			}
-			if !r.commitEventLocked(ev) {
-				return r.bailLocked(t)
-			}
-			r.mu.Unlock()
-
-		case step.Op.IsUnlock():
-			r.mu.Lock()
-			if stale, out := r.staleLocked(t, gen); stale {
-				return out.again, out.delay
-			}
-			// Consult the policy before mutating the table (e.g. X-only
-			// policies veto shared unlocks).
-			if err := r.rec.Monitor().Check(ev); err != nil {
-				r.met.PolicyAborts++
-				return r.abortLocked(t)
-			}
-			if err := r.mgr.Unlock(t, step.Ent); err != nil {
-				r.fatal = fmt.Errorf("runtime: %w", err)
-				return r.bailLocked(t)
-			}
-			if !r.commitEventLocked(ev) {
-				return r.bailLocked(t)
-			}
-			r.mu.Unlock()
-
-		default: // data step
-			r.mu.Lock()
-			if stale, out := r.staleLocked(t, gen); stale {
-				return out.again, out.delay
-			}
-			if !r.rec.State().Defined(step) {
-				// The workload raced ahead of a creator transaction:
-				// retry later.
-				r.met.ImproperAborts++
-				return r.abortLocked(t)
-			}
-			if err := r.rec.Monitor().Check(ev); err != nil {
-				r.met.PolicyAborts++
-				return r.abortLocked(t)
-			}
-			if !r.commitEventLocked(ev) {
-				return r.bailLocked(t)
-			}
-			r.mu.Unlock()
+		}
+		ok, again, delay := r.admit(t, gen, ev)
+		if !ok {
+			return again, delay
 		}
 	}
+	return r.commit(t, gen)
+}
 
-	r.mu.Lock()
-	if stale, out := r.staleLocked(t, gen); stale {
+// admit passes one event through the gate: the fast path evaluates it
+// under its footprint stripes; anything that cannot complete there —
+// global footprints, structural updates, a due sequencer flush, a stale
+// generation, a policy veto, an undefined data step — re-runs on the
+// slow path under a full drain, where the complete legacy gate logic
+// (including aborting) applies atomically.
+func (r *runner) admit(t, gen int, ev model.Ev) (ok, again bool, delay time.Duration) {
+	var buf [maxStripeBuf]int
+	if !r.drainReq.Load() {
+		if set, fast := r.gate.setFor(buf[:0], ev, r.fpMon.Footprint(ev)); fast {
+			switch out, err := r.admitFast(set, t, gen, ev); out {
+			case fastAdmitted:
+				return true, false, 0
+			case fastFatal:
+				again, delay = r.bailSlow(t, err)
+				return false, again, delay
+			case fastFallback:
+				// fall through to the slow path; nothing happened
+			}
+		}
+	}
+	return r.admitSlow(t, gen, ev)
+}
+
+type fastOutcome int
+
+const (
+	// fastAdmitted: the event was evaluated, applied and sequenced.
+	fastAdmitted fastOutcome = iota
+	// fastFallback: nothing was mutated; re-run on the slow path.
+	fastFallback
+	// fastFatal: an invariant broke *after* a side effect (the unlock
+	// table action or the monitor step); the run must die.
+	fastFatal
+)
+
+// admitFast tries to admit ev entirely under its footprint stripes.
+// Every check that can fail without side effects falls back to the slow
+// path, which re-evaluates from scratch — so a veto observed here is
+// never acted on directly, and the abort happens atomically with the
+// authoritative slow-path re-check.
+func (r *runner) admitFast(set []int, t, gen int, ev model.Ev) (fastOutcome, error) {
+	r.gate.lockSet(set)
+	if r.fatal != nil || r.gen[t] != gen {
+		r.gate.unlockSet(set)
+		return fastFallback, nil
+	}
+	if ev.S.Op.IsData() {
+		if ev.S.Op == model.Insert || ev.S.Op == model.Delete {
+			// Structural updates write the shared state map; only a
+			// drain may do that. (Reading definedness here is safe:
+			// every writer drains, and we hold a stripe.)
+			r.gate.unlockSet(set)
+			return fastFallback, nil
+		}
+		if !r.rec.State().Defined(ev.S) {
+			r.gate.unlockSet(set)
+			return fastFallback, nil
+		}
+	}
+	mon := r.rec.Monitor()
+	if mon.Check(ev) != nil {
+		r.gate.unlockSet(set)
+		return fastFallback, nil
+	}
+	if ev.S.Op.IsUnlock() {
+		// The table action sits between Check and Step, as on the slow
+		// path; a failed release mutates nothing, so it may still fall
+		// back (the slow path will fail the same way and record it).
+		if err := r.mgr.Unlock(t, ev.S.Ent); err != nil {
+			r.gate.unlockSet(set)
+			return fastFallback, nil
+		}
+	}
+	if err := mon.Step(ev); err != nil {
+		r.gate.unlockSet(set)
+		return fastFatal, fmt.Errorf("runtime: monitor accepted Check but rejected Step: %w", err)
+	}
+	r.sequence(ev)
+	r.gate.unlockSet(set)
+	return fastAdmitted, nil
+}
+
+// sequence assigns ev its log position. Called while ev's stripes are
+// held, so two conflicting events (which share a stripe) are sequenced
+// in execution order.
+func (r *runner) sequence(ev model.Ev) {
+	r.seqMu.Lock()
+	r.pending = append(r.pending, ev)
+	if len(r.pending) >= r.cfg.CheckpointEvery {
+		r.drainReq.Store(true)
+	}
+	r.seqMu.Unlock()
+}
+
+// flushPending feeds the sequenced batch to the recovery core (which
+// may take a checkpoint at the batch boundary). Caller holds a full
+// drain, so the core's single-owner discipline is preserved.
+func (r *runner) flushPending() {
+	r.seqMu.Lock()
+	if len(r.pending) > 0 {
+		r.rec.AppendApplied(r.pending...)
+		r.pending = r.pending[:0]
+	}
+	r.drainReq.Store(false)
+	r.seqMu.Unlock()
+}
+
+// admitSlow is the authoritative admission path: under a full drain it
+// runs the complete serialized-gate logic — stale check, definedness,
+// policy Check, the unlock table action, and the recovery-core append
+// (which steps the monitor and takes checkpoints). Aborts and fatal
+// errors are handled atomically here. With GateStripes = 1 every event
+// takes this path and the runtime is the pre-striping serialized gate.
+func (r *runner) admitSlow(t, gen int, ev model.Ev) (ok, again bool, delay time.Duration) {
+	r.gate.drain()
+	r.flushPending()
+	if stale, out := r.staleDrained(t, gen); stale {
+		return false, out.again, out.delay
+	}
+	if ev.S.Op.IsData() && !r.rec.State().Defined(ev.S) {
+		// The workload raced ahead of a creator transaction: retry later.
+		r.met.ImproperAborts++
+		again, delay = r.abortDrained(t)
+		return false, again, delay
+	}
+	if err := r.rec.Monitor().Check(ev); err != nil {
+		r.met.PolicyAborts++
+		again, delay = r.abortDrained(t)
+		return false, again, delay
+	}
+	if ev.S.Op.IsUnlock() {
+		if err := r.mgr.Unlock(t, ev.S.Ent); err != nil {
+			// Releasing an un-held entity: a malformed workload, not an
+			// abortable conflict.
+			again, delay = r.bailDrained(t, fmt.Errorf("runtime: %w", err))
+			return false, again, delay
+		}
+	}
+	if !r.commitEventDrained(ev) {
+		again, delay = r.bailDrained(t, nil)
+		return false, again, delay
+	}
+	r.gate.undrain()
+	return true, false, 0
+}
+
+// lockFailed handles a lock-acquisition error: deadlock victims abort
+// the attempt, anything else (re-locking a held entity — a malformed
+// workload) is fatal. A stale generation wins over either, as in the
+// serialized gate.
+func (r *runner) lockFailed(t, gen int, err error) (bool, time.Duration) {
+	r.gate.drain()
+	r.flushPending()
+	if stale, out := r.staleDrained(t, gen); stale {
+		return out.again, out.delay
+	}
+	if !errors.Is(err, lockmgr.ErrDeadlock) {
+		return r.bailDrained(t, fmt.Errorf("runtime: %w", err))
+	}
+	// Deadlock victim (intra- or cross-shard).
+	r.met.DeadlockAborts++
+	return r.abortDrained(t)
+}
+
+// commit finalizes t: its last event is already sequenced, so only the
+// bookkeeping and stray-lock shedding remain, done under a drain so a
+// concurrent cascade cannot interleave between the status flip and the
+// teardown.
+func (r *runner) commit(t, gen int) (bool, time.Duration) {
+	r.gate.drain()
+	r.flushPending()
+	if stale, out := r.staleDrained(t, gen); stale {
 		return out.again, out.delay
 	}
 	r.status[t] = txCommitted
 	r.met.Commits++
 	// Well-formed transactions have released everything; drop strays (so
-	// a workload bug cannot wedge the rest of the run) while still under
-	// the gate — after mu is released a cascade may un-commit and
+	// a workload bug cannot wedge the rest of the run) while still
+	// draining — after the drain ends a cascade may un-commit and
 	// re-spawn t, and a stray teardown would tear the new attempt down.
 	r.mgr.ReleaseAll(t)
-	r.mu.Unlock()
+	r.gate.undrain()
 	return false, 0
 }
 
@@ -341,13 +545,14 @@ type retryOut struct {
 	delay time.Duration
 }
 
-// staleLocked checks whether t's attempt was invalidated by a concurrent
-// cascade (or the run hit a fatal error). Called with mu held; on stale
-// it releases mu, sheds any lock the attempt acquired inside the race
-// window after the cascade's ReleaseAll, and reports how to continue.
-func (r *runner) staleLocked(t, gen int) (bool, retryOut) {
+// staleDrained checks whether t's attempt was invalidated by a concurrent
+// cascade (or the run hit a fatal error). Called with a full drain held;
+// on stale it releases the drain, sheds any lock the attempt acquired
+// inside the race window after the cascade's ReleaseAll, and reports how
+// to continue.
+func (r *runner) staleDrained(t, gen int) (bool, retryOut) {
 	if r.fatal != nil {
-		r.mu.Unlock()
+		r.gate.undrain()
 		r.mgr.ReleaseAll(t)
 		return true, retryOut{again: false}
 	}
@@ -356,7 +561,7 @@ func (r *runner) staleLocked(t, gen int) (bool, retryOut) {
 	}
 	again := r.status[t] == txActive
 	delay := r.backoff(r.attempts[t])
-	r.mu.Unlock()
+	r.gate.undrain()
 	// The aborter already erased our events, charged the retry and
 	// released our locks; only locks acquired after that teardown can
 	// remain, and they were never observed by the monitor.
@@ -364,19 +569,31 @@ func (r *runner) staleLocked(t, gen int) (bool, retryOut) {
 	return true, retryOut{again: again, delay: delay}
 }
 
-// bailLocked stops t after a fatal error. Called with mu held; releases
-// it.
-func (r *runner) bailLocked(t int) (bool, time.Duration) {
-	r.mu.Unlock()
+// bailDrained stops t after a fatal error (recording err unless one is
+// already recorded or err is nil). Called with a full drain held;
+// releases it.
+func (r *runner) bailDrained(t int, err error) (bool, time.Duration) {
+	if r.fatal == nil && err != nil {
+		r.fatal = err
+	}
+	r.gate.undrain()
 	r.mgr.ReleaseAll(t)
 	return false, 0
 }
 
-// commitEventLocked applies ev to the monitor and structural state and
-// appends it to the log, all through the recovery core. Called with mu
-// held after a successful Check; reports false (recording a fatal error)
-// if the monitor reneges on its Check.
-func (r *runner) commitEventLocked(ev model.Ev) bool {
+// bailSlow is bailDrained for callers not yet draining (the fast path's
+// post-side-effect failures).
+func (r *runner) bailSlow(t int, err error) (bool, time.Duration) {
+	r.gate.drain()
+	r.flushPending()
+	return r.bailDrained(t, err)
+}
+
+// commitEventDrained applies ev to the monitor and structural state and
+// appends it to the log, all through the recovery core. Called with a
+// full drain held after a successful Check; reports false (recording a
+// fatal error) if the monitor reneges on its Check.
+func (r *runner) commitEventDrained(ev model.Ev) bool {
 	if err := r.rec.Append(ev); err != nil {
 		r.fatal = fmt.Errorf("runtime: monitor accepted Check but rejected Step: %w", err)
 		return false
@@ -384,22 +601,22 @@ func (r *runner) commitEventLocked(ev model.Ev) bool {
 	return true
 }
 
-// abortLocked aborts t's current attempt: erase its events (cascading as
-// needed), charge the retry, tear down its locks. Called with mu held;
-// returns with mu released.
-func (r *runner) abortLocked(t int) (bool, time.Duration) {
-	r.eraseLocked(map[int]bool{t: true})
-	r.chargeLocked(t)
+// abortDrained aborts t's current attempt: erase its events (cascading
+// as needed), charge the retry, tear down its locks. Called with a full
+// drain held; returns with the drain released.
+func (r *runner) abortDrained(t int) (bool, time.Duration) {
+	r.eraseDrained(map[int]bool{t: true})
+	r.chargeDrained(t)
 	again := r.status[t] == txActive
 	delay := r.backoff(r.attempts[t])
-	r.mu.Unlock()
+	r.gate.undrain()
 	r.mgr.ReleaseAll(t)
 	return again, delay
 }
 
-// chargeLocked bumps t's generation and retry count, abandoning it past
-// MaxRetries. Called with mu held.
-func (r *runner) chargeLocked(t int) {
+// chargeDrained bumps t's generation and retry count, abandoning it past
+// MaxRetries. Called with a full drain held.
+func (r *runner) chargeDrained(t int) {
 	r.gen[t]++
 	r.attempts[t]++
 	if r.attempts[t] > r.cfg.MaxRetries && r.status[t] == txActive {
@@ -408,7 +625,7 @@ func (r *runner) chargeLocked(t int) {
 	}
 }
 
-// eraseLocked removes the victims' events from the log through the
+// eraseDrained removes the victims' events from the log through the
 // recovery core's checkpointed compaction: only the suffix after the
 // last snapshot at or before the victims' first event is replayed. A
 // surviving event that no longer replays identifies a cascade victim
@@ -416,8 +633,9 @@ func (r *runner) chargeLocked(t int) {
 // down too — un-committing and re-spawning it if it had already finished
 // — and compaction retries with the grown victim set, restarting from
 // the earliest checkpoint the removals invalidate. Victims only grow, so
-// the loop converges. Called with mu held.
-func (r *runner) eraseLocked(victims map[int]bool) {
+// the loop converges. Called with a full drain held (the sequencer must
+// already be flushed).
+func (r *runner) eraseDrained(victims map[int]bool) {
 	for {
 		ok, cascade := r.rec.Compact(victims)
 		if ok {
@@ -441,7 +659,7 @@ func (r *runner) eraseLocked(victims map[int]bool) {
 			r.met.Commits--
 			respawn = true
 		}
-		r.chargeLocked(cascade)
+		r.chargeDrained(cascade)
 		// Tear down the victim's locks and wake it if parked
 		// (ErrCancelled); a running victim notices its stale generation
 		// at its next gate entry.

@@ -162,7 +162,7 @@ func TestCascadeUnCommitsAndRespawns(t *testing.T) {
 	r := newRunner(sys, Config{MaxRetries: 2, Backoff: time.Microsecond})
 	// Hand-build the state as if T1 ran its first two steps and T2 ran to
 	// commit inside them.
-	r.mu.Lock()
+	r.gate.drain()
 	for _, ev := range []model.Ev{
 		{T: 0, S: model.LX("x")},
 		{T: 0, S: model.I("x")},
@@ -171,7 +171,7 @@ func TestCascadeUnCommitsAndRespawns(t *testing.T) {
 		{T: 1, S: model.R("x")},
 		{T: 1, S: model.UX("x")},
 	} {
-		if !r.commitEventLocked(ev) {
+		if !r.commitEventDrained(ev) {
 			t.Fatal(r.fatal)
 		}
 	}
@@ -179,15 +179,15 @@ func TestCascadeUnCommitsAndRespawns(t *testing.T) {
 	r.met.Commits = 1
 
 	// T1 aborts.
-	r.eraseLocked(map[int]bool{0: true})
-	r.chargeLocked(0)
-	r.mu.Unlock()
+	r.eraseDrained(map[int]bool{0: true})
+	r.chargeDrained(0)
+	r.gate.undrain()
 
 	// The cascade must have re-spawned T2; wait for it to run out.
 	r.wg.Wait()
 
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.gate.drain()
+	defer r.gate.undrain()
 	if r.met.CascadeAborts != 1 {
 		t.Fatalf("CascadeAborts = %d, want 1", r.met.CascadeAborts)
 	}
@@ -229,19 +229,19 @@ func TestRecoveryModeEraseEquivalence(t *testing.T) {
 	}
 	build := func(full bool) *runner {
 		r := newRunner(sys, Config{MaxRetries: 10, Backoff: time.Microsecond, CheckpointEvery: 2, FullReplayRecovery: full})
-		r.mu.Lock()
+		r.gate.drain()
 		for _, ev := range log {
-			if !r.commitEventLocked(ev) {
+			if !r.commitEventDrained(ev) {
 				t.Fatal(r.fatal)
 			}
 		}
-		return r // mu still held
+		return r // drain still held
 	}
 	ck, full := build(false), build(true)
 	// Erasing T1 cascades into T2 (its READ of x no longer replays) but
 	// must leave T3 untouched.
-	ck.eraseLocked(map[int]bool{0: true})
-	full.eraseLocked(map[int]bool{0: true})
+	ck.eraseDrained(map[int]bool{0: true})
+	full.eraseDrained(map[int]bool{0: true})
 	if ck.fatal != nil || full.fatal != nil {
 		t.Fatalf("fatal: %v / %v", ck.fatal, full.fatal)
 	}
@@ -259,8 +259,8 @@ func TestRecoveryModeEraseEquivalence(t *testing.T) {
 	if ck.gen[2] != 0 {
 		t.Fatal("T3 must not be cascaded")
 	}
-	ck.mu.Unlock()
-	full.mu.Unlock()
+	ck.gate.undrain()
+	full.gate.undrain()
 }
 
 // TestRecoveryModesEndToEnd runs an abort-heavy workload through both

@@ -10,6 +10,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"locksafe/internal/model"
 )
@@ -37,6 +38,12 @@ type Config struct {
 	// PStructural is the probability that a chosen data operation is an
 	// INSERT or DELETE rather than READ/WRITE.
 	PStructural float64
+	// Skew is the Zipf exponent of the hot-key distribution over the
+	// entity universe: when > 1, new lock targets are drawn Zipf(Skew)
+	// by entity rank ("e0" hottest), concentrating contention on a few
+	// hot keys — the contention dial of the E15 gate-scaling sweep.
+	// Values ≤ 1 (including the zero value) select the uniform pick.
+	Skew float64
 }
 
 // DefaultConfig returns a small, contention-heavy configuration suitable
@@ -67,6 +74,10 @@ func Random(rng *rand.Rand, cfg Config) (*model.System, model.Schedule) {
 	universe := make([]model.Entity, cfg.Entities)
 	for i := range universe {
 		universe[i] = model.Entity(fmt.Sprintf("e%d", i))
+	}
+	pick := uniformPicker(rng, len(universe))
+	if cfg.Skew > 1 {
+		pick = zipfPicker(rng, cfg.Skew, len(universe))
 	}
 	init := model.NewState()
 	for i := 0; i < cfg.InitPresent && i < len(universe); i++ {
@@ -187,7 +198,7 @@ func Random(rng *rand.Rand, cfg Config) (*model.System, model.Schedule) {
 			}
 			// Try a few candidates.
 			for attempt := 0; attempt < 4; attempt++ {
-				e := universe[rng.Intn(len(universe))]
+				e := universe[pick()]
 				if ts.lockedEver[e] || !canLock(t, e, mode) {
 					continue
 				}
@@ -209,6 +220,43 @@ func Random(rng *rand.Rand, cfg Config) (*model.System, model.Schedule) {
 		sysTxns[i] = model.Txn{Name: fmt.Sprintf("T%d", i+1), Steps: ts.steps}
 	}
 	return model.NewSystem(init, sysTxns...), sched
+}
+
+// uniformPicker returns a uniform index picker over [0, n).
+func uniformPicker(rng *rand.Rand, n int) func() int {
+	return func() int { return rng.Intn(n) }
+}
+
+// zipfPicker returns a Zipf(s) index picker over [0, n): index 0 is the
+// hottest rank. s must be > 1 (the distribution's normalization
+// requirement).
+func zipfPicker(rng *rand.Rand, s float64, n int) func() int {
+	z := rand.NewZipf(rng, s, 1, uint64(n-1))
+	return func() int { return int(z.Uint64()) }
+}
+
+// ZipfSubset draws k distinct entities from pool by Zipf(s) rank —
+// pool[0] hottest — so independent draws across transactions collide on
+// the hot head of the pool. It is the contended-workload generator of
+// the E15 gate-scaling experiment. s must be > 1 and k at most
+// len(pool); the result is in pool order (ascending rank), which doubles
+// as a deadlock-free lock order.
+func ZipfSubset(rng *rand.Rand, pool []model.Entity, k int, s float64) []model.Entity {
+	pick := zipfPicker(rng, s, len(pool))
+	chosen := make(map[int]bool, k)
+	for len(chosen) < k && len(chosen) < len(pool) {
+		chosen[pick()] = true
+	}
+	idxs := make([]int, 0, len(chosen))
+	for i := range chosen {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	out := make([]model.Entity, len(idxs))
+	for j, i := range idxs {
+		out[j] = pool[i]
+	}
+	return out
 }
 
 // RandomSchedule produces a random complete legal and proper schedule of

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -51,6 +52,107 @@ func TestRandomInvariants(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRandomSkewDistribution pins the Zipfian hot-key knob: with Skew
+// set, lock targets concentrate on the low-rank entities; without it
+// they stay near-uniform. Counts aggregate over many generated systems,
+// so the assertions are stable bulk properties, not per-seed luck.
+func TestRandomSkewDistribution(t *testing.T) {
+	count := func(skew float64) []int {
+		cfg := DefaultConfig()
+		cfg.Txns = 4
+		cfg.Steps = 40
+		cfg.Entities = 8
+		cfg.Skew = skew
+		counts := make([]int, cfg.Entities)
+		for seed := int64(0); seed < 200; seed++ {
+			sys, _ := Random(rand.New(rand.NewSource(seed)), cfg)
+			for _, tx := range sys.Txns {
+				for _, st := range tx.Steps {
+					if st.Op.IsLock() {
+						var i int
+						if _, err := fmt.Sscanf(string(st.Ent), "e%d", &i); err == nil {
+							counts[i]++
+						}
+					}
+				}
+			}
+		}
+		return counts
+	}
+
+	skewed := count(1.8)
+	uniform := count(0)
+
+	sum := func(xs []int) int {
+		n := 0
+		for _, x := range xs {
+			n += x
+		}
+		return n
+	}
+	// Hot head: under Zipf(1.8) the top-2 ranks draw well above their
+	// uniform 2/8 = 25% share (the generator's lock-once rule caps how
+	// hot a key can run within one transaction, so the realized skew is
+	// flatter than the raw distribution); uniform stays near 25%.
+	headSkew := float64(skewed[0]+skewed[1]) / float64(sum(skewed))
+	headUni := float64(uniform[0]+uniform[1]) / float64(sum(uniform))
+	if headSkew < 0.38 {
+		t.Fatalf("Zipf(1.8) top-2 share = %.2f (counts %v), want > 0.38", headSkew, skewed)
+	}
+	if headUni > 0.32 {
+		t.Fatalf("uniform top-2 share = %.2f (counts %v), want < 0.32", headUni, uniform)
+	}
+	if headSkew < headUni*1.3 {
+		t.Fatalf("skewed top-2 share %.2f not clearly above uniform %.2f", headSkew, headUni)
+	}
+	// Monotone-ish decay: every rank in the hot half must outdraw every
+	// rank in the cold half.
+	coldMax := 0
+	for _, c := range skewed[4:] {
+		if c > coldMax {
+			coldMax = c
+		}
+	}
+	for i, c := range skewed[:3] {
+		if c <= coldMax {
+			t.Fatalf("rank %d count %d not above cold-half max %d (counts %v)", i, c, coldMax, skewed)
+		}
+	}
+}
+
+func TestZipfSubset(t *testing.T) {
+	pool := make([]model.Entity, 16)
+	for i := range pool {
+		pool[i] = model.Entity(fmt.Sprintf("p%d", i))
+	}
+	rng := rand.New(rand.NewSource(5))
+	hits := make(map[model.Entity]int)
+	for i := 0; i < 300; i++ {
+		sub := ZipfSubset(rng, pool, 4, 1.6)
+		if len(sub) != 4 {
+			t.Fatalf("subset size %d, want 4", len(sub))
+		}
+		seen := map[model.Entity]bool{}
+		last := -1
+		for _, e := range sub {
+			if seen[e] {
+				t.Fatalf("duplicate entity %s in %v", e, sub)
+			}
+			seen[e] = true
+			var idx int
+			fmt.Sscanf(string(e), "p%d", &idx)
+			if idx <= last {
+				t.Fatalf("subset %v not in pool order", sub)
+			}
+			last = idx
+			hits[e]++
+		}
+	}
+	if hits[pool[0]] < hits[pool[len(pool)-1]]*2 {
+		t.Fatalf("hot head p0 (%d) not clearly hotter than tail (%d)", hits[pool[0]], hits[pool[len(pool)-1]])
 	}
 }
 
