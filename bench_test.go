@@ -500,3 +500,14 @@ func BenchmarkE12SharedReaders(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE16NetThroughput runs a small lockd end-to-end cell set
+// (in-memory loopback server, real TCP and wire framing) so the network
+// stack stays exercised by the bench-smoke job.
+func BenchmarkE16NetThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, r := experiments.E16NetThroughput(1, []int{8}, []int{4}, ""); r.Failed != "" {
+			b.Fatal(r.Failed)
+		}
+	}
+}

@@ -14,14 +14,17 @@
 //	      naive full replay
 //	E15 — gate scaling: footprint-striped vs serialized policy admission
 //	      on disjoint and Zipf-skewed workloads
+//	E16 — lockd end-to-end: N concurrent pkg/client clients against a
+//	      lockd server (in-memory loopback by default; -net targets a
+//	      running server — the network mode the CI smoke uses)
 //
 // Usage:
 //
-//	lockbench [-seed N] [-systems N] [-shards 1,4,16] [-goroutines 1,4,8] [-stripes 4,16] [-e14-sizes 1000,2000,4000,8000] [e6|e7|...|e15]...
+//	lockbench [-seed N] [-systems N] [-shards 1,4,16] [-goroutines 1,4,8] [-stripes 4,16] [-clients 4,16] [-net HOST:PORT] [-e14-sizes 1000,2000,4000,8000] [e6|e7|...|e16]...
 //
 // With no experiment arguments the full suite runs. Output is
-// deterministic for a fixed seed (timing columns excepted; E13, E14 and
-// E15's runtime sections measure wall-clock behavior and are inherently
+// deterministic for a fixed seed (timing columns excepted; E13–E16's
+// runtime sections measure wall-clock behavior and are inherently
 // machine-dependent; E14's core replay counts are deterministic).
 package main
 
@@ -55,7 +58,9 @@ func main() {
 	shards := flag.String("shards", "1,4,16", "shard counts for E13 (comma-separated)")
 	goroutines := flag.String("goroutines", "1,4,8", "goroutine counts for E13 (comma-separated)")
 	e14Sizes := flag.String("e14-sizes", "1000,2000,4000,8000", "log sizes for E14 (comma-separated event counts)")
-	stripes := flag.String("stripes", "4,16", "gate stripe counts for E15 (comma-separated)")
+	stripes := flag.String("stripes", "4,16", "gate stripe counts for E15 and E16 (comma-separated)")
+	clients := flag.String("clients", "4,16", "concurrent client counts for E16 (comma-separated)")
+	netAddr := flag.String("net", "", "E16 network mode: address of a running lockd (empty = in-memory loopback server per cell)")
 	flag.Parse()
 
 	shardCounts, err := intList("shards", *shards)
@@ -74,6 +79,11 @@ func main() {
 		os.Exit(2)
 	}
 	stripeCounts, err := intList("stripes", *stripes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	clientCounts, err := intList("clients", *clients)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -99,8 +109,12 @@ func main() {
 			_, r := experiments.E15GateScaling(*seed, stripeCounts, gorCounts)
 			return r
 		},
+		"e16": func() experiments.Report {
+			_, r := experiments.E16NetThroughput(*seed, stripeCounts, clientCounts, *netAddr)
+			return r
+		},
 	}
-	order := []string{"e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15"}
+	order := []string{"e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16"}
 
 	want := flag.Args()
 	if len(want) == 0 {
@@ -110,7 +124,7 @@ func main() {
 	for _, name := range want {
 		f, ok := runs[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "lockbench: unknown experiment %q (want e6..e15)\n", name)
+			fmt.Fprintf(os.Stderr, "lockbench: unknown experiment %q (want e6..e16)\n", name)
 			os.Exit(2)
 		}
 		r := f()

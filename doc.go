@@ -5,8 +5,9 @@
 // implementations of the DDAG, altruistic and dynamic-tree locking
 // policies, and an evaluation harness regenerating every figure and
 // theorem of the paper — grown into a concurrent locking system with a
-// sharded lock manager, a goroutine transaction runtime and a shared
-// checkpointed-recovery core.
+// sharded lock manager, a goroutine transaction runtime with an
+// open-ended session API, a shared checkpointed-recovery core, and a
+// network lock service (lockd) serving the runtime over TCP.
 //
 // # Architecture
 //
@@ -53,22 +54,39 @@
 //	internal/runtime     — real-goroutine runtime over the sharded
 //	                       manager: footprint-striped monitor gate with a
 //	                       sequenced log, abort/retry, cascading aborts,
-//	                       wall-clock metrics
+//	                       wall-clock metrics; batch Run over complete
+//	                       workloads plus the long-lived Engine/Session
+//	                       API (declared bodies, client-paced steps,
+//	                       lease-reaped abandonment)
+//
+// Service — the runtime exposed as a long-lived network lock service:
+//
+//	internal/wire        — lockd protocol: length-prefixed JSON frames,
+//	                       versioned hello, session ops, diagnostics
+//	                       (spec: docs/PROTOCOL.md)
+//	internal/server      — lockd server: one reader per connection, one
+//	                       on-demand worker per session, pipelined
+//	                       requests, lease reaping, graceful drain
+//	pkg/client           — Go client: pipelined sessions over one
+//	                       connection, abort/retry loop, stats/inspect
 //
 // Evaluation — workloads and the experiment suite:
 //
-//	internal/workload    — generators (uniform or Zipf hot-key skewed)
-//	                       and the paper's worked examples (Figures 1–5)
-//	internal/experiments — the E1–E15 evaluation suite
+//	internal/workload    — generators (uniform or Zipf hot-key skewed),
+//	                       per-client network-mode bodies, and the
+//	                       paper's worked examples (Figures 1–5)
+//	internal/experiments — the E1–E16 evaluation suite
 //
 // Executables: cmd/locksafe (safety decider), cmd/figures (figure
-// walkthroughs), cmd/lockbench (quantitative tables). Runnable examples
-// are under examples/, and godoc Example functions cover the lockmgr and
-// runtime entry points.
+// walkthroughs), cmd/lockbench (quantitative tables; -net drives a
+// running lockd), cmd/lockd (the network lock service; operator's
+// manual in docs/OPERATIONS.md). Runnable examples are under examples/,
+// and godoc Example functions cover the lockmgr, runtime (batch and
+// session) and pkg/client entry points.
 //
 // The benchmarks in bench_test.go regenerate each experiment; see
 // EXPERIMENTS.md for recorded results and DESIGN.md for the full system
 // inventory and the design notes on the lock table, the sharded manager,
-// the monitor protocol, the footprint-striped gate and the unified
-// recovery core.
+// the monitor protocol, the footprint-striped gate, the unified
+// recovery core and the service layer.
 package locksafe

@@ -99,27 +99,12 @@ func e15Workload(seed int64, wl string, g int) *model.System {
 	var all []model.Entity
 	switch wl {
 	case "disjoint":
-		for i := 0; i < g; i++ {
-			var own []model.Entity
-			for j := 0; j < perTxn; j++ {
-				own = append(own, model.Entity(fmt.Sprintf("t%d_%d", i, j)))
-			}
-			all = append(all, own...)
-			txns = append(txns, model.Txn{Steps: workload.TwoPhaseSteps(own)})
-		}
+		txns, all = workload.DisjointTxns(g, perTxn)
 	case "zipf":
-		pool := make([]model.Entity, 64)
-		for i := range pool {
-			pool[i] = model.Entity(fmt.Sprintf("z%02d", i))
-		}
-		all = pool
-		for i := 0; i < g; i++ {
-			// One Zipf-hot subset per transaction: ZipfSubset returns it
-			// in pool order, which keeps the workload deadlock-free,
-			// while the hot head keeps footprints overlapping.
-			sub := workload.ZipfSubset(rng, pool, perTxn/2, 1.4)
-			txns = append(txns, model.Txn{Steps: workload.TwoPhaseSteps(sub)})
-		}
+		// One Zipf-hot subset per transaction: deadlock-free by pool
+		// order, overlapping on the hot head.
+		all = workload.ZipfPool(64)
+		txns = workload.ZipfTxns(rng, all, g, perTxn/2, 1.4)
 	}
 	return model.NewSystem(model.NewState(all...), txns...)
 }

@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"locksafe/internal/model"
+	"locksafe/internal/policy"
+	txnruntime "locksafe/internal/runtime"
+	"locksafe/internal/server"
+	"locksafe/internal/workload"
+	"locksafe/pkg/client"
+)
+
+// E16Row is one measured configuration of the lockd end-to-end study.
+type E16Row struct {
+	// Workload is "disjoint" (private per-client keys) or "zipf"
+	// (hot-key skewed shared keys).
+	Workload string
+	// Gate is "serialized", "striped:N", or "server" when measuring an
+	// external lockd whose gate the experiment does not control.
+	Gate       string
+	Clients    int
+	Throughput float64 // commits per second
+	Commits    int
+	Aborts     int
+}
+
+// E16NetThroughput measures end-to-end lockd throughput: N concurrent
+// clients, each on its own TCP connection, each running a sequence of
+// declared transactions through pkg/client against a lockd instance —
+// by default an in-memory server on loopback, so the full stack (wire
+// framing, per-session workers, session API, striped gate, sharded
+// locks) is on the measured path. Workload shapes and gate
+// configurations mirror E15, so the gap between E15 (in-process) and
+// E16 (loopback) is the transport cost.
+//
+// With addr non-empty the experiment instead targets a running lockd at
+// that address ("network mode", the CI smoke's path). External bodies
+// are pure locking traffic (workload.LockOnlySteps) so they run against
+// any -init; in-process cells use read/write bodies and verify the
+// committed schedule serializable at drain.
+//
+// As with E13–E15, wall-clock numbers are machine-dependent: the Report
+// fails only on correctness (connection or session errors, missing
+// commits, a drain that does not verify), never on speed.
+func E16NetThroughput(seed int64, stripeCounts, clientCounts []int, addr string) ([]E16Row, Report) {
+	if len(stripeCounts) == 0 {
+		stripeCounts = []int{16}
+	}
+	if len(clientCounts) == 0 {
+		clientCounts = []int{4, 16}
+	}
+	var rows []E16Row
+	var b strings.Builder
+	var failed string
+
+	fmt.Fprintf(&b, "%-9s %-12s %8s %11s %8s %7s\n",
+		"workload", "gate", "clients", "commits/s", "commits", "aborts")
+	for _, wl := range []string{"disjoint", "zipf"} {
+		for _, cN := range clientCounts {
+			var gates []gateCfg
+			if addr != "" {
+				gates = []gateCfg{{name: "server"}}
+			} else {
+				gates = []gateCfg{{name: "serialized", serialized: true}}
+				for _, s := range stripeCounts {
+					gates = append(gates, gateCfg{name: fmt.Sprintf("striped:%d", s), stripes: s})
+				}
+			}
+			for _, gc := range gates {
+				row, err := e16Row(seed, wl, cN, gc, addr)
+				if err != "" && failed == "" {
+					failed = err
+				}
+				rows = append(rows, row)
+				fmt.Fprintf(&b, "%-9s %-12s %8d %11.0f %8d %7d\n",
+					row.Workload, row.Gate, row.Clients, row.Throughput, row.Commits, row.Aborts)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "\nShape: end-to-end, the per-request round trip dominates — a commit\n")
+	fmt.Fprintf(&b, "costs one open, one request/response per step and one commit, so\n")
+	fmt.Fprintf(&b, "throughput tracks declared-body length (zipf bodies lock %d entities,\n", 8)
+	fmt.Fprintf(&b, "disjoint %d) far more than gate discipline, and the striped-vs-\n", 16)
+	fmt.Fprintf(&b, "serialized gap of E15 is largely masked behind transport. The gate\n")
+	fmt.Fprintf(&b, "matters again once many connections pipeline against one server;\n")
+	fmt.Fprintf(&b, "correctness (every transaction commits, the drained schedule verifies\n")
+	fmt.Fprintf(&b, "serializable) is asserted on every repetition either way.\n")
+	return rows, Report{ID: "E16", Title: "lockd end-to-end: N clients over loopback TCP", Text: b.String(), Failed: failed}
+}
+
+// e16Bodies builds each client's transaction sequence for one cell.
+func e16Bodies(rng *rand.Rand, wl string, clients, rounds int, lockOnly bool) ([][]model.Txn, []model.Entity) {
+	const perTxn = 16
+	bodies := make([][]model.Txn, clients)
+	var universe []model.Entity
+	switch wl {
+	case "disjoint":
+		txns, all := workload.DisjointTxns(clients, perTxn)
+		universe = all
+		for i := range bodies {
+			one := txns[i]
+			if lockOnly {
+				one = model.Txn{Name: one.Name, Steps: workload.LockOnlySteps(ents(one))}
+			}
+			for r := 0; r < rounds; r++ {
+				bodies[i] = append(bodies[i], one)
+			}
+		}
+	case "zipf":
+		pool := workload.ZipfPool(64)
+		universe = pool
+		for r := 0; r < rounds; r++ {
+			txns := workload.ZipfTxns(rng, pool, clients, perTxn/2, 1.4)
+			for i := range bodies {
+				one := txns[i]
+				if lockOnly {
+					one = model.Txn{Name: one.Name, Steps: workload.LockOnlySteps(ents(one))}
+				}
+				bodies[i] = append(bodies[i], one)
+			}
+		}
+	}
+	return bodies, universe
+}
+
+// ents lists the distinct entities a transaction locks, in lock order.
+func ents(tx model.Txn) []model.Entity {
+	var out []model.Entity
+	for _, st := range tx.Steps {
+		if st.Op.IsLock() {
+			out = append(out, st.Ent)
+		}
+	}
+	return out
+}
+
+// e16Row measures one cell, best-of over a few repetitions with
+// correctness asserted on every repetition.
+func e16Row(seed int64, wl string, clients int, gc gateCfg, addr string) (E16Row, string) {
+	row := E16Row{Workload: wl, Gate: gc.name, Clients: clients}
+	reps := 3
+	if addr != "" {
+		reps = 1
+	}
+	const rounds = 3
+	for rep := 0; rep < reps; rep++ {
+		rng := rand.New(rand.NewSource(seed + int64(rep)))
+		bodies, universe := e16Bodies(rng, wl, clients, rounds, addr != "")
+		commits, aborts, elapsed, err := e16Run(bodies, universe, gc, addr)
+		if err != nil {
+			return row, fmt.Sprintf("e16 %s %s c=%d: %v", wl, gc.name, clients, err)
+		}
+		if commits != clients*rounds {
+			return row, fmt.Sprintf("e16 %s %s c=%d: %d of %d transactions committed", wl, gc.name, clients, commits, clients*rounds)
+		}
+		if tp := float64(commits) / elapsed.Seconds(); tp > row.Throughput {
+			row.Throughput = tp
+			row.Commits = commits
+			row.Aborts = aborts
+		}
+	}
+	return row, ""
+}
+
+// e16Run executes one repetition: every client on its own connection,
+// all released together, each running its transaction sequence to
+// commit. With no external addr an in-memory lockd is started for the
+// run and drained afterwards, which verifies the committed schedule.
+func e16Run(bodies [][]model.Txn, universe []model.Entity, gc gateCfg, addr string) (commits, aborts int, elapsed time.Duration, err error) {
+	var srv *server.Server
+	target := addr
+	if addr == "" {
+		srv = server.New(model.NewState(universe...), txnruntime.Config{
+			Policy:         policy.TwoPhase{},
+			Shards:         16,
+			GateStripes:    gc.stripes,
+			SerializedGate: gc.serialized,
+			Backoff:        50 * time.Microsecond,
+			MaxRetries:     500,
+		})
+		ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+		if lerr != nil {
+			return 0, 0, 0, lerr
+		}
+		go srv.Serve(ln)
+		target = ln.Addr().String()
+	}
+
+	clientsN := len(bodies)
+	conns := make([]*client.Client, clientsN)
+	for i := range conns {
+		c, derr := client.Dial(target)
+		if derr != nil {
+			return 0, 0, 0, derr
+		}
+		conns[i] = c
+		defer c.Close()
+	}
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, clientsN)
+	counts := make([]int, clientsN)
+	wg.Add(clientsN)
+	for i := range conns {
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			for _, tx := range bodies[i] {
+				s, oerr := conns[i].Open(tx)
+				if oerr != nil {
+					errs[i] = oerr
+					return
+				}
+				if rerr := s.Run(50 * time.Microsecond); rerr != nil {
+					errs[i] = rerr
+					return
+				}
+				counts[i]++
+			}
+		}(i)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed = time.Since(t0)
+	for i, e := range errs {
+		if e != nil {
+			return 0, 0, 0, fmt.Errorf("client %d: %w", i, e)
+		}
+		commits += counts[i]
+	}
+	if srv != nil {
+		res, serr := srv.Shutdown(5 * time.Second)
+		if serr != nil {
+			return 0, 0, 0, fmt.Errorf("drain: %w", serr)
+		}
+		aborts = res.Metrics.Aborts()
+		if res.Metrics.Commits != commits {
+			return 0, 0, 0, fmt.Errorf("server counted %d commits, clients counted %d", res.Metrics.Commits, commits)
+		}
+	} else {
+		st, serr := conns[0].Stats()
+		if serr != nil {
+			return 0, 0, 0, serr
+		}
+		aborts = st.DeadlockAborts + st.PolicyAborts + st.ImproperAborts + st.CascadeAborts
+	}
+	return commits, aborts, elapsed, nil
+}

@@ -28,11 +28,22 @@ package model
 // names) alone, never from mutable monitor state, because executors call
 // it before taking any lock. GlobalFootprint() is always a correct
 // answer and is the expected fallback for cross-cutting rules.
+//
+// Grow supports long-lived executors whose transaction population is not
+// known up front (the session runtime): after the caller appends
+// transactions to the monitor's System (System.Add), Grow extends the
+// monitor's per-transaction bookkeeping to cover them, with the new rows
+// in their never-started state. Growing is append-only — existing rows
+// are untouched — so a grown monitor behaves exactly like one
+// constructed over the extended system with the same events applied.
+// Grow must be serialized with Check/Step/Fork by the caller; executors
+// call it only while holding exclusive ownership of the monitor.
 type Monitor interface {
 	Check(ev Ev) error
 	Step(ev Ev) error
 	Footprint(ev Ev) Footprint
 	Fork() Monitor
+	Grow()
 	Key() string
 }
 
@@ -53,6 +64,9 @@ func (PermissiveMonitor) Footprint(ev Ev) Footprint { return LocalFootprint(ev) 
 
 // Fork returns the monitor itself (it is stateless).
 func (PermissiveMonitor) Fork() Monitor { return PermissiveMonitor{} }
+
+// Grow is a no-op: the monitor keeps no per-transaction state.
+func (PermissiveMonitor) Grow() {}
 
 // Key returns a constant: the monitor carries no state.
 func (PermissiveMonitor) Key() string { return "-" }

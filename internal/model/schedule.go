@@ -42,6 +42,16 @@ func NewSystem(init State, txns ...Txn) *System {
 // Txn returns the transaction with the given TID.
 func (sys *System) Txn(t TID) Txn { return sys.Txns[int(t)] }
 
+// Add appends a transaction to the system and returns its TID. It is the
+// growth half of the session runtime's open protocol: after Add, every
+// Monitor built over sys must be told to Grow before it sees an event of
+// the new transaction. The caller is responsible for serializing Add
+// with all concurrent readers of sys.Txns.
+func (sys *System) Add(t Txn) TID {
+	sys.Txns = append(sys.Txns, t)
+	return TID(len(sys.Txns) - 1)
+}
+
 // Name returns the display name of a transaction, defaulting to "T<i+1>".
 func (sys *System) Name(t TID) string {
 	if n := sys.Txns[int(t)].Name; n != "" {

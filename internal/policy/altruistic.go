@@ -161,6 +161,40 @@ func (m *altruisticMonitor) Step(ev model.Ev) error {
 	return nil
 }
 
+// Grow extends the per-transaction rows to cover appended transactions:
+// their locked points are computed from the declared bodies, their
+// unlocked sets start empty and they are in nobody's wake. Every row is
+// reallocated (including the nominally static locked points and the wake
+// columns) so sequentially grown forks never share growth.
+func (m *altruisticMonitor) Grow() {
+	m.t.grow()
+	old := len(m.lockedPoint)
+	n := len(m.t.pos)
+	if n <= old {
+		return
+	}
+	lp := make([]int, n)
+	copy(lp, m.lockedPoint)
+	for i := old; i < n; i++ {
+		lp[i] = m.t.sys.Txns[i].LockedPoint()
+	}
+	m.lockedPoint = lp
+	unlocked := make([]map[model.Entity]bool, n)
+	copy(unlocked, m.unlocked)
+	for i := old; i < n; i++ {
+		unlocked[i] = make(map[model.Entity]bool)
+	}
+	m.unlocked = unlocked
+	wake := make([][]bool, n)
+	for i := 0; i < n; i++ {
+		wake[i] = make([]bool, n)
+		if i < old {
+			copy(wake[i], m.wake[i])
+		}
+	}
+	m.wake = wake
+}
+
 // Footprint: LX is global — rule AL2 reads every transaction's unlocked
 // set and position, wake entry writes the requester's wake row, and
 // reaching a locked point clears the requester's column in *every* row.

@@ -247,6 +247,10 @@ func (m *ddagMonitor) requireEndpoints(ev model.Ev, a, b graph.Node) error {
 	return nil
 }
 
+// Grow extends the tracker to cover appended transactions; the graph and
+// deleted set are keyed by entity, not transaction.
+func (m *ddagMonitor) Grow() { m.t.grow() }
+
 // Footprint: READ/WRITE, unlocks and edge-entity locks consult only the
 // event's own transaction's held set (rule L1 / no rule), so they are
 // local; so is LS, vetoed by the X-only rule without reading mutable

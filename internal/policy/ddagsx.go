@@ -47,6 +47,9 @@ func (m *ddagSXMonitor) Fork() model.Monitor {
 
 func (m *ddagSXMonitor) Key() string { return m.inner.Key() }
 
+// Grow delegates to the base DDAG monitor, which owns all bookkeeping.
+func (m *ddagSXMonitor) Grow() { m.inner.Grow() }
+
 // Footprint mirrors the base DDAG monitor's: READ/WRITE, unlocks and
 // edge-entity locks touch only the event's own transaction's held set;
 // node locks read the present graph and INSERT/DELETE mutate it, so

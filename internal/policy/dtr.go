@@ -274,6 +274,11 @@ func (m *dtrMonitor) Step(ev model.Ev) error {
 	return nil
 }
 
+// Grow extends the tracker to cover appended transactions. The DT2
+// joining for a new transaction happens lazily at its first event, so no
+// forest work is needed here.
+func (m *dtrMonitor) Grow() { m.t.grow() }
+
 // Footprint is global for every event: rule DT3 runs after each Step and
 // both reads the whole system (is any node locked by *any* active
 // transaction? does every active transaction stay tree-locked?) and

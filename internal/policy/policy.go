@@ -95,6 +95,29 @@ func (t *tracker) clone() *tracker {
 	return c
 }
 
+// grow extends the per-transaction rows to cover transactions appended
+// to the system since construction (or the last grow), leaving existing
+// rows untouched. The rows are reallocated rather than appended in place
+// so that forks sharing a backing array (checkpoint monitors grown in
+// sequence) can never observe each other's growth.
+func (t *tracker) grow() {
+	n := len(t.sys.Txns)
+	if n <= len(t.pos) {
+		return
+	}
+	pos := make([]int, n)
+	copy(pos, t.pos)
+	held := make([]map[model.Entity]model.Mode, n)
+	copy(held, t.held)
+	lockedEver := make([]map[model.Entity]bool, n)
+	copy(lockedEver, t.lockedEver)
+	for i := len(t.pos); i < n; i++ {
+		held[i] = make(map[model.Entity]model.Mode)
+		lockedEver[i] = make(map[model.Entity]bool)
+	}
+	t.pos, t.held, t.lockedEver = pos, held, lockedEver
+}
+
 // advance applies the event's effect on positions, held locks and
 // locked-ever sets. It must be called after a monitor accepts the event.
 func (t *tracker) advance(ev model.Ev) {
@@ -176,6 +199,32 @@ func DDAGGraph(m model.Monitor) fmt.Stringer {
 		return d.g
 	}
 	return nil
+}
+
+// All returns every implemented policy, in presentation order.
+func All() []Policy {
+	return []Policy{TwoPhase{}, Tree{}, DDAG{}, DDAGSX{}, Altruistic{}, DTR{}, Unrestricted{}}
+}
+
+// ByName resolves a policy by its Name (case-insensitive); lockd's
+// -policy flag and similar front doors use it.
+func ByName(name string) (Policy, bool) {
+	for _, p := range All() {
+		if strings.EqualFold(p.Name(), name) {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// Names lists the recognized policy names, for usage messages.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, p := range all {
+		out[i] = p.Name()
+	}
+	return out
 }
 
 // Unrestricted is the no-rules policy: every legal proper schedule is

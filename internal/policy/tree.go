@@ -83,6 +83,10 @@ func (m *treeMonitor) Check(ev model.Ev) error {
 	return nil
 }
 
+// Grow extends the tracker to cover appended transactions; the tree
+// itself is static.
+func (m *treeMonitor) Grow() { m.t.grow() }
+
 // Footprint is local: the tree rules consult the static parent map and
 // the event's own transaction's held/locked-ever sets only (the policy
 // admits no structural updates, so the tree never changes).

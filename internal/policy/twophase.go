@@ -51,6 +51,15 @@ func (m *twoPhaseMonitor) Step(ev model.Ev) error {
 	return nil
 }
 
+// Grow extends the unlocked flags (and the tracker) to cover appended
+// transactions; new transactions have released nothing.
+func (m *twoPhaseMonitor) Grow() {
+	m.t.grow()
+	for len(m.unlocked) < len(m.t.pos) {
+		m.unlocked = append(m.unlocked, false)
+	}
+}
+
 // Footprint is local: the two-phase rule reads and writes only the
 // event's own transaction's unlocked flag and tracker row.
 func (m *twoPhaseMonitor) Footprint(ev model.Ev) model.Footprint {

@@ -150,6 +150,23 @@ func (c *Core) Stats() Stats { return c.stats }
 // including the initial state.
 func (c *Core) Checkpoints() int { return len(c.ckpts) }
 
+// Grow extends the Core to cover transactions appended to the system it
+// executes (System.Add) since construction or the last Grow: the
+// per-transaction event indices gain empty rows and the live monitor
+// *and every retained checkpoint monitor* are grown, so a later Compact
+// that rolls back to a pre-growth snapshot can still replay the new
+// transactions' suffix events. txns is the new total transaction count.
+// Like every other mutator, Grow requires exclusive ownership.
+func (c *Core) Grow(txns int) {
+	for len(c.evIdx) < txns {
+		c.evIdx = append(c.evIdx, nil)
+	}
+	c.monitor.Grow()
+	for i := range c.ckpts {
+		c.ckpts[i].monitor.Grow()
+	}
+}
+
 // Append records one executed event: it advances the monitor (returning
 // the monitor's veto, if any, with the Core unchanged), applies the
 // event's step to the structural state, appends to the log and takes a

@@ -98,6 +98,7 @@ func (m *depMonitor) Step(ev model.Ev) error {
 }
 
 func (m *depMonitor) Fork() model.Monitor { cp := *m; return &cp }
+func (m *depMonitor) Grow()               {} // fixed two-transaction fixture
 func (m *depMonitor) Key() string         { return fmt.Sprint(m.seen) }
 
 // Footprint is global: the cross-transaction dependency reads the shared

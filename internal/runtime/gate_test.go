@@ -82,7 +82,7 @@ func driveTrace(t *testing.T, sys *model.System, sched model.Schedule, cfg Confi
 		if !commit || dropped[tn] || fed[tn] != total[tn] {
 			return
 		}
-		if again, _ := r.commit(tn, r.gen[tn]); again {
+		if _, again, _ := r.commit(tn, r.gen[tn]); again {
 			t.Fatal("single-threaded commit cannot be stale")
 		}
 	}

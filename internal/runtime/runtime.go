@@ -1,11 +1,18 @@
-// Package runtime executes transaction systems as real goroutines against
-// the sharded concurrent lock manager under a locking-policy monitor. It
-// is the concurrent counterpart of the virtual-time execution engine
-// (locksafe/internal/engine): the same abort/retry discipline, the same
-// cascading-abort rule (a surviving event that no longer replays — for
-// example a wake member of an aborted altruistic donor — is aborted too),
-// and comparable metrics, but measured on real cores and wall-clock time
-// instead of a deterministic simulation.
+// Package runtime executes transactions as real goroutines against the
+// sharded concurrent lock manager under a locking-policy monitor, in
+// two modes: Run executes a complete pre-generated workload batch-style
+// (every transaction driven by its own goroutine to commit or
+// abandonment), and Engine serves a *long-lived, open-ended* population
+// — clients Open sessions by declaring a transaction body and drive its
+// steps one at a time (Session.Step/Commit/Abort), with lease timeouts
+// reaping abandoned sessions. The network lock service lockd
+// (locksafe/internal/server, cmd/lockd) is a thin transport over the
+// Engine API. It is the concurrent counterpart of the virtual-time
+// execution engine (locksafe/internal/engine): the same abort/retry
+// discipline, the same cascading-abort rule (a surviving event that no
+// longer replays — for example a wake member of an aborted altruistic
+// donor — is aborted too), and comparable metrics, but measured on real
+// cores and wall-clock time instead of a deterministic simulation.
 //
 // Locking goes through lockmgr.Manager, so grant order, upgrades and
 // deadlock detection (including cross-shard sweeps) are the shared
@@ -44,6 +51,15 @@
 // as the engine re-runs such transactions. Victims only grow across a
 // cascade, so compaction restarts from the earliest invalidated
 // checkpoint and converges.
+//
+// Sessions ride the same machinery: Engine.Open appends the declared
+// transaction to the system under a full gate drain (growing the
+// monitors and the recovery core via their Grow methods), Session.Step
+// goes through exactly the batch loop's lock-acquisition and admission
+// paths, and a committed session un-committed by a cascade is re-run by
+// the engine itself from its declared body. DESIGN.md's "Service layer"
+// section gives the argument that this preserves the gate-equivalence
+// invariants; TestSessionGateEquivalence pins it end to end.
 package runtime
 
 import (
@@ -104,6 +120,20 @@ type Config struct {
 	// otherwise pay a full drain of GateStripes mutexes to buy no
 	// concurrency.
 	SerializedGate bool
+	// Lease is the session lease of a long-lived Engine: how long a
+	// Session may sit idle between requests before the engine aborts it,
+	// releases its locks and abandons it (Metrics.LeaseExpired). The
+	// lease clock runs only between session requests — a session parked
+	// inside a lock acquisition is waiting on the system, not the
+	// client, and is never expired mid-request. 0 disables leases.
+	// Batch Run ignores the field.
+	Lease time.Duration
+	// Clock overrides the time source used for lease accounting (nil
+	// means time.Now). With a non-nil Clock the engine starts no
+	// background reaper: the test or embedding server advances the clock
+	// and calls Engine.Reap itself, which makes lease expiry fully
+	// deterministic.
+	Clock func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -155,6 +185,9 @@ type Metrics struct {
 	// FullReplayRecovery it grows with the whole log per abort; with
 	// checkpointed recovery it is bounded by the replayed suffixes.
 	Replayed int
+	// LeaseExpired counts sessions abandoned by the lease reaper (a
+	// subset of GaveUp). Always zero in batch runs.
+	LeaseExpired int
 }
 
 // Aborts returns the total abort count.
@@ -219,11 +252,12 @@ type runner struct {
 	waitNs atomic.Int64
 
 	// The fields below are stripe-protected. Per-transaction entries
-	// (status, gen, attempts) are read under any stripe set covering
-	// that transaction and written only under a full drain; everything
-	// else — the recovery core, the aggregate metrics, fatal — is
-	// touched only under a full drain. fatal is additionally *read* on
-	// the fast path, which is safe because its writers hold every
+	// (status, gen, attempts, abortCause) are read under any stripe set
+	// covering that transaction and written only under a full drain;
+	// everything else — the recovery core, the aggregate metrics, fatal,
+	// the transaction list itself (grown by Engine.Open via sys.Add) —
+	// is touched only under a full drain. fatal is additionally *read*
+	// on the fast path, which is safe because its writers hold every
 	// stripe including the reader's.
 	rec    *recovery.Core
 	status []txnStatus
@@ -232,7 +266,11 @@ type runner struct {
 	// its parked lock request is cancelled) and restarts.
 	gen      []int
 	attempts []int
-	met      Metrics
+	// abortCause records why t's latest attempt was torn down (deadlock
+	// victim, policy veto, improper step, cascade, lease expiry), so a
+	// session client can be told what killed it.
+	abortCause []error
+	met        Metrics
 	// fatal records an internal invariant breach (monitor Check/Step
 	// disagreement); the run stops admitting events and reports it.
 	fatal error
@@ -271,15 +309,16 @@ func Run(sys *model.System, cfg Config) (*Result, error) {
 func newRunner(sys *model.System, cfg Config) *runner {
 	cfg = cfg.withDefaults()
 	r := &runner{
-		sys:      sys,
-		cfg:      cfg,
-		mgr:      lockmgr.NewSharded(cfg.Shards),
-		gate:     newGate(cfg.GateStripes),
-		fpMon:    cfg.Policy.NewMonitor(sys),
-		rec:      recovery.New(len(sys.Txns), sys.Init, cfg.Policy.NewMonitor(sys), cfg.CheckpointEvery),
-		status:   make([]txnStatus, len(sys.Txns)),
-		gen:      make([]int, len(sys.Txns)),
-		attempts: make([]int, len(sys.Txns)),
+		sys:        sys,
+		cfg:        cfg,
+		mgr:        lockmgr.NewSharded(cfg.Shards),
+		gate:       newGate(cfg.GateStripes),
+		fpMon:      cfg.Policy.NewMonitor(sys),
+		rec:        recovery.New(len(sys.Txns), sys.Init, cfg.Policy.NewMonitor(sys), cfg.CheckpointEvery),
+		status:     make([]txnStatus, len(sys.Txns)),
+		gen:        make([]int, len(sys.Txns)),
+		attempts:   make([]int, len(sys.Txns)),
+		abortCause: make([]error, len(sys.Txns)),
 	}
 	if cfg.FullReplayRecovery {
 		r.rec.SetFullReplay(true)
@@ -321,8 +360,8 @@ func (r *runner) txnStripes(buf []int, t int) []int {
 	return append(buf, r.gate.stripeOfTxn(t))
 }
 
-// attempt executes one full pass over t's steps. It reports whether to
-// retry and after what delay.
+// attempt executes one full pass over t's declared steps. It reports
+// whether to retry and after what delay.
 func (r *runner) attempt(t int) (bool, time.Duration) {
 	var buf [maxStripeBuf]int
 	tset := r.txnStripes(buf[:0], t)
@@ -332,26 +371,37 @@ func (r *runner) attempt(t int) (bool, time.Duration) {
 		return false, 0
 	}
 	gen := r.gen[t]
+	// The transaction list is grown by Engine.Open under a full drain,
+	// so the declared body must be read under a stripe.
+	tx := r.sys.Txns[t]
 	r.gate.unlockSet(tset)
 
-	tx := r.sys.Txns[t]
 	for pos := 0; pos < tx.Len(); pos++ {
-		step := tx.Steps[pos]
-		ev := model.Ev{T: model.TID(t), S: step}
-		if step.Op.IsLock() {
-			t0 := time.Now()
-			err := r.mgr.Lock(t, step.Ent, step.Op.LockMode())
-			r.waitNs.Add(int64(time.Since(t0)))
-			if err != nil {
-				return r.lockFailed(t, gen, err)
-			}
-		}
-		ok, again, delay := r.admit(t, gen, ev)
+		ok, again, delay := r.execStep(t, gen, tx.Steps[pos])
 		if !ok {
 			return again, delay
 		}
 	}
-	return r.commit(t, gen)
+	_, again, delay := r.commit(t, gen)
+	return again, delay
+}
+
+// execStep performs one declared step of t's attempt gen: the lock-table
+// action for lock steps, then gate admission. ok reports whether the
+// step was admitted; otherwise (again, delay) is the retry policy for
+// the attempt, exactly as the batch loop interprets it.
+func (r *runner) execStep(t, gen int, step model.Step) (ok, again bool, delay time.Duration) {
+	ev := model.Ev{T: model.TID(t), S: step}
+	if step.Op.IsLock() {
+		t0 := time.Now()
+		err := r.mgr.Lock(t, step.Ent, step.Op.LockMode())
+		r.waitNs.Add(int64(time.Since(t0)))
+		if err != nil {
+			again, delay = r.lockFailed(t, gen, err)
+			return false, again, delay
+		}
+	}
+	return r.admit(t, gen, ev)
 }
 
 // admit passes one event through the gate: the fast path evaluates it
@@ -477,11 +527,13 @@ func (r *runner) admitSlow(t, gen int, ev model.Ev) (ok, again bool, delay time.
 	if ev.S.Op.IsData() && !r.rec.State().Defined(ev.S) {
 		// The workload raced ahead of a creator transaction: retry later.
 		r.met.ImproperAborts++
+		r.abortCause[t] = fmt.Errorf("improper step %s: undefined in the structural state", ev)
 		again, delay = r.abortDrained(t)
 		return false, again, delay
 	}
 	if err := r.rec.Monitor().Check(ev); err != nil {
 		r.met.PolicyAborts++
+		r.abortCause[t] = err
 		again, delay = r.abortDrained(t)
 		return false, again, delay
 	}
@@ -516,18 +568,21 @@ func (r *runner) lockFailed(t, gen int, err error) (bool, time.Duration) {
 	}
 	// Deadlock victim (intra- or cross-shard).
 	r.met.DeadlockAborts++
+	r.abortCause[t] = err
 	return r.abortDrained(t)
 }
 
 // commit finalizes t: its last event is already sequenced, so only the
 // bookkeeping and stray-lock shedding remain, done under a drain so a
 // concurrent cascade cannot interleave between the status flip and the
-// teardown.
-func (r *runner) commit(t, gen int) (bool, time.Duration) {
+// teardown. committed reports whether t actually reached txCommitted —
+// false when the attempt went stale under the drain (the session API
+// needs the distinction; the batch loop only follows again/delay).
+func (r *runner) commit(t, gen int) (committed, again bool, delay time.Duration) {
 	r.gate.drain()
 	r.flushPending()
 	if stale, out := r.staleDrained(t, gen); stale {
-		return out.again, out.delay
+		return false, out.again, out.delay
 	}
 	r.status[t] = txCommitted
 	r.met.Commits++
@@ -537,7 +592,7 @@ func (r *runner) commit(t, gen int) (bool, time.Duration) {
 	// re-spawn t, and a stray teardown would tear the new attempt down.
 	r.mgr.ReleaseAll(t)
 	r.gate.undrain()
-	return false, 0
+	return true, false, 0
 }
 
 type retryOut struct {
@@ -649,6 +704,7 @@ func (r *runner) eraseDrained(victims map[int]bool) {
 		}
 		victims[cascade] = true
 		r.met.CascadeAborts++
+		r.abortCause[cascade] = fmt.Errorf("cascade victim: a surviving event of T%d no longer replays after the abort", cascade+1)
 		respawn := false
 		if r.status[cascade] == txCommitted {
 			// The cascade reached an already-committed transaction (e.g.

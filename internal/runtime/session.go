@@ -1,0 +1,581 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"locksafe/internal/model"
+)
+
+// This file is the session layer over the striped runtime: a long-lived
+// Engine whose transaction population is not known up front. Clients
+// open a Session by declaring the transaction's full step sequence (the
+// paper's policies are properties of declared transaction bodies: the
+// altruistic locked point and the DTR tree-locking check need the whole
+// text, and cascade recovery must be able to re-run a committed
+// transaction without its client), then drive the declared steps one at
+// a time through exactly the same lock-manager and gate-admission code
+// paths the batch loop uses. The network service in internal/server is
+// a thin transport over this API.
+
+// Sentinel errors of the session API. Step, Commit and Abort wrap them
+// with cause detail; test with errors.Is.
+var (
+	// ErrClosed: the engine is shut down (or shutting down); no further
+	// sessions or session operations are accepted.
+	ErrClosed = errors.New("engine closed")
+	// ErrAborted: the session's current attempt was torn down (policy
+	// veto, deadlock victim, improper step, cascade). Its events are
+	// erased and its locks released; the session remains open and the
+	// client may retry by re-sending the declared steps from the first.
+	ErrAborted = errors.New("session attempt aborted; retry from the first declared step")
+	// ErrAbandoned: the session exceeded its retry budget
+	// (Config.MaxRetries) and was abandoned. Terminal.
+	ErrAbandoned = errors.New("session abandoned: retry budget exhausted")
+	// ErrLeaseExpired: the session sat idle past Config.Lease and was
+	// reaped — events erased, locks released. Terminal.
+	ErrLeaseExpired = errors.New("session lease expired")
+	// ErrSessionDone: the session already committed or was closed.
+	ErrSessionDone = errors.New("session already finished")
+	// ErrCancelled: the session was terminated engine-side by Cancel
+	// (for example because its network connection died). Terminal.
+	ErrCancelled = errors.New("session cancelled")
+	// ErrStepMismatch: the submitted step is not the declared
+	// transaction's next step (or steps remain at Commit).
+	ErrStepMismatch = errors.New("step does not match the declared transaction")
+)
+
+// Engine is a long-lived transaction runtime: the same sharded lock
+// manager, footprint-striped admission gate and checkpointed recovery
+// core as the batch Run, but with an open-ended session population.
+// Open appends a declared transaction to the system (growing the
+// monitors and the recovery core under a full gate drain) and returns a
+// Session the client paces; abort/retry generations, cascading aborts
+// and committed-transaction re-spawn work exactly as in batch mode —
+// a re-spawned transaction is driven by the engine itself from its
+// declared body.
+//
+// With Config.Lease > 0 the engine enforces session leases: a session
+// idle between requests for longer than the lease is aborted and
+// abandoned, its locks released, so an abandoned client cannot wedge
+// the rest of the system. With Config.Clock nil a background reaper
+// enforces leases on wall-clock time; with an injected Clock the
+// embedder calls Reap itself.
+type Engine struct {
+	r *runner
+	// start anchors Metrics.Elapsed (always wall clock, even with an
+	// injected lease Clock).
+	start time.Time
+	now   func() time.Time
+	lease time.Duration
+
+	// lifecycle: session operations hold it for read; Close holds it
+	// for write to wait out in-flight operations.
+	lifecycle sync.RWMutex
+	closed    atomic.Bool
+	closedCh  chan struct{} // closed by Close; unblocks MPL waiters
+
+	mu       sync.Mutex
+	sessions map[int]*Session
+
+	reapStop chan struct{}
+	reapDone chan struct{}
+}
+
+// NewEngine returns a running engine over the given initial structural
+// state (nil means the empty database). The configuration is the batch
+// Config; MPL bounds concurrently open sessions (Open blocks until a
+// slot frees), and Lease/Clock control session leases.
+func NewEngine(init model.State, cfg Config) *Engine {
+	e := &Engine{
+		r:        newRunner(model.NewSystem(init.Clone()), cfg),
+		start:    time.Now(),
+		now:      cfg.Clock,
+		lease:    cfg.Lease,
+		closedCh: make(chan struct{}),
+		sessions: make(map[int]*Session),
+	}
+	if e.now == nil {
+		e.now = time.Now
+		if e.lease > 0 {
+			e.reapStop = make(chan struct{})
+			e.reapDone = make(chan struct{})
+			go e.reapLoop()
+		}
+	}
+	return e
+}
+
+// Session is one client-paced transaction of an Engine. A Session is
+// not safe for concurrent use: each session serves one client, and its
+// methods must not overlap (the network server serializes a session's
+// requests through one worker goroutine).
+type Session struct {
+	e    *Engine
+	t    int
+	tx   model.Txn
+	gen  int // generation of the current attempt, from the client's view
+	pos  int // declared steps admitted in the current attempt
+	done bool
+
+	// deadline is the lease deadline in unix nanoseconds (0 = no
+	// lease); busy marks an in-flight request, during which the reaper
+	// leaves the session alone. term records the terminal sentinel a
+	// reaper or drain imposed.
+	deadline atomic.Int64
+	busy     atomic.Bool
+	term     atomic.Pointer[error]
+	finished atomic.Bool // release() ran (sem slot given back, deregistered)
+}
+
+// Open appends the declared transaction to the engine's system and
+// returns a session for it. The full step sequence must be declared up
+// front: the policies need the body (locked points, tree-locking), and
+// cascade recovery re-runs committed transactions from it. The body
+// must be well-formed and lock each entity at most once — malformed
+// bodies are rejected here so a misbehaving client cannot trip the
+// runtime's internal-invariant failures. With Config.MPL set, Open
+// blocks until a session slot is free.
+func (e *Engine) Open(tx model.Txn) (*Session, error) {
+	if err := tx.WellFormed(); err != nil {
+		return nil, err
+	}
+	if !tx.LocksAtMostOnce() {
+		return nil, fmt.Errorf("runtime: declared transaction %q locks an entity more than once", tx.Name)
+	}
+	r := e.r
+	if r.sem != nil {
+		select {
+		case r.sem <- struct{}{}:
+		case <-e.closedCh:
+			return nil, ErrClosed
+		}
+	}
+	e.lifecycle.RLock()
+	defer e.lifecycle.RUnlock()
+	if e.closed.Load() {
+		if r.sem != nil {
+			<-r.sem
+		}
+		return nil, ErrClosed
+	}
+
+	r.gate.drain()
+	r.flushPending()
+	if r.fatal != nil {
+		err := r.fatal
+		r.gate.undrain()
+		if r.sem != nil {
+			<-r.sem
+		}
+		return nil, fmt.Errorf("runtime: engine failed: %w", err)
+	}
+	t := int(r.sys.Add(tx))
+	r.rec.Grow(len(r.sys.Txns))
+	r.fpMon.Grow()
+	r.status = append(r.status, txActive)
+	r.gen = append(r.gen, 0)
+	r.attempts = append(r.attempts, 0)
+	r.abortCause = append(r.abortCause, nil)
+	r.gate.undrain()
+
+	s := &Session{e: e, t: t, tx: tx}
+	s.touch()
+	e.mu.Lock()
+	e.sessions[t] = s
+	e.mu.Unlock()
+	return s, nil
+}
+
+// TID returns the session's transaction index in the engine's system.
+func (s *Session) TID() int { return s.t }
+
+// touch renews the lease deadline.
+func (s *Session) touch() {
+	if s.e.lease > 0 {
+		s.deadline.Store(s.e.now().Add(s.e.lease).UnixNano())
+	}
+}
+
+// begin guards a session operation: lifecycle read lock, closed and
+// done checks, lease renewal, busy marking. Every return path that got
+// past begin must go through end.
+func (s *Session) begin() error {
+	if s.done {
+		if p := s.term.Load(); p != nil {
+			return *p
+		}
+		return ErrSessionDone
+	}
+	s.e.lifecycle.RLock()
+	if s.e.closed.Load() {
+		s.e.lifecycle.RUnlock()
+		return ErrClosed
+	}
+	s.busy.Store(true)
+	s.touch()
+	return nil
+}
+
+func (s *Session) end() {
+	s.touch()
+	s.busy.Store(false)
+	s.e.lifecycle.RUnlock()
+}
+
+// release deregisters the session and returns its MPL slot, exactly
+// once (the client's own finish can race a reaper's).
+func (e *Engine) release(s *Session) {
+	if s.finished.Swap(true) {
+		return
+	}
+	e.mu.Lock()
+	delete(e.sessions, s.t)
+	e.mu.Unlock()
+	if e.r.sem != nil {
+		<-e.r.sem
+	}
+}
+
+// readTxnState snapshots t's generation, status, abort cause and the
+// fatal error under t's stripe.
+func (r *runner) readTxnState(t int) (gen int, status txnStatus, cause, fatal error) {
+	var buf [maxStripeBuf]int
+	tset := r.txnStripes(buf[:0], t)
+	r.gate.lockSet(tset)
+	gen, status, cause, fatal = r.gen[t], r.status[t], r.abortCause[t], r.fatal
+	r.gate.unlockSet(tset)
+	return
+}
+
+// failure translates a torn-down attempt into the session API's error
+// vocabulary, adopting the new generation so the client can retry.
+func (s *Session) failure() error {
+	gen, status, cause, fatal := s.e.r.readTxnState(s.t)
+	s.gen, s.pos = gen, 0
+	if fatal != nil {
+		s.done = true
+		s.e.release(s)
+		return fmt.Errorf("runtime: engine failed: %w", fatal)
+	}
+	if status == txActive {
+		if cause != nil {
+			return fmt.Errorf("%w (cause: %v)", ErrAborted, cause)
+		}
+		return ErrAborted
+	}
+	// Terminal: reaped, drained or out of retries.
+	s.done = true
+	s.e.release(s)
+	if p := s.term.Load(); p != nil {
+		return fmt.Errorf("%w (cause: %v)", *p, cause)
+	}
+	if cause != nil {
+		return fmt.Errorf("%w (last cause: %v)", ErrAbandoned, cause)
+	}
+	return ErrAbandoned
+}
+
+// Step executes the next declared step of the session's transaction: st
+// must equal that step (the declaration is the contract; the submitted
+// step is verified against it). On success the cursor advances. An
+// ErrAborted return means the attempt — including any previously
+// admitted steps — was erased; the client retries by re-sending the
+// declared steps from the first. ErrAbandoned, ErrLeaseExpired and
+// ErrClosed are terminal.
+func (s *Session) Step(st model.Step) error {
+	if err := s.begin(); err != nil {
+		return err
+	}
+	defer s.end()
+	if s.pos >= s.tx.Len() {
+		return fmt.Errorf("%w: all %d declared steps already executed", ErrStepMismatch, s.tx.Len())
+	}
+	if want := s.tx.Steps[s.pos]; st != want {
+		return fmt.Errorf("%w: got %s, declared step %d is %s", ErrStepMismatch, st, s.pos, want)
+	}
+	// A cascade (or the reaper) may have torn the attempt down since the
+	// last request; notice before doing any work.
+	if gen, status, _, fatal := s.e.r.readTxnState(s.t); fatal != nil || gen != s.gen || status != txActive {
+		return s.failure()
+	}
+	ok, _, _ := s.e.r.execStep(s.t, s.gen, st)
+	if !ok {
+		return s.failure()
+	}
+	s.pos++
+	return nil
+}
+
+// Commit finalizes the session after every declared step was admitted.
+// On success the transaction is durably in the committed schedule
+// (subject to the cascade caveat documented in DESIGN.md: a later
+// cascade may un-commit it, in which case the engine itself re-runs the
+// declared body to completion, as the batch runtime does). ErrAborted
+// means the attempt died before the commit took; retry from the first
+// step.
+func (s *Session) Commit() error {
+	if err := s.begin(); err != nil {
+		return err
+	}
+	defer s.end()
+	if s.pos != s.tx.Len() {
+		return fmt.Errorf("%w: %d of %d declared steps executed", ErrStepMismatch, s.pos, s.tx.Len())
+	}
+	committed, _, _ := s.e.r.commit(s.t, s.gen)
+	if !committed {
+		return s.failure()
+	}
+	s.done = true
+	s.e.release(s)
+	return nil
+}
+
+// Abort closes the session at the client's request: its events are
+// erased (cascading as needed), its locks released and the transaction
+// abandoned (counted in Metrics.GaveUp). The session is finished.
+func (s *Session) Abort() error {
+	if err := s.begin(); err != nil {
+		return err
+	}
+	defer s.end()
+	r := s.e.r
+	r.gate.drain()
+	r.flushPending()
+	if r.fatal == nil && r.status[s.t] == txActive {
+		r.eraseDrained(map[int]bool{s.t: true})
+		r.gen[s.t]++
+		r.status[s.t] = txAbandoned
+		r.met.GaveUp++
+	}
+	fatal := r.fatal
+	r.gate.undrain()
+	r.mgr.ReleaseAll(s.t)
+	s.done = true
+	s.e.release(s)
+	if fatal != nil {
+		return fmt.Errorf("runtime: engine failed: %w", fatal)
+	}
+	return nil
+}
+
+// Cancel terminates the session engine-side: its current attempt is
+// erased, its locks released and the transaction abandoned (counted in
+// Metrics.GaveUp). Unlike the owner-only methods, Cancel is safe to
+// call concurrently with an in-flight Step/Commit/Abort — the network
+// server uses it to tear down the sessions of a dead connection, which
+// wakes a step parked inside a lock acquisition. The owner's in-flight
+// and subsequent calls fail with ErrCancelled. Cancelling a finished
+// session is a no-op.
+func (s *Session) Cancel() {
+	s.e.forceAbort(s, ErrCancelled, errors.New("session cancelled (connection closed)"), false)
+}
+
+// forceAbort tears down an open session engine-side (lease reaper,
+// shutdown drain): erase its events, release its locks, abandon it.
+// Reports whether the session was actually torn down (false if it
+// already finished or the engine is failing).
+func (e *Engine) forceAbort(s *Session, term error, cause error, lease bool) bool {
+	r := e.r
+	r.gate.drain()
+	r.flushPending()
+	if r.fatal != nil || s.finished.Load() || r.status[s.t] != txActive {
+		r.gate.undrain()
+		return false
+	}
+	r.eraseDrained(map[int]bool{s.t: true})
+	r.gen[s.t]++
+	r.abortCause[s.t] = cause
+	r.status[s.t] = txAbandoned
+	r.met.GaveUp++
+	if lease {
+		r.met.LeaseExpired++
+	}
+	// Publish the terminal sentinel before the teardown wakes anyone:
+	// a parked Step woken by the ReleaseAll below must find term set, or
+	// it would misreport the cause as ErrAbandoned.
+	s.term.Store(&term)
+	r.gate.undrain()
+	r.mgr.ReleaseAll(s.t)
+	e.release(s)
+	return true
+}
+
+// Reap aborts every open session whose lease deadline has passed and
+// returns how many it reaped. A session with an in-flight request is
+// never reaped — the lease bounds client idleness, not lock waits. With
+// an injected Clock the embedder calls Reap after advancing the clock;
+// with the real clock a background goroutine calls it periodically.
+func (e *Engine) Reap() int {
+	if e.lease <= 0 {
+		return 0
+	}
+	now := e.now().UnixNano()
+	e.mu.Lock()
+	var expired []*Session
+	for _, s := range e.sessions {
+		if d := s.deadline.Load(); d != 0 && d <= now && !s.busy.Load() {
+			expired = append(expired, s)
+		}
+	}
+	e.mu.Unlock()
+	n := 0
+	for _, s := range expired {
+		if e.forceAbort(s, ErrLeaseExpired, fmt.Errorf("lease of %v expired", e.lease), true) {
+			n++
+		}
+	}
+	return n
+}
+
+func (e *Engine) reapLoop() {
+	defer close(e.reapDone)
+	period := e.lease / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.reapStop:
+			return
+		case <-tick.C:
+			e.Reap()
+		}
+	}
+}
+
+// OpenSessions returns the number of currently open sessions.
+func (e *Engine) OpenSessions() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.sessions)
+}
+
+// AbortOpenSessions force-aborts every open session (shutdown drain):
+// each loses its in-flight attempt, is abandoned and — if parked inside
+// a lock acquisition — woken with a cancellation. Returns how many were
+// torn down.
+func (e *Engine) AbortOpenSessions() int {
+	e.mu.Lock()
+	snap := make([]*Session, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		snap = append(snap, s)
+	}
+	e.mu.Unlock()
+	n := 0
+	for _, s := range snap {
+		if e.forceAbort(s, ErrClosed, errors.New("engine shutting down"), false) {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns a consistent snapshot of the engine's metrics (cheap:
+// no serializability check). Elapsed is the wall-clock time since
+// NewEngine.
+func (e *Engine) Stats() Metrics {
+	r := e.r
+	r.gate.drain()
+	r.flushPending()
+	m := r.met
+	m.Events = r.rec.Len()
+	m.Replayed = r.rec.Stats().Replayed
+	r.gate.undrain()
+	m.Wait = time.Duration(r.waitNs.Load())
+	m.Elapsed = time.Since(e.start)
+	return m
+}
+
+// Inspection is a diagnostic snapshot of the engine's world state, in
+// the digest vocabulary of the equivalence tests: the surviving log,
+// the structural state, the policy monitor's memoization key and the
+// log's serializability verdict.
+type Inspection struct {
+	Log          string
+	State        string
+	MonitorKey   string
+	Serializable bool
+	OpenSessions int
+	Metrics      Metrics
+}
+
+// Inspect returns a diagnostic snapshot. It drains the gate and builds
+// the serializability graph of the whole surviving log — O(log) work —
+// so it is a debugging and verification facility, not a metrics poll
+// (use Stats for that).
+func (e *Engine) Inspect() Inspection {
+	r := e.r
+	r.gate.drain()
+	r.flushPending()
+	ins := Inspection{
+		Log:          r.rec.Events().String(),
+		State:        fmt.Sprintf("%v", r.rec.State()),
+		MonitorKey:   r.rec.Monitor().Key(),
+		Serializable: r.rec.Events().Serializable(r.sys),
+	}
+	m := r.met
+	m.Events = r.rec.Len()
+	m.Replayed = r.rec.Stats().Replayed
+	ins.Metrics = m
+	r.gate.undrain()
+	ins.Metrics.Wait = time.Duration(r.waitNs.Load())
+	ins.Metrics.Elapsed = time.Since(e.start)
+	e.mu.Lock()
+	ins.OpenSessions = len(e.sessions)
+	e.mu.Unlock()
+	return ins
+}
+
+// Close shuts the engine down: new sessions and session operations are
+// refused, every still-open session is force-aborted (erasing its
+// events, so the final log is exactly the committed schedule, as in
+// batch Run), engine-driven re-runs are waited out, and the committed
+// schedule is verified serializable. Returns the final metrics and
+// schedule.
+func (e *Engine) Close() (*Result, error) {
+	if e.closed.Swap(true) {
+		return nil, ErrClosed
+	}
+	close(e.closedCh)
+	if e.reapStop != nil {
+		close(e.reapStop)
+		<-e.reapDone
+	}
+	// First pass unwedges sessions parked inside lock acquisitions so
+	// in-flight operations can finish and the lifecycle write lock is
+	// reachable; the second pass (exclusive) closes the window where an
+	// Open raced the first.
+	e.AbortOpenSessions()
+	e.lifecycle.Lock()
+	defer e.lifecycle.Unlock()
+	e.AbortOpenSessions()
+	r := e.r
+	r.wg.Wait()
+	// Session operations are excluded by the lifecycle write lock and
+	// the re-runs are done, but Stats/Inspect stay reachable (a draining
+	// server still answers polls), so the final metrics are written and
+	// snapshotted under the drain like every other r.met access.
+	r.gate.drain()
+	r.flushPending()
+	r.met.Elapsed = time.Since(e.start)
+	r.met.Wait = time.Duration(r.waitNs.Load())
+	r.met.Events = r.rec.Len()
+	r.met.Replayed = r.rec.Stats().Replayed
+	met := r.met
+	fatal := r.fatal
+	r.gate.undrain()
+	if fatal != nil {
+		return nil, fatal
+	}
+	sched := r.rec.Events()
+	if !sched.Serializable(r.sys) {
+		return nil, fmt.Errorf("runtime: committed schedule is NOT serializable under policy %q", r.cfg.Policy.Name())
+	}
+	return &Result{Metrics: met, Schedule: sched}, nil
+}

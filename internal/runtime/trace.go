@@ -1,0 +1,96 @@
+package runtime
+
+import (
+	"fmt"
+
+	"locksafe/internal/model"
+)
+
+// TraceResult is the observable digest of a deterministic trace drive:
+// everything the admission pipeline influences, rendered canonically so
+// digests from different substrates (batch runner, in-process sessions,
+// network sessions) can be compared with ==.
+type TraceResult struct {
+	// Log is the surviving event log in execution order.
+	Log string
+	// State renders the structural state after the log.
+	State string
+	// MonitorKey is the policy monitor's memoization key after the log.
+	MonitorKey string
+	// Serializable is the log's serializability verdict.
+	Serializable bool
+	// Metrics is the runner's accounting (wall-clock fields excluded
+	// from any digest comparison by the caller).
+	Metrics Metrics
+}
+
+// ReplayTrace feeds a legal proper schedule through a fresh runner's
+// admission pipeline one event at a time, single-threaded, so the
+// pipeline's decisions are deterministic and comparable across gate
+// configurations and execution substrates. A transaction whose event is
+// refused (policy veto and abort, or staleness after a cascade) is
+// dropped: its remaining events are skipped and no retry is attempted.
+// When commit is true, a transaction whose events were all admitted is
+// committed immediately after its last event.
+//
+// This is the reference drive of the session-equivalence tests: the
+// same trace pushed through in-process Sessions or a network client
+// must produce an identical digest.
+func ReplayTrace(sys *model.System, sched model.Schedule, cfg Config, commit bool) (*TraceResult, error) {
+	r := newRunner(sys, cfg)
+	dropped := make([]bool, len(sys.Txns))
+	fed := make([]int, len(sys.Txns))
+	gen := make([]int, len(sys.Txns)) // the generation each drive is on
+	for _, ev := range sched {
+		tn := int(ev.T)
+		if dropped[tn] {
+			continue
+		}
+		if r.gen[tn] != gen[tn] {
+			// A cascade invalidated the transaction's attempt between
+			// events — exactly what a session client observes as
+			// ErrAborted before its next step. Drop.
+			dropped[tn] = true
+			continue
+		}
+		ok, _, _ := r.execStep(tn, gen[tn], ev.S)
+		if !ok {
+			// Vetoed (and aborted) or stale: drop.
+			dropped[tn] = true
+			continue
+		}
+		fed[tn]++
+		if commit && fed[tn] == sys.Txns[tn].Len() {
+			// Immediately after tn's own last event nothing can have
+			// interleaved, so a single-threaded commit cannot be stale.
+			if committed, _, _ := r.commit(tn, gen[tn]); !committed {
+				return nil, fmt.Errorf("runtime: single-threaded commit of T%d went stale", tn+1)
+			}
+		}
+	}
+	r.gate.drain()
+	r.flushPending()
+	r.gate.undrain()
+	if r.fatal != nil {
+		return nil, r.fatal
+	}
+	r.met.Events = r.rec.Len()
+	r.met.Replayed = r.rec.Stats().Replayed
+	return &TraceResult{
+		Log:          r.rec.Events().String(),
+		State:        fmt.Sprintf("%v", r.rec.State()),
+		MonitorKey:   r.rec.Monitor().Key(),
+		Serializable: r.rec.Events().Serializable(sys),
+		Metrics:      r.met,
+	}, nil
+}
+
+// Digest renders the comparable part of the result as one string
+// (wall-clock metrics excluded).
+func (t *TraceResult) Digest() string {
+	m := t.Metrics
+	return fmt.Sprintf("log:%s\nstate:%s key:%q serializable:%v\n"+
+		"commits:%d gaveup:%d dead:%d pol:%d imp:%d casc:%d events:%d",
+		t.Log, t.State, t.MonitorKey, t.Serializable,
+		m.Commits, m.GaveUp, m.DeadlockAborts, m.PolicyAborts, m.ImproperAborts, m.CascadeAborts, m.Events)
+}

@@ -1,0 +1,434 @@
+// Package server exposes the session runtime (internal/runtime.Engine)
+// over the network as the lockd service: length-prefixed JSON frames
+// (internal/wire) over TCP, one reader goroutine per connection, one
+// worker goroutine per open session so a session parked on a lock never
+// blocks the connection's other sessions, and pipelined requests with
+// out-of-order responses matched by request id. docs/PROTOCOL.md
+// specifies the wire format; docs/OPERATIONS.md is the operator's
+// manual.
+//
+// The server adds no concurrency control of its own: every open, step,
+// commit and abort is a direct call into the engine's session API, so
+// the gate-equivalence and session-safety arguments of DESIGN.md carry
+// over to network execution unchanged. A connection that drops takes
+// its open sessions with it (they are aborted, releasing their locks);
+// a connection that merely stalls is the lease reaper's problem.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"locksafe/internal/model"
+	"locksafe/internal/runtime"
+	"locksafe/internal/wire"
+)
+
+// sessionQueue bounds the per-session pipeline depth; a reader blocks
+// (backpressuring its connection) when a session's queue is full.
+const sessionQueue = 128
+
+// Server is one lockd instance: an engine plus its listener plumbing.
+type Server struct {
+	eng    *runtime.Engine
+	policy string
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*conn]struct{}
+	draining bool
+
+	wg sync.WaitGroup // connection handlers
+}
+
+// New builds a server over a fresh engine with the given initial
+// structural state and runtime configuration.
+func New(init model.State, cfg runtime.Config) *Server {
+	name := "unrestricted"
+	if cfg.Policy != nil {
+		name = cfg.Policy.Name()
+	}
+	return &Server{
+		eng:    runtime.NewEngine(init, cfg),
+		policy: name,
+		conns:  make(map[*conn]struct{}),
+	}
+}
+
+// Engine exposes the underlying engine (tests and embedders; the
+// lockbench in-process loopback uses it for final verification).
+func (s *Server) Engine() *runtime.Engine { return s.eng }
+
+// Serve accepts connections on ln until Shutdown closes it. It returns
+// nil after a Shutdown-initiated stop, or the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return runtime.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		c := &conn{srv: s, nc: nc, sessions: make(map[uint64]*sessWorker)}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			c.serve()
+		}()
+	}
+}
+
+// Shutdown drains the server: stop accepting, refuse new sessions, wait
+// up to timeout for open sessions to finish, force-abort the rest, then
+// close the engine (which verifies the committed schedule is
+// serializable) and disconnect everyone. It returns the engine's final
+// result.
+func (s *Server) Shutdown(timeout time.Duration) (*runtime.Result, error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, runtime.ErrClosed
+	}
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	deadline := time.Now().Add(timeout)
+	for s.eng.OpenSessions() > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Close force-aborts whatever is still open and waits out
+	// engine-driven re-runs before verifying the committed schedule.
+	res, err := s.eng.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.nc.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return res, err
+}
+
+// conn is one client connection: a frame reader, a write mutex shared
+// by everything that responds, and the session workers it has opened.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+
+	wmu sync.Mutex // serializes response frames
+
+	smu      sync.Mutex
+	sessions map[uint64]*sessWorker
+	nextSID  uint64
+	closing  bool
+
+	workers sync.WaitGroup
+}
+
+// sessWorker serializes one session's requests: dispatch appends to the
+// queue, and a single runner goroutine — spawned on demand, exiting
+// when the queue empties — executes them in submission order. A
+// finished session leaves no goroutine and no queue behind, so a
+// long-lived connection can open millions of sessions without
+// accumulating workers.
+type sessWorker struct {
+	sess *runtime.Session
+
+	mu       sync.Mutex
+	queue    []wire.Request
+	running  bool
+	finished bool
+}
+
+func (c *conn) serve() {
+	defer c.teardown()
+	for {
+		var req wire.Request
+		if err := wire.ReadFrame(c.nc, &req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Protocol error or mid-frame disconnect: nothing more to
+				// parse on this stream either way.
+				c.send(wire.Response{ID: req.ID, Code: wire.CodeBadReq, Err: err.Error()})
+			}
+			return
+		}
+		switch req.Op {
+		case wire.OpHello:
+			if req.Version != wire.Version {
+				c.send(wire.Response{ID: req.ID, Code: wire.CodeVersion,
+					Err: fmt.Sprintf("server speaks protocol version %d, client sent %d", wire.Version, req.Version)})
+				return
+			}
+			c.send(wire.Response{ID: req.ID, OK: true, Version: wire.Version, Policy: c.srv.policy})
+		case wire.OpStats:
+			c.send(statsResponse(req.ID, c.srv.eng))
+		case wire.OpInspect:
+			// Heavyweight (drains the gate, builds the serializability
+			// graph); run off the reader so the connection keeps flowing.
+			go func(id uint64) { c.send(inspectResponse(id, c.srv.eng)) }(req.ID)
+		case wire.OpOpen:
+			// Open may block on the MPL gate; run it off the reader.
+			go c.open(req)
+		case wire.OpStep, wire.OpCommit, wire.OpAbort:
+			c.dispatch(req)
+		default:
+			c.send(wire.Response{ID: req.ID, Code: wire.CodeBadReq, Err: fmt.Sprintf("unknown op %q", req.Op)})
+		}
+	}
+}
+
+// send writes one response frame; write errors just mark the
+// connection for teardown (the reader will notice the close).
+func (c *conn) send(resp wire.Response) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := wire.WriteFrame(c.nc, resp); err != nil {
+		c.nc.Close()
+	}
+}
+
+// open admits a new session and spawns its worker.
+func (c *conn) open(req wire.Request) {
+	if c.srv.isDraining() {
+		c.send(wire.Response{ID: req.ID, Code: wire.CodeClosed, Err: "server draining"})
+		return
+	}
+	steps, err := wire.DecodeSteps(req.Txn)
+	if err != nil {
+		c.send(wire.Response{ID: req.ID, Code: wire.CodeBadReq, Err: err.Error()})
+		return
+	}
+	sess, err := c.srv.eng.Open(model.Txn{Name: req.Name, Steps: steps})
+	if err != nil {
+		code := wire.CodeMalformed
+		if errors.Is(err, runtime.ErrClosed) {
+			code = wire.CodeClosed
+		}
+		c.send(wire.Response{ID: req.ID, Code: code, Err: err.Error()})
+		return
+	}
+	w := &sessWorker{sess: sess}
+	c.smu.Lock()
+	if c.closing {
+		c.smu.Unlock()
+		sess.Cancel()
+		c.send(wire.Response{ID: req.ID, Code: wire.CodeClosed, Err: "connection closing"})
+		return
+	}
+	c.nextSID++
+	sid := c.nextSID
+	c.sessions[sid] = w
+	c.smu.Unlock()
+	c.send(wire.Response{ID: req.ID, OK: true, SID: sid})
+}
+
+// dispatch enqueues a session request on its worker, spawning the
+// runner if the queue was idle.
+func (c *conn) dispatch(req wire.Request) {
+	c.smu.Lock()
+	w := c.sessions[req.SID]
+	c.smu.Unlock()
+	if w == nil {
+		c.send(wire.Response{ID: req.ID, Code: wire.CodeDone, Err: fmt.Sprintf("no open session %d on this connection", req.SID)})
+		return
+	}
+	w.mu.Lock()
+	switch {
+	case w.finished:
+		w.mu.Unlock()
+		c.send(wire.Response{ID: req.ID, Code: wire.CodeDone, Err: "session already finished"})
+	case len(w.queue) >= sessionQueue:
+		w.mu.Unlock()
+		c.send(wire.Response{ID: req.ID, Code: wire.CodeBadReq, Err: fmt.Sprintf("session pipeline deeper than %d requests", sessionQueue)})
+	default:
+		w.queue = append(w.queue, req)
+		if !w.running {
+			w.running = true
+			c.workers.Add(1)
+			go c.runWorker(req.SID, w)
+		}
+		w.mu.Unlock()
+	}
+}
+
+// runWorker executes one session's queued requests in order, exiting
+// when the queue empties or the session finishes.
+func (c *conn) runWorker(sid uint64, w *sessWorker) {
+	defer c.workers.Done()
+	for {
+		w.mu.Lock()
+		if len(w.queue) == 0 {
+			w.running = false
+			w.mu.Unlock()
+			return
+		}
+		req := w.queue[0]
+		w.queue = w.queue[1:]
+		w.mu.Unlock()
+
+		var err error
+		switch req.Op {
+		case wire.OpStep:
+			st, perr := model.ParseStep(req.Step)
+			if perr != nil {
+				// A garbage step is the *request's* problem, not the
+				// session's: refuse it and leave the session (and its
+				// locks, cursor and lease) untouched.
+				c.send(wire.Response{ID: req.ID, Code: wire.CodeBadReq, Err: perr.Error(), SID: sid})
+				continue
+			}
+			err = w.sess.Step(st)
+		case wire.OpCommit:
+			err = w.sess.Commit()
+		case wire.OpAbort:
+			err = w.sess.Abort()
+		}
+		resp := wire.Response{ID: req.ID, OK: err == nil, SID: sid}
+		if err != nil {
+			resp.Code, resp.Err = codeFor(err), err.Error()
+		}
+		if sessionOver(req.Op, err) {
+			w.mu.Lock()
+			w.finished = true
+			w.running = false
+			rest := w.queue
+			w.queue = nil
+			w.mu.Unlock()
+			c.send(resp)
+			for _, r := range rest {
+				c.send(wire.Response{ID: r.ID, Code: wire.CodeDone, Err: "session already finished"})
+			}
+			c.forget(sid)
+			return
+		}
+		c.send(resp)
+	}
+}
+
+// sessionOver reports whether the request left the session finished.
+func sessionOver(op string, err error) bool {
+	switch {
+	case err == nil:
+		return op == wire.OpCommit || op == wire.OpAbort
+	case errors.Is(err, runtime.ErrAborted), errors.Is(err, runtime.ErrStepMismatch):
+		return false // session still open
+	default:
+		return true
+	}
+}
+
+// forget unregisters a finished session.
+func (c *conn) forget(sid uint64) {
+	c.smu.Lock()
+	delete(c.sessions, sid)
+	c.smu.Unlock()
+}
+
+// teardown cancels every unfinished session (the client is gone, so its
+// locks must not outlive it — Cancel also wakes a step parked inside a
+// lock acquisition), waits out the workers and unregisters the
+// connection.
+func (c *conn) teardown() {
+	c.nc.Close()
+	c.smu.Lock()
+	c.closing = true
+	workers := make([]*sessWorker, 0, len(c.sessions))
+	for _, w := range c.sessions {
+		workers = append(workers, w)
+	}
+	c.sessions = make(map[uint64]*sessWorker)
+	c.smu.Unlock()
+	for _, w := range workers {
+		w.sess.Cancel()
+	}
+	c.workers.Wait()
+	s := c.srv
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// codeFor maps the session API's error vocabulary onto wire codes.
+func codeFor(err error) string {
+	switch {
+	case errors.Is(err, runtime.ErrAborted):
+		return wire.CodeAborted
+	case errors.Is(err, runtime.ErrAbandoned):
+		return wire.CodeAbandoned
+	case errors.Is(err, runtime.ErrLeaseExpired):
+		return wire.CodeExpired
+	case errors.Is(err, runtime.ErrClosed), errors.Is(err, runtime.ErrCancelled):
+		return wire.CodeClosed
+	case errors.Is(err, runtime.ErrSessionDone):
+		return wire.CodeDone
+	case errors.Is(err, runtime.ErrStepMismatch):
+		return wire.CodeMismatch
+	default:
+		return wire.CodeInternal
+	}
+}
+
+func statsOf(m runtime.Metrics, open int) wire.Stats {
+	return wire.Stats{
+		Commits:        m.Commits,
+		GaveUp:         m.GaveUp,
+		DeadlockAborts: m.DeadlockAborts,
+		PolicyAborts:   m.PolicyAborts,
+		ImproperAborts: m.ImproperAborts,
+		CascadeAborts:  m.CascadeAborts,
+		LeaseExpired:   m.LeaseExpired,
+		Events:         m.Events,
+		Replayed:       m.Replayed,
+		OpenSessions:   open,
+		WaitNS:         int64(m.Wait),
+		ElapsedNS:      int64(m.Elapsed),
+	}
+}
+
+func statsResponse(id uint64, eng *runtime.Engine) wire.Response {
+	st := statsOf(eng.Stats(), eng.OpenSessions())
+	return wire.Response{ID: id, OK: true, Stats: &st}
+}
+
+func inspectResponse(id uint64, eng *runtime.Engine) wire.Response {
+	ins := eng.Inspect()
+	return wire.Response{ID: id, OK: true, Inspect: &wire.Inspect{
+		Log:          ins.Log,
+		State:        ins.State,
+		MonitorKey:   ins.MonitorKey,
+		Serializable: ins.Serializable,
+		Stats:        statsOf(ins.Metrics, ins.OpenSessions),
+	}}
+}

@@ -1,0 +1,488 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"locksafe/internal/model"
+	"locksafe/internal/policy"
+	"locksafe/internal/runtime"
+	"locksafe/internal/wire"
+	"locksafe/internal/workload"
+	"locksafe/pkg/client"
+)
+
+// startServer spins a server on an ephemeral loopback port and returns
+// its address. The caller shuts it down (or the test just leaks it into
+// process teardown when exercising failure paths).
+func startServer(t *testing.T, init model.State, cfg runtime.Config) (*Server, string) {
+	t.Helper()
+	srv := New(init, cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String()
+}
+
+func TestServerBasicCommit(t *testing.T) {
+	srv, addr := startServer(t, model.NewState("a", "b"), runtime.Config{Policy: policy.TwoPhase{}, GateStripes: 4})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Policy() != "2PL" {
+		t.Fatalf("handshake policy = %q, want 2PL", c.Policy())
+	}
+	tx := model.Txn{Name: "T", Steps: []model.Step{model.LX("a"), model.W("a"), model.UX("a")}}
+	s, err := c.Open(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range tx.Steps {
+		if err := s.Step(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// A finished session refuses further work.
+	if err := s.Commit(); !errors.Is(err, client.ErrSessionDone) {
+		t.Fatalf("commit after commit = %v, want ErrSessionDone", err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Commits != 1 || st.Events != 3 || st.OpenSessions != 0 {
+		t.Fatalf("stats = %+v, want commits=1 events=3 open=0", st)
+	}
+	res, err := srv.Shutdown(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Commits != 1 {
+		t.Fatalf("final commits = %d, want 1", res.Metrics.Commits)
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	srv, addr := startServer(t, model.NewState("a"), runtime.Config{Policy: policy.TwoPhase{}})
+	defer srv.Shutdown(time.Second)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Malformed declared body.
+	if _, err := c.Open(model.Txn{Steps: []model.Step{model.UX("a")}}); err == nil {
+		t.Fatal("malformed body accepted")
+	}
+	// Undeclared step.
+	s, err := c.Open(model.Txn{Steps: []model.Step{model.LX("a"), model.UX("a")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(model.W("a")); !errors.Is(err, client.ErrStepMismatch) {
+		t.Fatalf("undeclared step = %v, want ErrStepMismatch", err)
+	}
+	if err := s.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown session id.
+	if err := s.Step(model.LX("a")); !errors.Is(err, client.ErrSessionDone) {
+		t.Fatalf("step on finished session = %v, want ErrSessionDone", err)
+	}
+}
+
+// TestServerGarbageStepKeepsSession pins that an unparsable step string
+// is refused as a bad request while the session — cursor, locks, lease
+// — stays untouched (regression: it used to orphan the engine session
+// with its locks held).
+func TestServerGarbageStepKeepsSession(t *testing.T) {
+	srv, addr := startServer(t, model.NewState("a"), runtime.Config{Policy: policy.TwoPhase{}})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	roundTrip := func(req wire.Request) wire.Response {
+		t.Helper()
+		if err := wire.WriteFrame(nc, req); err != nil {
+			t.Fatal(err)
+		}
+		var resp wire.Response
+		if err := wire.ReadFrame(nc, &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	roundTrip(wire.Request{ID: 1, Op: wire.OpHello, Version: wire.Version})
+	open := roundTrip(wire.Request{ID: 2, Op: wire.OpOpen, Txn: []string{"(LX a)", "(W a)", "(UX a)"}})
+	if !open.OK {
+		t.Fatalf("open refused: %+v", open)
+	}
+	if resp := roundTrip(wire.Request{ID: 3, Op: wire.OpStep, SID: open.SID, Step: "(LX a)"}); !resp.OK {
+		t.Fatalf("step refused: %+v", resp)
+	}
+	if resp := roundTrip(wire.Request{ID: 4, Op: wire.OpStep, SID: open.SID, Step: "garbage"}); resp.OK || resp.Code != wire.CodeBadReq {
+		t.Fatalf("garbage step = %+v, want CodeBadReq refusal", resp)
+	}
+	// The session must still be live and at the same cursor.
+	for i, st := range []string{"(W a)", "(UX a)"} {
+		if resp := roundTrip(wire.Request{ID: uint64(5 + i), Op: wire.OpStep, SID: open.SID, Step: st}); !resp.OK {
+			t.Fatalf("step %s after garbage refused: %+v", st, resp)
+		}
+	}
+	if resp := roundTrip(wire.Request{ID: 7, Op: wire.OpCommit, SID: open.SID}); !resp.OK {
+		t.Fatalf("commit after garbage refused: %+v", resp)
+	}
+	res, err := srv.Shutdown(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Commits != 1 || res.Metrics.GaveUp != 0 {
+		t.Fatalf("commits=%d gaveup=%d, want 1/0", res.Metrics.Commits, res.Metrics.GaveUp)
+	}
+}
+
+// TestServerVersionHandshake pins that a version-mismatched hello is
+// refused with CodeVersion.
+func TestServerVersionHandshake(t *testing.T) {
+	srv, addr := startServer(t, nil, runtime.Config{})
+	defer srv.Shutdown(time.Second)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if err := wire.WriteFrame(nc, wire.Request{ID: 1, Op: wire.OpHello, Version: 99}); err != nil {
+		t.Fatal(err)
+	}
+	var resp wire.Response
+	if err := wire.ReadFrame(nc, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || resp.Code != wire.CodeVersion {
+		t.Fatalf("hello v99 = %+v, want CodeVersion refusal", resp)
+	}
+}
+
+// digest is the cross-substrate comparison string of the equivalence
+// test: log, structural state, monitor key, serializability verdict and
+// the abort accounting.
+func digest(log, state, key string, ser bool, commits, gaveUp, dead, pol, imp, casc, events int) string {
+	return fmt.Sprintf("log:%s\nstate:%s key:%q serializable:%v\ncommits:%d gaveup:%d dead:%d pol:%d imp:%d casc:%d events:%d",
+		log, state, key, ser, commits, gaveUp, dead, pol, imp, casc, events)
+}
+
+// TestSessionGateEquivalence is the acceptance pin of the service
+// layer: the same randomized trace driven through (a) the batch
+// reference drive, (b) in-process runtime Sessions and (c) pkg/client
+// against an in-memory lockd produces identical logs, structural
+// states, monitor keys, serializability verdicts and abort accounting —
+// network sessions add transport, not semantics.
+func TestSessionGateEquivalence(t *testing.T) {
+	arms := []struct {
+		name   string
+		pol    policy.Policy
+		wl     workload.Config
+		commit bool
+	}{
+		{"2PL", policy.TwoPhase{}, func() workload.Config {
+			c := workload.DefaultConfig()
+			c.PStructural = 0
+			return c
+		}(), true},
+		{"altruistic", policy.Altruistic{}, workload.DefaultConfig(), false},
+	}
+	for _, arm := range arms {
+		for seed := int64(0); seed < 15; seed++ {
+			sys, sched := workload.Random(rand.New(rand.NewSource(seed)), arm.wl)
+			if len(sched) == 0 {
+				continue
+			}
+			cfg := runtime.Config{Policy: arm.pol, GateStripes: 8, CheckpointEvery: 3}
+
+			ref, err := runtime.ReplayTrace(sys, sched, cfg, arm.commit)
+			if err != nil {
+				t.Fatalf("%s seed %d: batch: %v", arm.name, seed, err)
+			}
+			m := ref.Metrics
+			want := digest(ref.Log, ref.State, ref.MonitorKey, ref.Serializable,
+				m.Commits, m.GaveUp, m.DeadlockAborts, m.PolicyAborts, m.ImproperAborts, m.CascadeAborts, m.Events)
+
+			if got, err := driveInProcess(sys, sched, cfg, arm.commit); err != nil {
+				t.Fatalf("%s seed %d: sessions: %v", arm.name, seed, err)
+			} else if got != want {
+				t.Fatalf("%s seed %d: in-process sessions diverge:\n--- sessions ---\n%s\n--- batch ---\n%s", arm.name, seed, got, want)
+			}
+			if got, err := driveNetwork(t, sys, sched, cfg, arm.commit); err != nil {
+				t.Fatalf("%s seed %d: network: %v", arm.name, seed, err)
+			} else if got != want {
+				t.Fatalf("%s seed %d: network sessions diverge:\n--- network ---\n%s\n--- batch ---\n%s", arm.name, seed, got, want)
+			}
+		}
+	}
+}
+
+// driveInProcess replays the trace through runtime Sessions on a grown
+// engine, single-threaded, dropping a transaction on abort exactly as
+// the batch drive does.
+func driveInProcess(sys *model.System, sched model.Schedule, cfg runtime.Config, commit bool) (string, error) {
+	e := runtime.NewEngine(sys.Init, cfg)
+	sess := make([]*runtime.Session, len(sys.Txns))
+	for i, tx := range sys.Txns {
+		s, err := e.Open(tx)
+		if err != nil {
+			return "", err
+		}
+		sess[i] = s
+	}
+	dropped := make([]bool, len(sys.Txns))
+	fed := make([]int, len(sys.Txns))
+	for _, ev := range sched {
+		tn := int(ev.T)
+		if dropped[tn] {
+			continue
+		}
+		if err := sess[tn].Step(ev.S); err != nil {
+			if errors.Is(err, runtime.ErrAborted) || errors.Is(err, runtime.ErrAbandoned) {
+				dropped[tn] = true
+				continue
+			}
+			return "", err
+		}
+		fed[tn]++
+		if commit && fed[tn] == sys.Txns[tn].Len() {
+			if err := sess[tn].Commit(); err != nil {
+				return "", err
+			}
+		}
+	}
+	ins := e.Inspect()
+	m := ins.Metrics
+	return digest(ins.Log, ins.State, ins.MonitorKey, ins.Serializable,
+		m.Commits, m.GaveUp, m.DeadlockAborts, m.PolicyAborts, m.ImproperAborts, m.CascadeAborts, m.Events), nil
+}
+
+// driveNetwork replays the trace through pkg/client sessions against an
+// in-memory lockd on loopback, single-threaded.
+func driveNetwork(t *testing.T, sys *model.System, sched model.Schedule, cfg runtime.Config, commit bool) (string, error) {
+	srv, addr := startServer(t, sys.Init, cfg)
+	c, err := client.Dial(addr)
+	if err != nil {
+		return "", err
+	}
+	defer c.Close()
+	sess := make([]*client.Session, len(sys.Txns))
+	for i, tx := range sys.Txns {
+		s, err := c.Open(tx)
+		if err != nil {
+			return "", err
+		}
+		sess[i] = s
+	}
+	dropped := make([]bool, len(sys.Txns))
+	fed := make([]int, len(sys.Txns))
+	for _, ev := range sched {
+		tn := int(ev.T)
+		if dropped[tn] {
+			continue
+		}
+		if err := sess[tn].Step(ev.S); err != nil {
+			if errors.Is(err, client.ErrAborted) || errors.Is(err, client.ErrAbandoned) {
+				dropped[tn] = true
+				continue
+			}
+			return "", err
+		}
+		fed[tn]++
+		if commit && fed[tn] == sys.Txns[tn].Len() {
+			if err := sess[tn].Commit(); err != nil {
+				return "", err
+			}
+		}
+	}
+	ins, err := c.Inspect()
+	if err != nil {
+		return "", err
+	}
+	st := ins.Stats
+	d := digest(ins.Log, ins.State, ins.MonitorKey, ins.Serializable,
+		st.Commits, st.GaveUp, st.DeadlockAborts, st.PolicyAborts, st.ImproperAborts, st.CascadeAborts, st.Events)
+	// Leave the still-open sessions to the connection teardown; the
+	// digest is already taken.
+	c.Close()
+	if _, err := srv.Shutdown(time.Second); err != nil {
+		return "", fmt.Errorf("shutdown after drive: %v", err)
+	}
+	return d, nil
+}
+
+// TestServerLeaseExpiry is the network half of the stalled-client
+// story: a client that stops talking mid-transaction is aborted after
+// its lease, its locks are released, and another client's session
+// proceeds. The clock is injected and Reap called explicitly, so the
+// expiry itself is deterministic.
+func TestServerLeaseExpiry(t *testing.T) {
+	var now atomic.Int64
+	srv, addr := startServer(t, model.NewState("a"), runtime.Config{
+		Policy: policy.TwoPhase{},
+		Lease:  time.Second,
+		Clock:  func() time.Time { return time.Unix(0, now.Load()) },
+	})
+	body := model.Txn{Steps: []model.Step{model.LX("a"), model.W("a"), model.UX("a")}}
+
+	stalledC, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalledC.Close()
+	stalled, err := stalledC.Open(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stalled.Step(model.LX("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := stalled.Step(model.W("a")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stalled client now holds the lock and goes silent. Advance
+	// past its lease *before* opening the waiter, whose fresh deadline
+	// keeps it safe from the reap.
+	now.Add(int64(2 * time.Second))
+	waiterC, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer waiterC.Close()
+	waiter, err := waiterC.Open(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waited := make(chan error, 1)
+	go func() { waited <- waiter.Run(0) }()
+
+	if n := srv.Engine().Reap(); n != 1 {
+		t.Fatalf("Reap() = %d, want 1", n)
+	}
+	if err := <-waited; err != nil {
+		t.Fatalf("waiting session did not proceed: %v", err)
+	}
+	if err := stalled.Step(model.UX("a")); !errors.Is(err, client.ErrLeaseExpired) {
+		t.Fatalf("stalled step = %v, want ErrLeaseExpired", err)
+	}
+	res, err := srv.Shutdown(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.Commits != 1 || m.LeaseExpired != 1 || m.GaveUp != 1 {
+		t.Fatalf("commits=%d leaseexpired=%d gaveup=%d, want 1/1/1", m.Commits, m.LeaseExpired, m.GaveUp)
+	}
+}
+
+// TestServerDrainAbortsStragglers pins graceful drain: a session left
+// open past the drain timeout is force-aborted, the committed schedule
+// verifies, and the final accounting balances.
+func TestServerDrainAbortsStragglers(t *testing.T) {
+	srv, addr := startServer(t, model.NewState("a", "b"), runtime.Config{Policy: policy.TwoPhase{}})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	done, err := c.Open(model.Txn{Steps: []model.Step{model.LX("b"), model.W("b"), model.UX("b")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := done.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	straggler, err := c.Open(model.Txn{Steps: []model.Step{model.LX("a"), model.W("a"), model.UX("a")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := straggler.Step(model.LX("a")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := srv.Shutdown(30 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.Commits != 1 || m.GaveUp != 1 {
+		t.Fatalf("commits=%d gaveup=%d, want 1/1", m.Commits, m.GaveUp)
+	}
+	if m.Events != 3 {
+		t.Fatalf("events=%d, want 3 (the straggler's lock must be erased)", m.Events)
+	}
+	// The drained server refuses everything.
+	if _, err := srv.Shutdown(time.Second); !errors.Is(err, runtime.ErrClosed) {
+		t.Fatalf("second shutdown = %v, want ErrClosed", err)
+	}
+}
+
+// TestServerConcurrentClients hammers one server with conflicting
+// clients over real TCP — the race job's network stress. The committed
+// schedule is verified at drain.
+func TestServerConcurrentClients(t *testing.T) {
+	ents := []model.Entity{"h0", "h1", "h2", "h3"}
+	srv, addr := startServer(t, model.NewState(ents...), runtime.Config{
+		Policy:      policy.TwoPhase{},
+		Shards:      8,
+		GateStripes: 8,
+		Backoff:     20 * time.Microsecond,
+		MaxRetries:  600,
+	})
+	const clients = 6
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			c, err := client.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(int64(i)))
+			for k := 0; k < 4; k++ {
+				perm := append([]model.Entity(nil), ents...)
+				rng.Shuffle(len(perm), func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+				s, err := c.Open(model.Txn{Steps: workload.TwoPhaseSteps(perm[:2])})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := s.Run(50 * time.Microsecond); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(i)
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := srv.Shutdown(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Commits != clients*4 {
+		t.Fatalf("commits=%d, want %d", res.Metrics.Commits, clients*4)
+	}
+}

@@ -1,0 +1,180 @@
+// Package wire defines the lockd network protocol: length-prefixed JSON
+// frames over a byte stream, with versioned hello, session lifecycle
+// requests (open / step / commit / abort) and diagnostics (stats /
+// inspect). It is shared by the server (internal/server) and the Go
+// client (pkg/client); docs/PROTOCOL.md is the normative description,
+// with a worked example transcript.
+//
+// Framing: every message is a 4-byte big-endian payload length followed
+// by that many bytes of JSON (one Request or Response object). Frames
+// are bounded by MaxFrame; an oversized length is a protocol error and
+// the peer closes the connection.
+//
+// Pipelining: a client may send further requests before earlier
+// responses arrive. Responses carry the request's id and may arrive out
+// of order — requests for the *same* session are executed in
+// submission order, requests for different sessions (and diagnostics)
+// are concurrent.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"locksafe/internal/model"
+)
+
+// Version is the protocol version spoken by this tree. A hello with a
+// different version is refused with CodeVersion.
+const Version = 1
+
+// MaxFrame bounds a frame's JSON payload (requests and responses); the
+// dominant size is a declared transaction body or an inspect log dump.
+const MaxFrame = 1 << 20
+
+// Request ops.
+const (
+	OpHello   = "hello"
+	OpOpen    = "open"
+	OpStep    = "step"
+	OpCommit  = "commit"
+	OpAbort   = "abort"
+	OpStats   = "stats"
+	OpInspect = "inspect"
+)
+
+// Response codes (Code is set only when OK is false). CodeAborted is
+// the one retryable failure: the session survives and the client may
+// re-send the declared steps from the first. Everything else is
+// terminal for the session (or the request).
+const (
+	CodeAborted   = "aborted"     // attempt torn down; session open, retry from step 0
+	CodeAbandoned = "abandoned"   // retry budget exhausted; session finished
+	CodeExpired   = "expired"     // lease expired; session finished
+	CodeClosed    = "closed"      // server draining or engine closed
+	CodeDone      = "done"        // session already committed/aborted or unknown sid
+	CodeMismatch  = "mismatch"    // step does not match the declared body
+	CodeMalformed = "malformed"   // declared body rejected (well-formedness)
+	CodeBadReq    = "bad-request" // unparsable request, unknown op, missing field
+	CodeVersion   = "version"     // hello version mismatch
+	CodeInternal  = "internal"    // engine failure; the server is dying
+)
+
+// Request is a client→server message.
+type Request struct {
+	ID uint64 `json:"id"`
+	Op string `json:"op"`
+	// Version accompanies hello.
+	Version int `json:"version,omitempty"`
+	// Name and Txn accompany open: the transaction's display name and
+	// its declared steps, each in the model text form "(LX a)".
+	Name string   `json:"name,omitempty"`
+	Txn  []string `json:"txn,omitempty"`
+	// SID addresses an open session (step, commit, abort).
+	SID uint64 `json:"sid,omitempty"`
+	// Step is the submitted step for step requests, in "(LX a)" form.
+	Step string `json:"step,omitempty"`
+}
+
+// Response is a server→client message.
+type Response struct {
+	ID   uint64 `json:"id"`
+	OK   bool   `json:"ok"`
+	Code string `json:"code,omitempty"`
+	Err  string `json:"error,omitempty"`
+	// Version and Policy answer hello.
+	Version int    `json:"version,omitempty"`
+	Policy  string `json:"policy,omitempty"`
+	// SID answers open.
+	SID uint64 `json:"sid,omitempty"`
+	// Stats answers stats; Inspect answers inspect.
+	Stats   *Stats   `json:"stats,omitempty"`
+	Inspect *Inspect `json:"inspect,omitempty"`
+}
+
+// Stats mirrors runtime.Metrics plus the open-session gauge; durations
+// travel as nanoseconds.
+type Stats struct {
+	Commits        int   `json:"commits"`
+	GaveUp         int   `json:"gave_up"`
+	DeadlockAborts int   `json:"deadlock_aborts"`
+	PolicyAborts   int   `json:"policy_aborts"`
+	ImproperAborts int   `json:"improper_aborts"`
+	CascadeAborts  int   `json:"cascade_aborts"`
+	LeaseExpired   int   `json:"lease_expired"`
+	Events         int   `json:"events"`
+	Replayed       int   `json:"replayed"`
+	OpenSessions   int   `json:"open_sessions"`
+	WaitNS         int64 `json:"wait_ns"`
+	ElapsedNS      int64 `json:"elapsed_ns"`
+}
+
+// Inspect is the diagnostic world-state snapshot: the surviving log,
+// the structural state, the policy monitor's key and the log's
+// serializability verdict (the equivalence-test digest vocabulary).
+type Inspect struct {
+	Log          string `json:"log"`
+	State        string `json:"state"`
+	MonitorKey   string `json:"monitor_key"`
+	Serializable bool   `json:"serializable"`
+	Stats        Stats  `json:"stats"`
+}
+
+// WriteFrame marshals v and writes one length-prefixed frame.
+func WriteFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame and unmarshals it into v.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("wire: incoming frame of %d bytes exceeds MaxFrame", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+// EncodeSteps renders steps in the wire's "(LX a)" text form.
+func EncodeSteps(steps []model.Step) []string {
+	out := make([]string, len(steps))
+	for i, st := range steps {
+		out[i] = st.String()
+	}
+	return out
+}
+
+// DecodeSteps parses the wire's step texts.
+func DecodeSteps(texts []string) ([]model.Step, error) {
+	out := make([]model.Step, len(texts))
+	for i, t := range texts {
+		st, err := model.ParseStep(t)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = st
+	}
+	return out, nil
+}

@@ -1,0 +1,55 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"locksafe/internal/model"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Request{ID: 7, Op: OpOpen, Name: "T1", Txn: []string{"(LX a)", "(W a)", "(UX a)"}}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out Request
+	if err := ReadFrame(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.Op != in.Op || out.Name != in.Name || len(out.Txn) != 3 || out.Txn[1] != "(W a)" {
+		t.Fatalf("round trip mangled: %+v", out)
+	}
+}
+
+func TestFrameOversizeRejected(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	err := ReadFrame(bytes.NewReader(hdr[:]), &Request{})
+	if err == nil || !strings.Contains(err.Error(), "MaxFrame") {
+		t.Fatalf("oversize frame accepted: %v", err)
+	}
+	big := Request{Step: strings.Repeat("x", MaxFrame)}
+	if err := WriteFrame(&bytes.Buffer{}, big); err == nil {
+		t.Fatal("oversize write accepted")
+	}
+}
+
+func TestStepCodec(t *testing.T) {
+	steps := []model.Step{model.LX("a"), model.W("a"), model.UX("a"), model.LS("b"), model.R("b"), model.US("b"), model.I("c"), model.D("c")}
+	texts := EncodeSteps(steps)
+	back, err := DecodeSteps(texts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range steps {
+		if back[i] != steps[i] {
+			t.Fatalf("step %d: %v != %v", i, back[i], steps[i])
+		}
+	}
+	if _, err := DecodeSteps([]string{"(BOGUS a)"}); err == nil {
+		t.Fatal("bogus op accepted")
+	}
+}

@@ -1,8 +1,10 @@
 // Package workload generates transaction systems and schedules for tests,
 // experiments and benchmarks: random well-formed locked systems (by forward
 // simulation, so a witness legal+proper complete schedule always exists),
-// and policy-conformant workloads for the DDAG, altruistic and DTR
-// policies.
+// policy-conformant workloads for the DDAG, altruistic and DTR policies,
+// and the per-client network-mode bodies (disjoint, Zipf hot-key and
+// pure-locking shapes in clients.go) that the E15/E16 scaling
+// experiments and `lockbench -net` drive through sessions and lockd.
 //
 // All generators are deterministic given the supplied *rand.Rand.
 package workload

@@ -1,0 +1,290 @@
+// Package client is the Go client of the lockd network lock service: it
+// speaks the length-prefixed JSON protocol of internal/wire (specified
+// in docs/PROTOCOL.md) over one TCP connection, supports pipelined
+// concurrent sessions, and mirrors the session runtime's error
+// vocabulary as exported sentinels.
+//
+// A transaction is declared in full at Open (the paper's policies are
+// properties of declared bodies; the server also needs the body to
+// re-run the transaction through cascade recovery), then driven step by
+// step:
+//
+//	c, _ := client.Dial(addr)
+//	s, _ := c.Open(model.Txn{Steps: []model.Step{model.LX("a"), model.W("a"), model.UX("a")}})
+//	for _, st := range s.Declared().Steps { ... s.Step(st) ... }
+//	s.Commit()
+//
+// On ErrAborted the server has erased the attempt and released its
+// locks; the session survives and the client retries from the first
+// declared step (Session.Run does the retry loop). All other session
+// errors are terminal. A Client is safe for concurrent use; a Session
+// is not (one goroutine per session, like the server's one worker per
+// session).
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"locksafe/internal/model"
+	"locksafe/internal/wire"
+)
+
+// Sentinel errors, mirroring the wire codes (and internal/runtime's
+// session vocabulary). Test with errors.Is.
+var (
+	ErrAborted      = errors.New("client: attempt aborted; retry from the first declared step")
+	ErrAbandoned    = errors.New("client: session abandoned by the server")
+	ErrLeaseExpired = errors.New("client: session lease expired")
+	ErrClosed       = errors.New("client: server closed or draining")
+	ErrSessionDone  = errors.New("client: session already finished")
+	ErrStepMismatch = errors.New("client: step does not match the declared transaction")
+	ErrProtocol     = errors.New("client: protocol error")
+)
+
+// Client is one connection to a lockd server. Safe for concurrent use.
+type Client struct {
+	nc net.Conn
+
+	wmu    sync.Mutex // serializes request frames
+	mu     sync.Mutex // pending map + id counter + terminal error
+	nextID uint64
+	pend   map[uint64]chan wire.Response
+	dead   error
+
+	policy string
+}
+
+// Dial connects, performs the version handshake and returns the client.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return handshake(nc)
+}
+
+// New wraps an established connection (tests use net.Pipe or an
+// in-process listener) and performs the version handshake.
+func New(nc net.Conn) (*Client, error) {
+	return handshake(nc)
+}
+
+func handshake(nc net.Conn) (*Client, error) {
+	c := &Client{nc: nc, pend: make(map[uint64]chan wire.Response)}
+	go c.readLoop()
+	resp, err := c.roundTrip(wire.Request{Op: wire.OpHello, Version: wire.Version})
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	c.policy = resp.Policy
+	return c, nil
+}
+
+// Policy returns the server's policy name, as reported at handshake.
+func (c *Client) Policy() string { return c.policy }
+
+// Close tears the connection down. The server aborts this connection's
+// unfinished sessions, releasing their locks.
+func (c *Client) Close() error { return c.nc.Close() }
+
+// readLoop routes responses to their waiting requests by id.
+func (c *Client) readLoop() {
+	for {
+		var resp wire.Response
+		if err := wire.ReadFrame(c.nc, &resp); err != nil {
+			c.mu.Lock()
+			c.dead = fmt.Errorf("%w: %v", ErrClosed, err)
+			for id, ch := range c.pend {
+				close(ch)
+				delete(c.pend, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch := c.pend[resp.ID]
+		delete(c.pend, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+}
+
+// roundTrip sends one request and waits for its response.
+func (c *Client) roundTrip(req wire.Request) (wire.Response, error) {
+	ch := make(chan wire.Response, 1)
+	c.mu.Lock()
+	if c.dead != nil {
+		err := c.dead
+		c.mu.Unlock()
+		return wire.Response{}, err
+	}
+	c.nextID++
+	req.ID = c.nextID
+	c.pend[req.ID] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := wire.WriteFrame(c.nc, req)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pend, req.ID)
+		c.mu.Unlock()
+		c.nc.Close()
+		return wire.Response{}, fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.dead
+		c.mu.Unlock()
+		return wire.Response{}, err
+	}
+	if !resp.OK {
+		return resp, codeError(resp)
+	}
+	return resp, nil
+}
+
+// codeError maps a refused response to the sentinel vocabulary.
+func codeError(resp wire.Response) error {
+	var base error
+	switch resp.Code {
+	case wire.CodeAborted:
+		base = ErrAborted
+	case wire.CodeAbandoned:
+		base = ErrAbandoned
+	case wire.CodeExpired:
+		base = ErrLeaseExpired
+	case wire.CodeClosed:
+		base = ErrClosed
+	case wire.CodeDone:
+		base = ErrSessionDone
+	case wire.CodeMismatch:
+		base = ErrStepMismatch
+	default:
+		base = ErrProtocol
+	}
+	return fmt.Errorf("%w: %s", base, resp.Err)
+}
+
+// Session is one declared transaction open on the server. Not safe for
+// concurrent use.
+type Session struct {
+	c   *Client
+	sid uint64
+	tx  model.Txn
+	pos int
+}
+
+// Open declares a transaction on the server and returns its session.
+func (c *Client) Open(tx model.Txn) (*Session, error) {
+	resp, err := c.roundTrip(wire.Request{
+		Op:   wire.OpOpen,
+		Name: tx.Name,
+		Txn:  wire.EncodeSteps(tx.Steps),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Session{c: c, sid: resp.SID, tx: tx.Clone()}, nil
+}
+
+// Declared returns the session's declared transaction.
+func (s *Session) Declared() model.Txn { return s.tx }
+
+// Step submits the next declared step. On ErrAborted the attempt was
+// erased server-side; the session survives and the cursor resets to the
+// first declared step.
+func (s *Session) Step(st model.Step) error {
+	_, err := s.c.roundTrip(wire.Request{Op: wire.OpStep, SID: s.sid, Step: st.String()})
+	if err == nil {
+		s.pos++
+		return nil
+	}
+	if errors.Is(err, ErrAborted) {
+		s.pos = 0
+	}
+	return err
+}
+
+// Commit finalizes the session after all declared steps were admitted.
+func (s *Session) Commit() error {
+	_, err := s.c.roundTrip(wire.Request{Op: wire.OpCommit, SID: s.sid})
+	if err != nil && errors.Is(err, ErrAborted) {
+		s.pos = 0
+	}
+	return err
+}
+
+// Abort closes the session, erasing its attempt and releasing its
+// locks.
+func (s *Session) Abort() error {
+	_, err := s.c.roundTrip(wire.Request{Op: wire.OpAbort, SID: s.sid})
+	return err
+}
+
+// Run drives the declared transaction to commit: it submits every
+// declared step and commits, retrying from the first step with linear
+// backoff whenever the server reports ErrAborted — the network
+// counterpart of the batch runtime's abort/retry loop. backoff is the
+// base delay (the k-th retry waits k*backoff; 0 means none).
+func (s *Session) Run(backoff time.Duration) error {
+	attempt := 0
+	for {
+		err := s.runOnce()
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, ErrAborted) {
+			return err
+		}
+		attempt++
+		if d := time.Duration(attempt) * backoff; d > 0 {
+			time.Sleep(d)
+		}
+	}
+}
+
+func (s *Session) runOnce() error {
+	for s.pos < s.tx.Len() {
+		if err := s.Step(s.tx.Steps[s.pos]); err != nil {
+			return err
+		}
+	}
+	return s.Commit()
+}
+
+// Stats polls the server's metrics snapshot.
+func (c *Client) Stats() (wire.Stats, error) {
+	resp, err := c.roundTrip(wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return wire.Stats{}, err
+	}
+	if resp.Stats == nil {
+		return wire.Stats{}, fmt.Errorf("%w: stats response without payload", ErrProtocol)
+	}
+	return *resp.Stats, nil
+}
+
+// Inspect fetches the server's diagnostic world-state snapshot (the
+// surviving log, structural state, monitor key and serializability
+// verdict). Heavyweight server-side; meant for tests, debugging and
+// final verification, not routine polling.
+func (c *Client) Inspect() (wire.Inspect, error) {
+	resp, err := c.roundTrip(wire.Request{Op: wire.OpInspect})
+	if err != nil {
+		return wire.Inspect{}, err
+	}
+	if resp.Inspect == nil {
+		return wire.Inspect{}, fmt.Errorf("%w: inspect response without payload", ErrProtocol)
+	}
+	return *resp.Inspect, nil
+}
