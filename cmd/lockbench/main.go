@@ -16,11 +16,16 @@
 //	      on disjoint and Zipf-skewed workloads
 //	E16 — lockd end-to-end: N concurrent pkg/client clients against a
 //	      lockd server (in-memory loopback by default; -net targets a
-//	      running server — the network mode the CI smoke uses)
+//	      running server — the network mode the CI smoke uses), in each
+//	      transport mode of -mode (step, pipeline, run)
 //
 // Usage:
 //
-//	lockbench [-seed N] [-systems N] [-shards 1,4,16] [-goroutines 1,4,8] [-stripes 4,16] [-clients 4,16] [-net HOST:PORT] [-e14-sizes 1000,2000,4000,8000] [e6|e7|...|e16]...
+//	lockbench [-seed N] [-systems N] [-shards 1,4,16] [-goroutines 1,4,8] [-stripes 4,16] [-clients 4,16] [-net HOST:PORT] [-mode step,pipeline,run] [-bench-json DIR] [-e14-sizes 1000,2000,4000,8000] [e6|e7|...|e16]...
+//
+// With -bench-json DIR, E16 additionally writes DIR/BENCH_E16.json — the
+// machine-readable rows plus environment metadata (Go version, cores,
+// GOMAXPROCS, best-of policy) for regression diffing across commits.
 //
 // With no experiment arguments the full suite runs. Output is
 // deterministic for a fixed seed (timing columns excepted; E13–E16's
@@ -61,6 +66,8 @@ func main() {
 	stripes := flag.String("stripes", "4,16", "gate stripe counts for E15 and E16 (comma-separated)")
 	clients := flag.String("clients", "4,16", "concurrent client counts for E16 (comma-separated)")
 	netAddr := flag.String("net", "", "E16 network mode: address of a running lockd (empty = in-memory loopback server per cell)")
+	mode := flag.String("mode", "step,pipeline,run", "E16 transport modes to measure (comma-separated: step, pipeline, run)")
+	benchJSON := flag.String("bench-json", "", "directory to write machine-readable bench artifacts into (E16 writes BENCH_E16.json)")
 	flag.Parse()
 
 	shardCounts, err := intList("shards", *shards)
@@ -88,6 +95,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	var modes []string
+	for _, m := range strings.Split(*mode, ",") {
+		m = strings.TrimSpace(m)
+		if !experiments.E16ValidMode(m) {
+			fmt.Fprintf(os.Stderr, "lockbench: -mode wants a comma-separated subset of step,pipeline,run, got %q\n", *mode)
+			os.Exit(2)
+		}
+		modes = append(modes, m)
+	}
 
 	runs := map[string]func() experiments.Report{
 		"e6":  func() experiments.Report { return experiments.E6Differential(*systems, *seed) },
@@ -110,7 +126,18 @@ func main() {
 			return r
 		},
 		"e16": func() experiments.Report {
-			_, r := experiments.E16NetThroughput(*seed, stripeCounts, clientCounts, *netAddr)
+			rows, r := experiments.E16NetThroughput(*seed, stripeCounts, clientCounts, modes, *netAddr)
+			if *benchJSON != "" {
+				bestOf := experiments.E16Reps
+				if *netAddr != "" {
+					bestOf = 1
+				}
+				if path, werr := experiments.WriteBench(*benchJSON, "E16", *seed, bestOf, rows); werr != nil {
+					fmt.Fprintf(os.Stderr, "lockbench: bench artifact: %v\n", werr)
+				} else {
+					fmt.Printf("bench artifact: %s\n", path)
+				}
+			}
 			return r
 		},
 	}

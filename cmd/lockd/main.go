@@ -8,7 +8,15 @@
 //	lockd [-addr HOST:PORT] [-policy NAME] [-init "a,b,A->B"]
 //	      [-stripes N | -serialized-gate] [-shards N] [-mpl N]
 //	      [-checkpoint-every N] [-lease DUR] [-max-retries N]
+//	      [-backoff DUR] [-backoff-cap DUR] [-backoff-jitter F]
 //	      [-drain-timeout DUR]
+//
+// The backoff flags pace the retries lockd itself drives: run-mode
+// (stored-procedure) transactions and cascade re-runs. The k-th retry
+// waits k*backoff, capped at -backoff-cap, jittered down by up to the
+// -backoff-jitter fraction so colliding transactions desynchronize.
+// Client-paced sessions (step/pipeline modes) choose their own backoff
+// client-side.
 //
 // The policy names are those of internal/policy (2PL, tree, DDAG,
 // DDAG-SX, altruistic, DTR, unrestricted); -init lists the entities of
@@ -51,6 +59,9 @@ func main() {
 	ckpt := flag.Int("checkpoint-every", 0, "events between recovery checkpoints (0 = default)")
 	lease := flag.Duration("lease", 30*time.Second, "session lease; idle sessions are aborted after this (0 disables)")
 	maxRetries := flag.Int("max-retries", 0, "per-transaction retry budget (0 = default, negative = none)")
+	backoff := flag.Duration("backoff", 0, "base retry delay for engine-driven retries (run mode, cascade re-runs; 0 = default, negative = none)")
+	backoffCap := flag.Duration("backoff-cap", 0, "cap on the linear retry delay (0 = default 100x base, negative = uncapped)")
+	backoffJitter := flag.Float64("backoff-jitter", 0, "fraction of the retry delay randomized away, 0..1 (0 = default 0.5, negative = none)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long a drain waits for open sessions before force-aborting them")
 	flag.Parse()
 
@@ -73,6 +84,9 @@ func main() {
 		Shards:          *shards,
 		MPL:             *mpl,
 		MaxRetries:      *maxRetries,
+		Backoff:         *backoff,
+		BackoffCap:      *backoffCap,
+		BackoffJitter:   *backoffJitter,
 		CheckpointEvery: *ckpt,
 		GateStripes:     *stripes,
 		SerializedGate:  *serialized,

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Bench is the machine-readable benchmark artifact written next to an
+// experiment's human table: the measured rows plus enough environment
+// metadata (Go version, core count, GOMAXPROCS, best-of policy) to
+// judge whether two artifacts are comparable. It is the unit the
+// ROADMAP's regression-gating harness diffs across commits.
+type Bench struct {
+	Experiment string `json:"experiment"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Seed       int64  `json:"seed"`
+	// BestOf is how many repetitions each row is the best of (1 in
+	// external network mode).
+	BestOf int `json:"best_of"`
+	Rows   any `json:"rows"`
+}
+
+// WriteBench writes dir/BENCH_<EXPERIMENT>.json for the given rows and
+// returns the path.
+func WriteBench(dir, experiment string, seed int64, bestOf int, rows any) (string, error) {
+	b := Bench{
+		Experiment: experiment,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Seed:       seed,
+		BestOf:     bestOf,
+		Rows:       rows,
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+strings.ToUpper(experiment)+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

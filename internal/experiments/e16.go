@@ -16,28 +16,47 @@ import (
 	"locksafe/pkg/client"
 )
 
+// e16Modes are the transport modes measured side by side: per-step
+// synchronous round trips, client-side pipelining, and stored-procedure
+// run (body ships once, the engine drives the loop server-side).
+var e16Modes = []string{"step", "pipeline", "run"}
+
+// E16ValidMode reports whether mode names a lockd transport mode.
+func E16ValidMode(mode string) bool {
+	for _, m := range e16Modes {
+		if m == mode {
+			return true
+		}
+	}
+	return false
+}
+
 // E16Row is one measured configuration of the lockd end-to-end study.
 type E16Row struct {
 	// Workload is "disjoint" (private per-client keys) or "zipf"
 	// (hot-key skewed shared keys).
-	Workload string
+	Workload string `json:"workload"`
 	// Gate is "serialized", "striped:N", or "server" when measuring an
 	// external lockd whose gate the experiment does not control.
-	Gate       string
-	Clients    int
-	Throughput float64 // commits per second
-	Commits    int
-	Aborts     int
+	Gate string `json:"gate"`
+	// Mode is the transport mode: "step", "pipeline" or "run".
+	Mode       string  `json:"mode"`
+	Clients    int     `json:"clients"`
+	Throughput float64 `json:"commits_per_sec"`
+	Commits    int     `json:"commits"`
+	Aborts     int     `json:"aborts"`
 }
 
 // E16NetThroughput measures end-to-end lockd throughput: N concurrent
 // clients, each on its own TCP connection, each running a sequence of
 // declared transactions through pkg/client against a lockd instance —
 // by default an in-memory server on loopback, so the full stack (wire
-// framing, per-session workers, session API, striped gate, sharded
-// locks) is on the measured path. Workload shapes and gate
-// configurations mirror E15, so the gap between E15 (in-process) and
-// E16 (loopback) is the transport cost.
+// framing, batch coalescing, per-session workers, session API, striped
+// gate, sharded locks) is on the measured path. Each cell is measured
+// in every requested transport mode (nil modes = all of step, pipeline,
+// run), so the three layers of the transport stack report side by side.
+// Workload shapes and gate configurations mirror E15, so the gap
+// between E15 (in-process) and E16 (loopback) is the transport cost.
 //
 // With addr non-empty the experiment instead targets a running lockd at
 // that address ("network mode", the CI smoke's path). External bodies
@@ -48,19 +67,22 @@ type E16Row struct {
 // As with E13–E15, wall-clock numbers are machine-dependent: the Report
 // fails only on correctness (connection or session errors, missing
 // commits, a drain that does not verify), never on speed.
-func E16NetThroughput(seed int64, stripeCounts, clientCounts []int, addr string) ([]E16Row, Report) {
+func E16NetThroughput(seed int64, stripeCounts, clientCounts []int, modes []string, addr string) ([]E16Row, Report) {
 	if len(stripeCounts) == 0 {
 		stripeCounts = []int{16}
 	}
 	if len(clientCounts) == 0 {
 		clientCounts = []int{4, 16}
 	}
+	if len(modes) == 0 {
+		modes = e16Modes
+	}
 	var rows []E16Row
 	var b strings.Builder
 	var failed string
 
-	fmt.Fprintf(&b, "%-9s %-12s %8s %11s %8s %7s\n",
-		"workload", "gate", "clients", "commits/s", "commits", "aborts")
+	fmt.Fprintf(&b, "%-9s %-12s %-9s %8s %11s %8s %7s\n",
+		"workload", "gate", "mode", "clients", "commits/s", "commits", "aborts")
 	for _, wl := range []string{"disjoint", "zipf"} {
 		for _, cN := range clientCounts {
 			var gates []gateCfg
@@ -73,91 +95,48 @@ func E16NetThroughput(seed int64, stripeCounts, clientCounts []int, addr string)
 				}
 			}
 			for _, gc := range gates {
-				row, err := e16Row(seed, wl, cN, gc, addr)
-				if err != "" && failed == "" {
-					failed = err
+				for _, mode := range modes {
+					row, err := e16Row(seed, wl, cN, gc, mode, addr)
+					if err != "" && failed == "" {
+						failed = err
+					}
+					rows = append(rows, row)
+					fmt.Fprintf(&b, "%-9s %-12s %-9s %8d %11.0f %8d %7d\n",
+						row.Workload, row.Gate, row.Mode, row.Clients, row.Throughput, row.Commits, row.Aborts)
 				}
-				rows = append(rows, row)
-				fmt.Fprintf(&b, "%-9s %-12s %8d %11.0f %8d %7d\n",
-					row.Workload, row.Gate, row.Clients, row.Throughput, row.Commits, row.Aborts)
 			}
 		}
 	}
-	fmt.Fprintf(&b, "\nShape: end-to-end, the per-request round trip dominates — a commit\n")
-	fmt.Fprintf(&b, "costs one open, one request/response per step and one commit, so\n")
-	fmt.Fprintf(&b, "throughput tracks declared-body length (zipf bodies lock %d entities,\n", 8)
-	fmt.Fprintf(&b, "disjoint %d) far more than gate discipline, and the striped-vs-\n", 16)
-	fmt.Fprintf(&b, "serialized gap of E15 is largely masked behind transport. The gate\n")
-	fmt.Fprintf(&b, "matters again once many connections pipeline against one server;\n")
-	fmt.Fprintf(&b, "correctness (every transaction commits, the drained schedule verifies\n")
-	fmt.Fprintf(&b, "serializable) is asserted on every repetition either way.\n")
+	fmt.Fprintf(&b, "\nShape: in step mode the per-request round trip dominates — a commit\n")
+	fmt.Fprintf(&b, "costs one open, one request/response per step and one commit (34 round\n")
+	fmt.Fprintf(&b, "trips for a 16-entity body), so throughput tracks declared-body length\n")
+	fmt.Fprintf(&b, "far more than gate discipline. Pipeline mode collapses an attempt to\n")
+	fmt.Fprintf(&b, "~two round trips (open, then steps+commit in one coalesced burst);\n")
+	fmt.Fprintf(&b, "run mode to one, with abort/retry engine-side. The gate matters again\n")
+	fmt.Fprintf(&b, "once transport stops masking it; correctness (every transaction\n")
+	fmt.Fprintf(&b, "commits, the drained schedule verifies serializable) is asserted on\n")
+	fmt.Fprintf(&b, "every repetition in every mode.\n")
 	return rows, Report{ID: "E16", Title: "lockd end-to-end: N clients over loopback TCP", Text: b.String(), Failed: failed}
-}
-
-// e16Bodies builds each client's transaction sequence for one cell.
-func e16Bodies(rng *rand.Rand, wl string, clients, rounds int, lockOnly bool) ([][]model.Txn, []model.Entity) {
-	const perTxn = 16
-	bodies := make([][]model.Txn, clients)
-	var universe []model.Entity
-	switch wl {
-	case "disjoint":
-		txns, all := workload.DisjointTxns(clients, perTxn)
-		universe = all
-		for i := range bodies {
-			one := txns[i]
-			if lockOnly {
-				one = model.Txn{Name: one.Name, Steps: workload.LockOnlySteps(ents(one))}
-			}
-			for r := 0; r < rounds; r++ {
-				bodies[i] = append(bodies[i], one)
-			}
-		}
-	case "zipf":
-		pool := workload.ZipfPool(64)
-		universe = pool
-		for r := 0; r < rounds; r++ {
-			txns := workload.ZipfTxns(rng, pool, clients, perTxn/2, 1.4)
-			for i := range bodies {
-				one := txns[i]
-				if lockOnly {
-					one = model.Txn{Name: one.Name, Steps: workload.LockOnlySteps(ents(one))}
-				}
-				bodies[i] = append(bodies[i], one)
-			}
-		}
-	}
-	return bodies, universe
-}
-
-// ents lists the distinct entities a transaction locks, in lock order.
-func ents(tx model.Txn) []model.Entity {
-	var out []model.Entity
-	for _, st := range tx.Steps {
-		if st.Op.IsLock() {
-			out = append(out, st.Ent)
-		}
-	}
-	return out
 }
 
 // e16Row measures one cell, best-of over a few repetitions with
 // correctness asserted on every repetition.
-func e16Row(seed int64, wl string, clients int, gc gateCfg, addr string) (E16Row, string) {
-	row := E16Row{Workload: wl, Gate: gc.name, Clients: clients}
-	reps := 3
+func e16Row(seed int64, wl string, clients int, gc gateCfg, mode, addr string) (E16Row, string) {
+	row := E16Row{Workload: wl, Gate: gc.name, Mode: mode, Clients: clients}
+	reps := E16Reps
 	if addr != "" {
 		reps = 1
 	}
 	const rounds = 3
 	for rep := 0; rep < reps; rep++ {
 		rng := rand.New(rand.NewSource(seed + int64(rep)))
-		bodies, universe := e16Bodies(rng, wl, clients, rounds, addr != "")
-		commits, aborts, elapsed, err := e16Run(bodies, universe, gc, addr)
+		bodies, universe := workload.ClientBodies(rng, wl, clients, 16, rounds, addr != "")
+		commits, aborts, elapsed, err := e16Run(bodies, universe, gc, mode, addr)
 		if err != nil {
-			return row, fmt.Sprintf("e16 %s %s c=%d: %v", wl, gc.name, clients, err)
+			return row, fmt.Sprintf("e16 %s %s %s c=%d: %v", wl, gc.name, mode, clients, err)
 		}
 		if commits != clients*rounds {
-			return row, fmt.Sprintf("e16 %s %s c=%d: %d of %d transactions committed", wl, gc.name, clients, commits, clients*rounds)
+			return row, fmt.Sprintf("e16 %s %s %s c=%d: %d of %d transactions committed", wl, gc.name, mode, clients, commits, clients*rounds)
 		}
 		if tp := float64(commits) / elapsed.Seconds(); tp > row.Throughput {
 			row.Throughput = tp
@@ -168,11 +147,17 @@ func e16Row(seed int64, wl string, clients int, gc gateCfg, addr string) (E16Row
 	return row, ""
 }
 
+// E16Reps is the best-of repetition count per in-process cell (external
+// network mode measures once); exported so lockbench can record the
+// best-of policy in the bench artifact.
+const E16Reps = 3
+
 // e16Run executes one repetition: every client on its own connection,
 // all released together, each running its transaction sequence to
-// commit. With no external addr an in-memory lockd is started for the
-// run and drained afterwards, which verifies the committed schedule.
-func e16Run(bodies [][]model.Txn, universe []model.Entity, gc gateCfg, addr string) (commits, aborts int, elapsed time.Duration, err error) {
+// commit in the given transport mode. With no external addr an
+// in-memory lockd is started for the run and drained afterwards, which
+// verifies the committed schedule.
+func e16Run(bodies [][]model.Txn, universe []model.Entity, gc gateCfg, mode, addr string) (commits, aborts int, elapsed time.Duration, err error) {
 	var srv *server.Server
 	target := addr
 	if addr == "" {
@@ -207,18 +192,33 @@ func e16Run(bodies [][]model.Txn, universe []model.Entity, gc gateCfg, addr stri
 	var wg sync.WaitGroup
 	errs := make([]error, clientsN)
 	counts := make([]int, clientsN)
+	backoff := client.Backoff{Base: 50 * time.Microsecond}
 	wg.Add(clientsN)
 	for i := range conns {
 		go func(i int) {
 			defer wg.Done()
 			<-start
 			for _, tx := range bodies[i] {
-				s, oerr := conns[i].Open(tx)
-				if oerr != nil {
-					errs[i] = oerr
-					return
+				var rerr error
+				switch mode {
+				case "run":
+					rerr = conns[i].Run(tx)
+				case "pipeline":
+					s, oerr := conns[i].Open(tx)
+					if oerr != nil {
+						errs[i] = oerr
+						return
+					}
+					rerr = s.RunPipelined(backoff)
+				default: // step
+					s, oerr := conns[i].Open(tx)
+					if oerr != nil {
+						errs[i] = oerr
+						return
+					}
+					rerr = s.RunWith(backoff)
 				}
-				if rerr := s.Run(50 * time.Microsecond); rerr != nil {
+				if rerr != nil {
 					errs[i] = rerr
 					return
 				}

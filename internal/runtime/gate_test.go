@@ -42,6 +42,50 @@ func TestConfigSentinels(t *testing.T) {
 	}
 }
 
+// TestBackoffCapJitter pins the retry-delay schedule: linear in the
+// attempt number, capped, then jittered downward by a deterministic
+// injected source — the fix for unbounded k*base growth under long
+// retry storms.
+func TestBackoffCapJitter(t *testing.T) {
+	sys := model.NewSystem(model.NewState())
+	mk := func(cfg Config) *runner { return newRunner(sys, cfg) }
+
+	// Defaults: cap = 100x base, jitter = 0.5 of the delay.
+	r := mk(Config{Backoff: time.Millisecond, BackoffRand: func() float64 { return 0 }})
+	if d := r.backoff(3); d != 3*time.Millisecond {
+		t.Fatalf("backoff(3) = %v, want 3ms (no jitter drawn)", d)
+	}
+	if d := r.backoff(500); d != 100*time.Millisecond {
+		t.Fatalf("backoff(500) = %v, want the 100x cap", d)
+	}
+	// A full jitter draw removes half the delay by default.
+	r = mk(Config{Backoff: time.Millisecond, BackoffRand: func() float64 { return 1 }})
+	if d := r.backoff(4); d != 2*time.Millisecond {
+		t.Fatalf("jittered backoff(4) = %v, want 2ms (half removed)", d)
+	}
+
+	// Explicit cap and jitter fraction.
+	r = mk(Config{
+		Backoff: time.Millisecond, BackoffCap: 5 * time.Millisecond,
+		BackoffJitter: 0.2, BackoffRand: func() float64 { return 1 },
+	})
+	if d := r.backoff(10); d != 4*time.Millisecond {
+		t.Fatalf("backoff(10) = %v, want cap 5ms minus 20%%", d)
+	}
+
+	// Negative sentinels: uncapped, unjittered.
+	r = mk(Config{Backoff: time.Millisecond, BackoffCap: -1, BackoffJitter: -1, BackoffRand: func() float64 { return 1 }})
+	if d := r.backoff(1000); d != time.Second {
+		t.Fatalf("uncapped backoff(1000) = %v, want 1s", d)
+	}
+
+	// Backoff=-1 (literal zero) never sleeps regardless of cap/jitter.
+	r = mk(Config{Backoff: -1})
+	if d := r.backoff(50); d != 0 {
+		t.Fatalf("zero-backoff schedule slept %v", d)
+	}
+}
+
 // TestNoRetriesIsExpressible pins the behavioral half of the sentinel
 // fix: MaxRetries=-1 really means "abandon on the first abort", which
 // the old zero-means-default convention could not say.

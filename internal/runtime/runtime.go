@@ -65,6 +65,7 @@ package runtime
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -93,9 +94,26 @@ type Config struct {
 	// transaction is abandoned and counted in Metrics.GaveUp.
 	// 0 selects the default (40); negative means no retries at all.
 	MaxRetries int
-	// Backoff is the base retry delay; the k-th retry waits k*Backoff.
+	// Backoff is the base retry delay; the k-th retry waits k*Backoff,
+	// capped at BackoffCap and shrunk by up to BackoffJitter.
 	// 0 selects the default (200µs); negative means no delay.
 	Backoff time.Duration
+	// BackoffCap bounds the linear retry delay — without it a long abort
+	// streak walks the delay out without limit and, worse, every client
+	// on the same streak walks it identically, synchronizing retry
+	// storms. 0 selects the default (100×Backoff); negative means no cap
+	// (the pre-cap behavior, for ablation).
+	BackoffCap time.Duration
+	// BackoffJitter randomizes each delay down by up to this fraction
+	// (the k-th retry sleeps uniformly in [(1-J)·d, d] for d the capped
+	// linear delay), desynchronizing clients that aborted together.
+	// 0 selects the default (0.5); negative means none; values above 1
+	// are clamped to 1.
+	BackoffJitter float64
+	// BackoffRand supplies the jitter's uniform [0,1) draws (nil means
+	// the process-global math/rand source). Inject for deterministic
+	// delay tests.
+	BackoffRand func() float64
 	// CheckpointEvery is the number of logged events between
 	// monitor/state snapshots used for incremental abort recovery
 	// (default 128, as in the engine). Smaller values make aborts
@@ -154,6 +172,17 @@ func (c Config) withDefaults() Config {
 		c.Backoff = 200 * time.Microsecond
 	case c.Backoff < 0:
 		c.Backoff = 0
+	}
+	if c.BackoffCap == 0 {
+		c.BackoffCap = 100 * c.Backoff
+	}
+	switch {
+	case c.BackoffJitter == 0:
+		c.BackoffJitter = 0.5
+	case c.BackoffJitter < 0:
+		c.BackoffJitter = 0
+	case c.BackoffJitter > 1:
+		c.BackoffJitter = 1
 	}
 	if c.SerializedGate {
 		c.GateStripes = 1
@@ -236,6 +265,10 @@ type runner struct {
 
 	sem chan struct{} // MPL admission; nil = unbounded
 	wg  sync.WaitGroup
+
+	// brand is the backoff jitter source (cfg.BackoffRand or the
+	// process-global math/rand).
+	brand func() float64
 
 	// seqMu is the sequencer: it assigns log order by appending to
 	// pending while the admitting goroutine still holds its stripes.
@@ -326,6 +359,10 @@ func newRunner(sys *model.System, cfg Config) *runner {
 	if cfg.MPL > 0 {
 		r.sem = make(chan struct{}, cfg.MPL)
 	}
+	r.brand = cfg.BackoffRand
+	if r.brand == nil {
+		r.brand = rand.Float64
+	}
 	return r
 }
 
@@ -348,8 +385,21 @@ func (r *runner) runTxn(t int) {
 	}
 }
 
+// backoff returns the k-th retry's delay: linear in k, capped at
+// BackoffCap, then jittered down by up to BackoffJitter so transactions
+// aborted by the same conflict do not re-collide in lockstep.
 func (r *runner) backoff(k int) time.Duration {
-	return time.Duration(k) * r.cfg.Backoff
+	d := time.Duration(k) * r.cfg.Backoff
+	if d <= 0 {
+		return 0
+	}
+	if cap := r.cfg.BackoffCap; cap > 0 && d > cap {
+		d = cap
+	}
+	if j := r.cfg.BackoffJitter; j > 0 {
+		d = time.Duration(float64(d) * (1 - j*r.brand()))
+	}
+	return d
 }
 
 // txnStripes returns the stripe set covering transaction t's bookkeeping.

@@ -334,6 +334,40 @@ func (s *Session) Commit() error {
 	return nil
 }
 
+// Run drives the session's declared transaction to commit engine-side:
+// it executes every declared step and commits, retrying from the first
+// step with the runner's capped+jittered backoff whenever the attempt is
+// torn down (ErrAborted) — the same loop the engine already performs for
+// cascade re-runs, exposed so a client can ship the declared body once
+// and receive a single terminal answer (the wire protocol's run op).
+// Returns nil on commit; any other error is terminal for the session.
+// The retry budget is the engine's (Config.MaxRetries), enforced by the
+// runtime itself — Run just keeps resubmitting while the session stays
+// retryable.
+func (s *Session) Run() error {
+	for k := 1; ; k++ {
+		err := s.runDeclared()
+		if err == nil || !errors.Is(err, ErrAborted) {
+			return err
+		}
+		if d := s.e.r.backoff(k); d > 0 {
+			time.Sleep(d)
+		}
+	}
+}
+
+// runDeclared executes the remaining declared steps and commits. On
+// ErrAborted the cursor was reset by failure(), so the next call starts
+// over from the first declared step.
+func (s *Session) runDeclared() error {
+	for s.pos < s.tx.Len() {
+		if err := s.Step(s.tx.Steps[s.pos]); err != nil {
+			return err
+		}
+	}
+	return s.Commit()
+}
+
 // Abort closes the session at the client's request: its events are
 // erased (cascading as needed), its locks released and the transaction
 // abandoned (counted in Metrics.GaveUp). The session is finished.

@@ -3,19 +3,32 @@
 // (internal/wire) over TCP, one reader goroutine per connection, one
 // worker goroutine per open session so a session parked on a lock never
 // blocks the connection's other sessions, and pipelined requests with
-// out-of-order responses matched by request id. docs/PROTOCOL.md
-// specifies the wire format; docs/OPERATIONS.md is the operator's
-// manual.
+// out-of-order responses matched by request id. Frames may batch many
+// messages; a single coalescing writer goroutine per connection drains
+// the whole response backlog into batch frames and flushes only when it
+// runs empty, so a pipelined burst costs one syscall per direction.
+// docs/PROTOCOL.md specifies the wire format; docs/OPERATIONS.md is the
+// operator's manual.
+//
+// Step and commit requests carry the client's attempt tag; the worker
+// refuses — without executing — any tagged below the session's current
+// attempt, so late pipelined requests of a torn-down attempt cannot be
+// mistaken for the retry's resubmission (the reset cursor would happily
+// execute them as the retry's first steps). The run op ships a declared
+// body once and the engine drives the whole step/commit/abort/retry
+// loop server-side, answering with a single terminal response.
 //
 // The server adds no concurrency control of its own: every open, step,
-// commit and abort is a direct call into the engine's session API, so
-// the gate-equivalence and session-safety arguments of DESIGN.md carry
-// over to network execution unchanged. A connection that drops takes
-// its open sessions with it (they are aborted, releasing their locks);
-// a connection that merely stalls is the lease reaper's problem.
+// commit, abort and run is a direct call into the engine's session API,
+// so the gate-equivalence and session-safety arguments of DESIGN.md
+// carry over to network execution unchanged. A connection that drops
+// takes its open sessions with it (they are aborted, releasing their
+// locks); a connection that merely stalls is the lease reaper's
+// problem.
 package server
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -31,6 +44,11 @@ import (
 // sessionQueue bounds the per-session pipeline depth; a reader blocks
 // (backpressuring its connection) when a session's queue is full.
 const sessionQueue = 128
+
+// teardownFlush bounds how long a closing connection waits for its
+// final responses (version refusals, cancellation answers) to reach a
+// possibly-dead client.
+const teardownFlush = 2 * time.Second
 
 // Server is one lockd instance: an engine plus its listener plumbing.
 type Server struct {
@@ -85,7 +103,14 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return err
 		}
-		c := &conn{srv: s, nc: nc, sessions: make(map[uint64]*sessWorker)}
+		c := &conn{
+			srv:      s,
+			nc:       nc,
+			wake:     make(chan struct{}, 1),
+			wdone:    make(chan struct{}),
+			sessions: make(map[uint64]*sessWorker),
+			runs:     make(map[*runtime.Session]struct{}),
+		}
 		s.mu.Lock()
 		if s.draining {
 			s.mu.Unlock()
@@ -97,6 +122,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			go c.writeLoop()
 			c.serve()
 		}()
 	}
@@ -135,16 +161,21 @@ func (s *Server) Shutdown(timeout time.Duration) (*runtime.Result, error) {
 	return res, err
 }
 
-// conn is one client connection: a frame reader, a write mutex shared
-// by everything that responds, and the session workers it has opened.
+// conn is one client connection: a frame reader, a coalescing response
+// writer, and the session workers it has opened.
 type conn struct {
 	srv *Server
 	nc  net.Conn
 
-	wmu sync.Mutex // serializes response frames
+	wmu   sync.Mutex // outgoing responses + writer lifecycle
+	outq  []wire.Response
+	wstop bool
+	wake  chan struct{} // kicks the writer; buffered 1
+	wdone chan struct{} // closed when the writer exits
 
 	smu      sync.Mutex
 	sessions map[uint64]*sessWorker
+	runs     map[*runtime.Session]struct{} // stored-procedure sessions in flight
 	nextSID  uint64
 	closing  bool
 
@@ -164,56 +195,124 @@ type sessWorker struct {
 	queue    []wire.Request
 	running  bool
 	finished bool
+
+	// attempt is the session's current retry attempt, bumped each time
+	// the worker reports a real abort. Only the runner goroutine touches
+	// it (successive runners are ordered by the running-flag handoff
+	// under mu). A queued step/commit tagged below it is refused stale.
+	attempt int
 }
 
 func (c *conn) serve() {
 	defer c.teardown()
+	br := bufio.NewReader(c.nc)
 	for {
-		var req wire.Request
-		if err := wire.ReadFrame(c.nc, &req); err != nil {
+		reqs, err := wire.ReadRequestBatch(br)
+		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				// Protocol error or mid-frame disconnect: nothing more to
 				// parse on this stream either way.
-				c.send(wire.Response{ID: req.ID, Code: wire.CodeBadReq, Err: err.Error()})
+				c.send(wire.Response{Code: wire.CodeBadReq, Err: err.Error()})
 			}
 			return
 		}
-		switch req.Op {
-		case wire.OpHello:
-			if req.Version != wire.Version {
-				c.send(wire.Response{ID: req.ID, Code: wire.CodeVersion,
-					Err: fmt.Sprintf("server speaks protocol version %d, client sent %d", wire.Version, req.Version)})
+		for _, req := range reqs {
+			if stop := c.handle(req); stop {
 				return
 			}
-			c.send(wire.Response{ID: req.ID, OK: true, Version: wire.Version, Policy: c.srv.policy})
-		case wire.OpStats:
-			c.send(statsResponse(req.ID, c.srv.eng))
-		case wire.OpInspect:
-			// Heavyweight (drains the gate, builds the serializability
-			// graph); run off the reader so the connection keeps flowing.
-			go func(id uint64) { c.send(inspectResponse(id, c.srv.eng)) }(req.ID)
-		case wire.OpOpen:
-			// Open may block on the MPL gate; run it off the reader.
-			go c.open(req)
-		case wire.OpStep, wire.OpCommit, wire.OpAbort:
-			c.dispatch(req)
-		default:
-			c.send(wire.Response{ID: req.ID, Code: wire.CodeBadReq, Err: fmt.Sprintf("unknown op %q", req.Op)})
 		}
 	}
 }
 
-// send writes one response frame; write errors just mark the
-// connection for teardown (the reader will notice the close).
+// handle routes one request; a true return tears the connection down.
+func (c *conn) handle(req wire.Request) bool {
+	switch req.Op {
+	case wire.OpHello:
+		if req.Version != wire.Version {
+			c.send(wire.Response{ID: req.ID, Code: wire.CodeVersion,
+				Err: fmt.Sprintf("server speaks protocol version %d, client sent %d", wire.Version, req.Version)})
+			return true
+		}
+		c.send(wire.Response{ID: req.ID, OK: true, Version: wire.Version, Policy: c.srv.policy})
+	case wire.OpStats:
+		c.send(statsResponse(req.ID, c.srv.eng))
+	case wire.OpInspect:
+		// Heavyweight (drains the gate, builds the serializability
+		// graph); run off the reader so the connection keeps flowing.
+		go func(id uint64) { c.send(inspectResponse(id, c.srv.eng)) }(req.ID)
+	case wire.OpOpen:
+		// Open may block on the MPL gate; run it off the reader.
+		go c.open(req)
+	case wire.OpRun:
+		// The whole transaction runs engine-side; off the reader, since
+		// it blocks on locks and the MPL gate for its full lifetime.
+		go c.runProc(req)
+	case wire.OpStep, wire.OpCommit, wire.OpAbort:
+		c.dispatch(req)
+	default:
+		c.send(wire.Response{ID: req.ID, Code: wire.CodeBadReq, Err: fmt.Sprintf("unknown op %q", req.Op)})
+	}
+	return false
+}
+
+// send queues one response for the writer. After the writer has stopped
+// (write error or teardown) responses are dropped — the client is gone.
 func (c *conn) send(resp wire.Response) {
 	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	if err := wire.WriteFrame(c.nc, resp); err != nil {
-		c.nc.Close()
+	if c.wstop {
+		c.wmu.Unlock()
+		return
+	}
+	c.outq = append(c.outq, resp)
+	c.wmu.Unlock()
+	select {
+	case c.wake <- struct{}{}:
+	default:
 	}
 }
 
-// open admits a new session and spawns its worker.
+// writeLoop is the connection's coalescing writer: it drains the whole
+// response backlog per iteration into batch frames on a buffered writer
+// and flushes only when the backlog runs empty, so responses to a
+// pipelined burst leave in one frame and one syscall.
+func (c *conn) writeLoop() {
+	defer close(c.wdone)
+	bw := bufio.NewWriter(c.nc)
+	for {
+		c.wmu.Lock()
+		batch := c.outq
+		c.outq = nil
+		stop := c.wstop
+		c.wmu.Unlock()
+		if len(batch) == 0 {
+			if err := bw.Flush(); err != nil {
+				c.wfail()
+				return
+			}
+			if stop {
+				return
+			}
+			<-c.wake
+			continue
+		}
+		if err := wire.WriteResponseBatch(bw, batch); err != nil {
+			c.wfail()
+			return
+		}
+	}
+}
+
+// wfail handles a write error: stop accepting responses and close the
+// connection so the reader notices and tears down.
+func (c *conn) wfail() {
+	c.wmu.Lock()
+	c.wstop = true
+	c.outq = nil
+	c.wmu.Unlock()
+	c.nc.Close()
+}
+
+// open admits a new session and registers its worker.
 func (c *conn) open(req wire.Request) {
 	if c.srv.isDraining() {
 		c.send(wire.Response{ID: req.ID, Code: wire.CodeClosed, Err: "server draining"})
@@ -246,6 +345,48 @@ func (c *conn) open(req wire.Request) {
 	c.sessions[sid] = w
 	c.smu.Unlock()
 	c.send(wire.Response{ID: req.ID, OK: true, SID: sid})
+}
+
+// runProc executes one stored-procedure request: open the declared
+// body, let the engine drive it to a terminal outcome (abort/retry
+// happens engine-side with the runtime's backoff), answer once.
+func (c *conn) runProc(req wire.Request) {
+	if c.srv.isDraining() {
+		c.send(wire.Response{ID: req.ID, Code: wire.CodeClosed, Err: "server draining"})
+		return
+	}
+	steps, err := wire.DecodeSteps(req.Txn)
+	if err != nil {
+		c.send(wire.Response{ID: req.ID, Code: wire.CodeBadReq, Err: err.Error()})
+		return
+	}
+	sess, err := c.srv.eng.Open(model.Txn{Name: req.Name, Steps: steps})
+	if err != nil {
+		code := wire.CodeMalformed
+		if errors.Is(err, runtime.ErrClosed) {
+			code = wire.CodeClosed
+		}
+		c.send(wire.Response{ID: req.ID, Code: code, Err: err.Error()})
+		return
+	}
+	c.smu.Lock()
+	if c.closing {
+		c.smu.Unlock()
+		sess.Cancel()
+		c.send(wire.Response{ID: req.ID, Code: wire.CodeClosed, Err: "connection closing"})
+		return
+	}
+	c.runs[sess] = struct{}{}
+	c.smu.Unlock()
+	err = sess.Run()
+	c.smu.Lock()
+	delete(c.runs, sess)
+	c.smu.Unlock()
+	resp := wire.Response{ID: req.ID, OK: err == nil}
+	if err != nil {
+		resp.Code, resp.Err = codeFor(err), err.Error()
+	}
+	c.send(resp)
 }
 
 // dispatch enqueues a session request on its worker, spawning the
@@ -292,6 +433,25 @@ func (c *conn) runWorker(sid uint64, w *sessWorker) {
 		w.queue = w.queue[1:]
 		w.mu.Unlock()
 
+		// Attempt gate for step/commit: a request tagged below the
+		// session's current attempt is a late pipelined message of an
+		// attempt this worker already reported aborted. Executing it
+		// would corrupt the retry (the reset cursor would accept it as
+		// the retry's next declared step), so refuse without executing.
+		// Abort is exempt: it closes the session whatever the attempt.
+		if req.Op == wire.OpStep || req.Op == wire.OpCommit {
+			if req.Attempt < w.attempt {
+				c.send(wire.Response{ID: req.ID, Code: wire.CodeAborted, SID: sid,
+					Err: fmt.Sprintf("stale attempt %d (session is on attempt %d); retry from the first declared step", req.Attempt, w.attempt)})
+				continue
+			}
+			if req.Attempt > w.attempt {
+				c.send(wire.Response{ID: req.ID, Code: wire.CodeBadReq, SID: sid,
+					Err: fmt.Sprintf("attempt %d is ahead of the session's attempt %d", req.Attempt, w.attempt)})
+				continue
+			}
+		}
+
 		var err error
 		switch req.Op {
 		case wire.OpStep:
@@ -308,6 +468,11 @@ func (c *conn) runWorker(sid uint64, w *sessWorker) {
 			err = w.sess.Commit()
 		case wire.OpAbort:
 			err = w.sess.Abort()
+		}
+		if errors.Is(err, runtime.ErrAborted) {
+			// The client bumps its attempt counter when it sees this
+			// response; bump ours in lockstep.
+			w.attempt++
 		}
 		resp := wire.Response{ID: req.ID, OK: err == nil, SID: sid}
 		if err != nil {
@@ -352,10 +517,10 @@ func (c *conn) forget(sid uint64) {
 
 // teardown cancels every unfinished session (the client is gone, so its
 // locks must not outlive it — Cancel also wakes a step parked inside a
-// lock acquisition), waits out the workers and unregisters the
-// connection.
+// lock acquisition), waits out the workers, gives the writer a bounded
+// chance to flush the final responses (a version refusal must reach a
+// live client) and unregisters the connection.
 func (c *conn) teardown() {
-	c.nc.Close()
 	c.smu.Lock()
 	c.closing = true
 	workers := make([]*sessWorker, 0, len(c.sessions))
@@ -363,11 +528,30 @@ func (c *conn) teardown() {
 		workers = append(workers, w)
 	}
 	c.sessions = make(map[uint64]*sessWorker)
+	runs := make([]*runtime.Session, 0, len(c.runs))
+	for sess := range c.runs {
+		runs = append(runs, sess)
+	}
 	c.smu.Unlock()
 	for _, w := range workers {
 		w.sess.Cancel()
 	}
+	for _, sess := range runs {
+		sess.Cancel()
+	}
 	c.workers.Wait()
+	// Stop the writer after the workers' final responses are queued; the
+	// deadline bounds the flush so a dead client cannot wedge teardown.
+	c.nc.SetWriteDeadline(time.Now().Add(teardownFlush))
+	c.wmu.Lock()
+	c.wstop = true
+	c.wmu.Unlock()
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+	<-c.wdone
+	c.nc.Close()
 	s := c.srv
 	s.mu.Lock()
 	delete(s.conns, c)

@@ -186,10 +186,20 @@ func digest(log, state, key string, ser bool, commits, gaveUp, dead, pol, imp, c
 
 // TestSessionGateEquivalence is the acceptance pin of the service
 // layer: the same randomized trace driven through (a) the batch
-// reference drive, (b) in-process runtime Sessions and (c) pkg/client
-// against an in-memory lockd produces identical logs, structural
-// states, monitor keys, serializability verdicts and abort accounting —
-// network sessions add transport, not semantics.
+// reference drive, (b) in-process runtime Sessions, (c) per-step
+// pkg/client sessions and (d) pipelined pkg/client sessions against an
+// in-memory lockd produces identical logs, structural states, monitor
+// keys, serializability verdicts and abort accounting — network
+// sessions add transport, not semantics, whatever the transport mode.
+//
+// The stored-procedure (run-op) arm is compared on a transaction-serial
+// rendering of the same systems: run mode executes each declared body
+// contiguously, so only serial traces are expressible, and the retry
+// budget is set to zero so an abort abandons identically in every arm
+// (serially, aborts are deterministic — the replay drops the
+// transaction, the clients observe ErrAbandoned, and the engine-side
+// run loop terminates instead of re-hitting the same veto and skewing
+// the abort counts).
 func TestSessionGateEquivalence(t *testing.T) {
 	arms := []struct {
 		name   string
@@ -229,6 +239,49 @@ func TestSessionGateEquivalence(t *testing.T) {
 				t.Fatalf("%s seed %d: network: %v", arm.name, seed, err)
 			} else if got != want {
 				t.Fatalf("%s seed %d: network sessions diverge:\n--- network ---\n%s\n--- batch ---\n%s", arm.name, seed, got, want)
+			}
+			if got, err := driveNetworkPipelined(t, sys, sched, cfg, arm.commit); err != nil {
+				t.Fatalf("%s seed %d: pipelined: %v", arm.name, seed, err)
+			} else if got != want {
+				t.Fatalf("%s seed %d: pipelined sessions diverge:\n--- pipelined ---\n%s\n--- batch ---\n%s", arm.name, seed, got, want)
+			}
+
+			if !arm.commit {
+				continue
+			}
+			// Serial rendering: each declared body contiguous, committed at
+			// its end, zero retry budget — the trace shape run mode can
+			// express. All four client arms must match the replay on it.
+			var serial model.Schedule
+			for ti, tx := range sys.Txns {
+				for _, st := range tx.Steps {
+					serial = append(serial, model.Ev{T: model.TID(ti), S: st})
+				}
+			}
+			scfg := cfg
+			scfg.MaxRetries = -1
+			scfg.Backoff = -1
+			sref, err := runtime.ReplayTrace(sys, serial, scfg, true)
+			if err != nil {
+				t.Fatalf("%s seed %d: serial batch: %v", arm.name, seed, err)
+			}
+			sm := sref.Metrics
+			swant := digest(sref.Log, sref.State, sref.MonitorKey, sref.Serializable,
+				sm.Commits, sm.GaveUp, sm.DeadlockAborts, sm.PolicyAborts, sm.ImproperAborts, sm.CascadeAborts, sm.Events)
+			if got, err := driveNetwork(t, sys, serial, scfg, true); err != nil {
+				t.Fatalf("%s seed %d: serial network: %v", arm.name, seed, err)
+			} else if got != swant {
+				t.Fatalf("%s seed %d: serial per-step diverges:\n--- per-step ---\n%s\n--- batch ---\n%s", arm.name, seed, got, swant)
+			}
+			if got, err := driveNetworkPipelined(t, sys, serial, scfg, true); err != nil {
+				t.Fatalf("%s seed %d: serial pipelined: %v", arm.name, seed, err)
+			} else if got != swant {
+				t.Fatalf("%s seed %d: serial pipelined diverges:\n--- pipelined ---\n%s\n--- batch ---\n%s", arm.name, seed, got, swant)
+			}
+			if got, err := driveNetworkRun(t, sys, scfg); err != nil {
+				t.Fatalf("%s seed %d: run mode: %v", arm.name, seed, err)
+			} else if got != swant {
+				t.Fatalf("%s seed %d: run mode diverges:\n--- run ---\n%s\n--- batch ---\n%s", arm.name, seed, got, swant)
 			}
 		}
 	}
@@ -326,6 +379,298 @@ func driveNetwork(t *testing.T, sys *model.System, sched model.Schedule, cfg run
 		return "", fmt.Errorf("shutdown after drive: %v", err)
 	}
 	return d, nil
+}
+
+// driveNetworkPipelined replays the trace through the async client API:
+// consecutive events of the same transaction travel as one pipelined
+// burst, flushed before the trace switches transactions, so the engine
+// still executes in trace order (at most one session has requests in
+// flight) while the transport carries whole segments per round trip. A
+// commit rides the same burst as its transaction's last steps.
+func driveNetworkPipelined(t *testing.T, sys *model.System, sched model.Schedule, cfg runtime.Config, commit bool) (string, error) {
+	srv, addr := startServer(t, sys.Init, cfg)
+	c, err := client.Dial(addr)
+	if err != nil {
+		return "", err
+	}
+	defer c.Close()
+	sess := make([]*client.Session, len(sys.Txns))
+	for i, tx := range sys.Txns {
+		s, err := c.Open(tx)
+		if err != nil {
+			return "", err
+		}
+		sess[i] = s
+	}
+	dropped := make([]bool, len(sys.Txns))
+	fed := make([]int, len(sys.Txns))
+	flush := func(tn int) error {
+		err := sess[tn].Flush()
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, client.ErrAborted) || errors.Is(err, client.ErrAbandoned) {
+			dropped[tn] = true
+			return nil
+		}
+		return err
+	}
+	cur := -1
+	for _, ev := range sched {
+		tn := int(ev.T)
+		if tn != cur {
+			if cur >= 0 {
+				if err := flush(cur); err != nil {
+					return "", err
+				}
+			}
+			cur = tn
+		}
+		if dropped[tn] {
+			continue
+		}
+		if err := sess[tn].StepAsync(); err != nil {
+			if errors.Is(err, client.ErrAborted) || errors.Is(err, client.ErrAbandoned) {
+				dropped[tn] = true
+				continue
+			}
+			return "", err
+		}
+		fed[tn]++
+		if commit && fed[tn] == sys.Txns[tn].Len() {
+			// Queued behind the steps on the same session worker, so it
+			// still executes immediately after the last event, before any
+			// other transaction's next step (the switch flush is a
+			// barrier). If a step of this burst aborts, the commit is
+			// refused stale without executing.
+			if err := sess[tn].CommitAsync(); err != nil {
+				return "", err
+			}
+		}
+	}
+	if cur >= 0 {
+		if err := flush(cur); err != nil {
+			return "", err
+		}
+	}
+	ins, err := c.Inspect()
+	if err != nil {
+		return "", err
+	}
+	st := ins.Stats
+	d := digest(ins.Log, ins.State, ins.MonitorKey, ins.Serializable,
+		st.Commits, st.GaveUp, st.DeadlockAborts, st.PolicyAborts, st.ImproperAborts, st.CascadeAborts, st.Events)
+	c.Close()
+	if _, err := srv.Shutdown(time.Second); err != nil {
+		return "", fmt.Errorf("shutdown after pipelined drive: %v", err)
+	}
+	return d, nil
+}
+
+// driveNetworkRun executes each declared transaction in stored-procedure
+// mode, in order: the body ships once per transaction and the engine
+// drives it server-side. With a zero retry budget an aborted
+// transaction answers ErrAbandoned, mirroring the replay's drop.
+func driveNetworkRun(t *testing.T, sys *model.System, cfg runtime.Config) (string, error) {
+	srv, addr := startServer(t, sys.Init, cfg)
+	c, err := client.Dial(addr)
+	if err != nil {
+		return "", err
+	}
+	defer c.Close()
+	for _, tx := range sys.Txns {
+		if tx.Len() == 0 {
+			// An empty body contributes no trace events, so the
+			// trace-driven arms open it but never feed or commit it.
+			// Mirror that: register it with the monitor and leave it.
+			if _, err := c.Open(tx); err != nil {
+				return "", err
+			}
+			continue
+		}
+		if err := c.Run(tx); err != nil {
+			if errors.Is(err, client.ErrAbandoned) {
+				continue
+			}
+			return "", err
+		}
+	}
+	ins, err := c.Inspect()
+	if err != nil {
+		return "", err
+	}
+	st := ins.Stats
+	d := digest(ins.Log, ins.State, ins.MonitorKey, ins.Serializable,
+		st.Commits, st.GaveUp, st.DeadlockAborts, st.PolicyAborts, st.ImproperAborts, st.CascadeAborts, st.Events)
+	c.Close()
+	if _, err := srv.Shutdown(time.Second); err != nil {
+		return "", fmt.Errorf("shutdown after run drive: %v", err)
+	}
+	return d, nil
+}
+
+// TestClientPipelinedAbortRetry pins the attempt-tag protocol on a
+// deterministic abort: a pipelined attempt whose middle step aborts
+// (reading an entity that does not exist yet) must drain its already-
+// submitted tail as stale — the server refuses the steps without
+// executing them, so the reset cursor is not corrupted — and the retry,
+// after another session creates the entity, commits cleanly.
+func TestClientPipelinedAbortRetry(t *testing.T) {
+	srv, addr := startServer(t, model.NewState(), runtime.Config{
+		Policy: policy.TwoPhase{}, Backoff: -1,
+	})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	reader, err := c.Open(model.Txn{Name: "reader", Steps: []model.Step{model.LX("x"), model.R("x"), model.UX("x")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pipeline the whole attempt: (R x) aborts (x does not exist), and
+	// the already-submitted (UX x) and commit must come back as stale
+	// refusals, not executions against the reset cursor.
+	for i := 0; i < 3; i++ {
+		if err := reader.StepAsync(); err != nil {
+			t.Fatalf("StepAsync %d: %v", i, err)
+		}
+	}
+	if err := reader.CommitAsync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := reader.Flush(); !errors.Is(err, client.ErrAborted) {
+		t.Fatalf("pipelined flush = %v, want ErrAborted", err)
+	}
+
+	creator, err := c.Open(model.Txn{Name: "creator", Steps: []model.Step{model.LX("x"), model.I("x"), model.UX("x")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := creator.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// The retry re-pipelines from the first declared step (attempt tag 1
+	// now) and must commit: x exists.
+	if err := reader.RunPipelined(client.Backoff{Base: -1}); err != nil {
+		t.Fatalf("pipelined retry = %v, want commit", err)
+	}
+
+	res, err := srv.Shutdown(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.Commits != 2 || m.ImproperAborts != 1 || m.GaveUp != 0 {
+		t.Fatalf("commits=%d improper=%d gaveup=%d, want 2/1/0", m.Commits, m.ImproperAborts, m.GaveUp)
+	}
+}
+
+// TestServerUnknownOp pins the server-side unknown-op refusal over a raw
+// connection (the client never emits one).
+func TestServerUnknownOp(t *testing.T) {
+	srv, addr := startServer(t, nil, runtime.Config{})
+	defer srv.Shutdown(time.Second)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if err := wire.WriteFrame(nc, wire.Request{ID: 1, Op: wire.OpHello, Version: wire.Version}); err != nil {
+		t.Fatal(err)
+	}
+	var resp wire.Response
+	if err := wire.ReadFrame(nc, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(nc, wire.Request{ID: 2, Op: "gibberish"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.ReadFrame(nc, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || resp.Code != wire.CodeBadReq || resp.ID != 2 {
+		t.Fatalf("unknown op = %+v, want CodeBadReq refusal for id 2", resp)
+	}
+	// The connection survives an unknown op: a valid request still works.
+	if err := wire.WriteFrame(nc, wire.Request{ID: 3, Op: wire.OpStats}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.ReadFrame(nc, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.ID != 3 {
+		t.Fatalf("stats after unknown op = %+v, want OK", resp)
+	}
+}
+
+// TestServerConcurrentPipelinedSessions hammers one connection with
+// concurrent sessions in every transport mode — per-step, pipelined and
+// stored-procedure — over conflicting bodies; the race job runs this
+// under -race to check the async client plumbing and the server's
+// coalescing writer. The committed schedule is verified at drain.
+func TestServerConcurrentPipelinedSessions(t *testing.T) {
+	ents := []model.Entity{"h0", "h1", "h2", "h3"}
+	srv, addr := startServer(t, model.NewState(ents...), runtime.Config{
+		Policy:      policy.TwoPhase{},
+		Shards:      8,
+		GateStripes: 8,
+		Backoff:     20 * time.Microsecond,
+		MaxRetries:  600,
+	})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const sessions = 6
+	const rounds = 6
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		go func(i int) {
+			rng := rand.New(rand.NewSource(int64(i)))
+			b := client.Backoff{Base: 50 * time.Microsecond}
+			for k := 0; k < rounds; k++ {
+				perm := append([]model.Entity(nil), ents...)
+				rng.Shuffle(len(perm), func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+				tx := model.Txn{Steps: workload.TwoPhaseSteps(perm[:2])}
+				var err error
+				switch k % 3 {
+				case 0:
+					err = c.Run(tx)
+				case 1:
+					var s *client.Session
+					if s, err = c.Open(tx); err == nil {
+						err = s.RunPipelined(b)
+					}
+				default:
+					var s *client.Session
+					if s, err = c.Open(tx); err == nil {
+						err = s.RunWith(b)
+					}
+				}
+				if err != nil {
+					errs <- fmt.Errorf("session %d round %d: %w", i, k, err)
+					return
+				}
+			}
+			errs <- nil
+		}(i)
+	}
+	for i := 0; i < sessions; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := srv.Shutdown(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Commits != sessions*rounds {
+		t.Fatalf("commits=%d, want %d", res.Metrics.Commits, sessions*rounds)
+	}
 }
 
 // TestServerLeaseExpiry is the network half of the stalled-client

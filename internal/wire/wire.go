@@ -1,20 +1,28 @@
 // Package wire defines the lockd network protocol: length-prefixed JSON
 // frames over a byte stream, with versioned hello, session lifecycle
-// requests (open / step / commit / abort) and diagnostics (stats /
-// inspect). It is shared by the server (internal/server) and the Go
-// client (pkg/client); docs/PROTOCOL.md is the normative description,
-// with a worked example transcript.
+// requests (open / step / commit / abort), a one-round-trip
+// stored-procedure mode (run), and diagnostics (stats / inspect). It is
+// shared by the server (internal/server) and the Go client (pkg/client);
+// docs/PROTOCOL.md is the normative description, with a worked example
+// transcript.
 //
 // Framing: every message is a 4-byte big-endian payload length followed
-// by that many bytes of JSON (one Request or Response object). Frames
-// are bounded by MaxFrame; an oversized length is a protocol error and
-// the peer closes the connection.
+// by that many bytes of JSON. The payload is either one Request or
+// Response object, or — a *batch* — a JSON array of several, so a
+// pipelined burst costs one frame (and typically one syscall) per
+// direction instead of one per step. Frames are bounded by MaxFrame; an
+// oversized length is a protocol error and the peer closes the
+// connection.
 //
 // Pipelining: a client may send further requests before earlier
 // responses arrive. Responses carry the request's id and may arrive out
 // of order — requests for the *same* session are executed in
 // submission order, requests for different sessions (and diagnostics)
-// are concurrent.
+// are concurrent. Step and commit requests carry the client's attempt
+// tag; the server refuses (without executing) any tagged below the
+// session's current attempt, so pipelined steps of an already-aborted
+// attempt are drained as stale instead of being mistaken for the
+// retry's resubmission.
 package wire
 
 import (
@@ -27,11 +35,13 @@ import (
 )
 
 // Version is the protocol version spoken by this tree. A hello with a
-// different version is refused with CodeVersion.
-const Version = 1
+// different version is refused with CodeVersion. Version 2 added batch
+// frames, attempt tags and the run op (all of PR 6's transport layers).
+const Version = 2
 
 // MaxFrame bounds a frame's JSON payload (requests and responses); the
 // dominant size is a declared transaction body or an inspect log dump.
+// Batch writers split a larger burst across several frames.
 const MaxFrame = 1 << 20
 
 // Request ops.
@@ -41,6 +51,7 @@ const (
 	OpStep    = "step"
 	OpCommit  = "commit"
 	OpAbort   = "abort"
+	OpRun     = "run"
 	OpStats   = "stats"
 	OpInspect = "inspect"
 )
@@ -68,14 +79,20 @@ type Request struct {
 	Op string `json:"op"`
 	// Version accompanies hello.
 	Version int `json:"version,omitempty"`
-	// Name and Txn accompany open: the transaction's display name and
-	// its declared steps, each in the model text form "(LX a)".
+	// Name and Txn accompany open and run: the transaction's display
+	// name and its declared steps, each in the model text form "(LX a)".
 	Name string   `json:"name,omitempty"`
 	Txn  []string `json:"txn,omitempty"`
 	// SID addresses an open session (step, commit, abort).
 	SID uint64 `json:"sid,omitempty"`
 	// Step is the submitted step for step requests, in "(LX a)" form.
 	Step string `json:"step,omitempty"`
+	// Attempt tags step and commit requests with the client's retry
+	// attempt (0 for the first). The server executes the request only
+	// when the tag equals the session's current attempt; a lower tag is
+	// a late message of a torn-down attempt and is refused CodeAborted
+	// without touching the session.
+	Attempt int `json:"attempt,omitempty"`
 }
 
 // Response is a server→client message.
@@ -128,6 +145,11 @@ func WriteFrame(w io.Writer, v any) error {
 	if err != nil {
 		return err
 	}
+	return writeRaw(w, body)
+}
+
+// writeRaw writes one length-prefixed frame around a marshaled payload.
+func writeRaw(w io.Writer, body []byte) error {
 	if len(body) > MaxFrame {
 		return fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame", len(body))
 	}
@@ -136,25 +158,165 @@ func WriteFrame(w io.Writer, v any) error {
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err = w.Write(body)
+	_, err := w.Write(body)
 	return err
 }
 
-// ReadFrame reads one length-prefixed frame and unmarshals it into v.
-func ReadFrame(r io.Reader, v any) error {
+// readPayload reads one length-prefixed frame's payload bytes.
+func readPayload(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return err
+		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
-		return fmt.Errorf("wire: incoming frame of %d bytes exceeds MaxFrame", n)
+		return nil, fmt.Errorf("wire: incoming frame of %d bytes exceeds MaxFrame", n)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// ReadFrame reads one length-prefixed frame and unmarshals it into v.
+// It does not accept batch frames; the batch-aware readers below do.
+func ReadFrame(r io.Reader, v any) error {
+	body, err := readPayload(r)
+	if err != nil {
 		return err
 	}
 	return json.Unmarshal(body, v)
+}
+
+// isBatch reports whether a payload is a batch (JSON array) rather than
+// a single object.
+func isBatch(body []byte) bool {
+	for _, b := range body {
+		switch b {
+		case ' ', '\t', '\n', '\r':
+			continue
+		case '[':
+			return true
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// ReadRequestBatch reads one frame and returns the requests it carries:
+// one for an object payload, several for an array (batch) payload. An
+// empty batch is a protocol error.
+func ReadRequestBatch(r io.Reader) ([]Request, error) {
+	body, err := readPayload(r)
+	if err != nil {
+		return nil, err
+	}
+	if isBatch(body) {
+		var out []Request
+		if err := json.Unmarshal(body, &out); err != nil {
+			return nil, err
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("wire: empty batch frame")
+		}
+		return out, nil
+	}
+	var one Request
+	if err := json.Unmarshal(body, &one); err != nil {
+		return nil, err
+	}
+	return []Request{one}, nil
+}
+
+// ReadResponseBatch is ReadRequestBatch for the server→client direction.
+func ReadResponseBatch(r io.Reader) ([]Response, error) {
+	body, err := readPayload(r)
+	if err != nil {
+		return nil, err
+	}
+	if isBatch(body) {
+		var out []Response
+		if err := json.Unmarshal(body, &out); err != nil {
+			return nil, err
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("wire: empty batch frame")
+		}
+		return out, nil
+	}
+	var one Response
+	if err := json.Unmarshal(body, &one); err != nil {
+		return nil, err
+	}
+	return []Response{one}, nil
+}
+
+// WriteRequestBatch writes the requests as the fewest frames that
+// respect MaxFrame: a lone message travels as a bare object frame, a
+// burst as one array frame (split greedily when it would overflow).
+func WriteRequestBatch(w io.Writer, reqs []Request) error {
+	raws := make([][]byte, len(reqs))
+	for i := range reqs {
+		body, err := json.Marshal(reqs[i])
+		if err != nil {
+			return err
+		}
+		raws[i] = body
+	}
+	return writeBatch(w, raws)
+}
+
+// WriteResponseBatch is WriteRequestBatch for the server→client
+// direction.
+func WriteResponseBatch(w io.Writer, resps []Response) error {
+	raws := make([][]byte, len(resps))
+	for i := range resps {
+		body, err := json.Marshal(resps[i])
+		if err != nil {
+			return err
+		}
+		raws[i] = body
+	}
+	return writeBatch(w, raws)
+}
+
+// writeBatch packs pre-marshaled messages greedily into frames of at
+// most MaxFrame bytes. Single-message frames are bare objects, so a
+// non-batching peer's transcript is unchanged.
+func writeBatch(w io.Writer, raws [][]byte) error {
+	for start := 0; start < len(raws); {
+		if len(raws[start]) > MaxFrame {
+			return fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame", len(raws[start]))
+		}
+		size := len(raws[start]) + 2 // brackets
+		end := start + 1
+		for end < len(raws) && size+len(raws[end])+1 <= MaxFrame {
+			size += len(raws[end]) + 1 // comma
+			end++
+		}
+		if end == start+1 {
+			if err := writeRaw(w, raws[start]); err != nil {
+				return err
+			}
+		} else {
+			payload := make([]byte, 0, size)
+			payload = append(payload, '[')
+			for i := start; i < end; i++ {
+				if i > start {
+					payload = append(payload, ',')
+				}
+				payload = append(payload, raws[i]...)
+			}
+			payload = append(payload, ']')
+			if err := writeRaw(w, payload); err != nil {
+				return err
+			}
+		}
+		start = end
+	}
+	return nil
 }
 
 // EncodeSteps renders steps in the wire's "(LX a)" text form.

@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"encoding/binary"
+	"io"
 	"strings"
 	"testing"
 
@@ -34,6 +35,139 @@ func TestFrameOversizeRejected(t *testing.T) {
 	big := Request{Step: strings.Repeat("x", MaxFrame)}
 	if err := WriteFrame(&bytes.Buffer{}, big); err == nil {
 		t.Fatal("oversize write accepted")
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	// Truncated header: fewer than 4 length bytes.
+	err := ReadFrame(bytes.NewReader([]byte{0, 0}), &Request{})
+	if err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	// Truncated payload: header promises more bytes than follow.
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	buf.Write(hdr[:])
+	buf.WriteString(`{"id":1`)
+	if err := ReadFrame(&buf, &Request{}); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated payload = %v, want ErrUnexpectedEOF", err)
+	}
+	// The batch readers hit the same payload path.
+	buf.Reset()
+	buf.Write(hdr[:])
+	buf.WriteString(`[{"id":1}`)
+	if _, err := ReadRequestBatch(&buf); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated batch payload = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestFrameMalformedJSON(t *testing.T) {
+	write := func(s string) *bytes.Buffer {
+		var buf bytes.Buffer
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(s)))
+		buf.Write(hdr[:])
+		buf.WriteString(s)
+		return &buf
+	}
+	if err := ReadFrame(write(`{"id":`), &Request{}); err == nil {
+		t.Fatal("malformed object accepted")
+	}
+	if _, err := ReadRequestBatch(write(`{"id":`)); err == nil {
+		t.Fatal("malformed object accepted by batch reader")
+	}
+	if _, err := ReadRequestBatch(write(`[{"id":1},`)); err == nil {
+		t.Fatal("malformed array accepted by batch reader")
+	}
+	if _, err := ReadResponseBatch(write(`not json`)); err == nil {
+		t.Fatal("garbage accepted by response batch reader")
+	}
+	// An empty batch frame carries no message to answer — protocol error.
+	if _, err := ReadRequestBatch(write(`[]`)); err == nil || !strings.Contains(err.Error(), "empty batch") {
+		t.Fatalf("empty batch = %v, want empty-batch error", err)
+	}
+	if _, err := ReadResponseBatch(write(`  [ ]`)); err == nil || !strings.Contains(err.Error(), "empty batch") {
+		t.Fatalf("empty response batch = %v, want empty-batch error", err)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{ID: 1, Op: OpStep, SID: 9, Step: "(LX a)", Attempt: 2},
+		{ID: 2, Op: OpStep, SID: 9, Step: "(W a)", Attempt: 2},
+		{ID: 3, Op: OpCommit, SID: 9, Attempt: 2},
+	}
+	var buf bytes.Buffer
+	if err := WriteRequestBatch(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadRequestBatch(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || out[0].ID != 1 || out[0].Step != "(LX a)" || out[0].Attempt != 2 ||
+		out[2].Op != OpCommit || out[2].SID != 9 {
+		t.Fatalf("batch round trip mangled: %+v", out)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("burst used more than one frame: %d bytes left", buf.Len())
+	}
+
+	// A lone message travels as a bare object, readable by the
+	// non-batching ReadFrame — transcript compatibility.
+	buf.Reset()
+	if err := WriteResponseBatch(&buf, []Response{{ID: 4, OK: true}}); err != nil {
+		t.Fatal(err)
+	}
+	var one Response
+	if err := ReadFrame(&buf, &one); err != nil {
+		t.Fatal(err)
+	}
+	if one.ID != 4 || !one.OK {
+		t.Fatalf("lone batch message mangled: %+v", one)
+	}
+}
+
+func TestBatchGreedySplit(t *testing.T) {
+	// Each request marshals to roughly MaxFrame/3 bytes, so four of them
+	// cannot share one frame: the writer must split, and every frame must
+	// still parse on the other end.
+	big := strings.Repeat("x", MaxFrame/3)
+	reqs := make([]Request, 4)
+	for i := range reqs {
+		reqs[i] = Request{ID: uint64(i + 1), Op: OpStep, Step: big}
+	}
+	var buf bytes.Buffer
+	if err := WriteRequestBatch(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	var got []Request
+	frames := 0
+	for buf.Len() > 0 {
+		part, err := ReadRequestBatch(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", frames, err)
+		}
+		frames++
+		got = append(got, part...)
+	}
+	if frames < 2 {
+		t.Fatalf("oversized burst packed into %d frame(s)", frames)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("split lost messages: got %d of %d", len(got), len(reqs))
+	}
+	for i := range got {
+		if got[i].ID != reqs[i].ID || len(got[i].Step) != len(big) {
+			t.Fatalf("message %d mangled after split", i)
+		}
+	}
+
+	// A single message that alone exceeds MaxFrame is unsendable.
+	huge := []Request{{ID: 1, Op: OpStep, Step: strings.Repeat("x", MaxFrame)}}
+	if err := WriteRequestBatch(&bytes.Buffer{}, huge); err == nil {
+		t.Fatal("oversized single message accepted by batch writer")
 	}
 }
 

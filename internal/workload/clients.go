@@ -53,6 +53,61 @@ func LockOnlySteps(ents []model.Entity) []model.Step {
 	return steps
 }
 
+// ClientBodies builds each network client's transaction sequence for
+// one benchmark cell: rounds transactions per client in the named
+// workload shape ("disjoint" or "zipf"), plus the entity universe for
+// the server's initial state. Disjoint bodies lock perTxn private
+// entities; zipf bodies lock perTxn/2 entities drawn Zipf(1.4)-skewed
+// from a shared 64-entity pool, redrawn each round. With lockOnly the
+// bodies are pure locking traffic (LockOnlySteps), runnable against any
+// externally-started lockd regardless of its -init; the bodies are
+// transport-mode agnostic — per-step, pipelined and stored-procedure
+// clients all drive the same declared text.
+func ClientBodies(rng *rand.Rand, wl string, clients, perTxn, rounds int, lockOnly bool) ([][]model.Txn, []model.Entity) {
+	bodies := make([][]model.Txn, clients)
+	var universe []model.Entity
+	switch wl {
+	case "disjoint":
+		txns, all := DisjointTxns(clients, perTxn)
+		universe = all
+		for i := range bodies {
+			one := txns[i]
+			if lockOnly {
+				one = model.Txn{Name: one.Name, Steps: LockOnlySteps(TxnEntities(one))}
+			}
+			for r := 0; r < rounds; r++ {
+				bodies[i] = append(bodies[i], one)
+			}
+		}
+	case "zipf":
+		pool := ZipfPool(64)
+		universe = pool
+		for r := 0; r < rounds; r++ {
+			txns := ZipfTxns(rng, pool, clients, perTxn/2, 1.4)
+			for i := range bodies {
+				one := txns[i]
+				if lockOnly {
+					one = model.Txn{Name: one.Name, Steps: LockOnlySteps(TxnEntities(one))}
+				}
+				bodies[i] = append(bodies[i], one)
+			}
+		}
+	}
+	return bodies, universe
+}
+
+// TxnEntities lists the distinct entities a transaction locks, in lock
+// order.
+func TxnEntities(tx model.Txn) []model.Entity {
+	var out []model.Entity
+	for _, st := range tx.Steps {
+		if st.Op.IsLock() {
+			out = append(out, st.Ent)
+		}
+	}
+	return out
+}
+
 // ZipfPool returns the shared hot-key entity pool of the zipf workload
 // shape: poolSize entities "z00".."zNN", rank 0 hottest.
 func ZipfPool(poolSize int) []model.Entity {

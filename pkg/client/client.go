@@ -1,30 +1,45 @@
 // Package client is the Go client of the lockd network lock service: it
 // speaks the length-prefixed JSON protocol of internal/wire (specified
-// in docs/PROTOCOL.md) over one TCP connection, supports pipelined
-// concurrent sessions, and mirrors the session runtime's error
-// vocabulary as exported sentinels.
+// in docs/PROTOCOL.md) over one TCP connection and mirrors the session
+// runtime's error vocabulary as exported sentinels.
 //
 // A transaction is declared in full at Open (the paper's policies are
 // properties of declared bodies; the server also needs the body to
-// re-run the transaction through cascade recovery), then driven step by
-// step:
+// re-run the transaction through cascade recovery), then driven in one
+// of three ways, in ascending throughput:
 //
-//	c, _ := client.Dial(addr)
-//	s, _ := c.Open(model.Txn{Steps: []model.Step{model.LX("a"), model.W("a"), model.UX("a")}})
-//	for _, st := range s.Declared().Steps { ... s.Step(st) ... }
-//	s.Commit()
+//   - per-step: Session.Step / Session.Commit, one synchronous round
+//     trip each — the right shape when the client computes between
+//     steps and wants each admission confirmed before proceeding;
+//   - pipelined: Session.StepAsync / Session.CommitAsync / Session.Flush
+//     (or the Session.RunPipelined retry loop) fire the declared steps
+//     without awaiting each response and reconcile at commit, so an
+//     attempt costs ~one round trip instead of one per step;
+//   - stored-procedure: Client.Run ships the declared body once and the
+//     server drives the whole step/commit/abort/retry loop engine-side,
+//     answering with a single terminal response.
 //
 // On ErrAborted the server has erased the attempt and released its
 // locks; the session survives and the client retries from the first
-// declared step (Session.Run does the retry loop). All other session
-// errors are terminal. A Client is safe for concurrent use; a Session
-// is not (one goroutine per session, like the server's one worker per
-// session).
+// declared step (the Run variants do the retry loop, with capped,
+// jittered backoff — see Backoff).
+//
+// Concurrency contract: a Client is safe for concurrent use and
+// multiplexes any number of sessions over one connection (requests
+// carry ids, frames may batch many messages, responses interleave). A
+// Session is NOT safe for concurrent use — the async API pipelines
+// requests *within* a session, but submission and reconciliation must
+// stay on a single goroutine per session, matching the server's one
+// worker goroutine per session. Pipelined requests are attempt-tagged
+// so that late responses of a torn-down attempt are drained as stale
+// rather than mistaken for the retry's.
 package client
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -45,15 +60,69 @@ var (
 	ErrProtocol     = errors.New("client: protocol error")
 )
 
+// Backoff is the retry pacing of the Run variants, mirroring the
+// runtime's Config backoff fields: the k-th retry waits k*Base, capped
+// at Cap, then jittered down by up to Jitter so clients aborted by the
+// same conflict do not retry in lockstep.
+type Backoff struct {
+	// Base is the linear base delay; 0 means no backoff at all.
+	Base time.Duration
+	// Cap bounds the linear growth. 0 selects the default 100*Base;
+	// negative means uncapped.
+	Cap time.Duration
+	// Jitter is the fraction of the delay randomized away: the actual
+	// delay is uniform in [(1-Jitter)*d, d]. 0 selects the default 0.5;
+	// negative means none; values above 1 are clamped.
+	Jitter float64
+	// Rand is the jitter source in [0,1); nil means the process-global
+	// math/rand. Inject for deterministic tests.
+	Rand func() float64
+}
+
+// delay returns the k-th retry's pause.
+func (b Backoff) delay(k int) time.Duration {
+	d := time.Duration(k) * b.Base
+	if d <= 0 {
+		return 0
+	}
+	cap := b.Cap
+	if cap == 0 {
+		cap = 100 * b.Base
+	}
+	if cap > 0 && d > cap {
+		d = cap
+	}
+	j := b.Jitter
+	switch {
+	case j == 0:
+		j = 0.5
+	case j < 0:
+		j = 0
+	case j > 1:
+		j = 1
+	}
+	if j > 0 {
+		r := b.Rand
+		if r == nil {
+			r = rand.Float64
+		}
+		d = time.Duration(float64(d) * (1 - j*r()))
+	}
+	return d
+}
+
 // Client is one connection to a lockd server. Safe for concurrent use.
 type Client struct {
 	nc net.Conn
 
-	wmu    sync.Mutex // serializes request frames
-	mu     sync.Mutex // pending map + id counter + terminal error
+	mu     sync.Mutex // pending map, id counter, outgoing queue, terminal error
 	nextID uint64
 	pend   map[uint64]chan wire.Response
 	dead   error
+	outq   []wire.Request
+	wstop  bool
+
+	wake chan struct{} // kicks the writer; buffered 1
 
 	policy string
 }
@@ -74,11 +143,12 @@ func New(nc net.Conn) (*Client, error) {
 }
 
 func handshake(nc net.Conn) (*Client, error) {
-	c := &Client{nc: nc, pend: make(map[uint64]chan wire.Response)}
+	c := &Client{nc: nc, pend: make(map[uint64]chan wire.Response), wake: make(chan struct{}, 1)}
 	go c.readLoop()
+	go c.writeLoop()
 	resp, err := c.roundTrip(wire.Request{Op: wire.OpHello, Version: wire.Version})
 	if err != nil {
-		nc.Close()
+		c.fail(err)
 		return nil, err
 	}
 	c.policy = resp.Policy
@@ -90,62 +160,121 @@ func (c *Client) Policy() string { return c.policy }
 
 // Close tears the connection down. The server aborts this connection's
 // unfinished sessions, releasing their locks.
-func (c *Client) Close() error { return c.nc.Close() }
+func (c *Client) Close() error {
+	c.fail(errors.New("client closed"))
+	return nil
+}
 
-// readLoop routes responses to their waiting requests by id.
+// fail records the terminal error, fails every pending request, stops
+// the writer and closes the connection. Idempotent (first error wins).
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.dead == nil {
+		c.dead = fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	for id, ch := range c.pend {
+		close(ch)
+		delete(c.pend, id)
+	}
+	c.wstop = true
+	c.mu.Unlock()
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+	c.nc.Close()
+}
+
+func (c *Client) deadErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+// readLoop routes responses — possibly many per frame — to their
+// waiting requests by id.
 func (c *Client) readLoop() {
+	br := bufio.NewReader(c.nc)
 	for {
-		var resp wire.Response
-		if err := wire.ReadFrame(c.nc, &resp); err != nil {
-			c.mu.Lock()
-			c.dead = fmt.Errorf("%w: %v", ErrClosed, err)
-			for id, ch := range c.pend {
-				close(ch)
-				delete(c.pend, id)
-			}
-			c.mu.Unlock()
+		resps, err := wire.ReadResponseBatch(br)
+		if err != nil {
+			c.fail(err)
 			return
 		}
-		c.mu.Lock()
-		ch := c.pend[resp.ID]
-		delete(c.pend, resp.ID)
-		c.mu.Unlock()
-		if ch != nil {
-			ch <- resp
+		for _, resp := range resps {
+			c.mu.Lock()
+			ch := c.pend[resp.ID]
+			delete(c.pend, resp.ID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- resp
+			}
 		}
 	}
 }
 
-// roundTrip sends one request and waits for its response.
-func (c *Client) roundTrip(req wire.Request) (wire.Response, error) {
+// writeLoop is the coalescing writer: it drains the whole outgoing
+// queue per iteration into batch frames on a buffered writer and only
+// flushes when the queue runs empty, so a pipelined burst costs one
+// flush (and typically one syscall) instead of one per request.
+func (c *Client) writeLoop() {
+	bw := bufio.NewWriter(c.nc)
+	for {
+		c.mu.Lock()
+		batch := c.outq
+		c.outq = nil
+		stop := c.wstop
+		c.mu.Unlock()
+		if len(batch) == 0 {
+			if err := bw.Flush(); err != nil {
+				c.fail(err)
+				return
+			}
+			if stop {
+				return
+			}
+			<-c.wake
+			continue
+		}
+		if err := wire.WriteRequestBatch(bw, batch); err != nil {
+			c.fail(err)
+			return
+		}
+	}
+}
+
+// send assigns the request an id, registers its response channel and
+// queues it for the writer. The async submission primitive: callers
+// receive the response later on ch (closed if the connection dies).
+func (c *Client) send(req wire.Request) (uint64, chan wire.Response, error) {
 	ch := make(chan wire.Response, 1)
 	c.mu.Lock()
 	if c.dead != nil {
 		err := c.dead
 		c.mu.Unlock()
-		return wire.Response{}, err
+		return 0, nil, err
 	}
 	c.nextID++
 	req.ID = c.nextID
 	c.pend[req.ID] = ch
+	c.outq = append(c.outq, req)
 	c.mu.Unlock()
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+	return req.ID, ch, nil
+}
 
-	c.wmu.Lock()
-	err := wire.WriteFrame(c.nc, req)
-	c.wmu.Unlock()
+// roundTrip sends one request and waits for its response.
+func (c *Client) roundTrip(req wire.Request) (wire.Response, error) {
+	_, ch, err := c.send(req)
 	if err != nil {
-		c.mu.Lock()
-		delete(c.pend, req.ID)
-		c.mu.Unlock()
-		c.nc.Close()
-		return wire.Response{}, fmt.Errorf("%w: %v", ErrClosed, err)
+		return wire.Response{}, err
 	}
 	resp, ok := <-ch
 	if !ok {
-		c.mu.Lock()
-		err := c.dead
-		c.mu.Unlock()
-		return wire.Response{}, err
+		return wire.Response{}, c.deadErr()
 	}
 	if !resp.OK {
 		return resp, codeError(resp)
@@ -175,91 +304,19 @@ func codeError(resp wire.Response) error {
 	return fmt.Errorf("%w: %s", base, resp.Err)
 }
 
-// Session is one declared transaction open on the server. Not safe for
-// concurrent use.
-type Session struct {
-	c   *Client
-	sid uint64
-	tx  model.Txn
-	pos int
-}
-
-// Open declares a transaction on the server and returns its session.
-func (c *Client) Open(tx model.Txn) (*Session, error) {
-	resp, err := c.roundTrip(wire.Request{
-		Op:   wire.OpOpen,
+// Run executes the declared transaction in stored-procedure mode: the
+// body travels once and the server drives the whole step/commit loop —
+// including abort/retry with the engine's backoff — answering with a
+// single terminal response. Nil means committed; the abort/retry cycle
+// is invisible here (no ErrAborted), and terminal failures arrive as
+// the usual sentinels.
+func (c *Client) Run(tx model.Txn) error {
+	_, err := c.roundTrip(wire.Request{
+		Op:   wire.OpRun,
 		Name: tx.Name,
 		Txn:  wire.EncodeSteps(tx.Steps),
 	})
-	if err != nil {
-		return nil, err
-	}
-	return &Session{c: c, sid: resp.SID, tx: tx.Clone()}, nil
-}
-
-// Declared returns the session's declared transaction.
-func (s *Session) Declared() model.Txn { return s.tx }
-
-// Step submits the next declared step. On ErrAborted the attempt was
-// erased server-side; the session survives and the cursor resets to the
-// first declared step.
-func (s *Session) Step(st model.Step) error {
-	_, err := s.c.roundTrip(wire.Request{Op: wire.OpStep, SID: s.sid, Step: st.String()})
-	if err == nil {
-		s.pos++
-		return nil
-	}
-	if errors.Is(err, ErrAborted) {
-		s.pos = 0
-	}
 	return err
-}
-
-// Commit finalizes the session after all declared steps were admitted.
-func (s *Session) Commit() error {
-	_, err := s.c.roundTrip(wire.Request{Op: wire.OpCommit, SID: s.sid})
-	if err != nil && errors.Is(err, ErrAborted) {
-		s.pos = 0
-	}
-	return err
-}
-
-// Abort closes the session, erasing its attempt and releasing its
-// locks.
-func (s *Session) Abort() error {
-	_, err := s.c.roundTrip(wire.Request{Op: wire.OpAbort, SID: s.sid})
-	return err
-}
-
-// Run drives the declared transaction to commit: it submits every
-// declared step and commits, retrying from the first step with linear
-// backoff whenever the server reports ErrAborted — the network
-// counterpart of the batch runtime's abort/retry loop. backoff is the
-// base delay (the k-th retry waits k*backoff; 0 means none).
-func (s *Session) Run(backoff time.Duration) error {
-	attempt := 0
-	for {
-		err := s.runOnce()
-		if err == nil {
-			return nil
-		}
-		if !errors.Is(err, ErrAborted) {
-			return err
-		}
-		attempt++
-		if d := time.Duration(attempt) * backoff; d > 0 {
-			time.Sleep(d)
-		}
-	}
-}
-
-func (s *Session) runOnce() error {
-	for s.pos < s.tx.Len() {
-		if err := s.Step(s.tx.Steps[s.pos]); err != nil {
-			return err
-		}
-	}
-	return s.Commit()
 }
 
 // Stats polls the server's metrics snapshot.
