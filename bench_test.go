@@ -511,3 +511,15 @@ func BenchmarkE16NetThroughput(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE17PartitionScaling runs a small partitioned-engine cell set
+// (both body mixes, one and two partitions) so the partition routing,
+// cross-partition drain and tag-merged verification stay exercised by
+// the bench-smoke job.
+func BenchmarkE17PartitionScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, r := experiments.E17PartitionScaling(1, []int{1, 2}, []int{4}); r.Failed != "" {
+			b.Fatal(r.Failed)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Command benchdiff compares two machine-readable bench artifacts
+// (BENCH_<EXP>.json, written by lockbench -bench-json) and fails when
+// the current throughput has regressed beyond a noise band.
+//
+// Usage:
+//
+//	benchdiff [-tolerance 0.75] BASELINE.json CURRENT.json
+//
+// Rows are matched by position — lockbench emits its measurement grid
+// deterministically for fixed flags — and the string-valued fields of
+// each pair must agree (a mismatch means the grids drifted: different
+// flags or a changed experiment, which is an error, not a regression).
+// For every rate field present in both rows (commits_per_sec,
+// Throughput, OpsPerSec), the relative change is printed; the exit
+// status is 1 if any rate fell below (1 - tolerance) of the baseline.
+//
+// The default tolerance is deliberately generous: bench numbers come
+// from whatever runner CI hands out (often few-core, noisy-neighbor
+// machines) while baselines may have been recorded elsewhere, so only a
+// collapse — not jitter — should fail the build. Improvements never
+// fail, whatever their size; refresh the baseline to tighten the gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// rateFields are the throughput-bearing fields diffed when present:
+// the JSON-tagged name E16/E17 rows use and the untagged Go field names
+// of the older row types.
+var rateFields = []string{"commits_per_sec", "Throughput", "OpsPerSec"}
+
+// artifact mirrors experiments.Bench loosely: rows stay raw maps so one
+// tool serves every experiment's row shape.
+type artifact struct {
+	Experiment string           `json:"experiment"`
+	GoVersion  string           `json:"go_version"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"num_cpu"`
+	BestOf     int              `json:"best_of"`
+	Rows       []map[string]any `json:"rows"`
+}
+
+func load(path string) (artifact, error) {
+	var a artifact
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return a, err
+	}
+	if err := json.Unmarshal(data, &a); err != nil {
+		return a, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
+}
+
+// keyOf renders a row's identity: every string-valued field plus every
+// integer field that is not a rate or obviously measured, sorted by
+// name. Config fields (workload, gate, mode, clients, partitions,
+// shards, goroutines) are strings and small ints; measured counters
+// (commits, aborts) match between compared grids anyway when the flags
+// match, so including them would only turn a throughput change into a
+// spurious key mismatch — they are excluded by name.
+func keyOf(row map[string]any) string {
+	measured := map[string]bool{
+		"commits_per_sec": true, "Throughput": true, "OpsPerSec": true,
+		"commits": true, "Commits": true, "aborts": true, "Aborts": true,
+		"AvgWaitUs": true, "Replayed": true, "Checkpoints": true, "Events": true,
+	}
+	keys := make([]string, 0, len(row))
+	for k := range row {
+		if !measured[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%s=%v ", k, row[k])
+	}
+	return out
+}
+
+func rate(row map[string]any, field string) (float64, bool) {
+	v, ok := row[field]
+	if !ok {
+		return 0, false
+	}
+	f, ok := v.(float64)
+	return f, ok
+}
+
+func main() {
+	tolerance := flag.Float64("tolerance", 0.75, "maximum tolerated relative throughput drop (0.75 = fail below 25% of baseline)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance F] BASELINE.json CURRENT.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if base.Experiment != cur.Experiment {
+		fmt.Fprintf(os.Stderr, "benchdiff: comparing different experiments: %q vs %q\n", base.Experiment, cur.Experiment)
+		os.Exit(2)
+	}
+	if len(base.Rows) != len(cur.Rows) {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: baseline has %d rows, current %d — measurement grids differ (check lockbench flags)\n",
+			base.Experiment, len(base.Rows), len(cur.Rows))
+		os.Exit(2)
+	}
+	fmt.Printf("%s: baseline go=%s cpus=%d bestof=%d | current go=%s cpus=%d bestof=%d | tolerance %.0f%%\n",
+		base.Experiment, base.GoVersion, base.NumCPU, base.BestOf, cur.GoVersion, cur.NumCPU, cur.BestOf, *tolerance*100)
+	regressed := false
+	for i := range base.Rows {
+		bk, ck := keyOf(base.Rows[i]), keyOf(cur.Rows[i])
+		if bk != ck {
+			fmt.Fprintf(os.Stderr, "benchdiff: row %d identity mismatch:\n  baseline %s\n  current  %s\n", i, bk, ck)
+			os.Exit(2)
+		}
+		for _, f := range rateFields {
+			b, bok := rate(base.Rows[i], f)
+			c, cok := rate(cur.Rows[i], f)
+			if !bok || !cok || b <= 0 {
+				continue
+			}
+			rel := c / b
+			status := "ok"
+			if rel < 1-*tolerance {
+				status = "REGRESSED"
+				regressed = true
+			}
+			fmt.Printf("  %-60s %-15s %12.0f -> %12.0f  %6.1f%%  %s\n", bk, f, b, c, rel*100, status)
+		}
+	}
+	if regressed {
+		fmt.Fprintln(os.Stderr, "benchdiff: throughput regressed beyond the tolerance band")
+		os.Exit(1)
+	}
+}

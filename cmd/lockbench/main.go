@@ -18,17 +18,26 @@
 //	      lockd server (in-memory loopback by default; -net targets a
 //	      running server — the network mode the CI smoke uses), in each
 //	      transport mode of -mode (step, pipeline, run)
+//	E17 — partitioned engines: commits/s vs -partitions x -clients on
+//	      partition-local-heavy and cross-partition-heavy body mixes
 //
 // Usage:
 //
-//	lockbench [-seed N] [-systems N] [-shards 1,4,16] [-goroutines 1,4,8] [-stripes 4,16] [-clients 4,16] [-net HOST:PORT] [-mode step,pipeline,run] [-bench-json DIR] [-e14-sizes 1000,2000,4000,8000] [e6|e7|...|e16]...
+//	lockbench [-seed N] [-systems N] [-per-policy N] [-shards 1,4,16]
+//	          [-goroutines 1,4,8] [-stripes 4,16] [-clients 4,16]
+//	          [-partitions 1,2,4,8] [-net HOST:PORT]
+//	          [-mode step,pipeline,run] [-bench-json DIR]
+//	          [-e14-sizes 1000,2000,4000,8000] [e6|e7|...|e17]...
 //
-// With -bench-json DIR, E16 additionally writes DIR/BENCH_E16.json — the
-// machine-readable rows plus environment metadata (Go version, cores,
-// GOMAXPROCS, best-of policy) for regression diffing across commits.
+// With -bench-json DIR, each measured experiment among E13–E17
+// additionally writes DIR/BENCH_<EXP>.json — the machine-readable rows
+// plus environment metadata (Go version, cores, GOMAXPROCS, best-of
+// policy) for regression diffing across commits; .github/workflows
+// ci.yml's bench job diffs them against the committed baselines with
+// cmd/benchdiff.
 //
 // With no experiment arguments the full suite runs. Output is
-// deterministic for a fixed seed (timing columns excepted; E13–E16's
+// deterministic for a fixed seed (timing columns excepted; E13–E17's
 // runtime sections measure wall-clock behavior and are inherently
 // machine-dependent; E14's core replay counts are deterministic).
 package main
@@ -64,10 +73,11 @@ func main() {
 	goroutines := flag.String("goroutines", "1,4,8", "goroutine counts for E13 (comma-separated)")
 	e14Sizes := flag.String("e14-sizes", "1000,2000,4000,8000", "log sizes for E14 (comma-separated event counts)")
 	stripes := flag.String("stripes", "4,16", "gate stripe counts for E15 and E16 (comma-separated)")
-	clients := flag.String("clients", "4,16", "concurrent client counts for E16 (comma-separated)")
+	clients := flag.String("clients", "4,16", "concurrent client counts for E16 and E17 (comma-separated)")
+	partitions := flag.String("partitions", "1,2,4,8", "partition counts for E17 (comma-separated)")
 	netAddr := flag.String("net", "", "E16 network mode: address of a running lockd (empty = in-memory loopback server per cell)")
 	mode := flag.String("mode", "step,pipeline,run", "E16 transport modes to measure (comma-separated: step, pipeline, run)")
-	benchJSON := flag.String("bench-json", "", "directory to write machine-readable bench artifacts into (E16 writes BENCH_E16.json)")
+	benchJSON := flag.String("bench-json", "", "directory to write machine-readable bench artifacts into (E13-E17 write BENCH_<EXP>.json)")
 	flag.Parse()
 
 	shardCounts, err := intList("shards", *shards)
@@ -95,6 +105,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	partCounts, err := intList("partitions", *partitions)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	var modes []string
 	for _, m := range strings.Split(*mode, ",") {
 		m = strings.TrimSpace(m)
@@ -103,6 +118,19 @@ func main() {
 			os.Exit(2)
 		}
 		modes = append(modes, m)
+	}
+
+	// writeBench writes one machine-readable artifact when -bench-json
+	// is set; failures are reported but do not fail the run.
+	writeBench := func(exp string, bestOf int, rows any) {
+		if *benchJSON == "" {
+			return
+		}
+		if path, werr := experiments.WriteBench(*benchJSON, exp, *seed, bestOf, rows); werr != nil {
+			fmt.Fprintf(os.Stderr, "lockbench: bench artifact: %v\n", werr)
+		} else {
+			fmt.Printf("bench artifact: %s\n", path)
+		}
 	}
 
 	runs := map[string]func() experiments.Report{
@@ -114,34 +142,36 @@ func main() {
 		"e11": func() experiments.Report { _, r := experiments.E11Ablation(*seed); return r },
 		"e12": func() experiments.Report { return experiments.E12SharedReaders(*seed) },
 		"e13": func() experiments.Report {
-			_, r := experiments.E13Scaling(*seed, shardCounts, gorCounts)
+			rows, r := experiments.E13Scaling(*seed, shardCounts, gorCounts)
+			writeBench("E13", 1, rows)
 			return r
 		},
 		"e14": func() experiments.Report {
-			_, r := experiments.E14Recovery(*seed, sizeCounts)
+			rows, r := experiments.E14Recovery(*seed, sizeCounts)
+			writeBench("E14", 1, rows)
 			return r
 		},
 		"e15": func() experiments.Report {
-			_, r := experiments.E15GateScaling(*seed, stripeCounts, gorCounts)
+			rows, r := experiments.E15GateScaling(*seed, stripeCounts, gorCounts)
+			writeBench("E15", experiments.E15Reps, rows)
 			return r
 		},
 		"e16": func() experiments.Report {
 			rows, r := experiments.E16NetThroughput(*seed, stripeCounts, clientCounts, modes, *netAddr)
-			if *benchJSON != "" {
-				bestOf := experiments.E16Reps
-				if *netAddr != "" {
-					bestOf = 1
-				}
-				if path, werr := experiments.WriteBench(*benchJSON, "E16", *seed, bestOf, rows); werr != nil {
-					fmt.Fprintf(os.Stderr, "lockbench: bench artifact: %v\n", werr)
-				} else {
-					fmt.Printf("bench artifact: %s\n", path)
-				}
+			bestOf := experiments.E16Reps
+			if *netAddr != "" {
+				bestOf = 1
 			}
+			writeBench("E16", bestOf, rows)
+			return r
+		},
+		"e17": func() experiments.Report {
+			rows, r := experiments.E17PartitionScaling(*seed, partCounts, clientCounts)
+			writeBench("E17", experiments.E17Reps, rows)
 			return r
 		},
 	}
-	order := []string{"e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16"}
+	order := []string{"e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17"}
 
 	want := flag.Args()
 	if len(want) == 0 {
@@ -151,7 +181,7 @@ func main() {
 	for _, name := range want {
 		f, ok := runs[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "lockbench: unknown experiment %q (want e6..e16)\n", name)
+			fmt.Fprintf(os.Stderr, "lockbench: unknown experiment %q (want e6..e17)\n", name)
 			os.Exit(2)
 		}
 		r := f()

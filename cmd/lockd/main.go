@@ -6,10 +6,20 @@
 // Usage:
 //
 //	lockd [-addr HOST:PORT] [-policy NAME] [-init "a,b,A->B"]
-//	      [-stripes N | -serialized-gate] [-shards N] [-mpl N]
-//	      [-checkpoint-every N] [-lease DUR] [-max-retries N]
+//	      [-partitions N] [-stripes N | -serialized-gate] [-shards N]
+//	      [-mpl N] [-checkpoint-every N] [-truncate-log=false]
+//	      [-lease DUR] [-max-retries N]
 //	      [-backoff DUR] [-backoff-cap DUR] [-backoff-jitter F]
 //	      [-drain-timeout DUR]
+//
+// -partitions > 1 runs the entity-hash partitioned engine group: each
+// partition is a full engine (own recovery core, stripe set, sequencer)
+// and sessions whose declared body stays inside one partition never
+// touch the others. Cross-partition and global-footprint transactions
+// go through the cross-partition drain. The wire protocol is identical
+// either way. -truncate-log (default on) discards log events below the
+// earliest checkpoint whose owners are all settled, bounding recovery
+// memory on long-lived servers at the cost of full-log inspection.
 //
 // The backoff flags pace the retries lockd itself drives: run-mode
 // (stored-procedure) transactions and cascade re-runs. The k-th retry
@@ -52,11 +62,13 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7654", "listen address")
 	polName := flag.String("policy", "2PL", "locking policy: "+strings.Join(policy.Names(), ", "))
 	initEnts := flag.String("init", "", "comma-separated entities of the initial structural state")
-	stripes := flag.Int("stripes", 0, "admission-gate stripes (0 = size from GOMAXPROCS)")
+	partitions := flag.Int("partitions", 1, "entity-hash engine partitions (1 = single engine)")
+	stripes := flag.Int("stripes", 0, "admission-gate stripes per partition (0 = size from GOMAXPROCS)")
 	serialized := flag.Bool("serialized-gate", false, "use the single-mutex serialized gate (forces stripes=1)")
 	shards := flag.Int("shards", 16, "lock-manager shards")
 	mpl := flag.Int("mpl", 0, "max concurrently open sessions (0 = unbounded)")
 	ckpt := flag.Int("checkpoint-every", 0, "events between recovery checkpoints (0 = default)")
+	truncate := flag.Bool("truncate-log", true, "truncate the recovery log below settled checkpoints (bounds memory; full-log inspect unavailable past the cut)")
 	lease := flag.Duration("lease", 30*time.Second, "session lease; idle sessions are aborted after this (0 disables)")
 	maxRetries := flag.Int("max-retries", 0, "per-transaction retry budget (0 = default, negative = none)")
 	backoff := flag.Duration("backoff", 0, "base retry delay for engine-driven retries (run mode, cascade re-runs; 0 = default, negative = none)")
@@ -91,6 +103,8 @@ func main() {
 		GateStripes:     *stripes,
 		SerializedGate:  *serialized,
 		Lease:           *lease,
+		Partitions:      *partitions,
+		TruncateLog:     *truncate,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -98,8 +112,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lockd: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("lockd: listening on %s policy=%s stripes=%s shards=%d lease=%v\n",
-		ln.Addr(), pol.Name(), gateDesc(*stripes, *serialized), *shards, *lease)
+	fmt.Printf("lockd: listening on %s policy=%s partitions=%d stripes=%s shards=%d lease=%v\n",
+		ln.Addr(), pol.Name(), maxInt(*partitions, 1), gateDesc(*stripes, *serialized), *shards, *lease)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
@@ -122,6 +136,13 @@ func main() {
 	m := res.Metrics
 	fmt.Printf("lockd: drained clean — commits=%d gaveup=%d aborts=%d (deadlock=%d policy=%d improper=%d cascade=%d lease=%d) events=%d serializable=true\n",
 		m.Commits, m.GaveUp, m.Aborts(), m.DeadlockAborts, m.PolicyAborts, m.ImproperAborts, m.CascadeAborts, m.LeaseExpired, m.Events)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func gateDesc(stripes int, serialized bool) string {

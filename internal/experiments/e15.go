@@ -109,11 +109,15 @@ func e15Workload(seed int64, wl string, g int) *model.System {
 	return model.NewSystem(model.NewState(all...), txns...)
 }
 
+// E15Reps is the best-of repetition count per cell; exported so
+// lockbench can record the best-of policy in the bench artifact.
+const E15Reps = 5
+
 // e15Row measures one cell. Runs are short (a few hundred events), so
 // each cell runs several times and reports the best throughput —
 // correctness is asserted on every repetition.
 func e15Row(seed int64, wl string, g int, gc gateCfg) (E15Row, string) {
-	const reps = 5
+	const reps = E15Reps
 	sys := e15Workload(seed, wl, g)
 	row := E15Row{Workload: wl, Gate: gc.name, Goroutines: g}
 	for rep := 0; rep < reps; rep++ {

@@ -47,6 +47,23 @@ type Footprint struct {
 // system.
 func GlobalFootprint() Footprint { return Footprint{Global: true} }
 
+// PartitionOf maps an entity to one of n partitions by FNV-1a hash —
+// the canonical entity partitioning shared by the partitioned engine
+// (which routes sessions by it) and the workload generators (which
+// build partition-local and cross-partition bodies against it). With
+// n <= 1 everything maps to partition 0.
+func PartitionOf(e Entity, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(e); i++ {
+		h ^= uint32(e[i])
+		h *= 16777619
+	}
+	return int(h % uint32(n))
+}
+
 // LocalFootprint returns the footprint of an evaluation that touches
 // only the event's own transaction and entity — the common case for
 // per-transaction rules like two-phase or tree locking. It allocates

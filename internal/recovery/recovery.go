@@ -71,6 +71,9 @@ type Stats struct {
 	// Replayed is the total number of surviving events re-verified
 	// across all compactions — the recovery cost the checkpoints bound.
 	Replayed int
+	// Truncated is the total number of log-prefix events discarded by
+	// Truncate over the Core's lifetime.
+	Truncated int
 }
 
 // Core owns an execution's event log, checkpoints and victim compaction.
@@ -85,9 +88,18 @@ type Core struct {
 	// full-replay recovery. Reference mode for tests and E14.
 	full bool
 
-	log   model.Schedule
-	evIdx [][]int
-	ckpts []checkpoint
+	log model.Schedule
+	// tags carries one opaque uint64 per log event, in lockstep with log
+	// through Compact and Truncate. Single-core callers never see them;
+	// the partitioned engine stamps a shared sequence number on every
+	// event so per-partition logs can be merged back into one global
+	// execution order.
+	tags []uint64
+	// nextTag is the tag auto-assigned to the next untagged append; it
+	// stays strictly above every tag ever recorded.
+	nextTag uint64
+	evIdx   [][]int
+	ckpts   []checkpoint
 
 	state   model.State
 	monitor model.Monitor
@@ -143,6 +155,14 @@ func (c *Core) Len() int { return len(c.log) }
 // mutated.
 func (c *Core) Events() model.Schedule { return c.log }
 
+// Tags returns the per-event tags in lockstep with Events(): Tags()[i]
+// is the tag recorded for Events()[i]. Untagged appends receive
+// monotonically increasing defaults, so for a single Core the tags are
+// simply log positions; the partitioned engine overrides them with a
+// shared global sequence. The slice is live under the same rules as
+// Events().
+func (c *Core) Tags() []uint64 { return c.tags }
+
 // Stats reports the cumulative recovery work counters.
 func (c *Core) Stats() Stats { return c.stats }
 
@@ -174,12 +194,21 @@ func (c *Core) Grow(txns int) {
 // (Monitor().Check, State().Defined), so an error here is an invariant
 // breach on the caller's side.
 func (c *Core) Append(ev model.Ev) error {
+	return c.AppendTagged(ev, c.nextTag)
+}
+
+// AppendTagged is Append with an explicit event tag (see Tags).
+func (c *Core) AppendTagged(ev model.Ev, tag uint64) error {
 	if err := c.monitor.Step(ev); err != nil {
 		return err
 	}
 	c.state.Apply(ev.S)
 	idx := len(c.log)
 	c.log = append(c.log, ev)
+	c.tags = append(c.tags, tag)
+	if tag >= c.nextTag {
+		c.nextTag = tag + 1
+	}
 	c.evIdx[int(ev.T)] = append(c.evIdx[int(ev.T)], idx)
 	c.maybeCheckpoint()
 	return nil
@@ -222,9 +251,23 @@ func (c *Core) maybeCheckpoint() {
 // is already past them, so the cadence is approximate where Append's is
 // exact.
 func (c *Core) AppendApplied(evs ...model.Ev) {
-	for _, ev := range evs {
+	c.AppendAppliedTagged(evs, nil)
+}
+
+// AppendAppliedTagged is AppendApplied with explicit per-event tags
+// (see Tags). tags must be nil (auto-assign) or the same length as evs.
+func (c *Core) AppendAppliedTagged(evs []model.Ev, tags []uint64) {
+	for i, ev := range evs {
 		idx := len(c.log)
 		c.log = append(c.log, ev)
+		tag := c.nextTag
+		if tags != nil {
+			tag = tags[i]
+		}
+		c.tags = append(c.tags, tag)
+		if tag >= c.nextTag {
+			c.nextTag = tag + 1
+		}
 		c.evIdx[int(ev.T)] = append(c.evIdx[int(ev.T)], idx)
 	}
 	if len(evs) > 0 {
@@ -274,11 +317,12 @@ func (c *Core) Compact(victims map[int]bool) (ok bool, cascade int) {
 	state := ck.state.Clone()
 	monitor := ck.monitor.Fork()
 	suffix := make(model.Schedule, 0, len(c.log)-ck.n)
+	sufTags := make([]uint64, 0, len(c.log)-ck.n)
 	// Snapshot at the usual interval while replaying, so a later abort in
 	// the same region does not replay it from ck again.
 	lastCkptN := ck.n
 	var fresh []checkpoint
-	for _, ev := range c.log[ck.n:] {
+	for x, ev := range c.log[ck.n:] {
 		if victims[int(ev.T)] {
 			continue
 		}
@@ -291,6 +335,7 @@ func (c *Core) Compact(victims map[int]bool) (ok bool, cascade int) {
 		}
 		state.Apply(ev.S)
 		suffix = append(suffix, ev)
+		sufTags = append(sufTags, c.tags[ck.n+x])
 		if !c.full && ck.n+len(suffix)-lastCkptN >= c.every {
 			lastCkptN = ck.n + len(suffix)
 			fresh = append(fresh, checkpoint{n: lastCkptN, state: state.Clone(), monitor: monitor.Fork()})
@@ -306,6 +351,7 @@ func (c *Core) Compact(victims map[int]bool) (ok bool, cascade int) {
 		c.thin()
 	}
 	c.log = append(c.log[:ck.n], suffix...)
+	c.tags = append(c.tags[:ck.n], sufTags...)
 	for i := range c.evIdx {
 		// Each index list is ascending: truncate at the first replayed
 		// position rather than rescanning the whole run.
@@ -318,4 +364,72 @@ func (c *Core) Compact(victims map[int]bool) (ok bool, cascade int) {
 	c.state = state
 	c.monitor = monitor
 	return true, 0
+}
+
+// Truncate discards the longest log prefix that can no longer matter:
+// it picks the highest retained checkpoint position B such that every
+// transaction owning an event before B has *all* of its events before B
+// and is settled per the caller's predicate (committed or fully
+// aborted, never again a compaction victim), then drops log[:B] and
+// every checkpoint below B. The B snapshot becomes the new base
+// "initial state", so the package invariant — Monitor()/State() equal a
+// replay of the retained log from the base checkpoint — is preserved,
+// and so is Compact's reach: any future victim set's first event lies
+// at or above B (unsettled transactions own no truncated events, and a
+// replay failure during compaction always names the owner of a
+// replayed — hence retained — event, which by the clean-separation rule
+// owns nothing below B either).
+//
+// settled(t) must be stable for the duration of the call. Returns the
+// number of events discarded (0 when no checkpoint qualifies). After a
+// truncation Events() is a suffix of the full history: end-of-run
+// verification applies to the retained suffix only, and replaying it
+// from a *fresh* monitor is no longer meaningful — replay starts from
+// the base checkpoint.
+func (c *Core) Truncate(settled func(t int) bool) int {
+	for ci := len(c.ckpts) - 1; ci >= 1; ci-- {
+		b := c.ckpts[ci].n
+		if b == 0 {
+			break
+		}
+		clean := true
+		for t, idxs := range c.evIdx {
+			if len(idxs) == 0 || idxs[0] >= b {
+				continue
+			}
+			if idxs[len(idxs)-1] >= b || !settled(t) {
+				clean = false
+				break
+			}
+		}
+		if !clean {
+			continue
+		}
+		// Copy the retained suffixes into fresh backing arrays so the
+		// truncated prefix is actually released.
+		c.log = append(model.Schedule(nil), c.log[b:]...)
+		c.tags = append([]uint64(nil), c.tags[b:]...)
+		for t, idxs := range c.evIdx {
+			if len(idxs) == 0 {
+				continue
+			}
+			if idxs[0] < b {
+				c.evIdx[t] = nil
+				continue
+			}
+			moved := make([]int, len(idxs))
+			for i, x := range idxs {
+				moved[i] = x - b
+			}
+			c.evIdx[t] = moved
+		}
+		kept := append([]checkpoint(nil), c.ckpts[ci:]...)
+		for i := range kept {
+			kept[i].n -= b
+		}
+		c.ckpts = kept
+		c.stats.Truncated += b
+		return b
+	}
+	return 0
 }

@@ -1,0 +1,123 @@
+package recovery_test
+
+import (
+	"testing"
+
+	"locksafe/internal/model"
+	"locksafe/internal/policy"
+	"locksafe/internal/recovery"
+)
+
+// feed appends T1's and then T2's full bodies (three events each) into a
+// fresh core checkpointing after every event.
+func feedTwoTxns(t *testing.T) *recovery.Core {
+	t.Helper()
+	sys := model.NewSystem(model.NewState(),
+		model.NewTxn("T1", model.LX("x"), model.I("x"), model.UX("x")),
+		model.NewTxn("T2", model.LX("y"), model.I("y"), model.UX("y")),
+	)
+	c := recovery.New(len(sys.Txns), sys.Init, policy.Unrestricted{}.NewMonitor(sys), 1)
+	for _, ev := range []model.Ev{
+		{T: 0, S: model.LX("x")},
+		{T: 0, S: model.I("x")},
+		{T: 0, S: model.UX("x")},
+		{T: 1, S: model.LX("y")},
+		{T: 1, S: model.I("y")},
+		{T: 1, S: model.UX("y")},
+	} {
+		if err := c.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// TestTruncateDiscardsSettledPrefix pins the clean-separation rule: with
+// T1 settled and T2 not, the highest checkpoint with every below-owner
+// settled and wholly below is the T1/T2 boundary; the prefix is
+// discarded, indices and checkpoints are rebased, tags keep their
+// absolute values (the partitioned merge depends on that), and the core
+// remains fully operational — appends and compactions included.
+func TestTruncateDiscardsSettledPrefix(t *testing.T) {
+	c := feedTwoTxns(t)
+	n := c.Truncate(func(tn int) bool { return tn == 0 })
+	if n != 3 {
+		t.Fatalf("Truncate discarded %d events, want 3", n)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d after truncation, want 3", c.Len())
+	}
+	if got := c.Stats().Truncated; got != 3 {
+		t.Fatalf("Stats().Truncated = %d, want 3", got)
+	}
+	for i, tag := range c.Tags() {
+		if want := uint64(3 + i); tag != want {
+			t.Fatalf("tag[%d] = %d after truncation, want %d (absolute tags must survive)", i, tag, want)
+		}
+	}
+	for _, ev := range c.Events() {
+		if ev.T != 1 {
+			t.Fatalf("retained event %v does not belong to T2", ev)
+		}
+	}
+	if !c.State().Has("x") || !c.State().Has("y") {
+		t.Fatalf("state %v lost effects of the truncated prefix", c.State())
+	}
+	// A second truncation has nothing settled below any checkpoint left.
+	if n := c.Truncate(func(tn int) bool { return tn == 0 }); n != 0 {
+		t.Fatalf("second Truncate discarded %d events, want 0", n)
+	}
+	// Compacting the retained transaction still works against the rebased
+	// checkpoints and must empty the retained log.
+	if ok, casc := c.Compact(map[int]bool{1: true}); !ok {
+		t.Fatalf("Compact after truncation reported cascade T%d", casc+1)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after compacting the only retained txn, want 0", c.Len())
+	}
+	if c.State().Has("y") || !c.State().Has("x") {
+		t.Fatalf("state %v after compaction: want x (truncated, immutable) and no y", c.State())
+	}
+}
+
+// TestTruncateRefusesUnsettledPrefix: an active below-checkpoint owner
+// blocks every candidate boundary.
+func TestTruncateRefusesUnsettledPrefix(t *testing.T) {
+	c := feedTwoTxns(t)
+	if n := c.Truncate(func(int) bool { return false }); n != 0 {
+		t.Fatalf("Truncate discarded %d events with nothing settled, want 0", n)
+	}
+	if c.Len() != 6 {
+		t.Fatalf("Len = %d, want 6 untouched", c.Len())
+	}
+}
+
+// TestTruncateRefusesStraddlers: a transaction with events on both sides
+// of a boundary blocks it even when settled, so an interleaved history
+// truncates only below the straddler's first event.
+func TestTruncateRefusesStraddlers(t *testing.T) {
+	sys := model.NewSystem(model.NewState(),
+		model.NewTxn("T1", model.LX("x"), model.UX("x")),
+		model.NewTxn("T2", model.LX("y"), model.UX("y")),
+		model.NewTxn("T3", model.LX("z"), model.UX("z")),
+	)
+	c := recovery.New(len(sys.Txns), sys.Init, policy.Unrestricted{}.NewMonitor(sys), 1)
+	for _, ev := range []model.Ev{
+		{T: 0, S: model.LX("x")}, // T1 straddles every boundary up to its unlock
+		{T: 1, S: model.LX("y")},
+		{T: 1, S: model.UX("y")},
+		{T: 2, S: model.LX("z")}, // T3 (never settled) opens before T1 ends
+		{T: 0, S: model.UX("x")},
+		{T: 2, S: model.UX("z")},
+	} {
+		if err := c.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// T1 and T2 are settled, T3 is not: the high boundaries are blocked
+	// by the unsettled T3, every lower one by a straddling T1 or T2 —
+	// even though both are settled, their events sit on both sides.
+	if n := c.Truncate(func(tn int) bool { return tn != 2 }); n != 0 {
+		t.Fatalf("Truncate discarded %d events across a straddler, want 0", n)
+	}
+}

@@ -1,0 +1,530 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"locksafe/internal/model"
+)
+
+// gsession is a cross-partition session of a PartitionedEngine: the
+// Sess implementation for transactions whose declared body has a global
+// footprint or spans partitions. Its methods mirror Session's exactly,
+// but every step runs through the cross-partition drain instead of one
+// partition's gate. Like Session, a gsession serves one client and its
+// owner-paced methods must not overlap; Cancel is safe concurrently.
+type gsession struct {
+	pe   *PartitionedEngine
+	g    int // global transaction id
+	tx   model.Txn
+	gen  int
+	pos  int
+	done bool
+
+	deadline atomic.Int64
+	busy     atomic.Bool
+	term     atomic.Pointer[error]
+	finished atomic.Bool
+}
+
+// TID returns the engine-wide transaction id.
+func (s *gsession) TID() int { return s.g }
+
+func (s *gsession) touch() {
+	if s.pe.lease > 0 {
+		s.deadline.Store(s.pe.now().Add(s.pe.lease).UnixNano())
+	}
+}
+
+func (s *gsession) begin() error {
+	if s.done {
+		if p := s.term.Load(); p != nil {
+			return *p
+		}
+		return ErrSessionDone
+	}
+	s.pe.lifecycle.RLock()
+	if s.pe.closed.Load() {
+		s.pe.lifecycle.RUnlock()
+		return ErrClosed
+	}
+	s.busy.Store(true)
+	s.touch()
+	return nil
+}
+
+func (s *gsession) end() {
+	s.touch()
+	s.busy.Store(false)
+	s.pe.lifecycle.RUnlock()
+}
+
+// release deregisters the session and returns its MPL slot, exactly
+// once.
+func (pe *PartitionedEngine) release(s *gsession) {
+	if s.finished.Swap(true) {
+		return
+	}
+	pe.mu.Lock()
+	delete(pe.sessions, s.g)
+	pe.mu.Unlock()
+	if pe.sem != nil {
+		<-pe.sem
+	}
+}
+
+// failure translates a torn-down attempt into the session error
+// vocabulary (Session.failure's logic against the global bookkeeping).
+func (s *gsession) failure() error {
+	gen, status, cause, fatal := s.pe.readGlobState(s.g)
+	s.gen, s.pos = gen, 0
+	if fatal != nil {
+		s.done = true
+		s.pe.release(s)
+		return fmt.Errorf("runtime: engine failed: %w", fatal)
+	}
+	if status == txActive {
+		if cause != nil {
+			return fmt.Errorf("%w (cause: %v)", ErrAborted, cause)
+		}
+		return ErrAborted
+	}
+	s.done = true
+	s.pe.release(s)
+	if p := s.term.Load(); p != nil {
+		return fmt.Errorf("%w (cause: %v)", *p, cause)
+	}
+	if cause != nil {
+		return fmt.Errorf("%w (last cause: %v)", ErrAbandoned, cause)
+	}
+	return ErrAbandoned
+}
+
+// Step executes the next declared step through the cross-partition
+// drain (Session.Step's contract).
+func (s *gsession) Step(st model.Step) error {
+	if err := s.begin(); err != nil {
+		return err
+	}
+	defer s.end()
+	if s.pos >= s.tx.Len() {
+		return fmt.Errorf("%w: all %d declared steps already executed", ErrStepMismatch, s.tx.Len())
+	}
+	if want := s.tx.Steps[s.pos]; st != want {
+		return fmt.Errorf("%w: got %s, declared step %d is %s", ErrStepMismatch, st, s.pos, want)
+	}
+	if gen, status, _, fatal := s.pe.readGlobState(s.g); fatal != nil || gen != s.gen || status != txActive {
+		return s.failure()
+	}
+	ok, _, _ := s.pe.crossStep(s.g, s.gen, st)
+	if !ok {
+		return s.failure()
+	}
+	s.pos++
+	return nil
+}
+
+// Commit finalizes the session (Session.Commit's contract).
+func (s *gsession) Commit() error {
+	if err := s.begin(); err != nil {
+		return err
+	}
+	defer s.end()
+	if s.pos != s.tx.Len() {
+		return fmt.Errorf("%w: %d of %d declared steps executed", ErrStepMismatch, s.pos, s.tx.Len())
+	}
+	committed, _, _ := s.pe.crossCommit(s.g, s.gen)
+	if !committed {
+		return s.failure()
+	}
+	s.done = true
+	s.pe.release(s)
+	return nil
+}
+
+// Run drives the declared body to commit engine-side (Session.Run's
+// contract).
+func (s *gsession) Run() error {
+	for k := 1; ; k++ {
+		err := s.runDeclared()
+		if err == nil || !errors.Is(err, ErrAborted) {
+			return err
+		}
+		if d := s.pe.backoff(k); d > 0 {
+			time.Sleep(d)
+		}
+	}
+}
+
+func (s *gsession) runDeclared() error {
+	for s.pos < s.tx.Len() {
+		if err := s.Step(s.tx.Steps[s.pos]); err != nil {
+			return err
+		}
+	}
+	return s.Commit()
+}
+
+// Abort closes the session at the client's request (Session.Abort's
+// contract).
+func (s *gsession) Abort() error {
+	if err := s.begin(); err != nil {
+		return err
+	}
+	defer s.end()
+	pe := s.pe
+	pe.drainAll()
+	fatal := pe.anyFatalDrained()
+	pe.gmu.Lock()
+	active := fatal == nil && pe.gstatus[s.g] == txActive
+	pe.gmu.Unlock()
+	if active {
+		pe.eraseAllDrained(map[int]bool{s.g: true})
+		pe.gmu.Lock()
+		pe.ggen[s.g]++
+		pe.gstatus[s.g] = txAbandoned
+		pe.gmet.GaveUp++
+		pe.gmu.Unlock()
+		pe.syncMirrorsDrained(s.g)
+	}
+	pe.undrainAll()
+	pe.mgr.ReleaseAll(s.g)
+	s.done = true
+	pe.release(s)
+	if fatal != nil {
+		return fmt.Errorf("runtime: engine failed: %w", fatal)
+	}
+	return nil
+}
+
+// Cancel terminates the session engine-side (Session.Cancel's
+// contract: safe concurrently with an in-flight owner call).
+func (s *gsession) Cancel() {
+	s.pe.forceAbortG(s, ErrCancelled, errors.New("session cancelled (connection closed)"), false)
+}
+
+// forceAbortG tears down an open cross-partition session engine-side
+// (reaper, shutdown, cancel) — forceAbort lifted to the
+// cross-partition drain.
+func (pe *PartitionedEngine) forceAbortG(s *gsession, term error, cause error, lease bool) bool {
+	pe.drainAll()
+	fatal := pe.anyFatalDrained()
+	pe.gmu.Lock()
+	dead := fatal != nil || s.finished.Load() || pe.gstatus[s.g] != txActive
+	pe.gmu.Unlock()
+	if dead {
+		pe.undrainAll()
+		return false
+	}
+	pe.eraseAllDrained(map[int]bool{s.g: true})
+	pe.gmu.Lock()
+	pe.ggen[s.g]++
+	pe.gcause[s.g] = cause
+	pe.gstatus[s.g] = txAbandoned
+	pe.gmet.GaveUp++
+	if lease {
+		pe.gmet.LeaseExpired++
+	}
+	pe.gmu.Unlock()
+	pe.syncMirrorsDrained(s.g)
+	// Publish the terminal sentinel before the teardown wakes anyone
+	// parked inside a lock acquisition.
+	s.term.Store(&term)
+	pe.undrainAll()
+	pe.mgr.ReleaseAll(s.g)
+	pe.release(s)
+	return true
+}
+
+// Reap aborts lease-expired sessions engine-wide: each partition reaps
+// its local sessions, the engine reaps its cross-partition ones.
+func (pe *PartitionedEngine) Reap() int {
+	n := 0
+	for _, part := range pe.parts {
+		n += part.Reap()
+	}
+	if pe.lease <= 0 {
+		return n
+	}
+	now := pe.now().UnixNano()
+	pe.mu.Lock()
+	var expired []*gsession
+	for _, s := range pe.sessions {
+		if d := s.deadline.Load(); d != 0 && d <= now && !s.busy.Load() {
+			expired = append(expired, s)
+		}
+	}
+	pe.mu.Unlock()
+	for _, s := range expired {
+		if pe.forceAbortG(s, ErrLeaseExpired, fmt.Errorf("lease of %v expired", pe.lease), true) {
+			n++
+		}
+	}
+	return n
+}
+
+func (pe *PartitionedEngine) reapLoop() {
+	defer close(pe.reapDone)
+	period := pe.lease / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-pe.reapStop:
+			return
+		case <-tick.C:
+			pe.Reap()
+		}
+	}
+}
+
+// OpenSessions returns the number of currently open sessions across all
+// partitions plus the cross-partition ones.
+func (pe *PartitionedEngine) OpenSessions() int {
+	n := 0
+	for _, part := range pe.parts {
+		n += part.OpenSessions()
+	}
+	pe.mu.Lock()
+	n += len(pe.sessions)
+	pe.mu.Unlock()
+	return n
+}
+
+// mergedDrained rebuilds the global execution order from the
+// per-partition logs: a k-way merge ascending by shared sequence tag,
+// with each event's partition-local owner translated back to its
+// engine-wide id and a global event's n replicas (equal tags) collapsed
+// to one. Per-partition logs are strictly tag-ascending by
+// construction, so the merge is linear. Cross-partition drain held (or
+// the engine single-threaded).
+func (pe *PartitionedEngine) mergedDrained() model.Schedule {
+	logs := make([]model.Schedule, pe.n)
+	tags := make([][]uint64, pe.n)
+	total := 0
+	for p, part := range pe.parts {
+		logs[p] = part.r.rec.Events()
+		tags[p] = part.r.rec.Tags()
+		total += len(logs[p])
+	}
+	idx := make([]int, pe.n)
+	out := make(model.Schedule, 0, total)
+	for {
+		best := -1
+		var bt uint64
+		for p := 0; p < pe.n; p++ {
+			if idx[p] < len(logs[p]) && (best == -1 || tags[p][idx[p]] < bt) {
+				best, bt = p, tags[p][idx[p]]
+			}
+		}
+		if best == -1 {
+			return out
+		}
+		ev := logs[best][idx[best]]
+		out = append(out, model.Ev{T: model.TID(pe.parts[best].r.mgr.owner(int(ev.T))), S: ev.S})
+		for p := 0; p < pe.n; p++ {
+			for idx[p] < len(logs[p]) && tags[p][idx[p]] == bt {
+				idx[p]++
+			}
+		}
+	}
+}
+
+// statsDrained merges the per-partition and global metrics
+// (cross-partition drain held). Events counts the merged log — each
+// global event once — plus truncated prefixes (per-replica when
+// TruncateLog is on; exact with it off).
+func (pe *PartitionedEngine) statsDrained() Metrics {
+	pe.gmu.Lock()
+	m := pe.gmet
+	pe.gmu.Unlock()
+	distinct := 0
+	{
+		// Count distinct tags without building the merged schedule.
+		tags := make([][]uint64, pe.n)
+		idx := make([]int, pe.n)
+		for p, part := range pe.parts {
+			tags[p] = part.r.rec.Tags()
+		}
+		for {
+			best := -1
+			var bt uint64
+			for p := 0; p < pe.n; p++ {
+				if idx[p] < len(tags[p]) && (best == -1 || tags[p][idx[p]] < bt) {
+					best, bt = p, tags[p][idx[p]]
+				}
+			}
+			if best == -1 {
+				break
+			}
+			distinct++
+			for p := 0; p < pe.n; p++ {
+				for idx[p] < len(tags[p]) && tags[p][idx[p]] == bt {
+					idx[p]++
+				}
+			}
+		}
+	}
+	m.Events = distinct
+	for _, part := range pe.parts {
+		pm := part.r.met
+		m.Commits += pm.Commits
+		m.GaveUp += pm.GaveUp
+		m.DeadlockAborts += pm.DeadlockAborts
+		m.PolicyAborts += pm.PolicyAborts
+		m.ImproperAborts += pm.ImproperAborts
+		m.CascadeAborts += pm.CascadeAborts
+		m.LeaseExpired += pm.LeaseExpired
+		st := part.r.rec.Stats()
+		m.Replayed += st.Replayed
+		m.Events += st.Truncated
+		m.Wait += time.Duration(part.r.waitNs.Load())
+	}
+	m.Wait += time.Duration(pe.waitNs.Load())
+	m.Elapsed = time.Since(pe.start)
+	return m
+}
+
+// Stats returns a consistent engine-wide metrics snapshot.
+func (pe *PartitionedEngine) Stats() Metrics {
+	pe.drainAll()
+	m := pe.statsDrained()
+	pe.undrainAll()
+	return m
+}
+
+// mergedStateDrained builds the engine-wide structural state: each
+// entity's existence is taken from its home partition, the
+// authoritative replica — other replicas may miss inserts and deletes
+// that were local to another partition (cross-partition drain held).
+func (pe *PartitionedEngine) mergedStateDrained() model.State {
+	out := model.NewState()
+	for p, part := range pe.parts {
+		for e := range part.r.rec.State() {
+			if model.PartitionOf(e, pe.n) == p {
+				out[e] = struct{}{}
+			}
+		}
+	}
+	return out
+}
+
+// sysSnapshotLocked returns a stable copy of the engine-wide system
+// (gmu held by the caller).
+func (pe *PartitionedEngine) sysSnapshotLocked() *model.System {
+	return &model.System{Init: pe.init, Txns: append([]model.Txn(nil), pe.fullSys.Txns...)}
+}
+
+// Inspect returns the diagnostic snapshot over the *merged* log: the
+// global execution order, the replicated structural state, the monitor
+// key of a full-system monitor replayed over the merged log (the
+// partitioned analogue of "the live monitor equals a replay of the
+// log"), and the merged log's serializability verdict. O(log); a
+// debugging and verification facility, as on Engine. With TruncateLog
+// the merged log is a suffix and the replayed monitor key is not
+// meaningful; it is reported as "(truncated)".
+func (pe *PartitionedEngine) Inspect() Inspection {
+	pe.drainAll()
+	merged := pe.mergedDrained()
+	pe.gmu.Lock()
+	sys := pe.sysSnapshotLocked()
+	pe.gmu.Unlock()
+	truncated := false
+	for _, part := range pe.parts {
+		if part.r.rec.Stats().Truncated > 0 {
+			truncated = true
+		}
+	}
+	key := "(truncated)"
+	if !truncated {
+		mon := pe.cfg.Policy.NewMonitor(sys)
+		key = ""
+		for _, ev := range merged {
+			if err := mon.Step(ev); err != nil {
+				key = fmt.Sprintf("(merged log does not replay: %v)", err)
+				break
+			}
+		}
+		if key == "" {
+			key = mon.Key()
+		}
+	}
+	ins := Inspection{
+		Log:          merged.String(),
+		State:        fmt.Sprintf("%v", pe.mergedStateDrained()),
+		MonitorKey:   key,
+		Serializable: merged.Serializable(sys),
+		Metrics:      pe.statsDrained(),
+	}
+	pe.undrainAll()
+	ins.OpenSessions = pe.OpenSessions()
+	return ins
+}
+
+// Close shuts the partitioned engine down: cross-partition sessions are
+// force-aborted and their re-runs waited out, each partition engine is
+// closed (force-aborting its local sessions and verifying its own log
+// — which contains the partition's locals plus every global event), and
+// the merged global schedule is verified serializable against the
+// engine-wide system. Returns the merged metrics and schedule.
+func (pe *PartitionedEngine) Close() (*Result, error) {
+	if pe.closed.Swap(true) {
+		return nil, ErrClosed
+	}
+	close(pe.closedCh)
+	if pe.reapStop != nil {
+		close(pe.reapStop)
+		<-pe.reapDone
+	}
+	// Two passes around the lifecycle write lock, as on Engine.Close:
+	// the first unwedges sessions parked inside lock acquisitions, the
+	// second (exclusive) closes the race window with Open.
+	pe.abortGlobalSessions()
+	pe.lifecycle.Lock()
+	defer pe.lifecycle.Unlock()
+	pe.abortGlobalSessions()
+	pe.wg.Wait()
+	for _, part := range pe.parts {
+		if _, err := part.Close(); err != nil && !errors.Is(err, ErrClosed) {
+			return nil, err
+		}
+	}
+	// Single-threaded from here: sessions are excluded, re-runs done,
+	// partitions closed.
+	pe.drainAll()
+	merged := pe.mergedDrained()
+	met := pe.statsDrained()
+	fatal := pe.anyFatalDrained()
+	pe.gmu.Lock()
+	sys := pe.sysSnapshotLocked()
+	pe.gmu.Unlock()
+	pe.undrainAll()
+	if fatal != nil {
+		return nil, fatal
+	}
+	if !merged.Serializable(sys) {
+		return nil, fmt.Errorf("runtime: merged committed schedule is NOT serializable under policy %q", pe.cfg.Policy.Name())
+	}
+	return &Result{Metrics: met, Schedule: merged}, nil
+}
+
+func (pe *PartitionedEngine) abortGlobalSessions() int {
+	pe.mu.Lock()
+	snap := make([]*gsession, 0, len(pe.sessions))
+	for _, s := range pe.sessions {
+		snap = append(snap, s)
+	}
+	pe.mu.Unlock()
+	n := 0
+	for _, s := range snap {
+		if pe.forceAbortG(s, ErrClosed, errors.New("engine shutting down"), false) {
+			n++
+		}
+	}
+	return n
+}

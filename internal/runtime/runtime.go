@@ -60,6 +60,16 @@
 // the engine itself from its declared body. DESIGN.md's "Service layer"
 // section gives the argument that this preserves the gate-equivalence
 // invariants; TestSessionGateEquivalence pins it end to end.
+//
+// With Config.Partitions > 1, NewSessionEngine returns a
+// PartitionedEngine instead: N entity-hash partitions, each a complete
+// engine (own striped gate, sequencer, recovery core), sharing only the
+// lock manager. Sessions whose declared bodies are partition-local run
+// entirely on their home partition; bodies spanning partitions and
+// global-footprint events go through a cross-partition drain that
+// quiesces every partition — see partition.go and DESIGN.md
+// ("Partitioned engines"). TestPartitionEquivalenceRandomTraces pins
+// 1-, 2- and 8-partition digests identical to the single engine's.
 package runtime
 
 import (
@@ -152,6 +162,22 @@ type Config struct {
 	// and calls Engine.Reap itself, which makes lease expiry fully
 	// deterministic.
 	Clock func() time.Time
+	// Partitions selects the entity-partitioned session engine
+	// (NewSessionEngine): the entity space is hashed into this many
+	// partitions, each a full Engine with its own gate, sequencer and
+	// recovery core; sessions whose declared body stays inside one
+	// partition run there with zero cross-partition coordination, and
+	// the rest go through the cross-partition drain. 0 or 1 means the
+	// plain single Engine. Batch Run and NewEngine ignore the field.
+	Partitions int
+	// TruncateLog lets the recovery core discard the event-log prefix
+	// below a retained checkpoint once every transaction with events in
+	// it has settled, bounding a long-lived engine's memory by the
+	// checkpoint span instead of the process lifetime. End-of-run
+	// verification (Close, Inspect) then covers the retained suffix
+	// only, and Result.Schedule is that suffix — so the equivalence
+	// tests and digest-comparing callers leave it off.
+	TruncateLog bool
 }
 
 func (c Config) withDefaults() Config {
@@ -191,6 +217,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointEvery < 1 {
 		c.CheckpointEvery = recovery.DefaultEvery
+	}
+	if c.Partitions < 1 {
+		c.Partitions = 1
 	}
 	return c
 }
@@ -252,10 +281,65 @@ const (
 // bounded neighborhood.
 const maxStripeBuf = 8
 
+// lockSpace is a runner's view of its lock manager. Standalone runners
+// (batch Run, a plain Engine) own their manager and address it by local
+// transaction index. The engines of a PartitionedEngine instead *share*
+// one manager — cross-partition deadlock cycles threading a global
+// transaction through two partitions' locals are only visible to a
+// detector that sees every edge — and translate their local transaction
+// indices to engine-wide owner ids through glob. The mapping is
+// append-only: registrations append under the partition's full gate
+// drain via a copy-on-write swap, and lock calls (which run before any
+// stripe is held) read it with an atomic load.
+type lockSpace struct {
+	m    *lockmgr.Manager
+	glob atomic.Pointer[[]int] // local txn index -> owner id; nil = identity
+}
+
+func newLockSpace(shards int) *lockSpace { return &lockSpace{m: lockmgr.NewSharded(shards)} }
+
+// sharedLockSpace wraps an existing manager in translation mode: owner
+// ids come from the glob mapping from the first registration on.
+func sharedLockSpace(m *lockmgr.Manager) *lockSpace {
+	ls := &lockSpace{m: m}
+	empty := []int{}
+	ls.glob.Store(&empty)
+	return ls
+}
+
+// register appends the owner id of the next local transaction index.
+// No-op in identity mode. Callers in translation mode hold the
+// partition's full drain, which serializes registrations.
+func (ls *lockSpace) register(owner int) {
+	p := ls.glob.Load()
+	if p == nil {
+		return
+	}
+	next := make([]int, len(*p)+1)
+	copy(next, *p)
+	next[len(*p)] = owner
+	ls.glob.Store(&next)
+}
+
+// owner translates a local transaction index to its lock-manager owner
+// id.
+func (ls *lockSpace) owner(t int) int {
+	if p := ls.glob.Load(); p != nil {
+		return (*p)[t]
+	}
+	return t
+}
+
+func (ls *lockSpace) Lock(t int, e model.Entity, mode model.Mode) error {
+	return ls.m.Lock(ls.owner(t), e, mode)
+}
+func (ls *lockSpace) Unlock(t int, e model.Entity) error { return ls.m.Unlock(ls.owner(t), e) }
+func (ls *lockSpace) ReleaseAll(t int)                   { ls.m.ReleaseAll(ls.owner(t)) }
+
 type runner struct {
 	sys  *model.System
 	cfg  Config
-	mgr  *lockmgr.Manager
+	mgr  *lockSpace
 	gate *gate
 	// fpMon is a dedicated monitor instance consulted only for
 	// Footprint, which is pure (static configuration + the event), so
@@ -277,6 +361,13 @@ type runner struct {
 	// core at drain points.
 	seqMu   sync.Mutex
 	pending []model.Ev
+	// pendTags carries pending's per-event tags in lockstep: global
+	// sequence numbers drawn from tagSrc at sequencing time, so the
+	// per-partition logs of a PartitionedEngine can be merged back into
+	// one global execution order. Standalone runners own their tagSrc
+	// and the tags are simply 0,1,2,…
+	pendTags []uint64
+	tagSrc   *atomic.Uint64
 	// drainReq asks the next admission to drain the gate and flush the
 	// sequencer (checkpoint pacing).
 	drainReq atomic.Bool
@@ -303,7 +394,20 @@ type runner struct {
 	// victim, policy veto, improper step, cascade, lease expiry), so a
 	// session client can be told what killed it.
 	abortCause []error
-	met        Metrics
+	// mirror marks rows registered on behalf of a cross-partition
+	// (global) transaction by a PartitionedEngine: their lifecycle is
+	// owned by the cross-partition drain, never by this runner's local
+	// paths. A local abort cascading onto a mirror row would mean a
+	// partition-local event invalidated a global one — impossible while
+	// classification is sound (local transactions own no structural
+	// events and no donations), so eraseDrained treats it as a fatal
+	// invariant breach rather than mutating one replica of a global
+	// transaction.
+	mirror []bool
+	met    Metrics
+	// truncMark paces log truncation (Config.TruncateLog): the next
+	// commit at or past this log length attempts a prefix truncation.
+	truncMark int
 	// fatal records an internal invariant breach (monitor Check/Step
 	// disagreement); the run stops admitting events and reports it.
 	fatal error
@@ -328,7 +432,7 @@ func Run(sys *model.System, cfg Config) (*Result, error) {
 	if r.fatal != nil {
 		return nil, r.fatal
 	}
-	r.met.Events = r.rec.Len()
+	r.met.Events = r.rec.Len() + r.rec.Stats().Truncated
 	r.met.Replayed = r.rec.Stats().Replayed
 	// Abandoned transactions' events were erased at their final abort, so
 	// the log is exactly the committed schedule.
@@ -340,11 +444,25 @@ func Run(sys *model.System, cfg Config) (*Result, error) {
 }
 
 func newRunner(sys *model.System, cfg Config) *runner {
+	return newRunnerShared(sys, cfg, nil)
+}
+
+// sharedParts is the wiring a PartitionedEngine injects into its
+// partition engines: one lock manager (cross-partition deadlock cycles
+// need a single detector), one global event-tag source (per-partition
+// logs merge by tag), and one MPL semaphore (a session occupies one
+// slot engine-wide, wherever it runs).
+type sharedParts struct {
+	mgr  *lockmgr.Manager
+	tags *atomic.Uint64
+	sem  chan struct{}
+}
+
+func newRunnerShared(sys *model.System, cfg Config, sh *sharedParts) *runner {
 	cfg = cfg.withDefaults()
 	r := &runner{
 		sys:        sys,
 		cfg:        cfg,
-		mgr:        lockmgr.NewSharded(cfg.Shards),
 		gate:       newGate(cfg.GateStripes),
 		fpMon:      cfg.Policy.NewMonitor(sys),
 		rec:        recovery.New(len(sys.Txns), sys.Init, cfg.Policy.NewMonitor(sys), cfg.CheckpointEvery),
@@ -352,12 +470,22 @@ func newRunner(sys *model.System, cfg Config) *runner {
 		gen:        make([]int, len(sys.Txns)),
 		attempts:   make([]int, len(sys.Txns)),
 		abortCause: make([]error, len(sys.Txns)),
+		mirror:     make([]bool, len(sys.Txns)),
+		truncMark:  4 * cfg.CheckpointEvery,
+	}
+	if sh != nil {
+		r.mgr = sharedLockSpace(sh.mgr)
+		r.tagSrc = sh.tags
+		r.sem = sh.sem
+	} else {
+		r.mgr = newLockSpace(cfg.Shards)
+		r.tagSrc = new(atomic.Uint64)
+		if cfg.MPL > 0 {
+			r.sem = make(chan struct{}, cfg.MPL)
+		}
 	}
 	if cfg.FullReplayRecovery {
 		r.rec.SetFullReplay(true)
-	}
-	if cfg.MPL > 0 {
-		r.sem = make(chan struct{}, cfg.MPL)
 	}
 	r.brand = cfg.BackoffRand
 	if r.brand == nil {
@@ -543,6 +671,7 @@ func (r *runner) admitFast(set []int, t, gen int, ev model.Ev) (fastOutcome, err
 func (r *runner) sequence(ev model.Ev) {
 	r.seqMu.Lock()
 	r.pending = append(r.pending, ev)
+	r.pendTags = append(r.pendTags, r.tagSrc.Add(1)-1)
 	if len(r.pending) >= r.cfg.CheckpointEvery {
 		r.drainReq.Store(true)
 	}
@@ -555,8 +684,9 @@ func (r *runner) sequence(ev model.Ev) {
 func (r *runner) flushPending() {
 	r.seqMu.Lock()
 	if len(r.pending) > 0 {
-		r.rec.AppendApplied(r.pending...)
+		r.rec.AppendAppliedTagged(r.pending, r.pendTags)
 		r.pending = r.pending[:0]
+		r.pendTags = r.pendTags[:0]
 	}
 	r.drainReq.Store(false)
 	r.seqMu.Unlock()
@@ -641,8 +771,27 @@ func (r *runner) commit(t, gen int) (committed, again bool, delay time.Duration)
 	// draining — after the drain ends a cascade may un-commit and
 	// re-spawn t, and a stray teardown would tear the new attempt down.
 	r.mgr.ReleaseAll(t)
+	if r.cfg.TruncateLog {
+		r.maybeTruncateDrained()
+	}
 	r.gate.undrain()
 	return true, false, 0
+}
+
+// maybeTruncateDrained attempts a log-prefix truncation (see
+// recovery.Core.Truncate) when the log has grown several checkpoint
+// spans since the last attempt. A transaction is settled once it is no
+// longer active: abandoned rows own no events, and committed rows
+// entirely below the truncation point can never become cascade victims
+// (compaction only re-examines retained events, whose owners are
+// separated from the truncated prefix by Truncate's rule). Called with
+// a full drain held, sequencer flushed.
+func (r *runner) maybeTruncateDrained() {
+	if r.rec.Len() < r.truncMark {
+		return
+	}
+	r.rec.Truncate(func(t int) bool { return r.status[t] != txActive })
+	r.truncMark = r.rec.Len() + 4*r.cfg.CheckpointEvery
 }
 
 type retryOut struct {
@@ -699,7 +848,7 @@ func (r *runner) bailSlow(t int, err error) (bool, time.Duration) {
 // full drain held after a successful Check; reports false (recording a
 // fatal error) if the monitor reneges on its Check.
 func (r *runner) commitEventDrained(ev model.Ev) bool {
-	if err := r.rec.Append(ev); err != nil {
+	if err := r.rec.AppendTagged(ev, r.tagSrc.Add(1)-1); err != nil {
 		r.fatal = fmt.Errorf("runtime: monitor accepted Check but rejected Step: %w", err)
 		return false
 	}
@@ -752,27 +901,46 @@ func (r *runner) eraseDrained(victims map[int]bool) {
 			r.fatal = fmt.Errorf("runtime: abort cascade cannot converge on T%d", cascade+1)
 			return
 		}
+		if r.mirror[cascade] {
+			// A partition-local abort cascaded onto a cross-partition
+			// transaction's mirror row: local events can never invalidate
+			// global ones (see the mirror field), so this is an invariant
+			// breach — mutating one replica here would diverge the
+			// partitions.
+			r.fatal = fmt.Errorf("runtime: local abort cascade reached cross-partition transaction T%d", cascade+1)
+			return
+		}
 		victims[cascade] = true
-		r.met.CascadeAborts++
-		r.abortCause[cascade] = fmt.Errorf("cascade victim: a surviving event of T%d no longer replays after the abort", cascade+1)
-		respawn := false
-		if r.status[cascade] == txCommitted {
-			// The cascade reached an already-committed transaction (e.g.
-			// a wake member whose altruistic donor aborts after the
-			// member finished). Un-commit and re-run it, as the engine
-			// does.
-			r.status[cascade] = txActive
-			r.met.Commits--
-			respawn = true
-		}
-		r.chargeDrained(cascade)
-		// Tear down the victim's locks and wake it if parked
-		// (ErrCancelled); a running victim notices its stale generation
-		// at its next gate entry.
-		r.mgr.ReleaseAll(cascade)
-		if respawn && r.status[cascade] == txActive {
-			r.wg.Add(1)
-			go r.runTxn(cascade)
-		}
+		r.cascadeVictimDrained(cascade)
+	}
+}
+
+// cascadeVictimDrained performs the bookkeeping teardown of one local
+// cascade victim: charge the retry, un-commit and re-spawn if it had
+// already finished, release its locks (waking it with a cancellation if
+// parked). Called with a full drain held — by eraseDrained's loop and
+// by the partitioned engine's cross-partition compaction when a local
+// transaction falls victim to a global abort.
+func (r *runner) cascadeVictimDrained(cascade int) {
+	r.met.CascadeAborts++
+	r.abortCause[cascade] = fmt.Errorf("cascade victim: a surviving event of T%d no longer replays after the abort", cascade+1)
+	respawn := false
+	if r.status[cascade] == txCommitted {
+		// The cascade reached an already-committed transaction (e.g.
+		// a wake member whose altruistic donor aborts after the
+		// member finished). Un-commit and re-run it, as the engine
+		// does.
+		r.status[cascade] = txActive
+		r.met.Commits--
+		respawn = true
+	}
+	r.chargeDrained(cascade)
+	// Tear down the victim's locks and wake it if parked
+	// (ErrCancelled); a running victim notices its stale generation
+	// at its next gate entry.
+	r.mgr.ReleaseAll(cascade)
+	if respawn && r.status[cascade] == txActive {
+		r.wg.Add(1)
+		go r.runTxn(cascade)
 	}
 }

@@ -90,8 +90,15 @@ type Engine struct {
 // Config; MPL bounds concurrently open sessions (Open blocks until a
 // slot frees), and Lease/Clock control session leases.
 func NewEngine(init model.State, cfg Config) *Engine {
+	return newEngineShared(init, cfg, nil)
+}
+
+// newEngineShared is NewEngine with the partitioned engine's shared
+// wiring (lock manager, tag source, MPL semaphore) injected; sh == nil
+// means standalone.
+func newEngineShared(init model.State, cfg Config, sh *sharedParts) *Engine {
 	e := &Engine{
-		r:        newRunner(model.NewSystem(init.Clone()), cfg),
+		r:        newRunnerShared(model.NewSystem(init.Clone()), cfg, sh),
 		start:    time.Now(),
 		now:      cfg.Clock,
 		lease:    cfg.Lease,
@@ -140,12 +147,28 @@ type Session struct {
 // runtime's internal-invariant failures. With Config.MPL set, Open
 // blocks until a session slot is free.
 func (e *Engine) Open(tx model.Txn) (*Session, error) {
-	if err := tx.WellFormed(); err != nil {
+	if err := checkDeclared(tx); err != nil {
 		return nil, err
 	}
-	if !tx.LocksAtMostOnce() {
-		return nil, fmt.Errorf("runtime: declared transaction %q locks an entity more than once", tx.Name)
+	return e.open(tx, -1)
+}
+
+// checkDeclared validates a declared transaction body at the API edge.
+func checkDeclared(tx model.Txn) error {
+	if err := tx.WellFormed(); err != nil {
+		return err
 	}
+	if !tx.LocksAtMostOnce() {
+		return fmt.Errorf("runtime: declared transaction %q locks an entity more than once", tx.Name)
+	}
+	return nil
+}
+
+// open is Open after body validation. owner >= 0 is the engine-wide
+// lock-manager owner id a PartitionedEngine assigns to a session it
+// routes here (the engine's lockSpace is in translation mode); owner < 0
+// means standalone (identity) ownership.
+func (e *Engine) open(tx model.Txn, owner int) (*Session, error) {
 	r := e.r
 	if r.sem != nil {
 		select {
@@ -173,13 +196,7 @@ func (e *Engine) Open(tx model.Txn) (*Session, error) {
 		}
 		return nil, fmt.Errorf("runtime: engine failed: %w", err)
 	}
-	t := int(r.sys.Add(tx))
-	r.rec.Grow(len(r.sys.Txns))
-	r.fpMon.Grow()
-	r.status = append(r.status, txActive)
-	r.gen = append(r.gen, 0)
-	r.attempts = append(r.attempts, 0)
-	r.abortCause = append(r.abortCause, nil)
+	t := r.addTxnDrained(tx, owner, false)
 	r.gate.undrain()
 
 	s := &Session{e: e, t: t, tx: tx}
@@ -238,6 +255,25 @@ func (e *Engine) release(s *Session) {
 	if e.r.sem != nil {
 		<-e.r.sem
 	}
+}
+
+// addTxnDrained appends one transaction row to the runner: the system,
+// the recovery core, the footprint monitor and every per-transaction
+// bookkeeping slice grow in lockstep, and the lock-owner mapping learns
+// the row's engine-wide owner id (no-op for standalone engines). mirror
+// marks a row registered on behalf of a cross-partition transaction.
+// Called with a full drain held, sequencer flushed.
+func (r *runner) addTxnDrained(tx model.Txn, owner int, mirror bool) int {
+	t := int(r.sys.Add(tx))
+	r.rec.Grow(len(r.sys.Txns))
+	r.fpMon.Grow()
+	r.status = append(r.status, txActive)
+	r.gen = append(r.gen, 0)
+	r.attempts = append(r.attempts, 0)
+	r.abortCause = append(r.abortCause, nil)
+	r.mirror = append(r.mirror, mirror)
+	r.mgr.register(owner)
+	return t
 }
 
 // readTxnState snapshots t's generation, status, abort cause and the
@@ -518,7 +554,7 @@ func (e *Engine) Stats() Metrics {
 	r.gate.drain()
 	r.flushPending()
 	m := r.met
-	m.Events = r.rec.Len()
+	m.Events = r.rec.Len() + r.rec.Stats().Truncated
 	m.Replayed = r.rec.Stats().Replayed
 	r.gate.undrain()
 	m.Wait = time.Duration(r.waitNs.Load())
@@ -554,7 +590,7 @@ func (e *Engine) Inspect() Inspection {
 		Serializable: r.rec.Events().Serializable(r.sys),
 	}
 	m := r.met
-	m.Events = r.rec.Len()
+	m.Events = r.rec.Len() + r.rec.Stats().Truncated
 	m.Replayed = r.rec.Stats().Replayed
 	ins.Metrics = m
 	r.gate.undrain()
@@ -599,7 +635,7 @@ func (e *Engine) Close() (*Result, error) {
 	r.flushPending()
 	r.met.Elapsed = time.Since(e.start)
 	r.met.Wait = time.Duration(r.waitNs.Load())
-	r.met.Events = r.rec.Len()
+	r.met.Events = r.rec.Len() + r.rec.Stats().Truncated
 	r.met.Replayed = r.rec.Stats().Replayed
 	met := r.met
 	fatal := r.fatal

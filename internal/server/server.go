@@ -51,8 +51,11 @@ const sessionQueue = 128
 const teardownFlush = 2 * time.Second
 
 // Server is one lockd instance: an engine plus its listener plumbing.
+// The engine may be a single runtime.Engine or a partitioned group of
+// them (runtime.Config.Partitions > 1); the wire protocol is identical
+// either way — partitioning is invisible to clients.
 type Server struct {
-	eng    *runtime.Engine
+	eng    runtime.SessionEngine
 	policy string
 
 	mu       sync.Mutex
@@ -71,7 +74,7 @@ func New(init model.State, cfg runtime.Config) *Server {
 		name = cfg.Policy.Name()
 	}
 	return &Server{
-		eng:    runtime.NewEngine(init, cfg),
+		eng:    runtime.NewSessionEngine(init, cfg),
 		policy: name,
 		conns:  make(map[*conn]struct{}),
 	}
@@ -79,7 +82,7 @@ func New(init model.State, cfg runtime.Config) *Server {
 
 // Engine exposes the underlying engine (tests and embedders; the
 // lockbench in-process loopback uses it for final verification).
-func (s *Server) Engine() *runtime.Engine { return s.eng }
+func (s *Server) Engine() runtime.SessionEngine { return s.eng }
 
 // Serve accepts connections on ln until Shutdown closes it. It returns
 // nil after a Shutdown-initiated stop, or the accept error otherwise.
@@ -109,7 +112,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			wake:     make(chan struct{}, 1),
 			wdone:    make(chan struct{}),
 			sessions: make(map[uint64]*sessWorker),
-			runs:     make(map[*runtime.Session]struct{}),
+			runs:     make(map[runtime.Sess]struct{}),
 		}
 		s.mu.Lock()
 		if s.draining {
@@ -175,7 +178,7 @@ type conn struct {
 
 	smu      sync.Mutex
 	sessions map[uint64]*sessWorker
-	runs     map[*runtime.Session]struct{} // stored-procedure sessions in flight
+	runs     map[runtime.Sess]struct{} // stored-procedure sessions in flight
 	nextSID  uint64
 	closing  bool
 
@@ -189,7 +192,7 @@ type conn struct {
 // long-lived connection can open millions of sessions without
 // accumulating workers.
 type sessWorker struct {
-	sess *runtime.Session
+	sess runtime.Sess
 
 	mu       sync.Mutex
 	queue    []wire.Request
@@ -323,7 +326,7 @@ func (c *conn) open(req wire.Request) {
 		c.send(wire.Response{ID: req.ID, Code: wire.CodeBadReq, Err: err.Error()})
 		return
 	}
-	sess, err := c.srv.eng.Open(model.Txn{Name: req.Name, Steps: steps})
+	sess, err := c.srv.eng.OpenSession(model.Txn{Name: req.Name, Steps: steps})
 	if err != nil {
 		code := wire.CodeMalformed
 		if errors.Is(err, runtime.ErrClosed) {
@@ -360,7 +363,7 @@ func (c *conn) runProc(req wire.Request) {
 		c.send(wire.Response{ID: req.ID, Code: wire.CodeBadReq, Err: err.Error()})
 		return
 	}
-	sess, err := c.srv.eng.Open(model.Txn{Name: req.Name, Steps: steps})
+	sess, err := c.srv.eng.OpenSession(model.Txn{Name: req.Name, Steps: steps})
 	if err != nil {
 		code := wire.CodeMalformed
 		if errors.Is(err, runtime.ErrClosed) {
@@ -528,7 +531,7 @@ func (c *conn) teardown() {
 		workers = append(workers, w)
 	}
 	c.sessions = make(map[uint64]*sessWorker)
-	runs := make([]*runtime.Session, 0, len(c.runs))
+	runs := make([]runtime.Sess, 0, len(c.runs))
 	for sess := range c.runs {
 		runs = append(runs, sess)
 	}
@@ -601,12 +604,12 @@ func statsOf(m runtime.Metrics, open int) wire.Stats {
 	}
 }
 
-func statsResponse(id uint64, eng *runtime.Engine) wire.Response {
+func statsResponse(id uint64, eng runtime.SessionEngine) wire.Response {
 	st := statsOf(eng.Stats(), eng.OpenSessions())
 	return wire.Response{ID: id, OK: true, Stats: &st}
 }
 
-func inspectResponse(id uint64, eng *runtime.Engine) wire.Response {
+func inspectResponse(id uint64, eng runtime.SessionEngine) wire.Response {
 	ins := eng.Inspect()
 	return wire.Response{ID: id, OK: true, Inspect: &wire.Inspect{
 		Log:          ins.Log,

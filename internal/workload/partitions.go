@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"locksafe/internal/model"
+)
+
+// This file is the partitioned-engine workload support for the E17
+// partition-scaling experiment: per-client two-phase bodies that are
+// provably partition-local or provably cross-partition under the
+// engine's entity hash (model.PartitionOf), in a tunable mix. Entities
+// are private per client, so the only shared resource between clients
+// is the engines' machinery itself — admission gates, sequencers and
+// the cross-partition drain — which is exactly what E17 measures.
+
+// PartitionPools returns, for one client, one private entity pool per
+// partition: pools[p] holds perPool entities owned by client (named
+// with its id) that model.PartitionOf homes in partition p.
+func PartitionPools(client, perPool, partitions int) [][]model.Entity {
+	pools := make([][]model.Entity, partitions)
+	filled := 0
+	for j := 0; filled < partitions; j++ {
+		e := model.Entity(fmt.Sprintf("c%d_%d", client, j))
+		p := model.PartitionOf(e, partitions)
+		if len(pools[p]) < perPool {
+			pools[p] = append(pools[p], e)
+			if len(pools[p]) == perPool {
+				filled++
+			}
+		}
+	}
+	return pools
+}
+
+// PartitionBodies builds each client's transaction sequence for one E17
+// cell: rounds transactions per client, each either partition-local
+// (a strict two-phase body over perTxn private entities homed in a
+// single partition, chosen round-robin per client so load spreads) or
+// cross-partition (perTxn entities split evenly across two distinct
+// partitions — routed through the cross-partition drain), chosen with
+// probability pCross. It also returns the entity universe for the
+// engine's initial state. With partitions == 1 every body is local by
+// construction and pCross is ignored.
+func PartitionBodies(rng *rand.Rand, clients, perTxn, rounds, partitions int, pCross float64) ([][]model.Txn, []model.Entity) {
+	if partitions < 1 {
+		partitions = 1
+	}
+	bodies := make([][]model.Txn, clients)
+	var universe []model.Entity
+	for i := 0; i < clients; i++ {
+		pools := PartitionPools(i, perTxn, partitions)
+		for _, pool := range pools {
+			universe = append(universe, pool...)
+		}
+		for r := 0; r < rounds; r++ {
+			var ents []model.Entity
+			var name string
+			if partitions > 1 && rng.Float64() < pCross {
+				p1 := rng.Intn(partitions)
+				p2 := (p1 + 1 + rng.Intn(partitions-1)) % partitions
+				if p2 < p1 {
+					p1, p2 = p2, p1
+				}
+				ents = append(ents, pools[p1][:perTxn/2]...)
+				ents = append(ents, pools[p2][:perTxn-perTxn/2]...)
+				name = fmt.Sprintf("C%d_x", i+1)
+			} else {
+				ents = pools[(i+r)%partitions]
+				name = fmt.Sprintf("C%d_l", i+1)
+			}
+			bodies[i] = append(bodies[i], model.Txn{Name: name, Steps: TwoPhaseSteps(ents)})
+		}
+	}
+	return bodies, universe
+}
