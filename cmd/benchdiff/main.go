@@ -69,6 +69,10 @@ func keyOf(row map[string]any) string {
 		"commits_per_sec": true, "Throughput": true, "OpsPerSec": true,
 		"commits": true, "Commits": true, "aborts": true, "Aborts": true,
 		"AvgWaitUs": true, "Replayed": true, "Checkpoints": true, "Events": true,
+		// E18 chaos counters: which connections die and which outcomes
+		// land unknown depends on fault/TCP timing, so these are measured
+		// noise, not grid identity.
+		"confirmed": true, "unknown": true, "aborted": true, "killed": true,
 	}
 	keys := make([]string, 0, len(row))
 	for k := range row {

@@ -20,16 +20,21 @@
 //	      transport mode of -mode (step, pipeline, run)
 //	E17 — partitioned engines: commits/s vs -partitions x -clients on
 //	      partition-local-heavy and cross-partition-heavy body mixes
+//	E18 — chaos corpus: every -scenario of the workload corpus x policy
+//	      x partitions, over TCP through the internal/chaos fault proxy
+//	      (kill/delay/stall; -chaos=false for the fault-free control),
+//	      asserting the serializability verdict and commit accounting
 //
 // Usage:
 //
 //	lockbench [-seed N] [-systems N] [-per-policy N] [-shards 1,4,16]
 //	          [-goroutines 1,4,8] [-stripes 4,16] [-clients 4,16]
 //	          [-partitions 1,2,4,8] [-net HOST:PORT]
-//	          [-mode step,pipeline,run] [-bench-json DIR]
-//	          [-e14-sizes 1000,2000,4000,8000] [e6|e7|...|e17]...
+//	          [-mode step,pipeline,run] [-scenario all] [-chaos]
+//	          [-bench-json DIR]
+//	          [-e14-sizes 1000,2000,4000,8000] [e6|e7|...|e18]...
 //
-// With -bench-json DIR, each measured experiment among E13–E17
+// With -bench-json DIR, each measured experiment among E13–E18
 // additionally writes DIR/BENCH_<EXP>.json — the machine-readable rows
 // plus environment metadata (Go version, cores, GOMAXPROCS, best-of
 // policy) for regression diffing across commits; .github/workflows
@@ -50,6 +55,7 @@ import (
 	"strings"
 
 	"locksafe/internal/experiments"
+	"locksafe/internal/workload"
 )
 
 // intList parses a comma-separated list of positive ints.
@@ -77,7 +83,9 @@ func main() {
 	partitions := flag.String("partitions", "1,2,4,8", "partition counts for E17 (comma-separated)")
 	netAddr := flag.String("net", "", "E16 network mode: address of a running lockd (empty = in-memory loopback server per cell)")
 	mode := flag.String("mode", "step,pipeline,run", "E16 transport modes to measure (comma-separated: step, pipeline, run)")
-	benchJSON := flag.String("bench-json", "", "directory to write machine-readable bench artifacts into (E13-E17 write BENCH_<EXP>.json)")
+	scenario := flag.String("scenario", "all", "E18 scenario names from the workload corpus (comma-separated, or \"all\")")
+	chaosOn := flag.Bool("chaos", true, "E18: inject kill/delay/stall faults (false = fault-free control through a transparent proxy)")
+	benchJSON := flag.String("bench-json", "", "directory to write machine-readable bench artifacts into (E13-E18 write BENCH_<EXP>.json)")
 	flag.Parse()
 
 	shardCounts, err := intList("shards", *shards)
@@ -118,6 +126,18 @@ func main() {
 			os.Exit(2)
 		}
 		modes = append(modes, m)
+	}
+	var scenarios []string // nil = the whole corpus
+	if s := strings.TrimSpace(*scenario); s != "" && s != "all" {
+		for _, name := range strings.Split(s, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := workload.ScenarioByName(name); !ok {
+				fmt.Fprintf(os.Stderr, "lockbench: -scenario %q is not in the corpus (want a subset of %s, or \"all\")\n",
+					name, strings.Join(workload.ScenarioNames(), ","))
+				os.Exit(2)
+			}
+			scenarios = append(scenarios, name)
+		}
 	}
 
 	// writeBench writes one machine-readable artifact when -bench-json
@@ -170,8 +190,16 @@ func main() {
 			writeBench("E17", experiments.E17Reps, rows)
 			return r
 		},
+		"e18": func() experiments.Report {
+			// The chaos grid fixes its own partition axis ({1,4}) rather
+			// than borrowing -partitions: the cell count is scenarios x
+			// policies x partitions and chaos cells are wall-clock heavy.
+			rows, r := experiments.E18ChaosCorpus(*seed, scenarios, nil, *chaosOn, workload.ScenarioConfig{})
+			writeBench("E18", 1, rows)
+			return r
+		},
 	}
-	order := []string{"e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17"}
+	order := []string{"e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18"}
 
 	want := flag.Args()
 	if len(want) == 0 {
@@ -181,7 +209,7 @@ func main() {
 	for _, name := range want {
 		f, ok := runs[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "lockbench: unknown experiment %q (want e6..e17)\n", name)
+			fmt.Fprintf(os.Stderr, "lockbench: unknown experiment %q (want e6..e18)\n", name)
 			os.Exit(2)
 		}
 		r := f()

@@ -1,0 +1,394 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"locksafe/internal/model"
+	"locksafe/internal/policy"
+	"locksafe/internal/runtime"
+	"locksafe/internal/workload"
+)
+
+// echoServer accepts connections and echoes bytes back until EOF.
+func echoServer(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close(); wg.Wait() }
+}
+
+// byteSink accepts one connection, reads it to EOF and sends the total
+// byte count on the returned channel.
+func byteSink(t *testing.T) (addr string, total <-chan int, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ch := make(chan int, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		n, _ := io.Copy(io.Discard, c)
+		ch <- int(n)
+	}()
+	return ln.Addr().String(), ch, func() { ln.Close() }
+}
+
+// TestProxyTransparentRelay pins the zero-value Plan: a full round trip
+// through the proxy is byte-identical and nothing is counted killed.
+func TestProxyTransparentRelay(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := NewProxy(addr, nil)
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer p.Close()
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	msg := []byte("hello through the relay, twice the hops, same bytes")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo mismatch: %q", got)
+	}
+	if p.Killed() != 0 {
+		t.Fatalf("clean relay counted %d kills", p.Killed())
+	}
+}
+
+// TestProxyKillExactByte pins byte-granular truncation: with
+// KillAfter=k the server receives exactly k bytes — the cut lands
+// mid-message — and the client's connection dies.
+func TestProxyKillExactByte(t *testing.T) {
+	addr, total, stop := byteSink(t)
+	defer stop()
+	const kill = 10
+	p, err := NewProxy(addr, func(i int) Plan { return Plan{KillAfter: kill} })
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer p.Close()
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	c.Write(make([]byte, 64)) // single frame, cut mid-way
+	select {
+	case n := <-total:
+		if n != kill {
+			t.Fatalf("server received %d bytes, want exactly %d", n, kill)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sink never saw EOF: connection was not killed")
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("client read succeeded on a killed connection")
+	}
+	if p.Killed() != 1 {
+		t.Fatalf("Killed() = %d, want 1", p.Killed())
+	}
+}
+
+// TestProxyDelay pins the delay fault: DelayEvery-byte boundaries each
+// cost Delay, so a 16-byte message over DelayEvery=4 pays at least
+// three delays before the echo completes.
+func TestProxyDelay(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	const delay = 20 * time.Millisecond
+	p, err := NewProxy(addr, func(i int) Plan { return Plan{DelayEvery: 4, Delay: delay} })
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer p.Close()
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if _, err := c.Write(make([]byte, 16)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := io.ReadFull(c, make([]byte, 16)); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*delay {
+		t.Fatalf("16 bytes over DelayEvery=4 took %v, want >= %v", elapsed, 2*delay)
+	}
+}
+
+// TestProxyStall pins the one-shot stall: the relay pauses at the
+// StallAfter'th byte, once, and then flows normally again.
+func TestProxyStall(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	const stall = 120 * time.Millisecond
+	p, err := NewProxy(addr, func(i int) Plan { return Plan{StallAfter: 8, Stall: stall} })
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer p.Close()
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if _, err := c.Write(make([]byte, 16)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := io.ReadFull(c, make([]byte, 16)); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < stall {
+		t.Fatalf("crossing the stall boundary took %v, want >= %v", elapsed, stall)
+	}
+	// Past the stall the relay is transparent again: a second message
+	// must not pay the stall a second time.
+	start = time.Now()
+	c.Write(make([]byte, 16))
+	if _, err := io.ReadFull(c, make([]byte, 16)); err != nil {
+		t.Fatalf("post-stall read: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed >= stall {
+		t.Fatalf("stall fired twice: second message took %v", elapsed)
+	}
+}
+
+// TestProxyKillAll pins the bulk kill: every live connection is cut,
+// blocked reads unblock with an error, and the count is reported.
+func TestProxyKillAll(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := NewProxy(addr, nil)
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer p.Close()
+	conns := make([]net.Conn, 2)
+	for i := range conns {
+		c, err := net.Dial("tcp", p.Addr())
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		defer c.Close()
+		// Round-trip once so the proxy has registered the pair.
+		if _, err := c.Write([]byte("x")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if _, err := io.ReadFull(c, make([]byte, 1)); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		conns[i] = c
+	}
+	if n := p.KillAll(); n != 2 {
+		t.Fatalf("KillAll() = %d, want 2", n)
+	}
+	for i, c := range conns {
+		c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := c.Read(make([]byte, 1)); err == nil {
+			t.Fatalf("conn %d still alive after KillAll", i)
+		}
+	}
+	if p.Killed() != 2 {
+		t.Fatalf("Killed() = %d, want 2", p.Killed())
+	}
+	// The proxy still accepts — redials after a kill storm must get
+	// through, or recovery could never be tested.
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("redial: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("y")); err != nil {
+		t.Fatalf("redial write: %v", err)
+	}
+	if _, err := io.ReadFull(c, make([]byte, 1)); err != nil {
+		t.Fatalf("redial read: %v", err)
+	}
+}
+
+// TestPlanSummary pins Faulty and String, which E18's report tables
+// lean on.
+func TestPlanSummary(t *testing.T) {
+	cases := []struct {
+		plan   Plan
+		faulty bool
+		str    string
+	}{
+		{Plan{}, false, "clean"},
+		{Plan{KillAfter: 100}, true, "kill"},
+		{Plan{DelayEvery: 64, Delay: time.Millisecond}, true, "delay"},
+		{Plan{DelayEvery: 64}, false, "clean"},
+		{Plan{StallAfter: 9, Stall: time.Second}, true, "stall"},
+		{Plan{KillAfter: 1, DelayEvery: 2, Delay: 1, StallAfter: 3, Stall: 1}, true, "kill+delay+stall"},
+	}
+	for _, tc := range cases {
+		if got := tc.plan.Faulty(); got != tc.faulty {
+			t.Errorf("%+v: Faulty() = %v", tc.plan, got)
+		}
+		if got := tc.plan.String(); got != tc.str {
+			t.Errorf("%+v: String() = %q, want %q", tc.plan, got, tc.str)
+		}
+	}
+}
+
+// TestSessionPlan pins the in-process fate schedule: every CancelEvery'th
+// opened session is fated, Arm only arms the fated ones, and an armed
+// cancel fires.
+func TestSessionPlan(t *testing.T) {
+	p := SessionPlan{CancelEvery: 3, CancelDelay: time.Millisecond}
+	want := []bool{false, false, true, false, false, true}
+	for i, w := range want {
+		if got := p.ShouldCancel(i); got != w {
+			t.Errorf("ShouldCancel(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if (SessionPlan{}).ShouldCancel(0) {
+		t.Error("zero plan fated a session")
+	}
+	if tm := p.Arm(0, func() {}); tm != nil {
+		tm.Stop()
+		t.Error("Arm armed an unfated session")
+	}
+	fired := make(chan struct{})
+	tm := p.Arm(2, func() { close(fired) })
+	if tm == nil {
+		t.Fatal("Arm returned nil for a fated session")
+	}
+	defer tm.Stop()
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("armed cancel never fired")
+	}
+}
+
+// TestScenarioEngineChaos drives every corpus scenario straight into the
+// session engine — partitioned and not — under the in-process fault
+// plan: a third of the sessions are fated to be cancelled mid-run,
+// stalled sessions are parked and cancelled late, and the engine must
+// still close cleanly (the committed schedule verifies serializable)
+// with its commit counter agreeing exactly with the client-side count.
+func TestScenarioEngineChaos(t *testing.T) {
+	cfg := workload.ScenarioConfig{Clients: 3, Rounds: 3, Idle: 8}
+	plan := SessionPlan{CancelEvery: 3, CancelDelay: 2 * time.Millisecond}
+	for _, sc := range workload.Scenarios() {
+		for _, parts := range []int{1, 2} {
+			sc, parts := sc, parts
+			t.Run(fmt.Sprintf("%s/p%d", sc.Name, parts), func(t *testing.T) {
+				t.Parallel()
+				run := sc.Gen(rand.New(rand.NewSource(11)), cfg)
+				if err := sc.Check(cfg, run); err != nil {
+					t.Fatalf("invariants: %v", err)
+				}
+				eng := runtime.NewSessionEngine(model.NewState(run.Universe...), runtime.Config{
+					Policy:     policy.TwoPhase{},
+					Shards:     4,
+					Partitions: parts,
+					MaxRetries: 2000,
+					Backoff:    50 * time.Microsecond,
+					Lease:      sc.Lease,
+				})
+				var confirmed, aborted, opened atomic.Int64
+				var mu sync.Mutex
+				var parked []runtime.Sess
+				var wg sync.WaitGroup
+				for _, script := range run.Scripts {
+					wg.Add(1)
+					go func(script []workload.ScriptTxn) {
+						defer wg.Done()
+						for _, st := range script {
+							s, err := eng.OpenSession(st.Txn)
+							if err != nil {
+								aborted.Add(1)
+								continue
+							}
+							i := int(opened.Add(1)) - 1
+							if st.Stall {
+								// Parked mid-body: the lease reaper (or the
+								// late cancel below) is its only way out.
+								mu.Lock()
+								parked = append(parked, s)
+								mu.Unlock()
+								continue
+							}
+							tm := plan.Arm(i, s.Cancel)
+							err = s.Run()
+							if tm != nil {
+								tm.Stop()
+							}
+							if err == nil {
+								confirmed.Add(1)
+							} else {
+								aborted.Add(1)
+							}
+						}
+					}(script)
+				}
+				wg.Wait()
+				mu.Lock()
+				for _, s := range parked {
+					s.Cancel() // no-op if the reaper got there first
+				}
+				mu.Unlock()
+				res, err := eng.Close()
+				if err != nil {
+					t.Fatalf("engine close (serializability verdict): %v", err)
+				}
+				if got := res.Metrics.Commits; int64(got) != confirmed.Load() {
+					t.Fatalf("engine counted %d commits, clients confirmed %d", got, confirmed.Load())
+				}
+				if confirmed.Load()+aborted.Load() == 0 {
+					t.Fatal("scenario ran no transactions")
+				}
+				if sc.Name != "idle-army" && confirmed.Load() == 0 {
+					t.Fatalf("no transaction survived the fault plan (aborted=%d)", aborted.Load())
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package chaos
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy is the TCP fault-injection relay: it accepts client
+// connections on its own loopback address, dials the target for each,
+// and relays bytes both ways under the connection's Plan. Safe for
+// concurrent use; Close tears everything down.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	// planFor supplies the i-th accepted connection's plan (i counts
+	// from 0). Nil means every connection relays transparently.
+	planFor func(i int) Plan
+
+	mu     sync.Mutex
+	conns  map[*proxyConn]struct{}
+	next   int
+	closed bool
+
+	killed atomic.Int64 // connections killed by their plan or KillAll
+	wg     sync.WaitGroup
+}
+
+// proxyConn is one relayed connection pair.
+type proxyConn struct {
+	client net.Conn // accepted side
+	server net.Conn // dialed side
+	once   sync.Once
+}
+
+// close tears both sides down, once.
+func (pc *proxyConn) close() {
+	pc.once.Do(func() {
+		pc.client.Close()
+		pc.server.Close()
+	})
+}
+
+// NewProxy starts a proxy in front of target (a lockd address).
+// planFor assigns each accepted connection its fault plan by accept
+// index; nil relays everything transparently.
+func NewProxy(target string, planFor func(i int) Plan) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		ln:      ln,
+		target:  target,
+		planFor: planFor,
+		conns:   make(map[*proxyConn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the address clients should dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Killed returns how many connections were killed by fault plans or
+// KillAll (natural closes are not counted).
+func (p *Proxy) Killed() int { return int(p.killed.Load()) }
+
+// KillAll abruptly kills every currently-relayed connection and
+// reports how many it cut. New connections are still accepted — the
+// clients' redials must get through, or a kill test would deadlock on
+// its own recovery.
+func (p *Proxy) KillAll() int {
+	p.mu.Lock()
+	snap := make([]*proxyConn, 0, len(p.conns))
+	for pc := range p.conns {
+		snap = append(snap, pc)
+	}
+	p.mu.Unlock()
+	for _, pc := range snap {
+		pc.close()
+	}
+	p.killed.Add(int64(len(snap)))
+	return len(snap)
+}
+
+// Close stops accepting, kills every live connection and waits the
+// relays out.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	snap := make([]*proxyConn, 0, len(p.conns))
+	for pc := range p.conns {
+		snap = append(snap, pc)
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	for _, pc := range snap {
+		pc.close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			client.Close()
+			return
+		}
+		i := p.next
+		p.next++
+		p.mu.Unlock()
+		var plan Plan
+		if p.planFor != nil {
+			plan = p.planFor(i)
+		}
+		server, err := net.Dial("tcp", p.target)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		pc := &proxyConn{client: client, server: server}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			pc.close()
+			return
+		}
+		p.conns[pc] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(2)
+		go p.relayFaulty(pc, plan)
+		go p.relayPlain(pc)
+	}
+}
+
+// forget unregisters a finished connection pair.
+func (p *Proxy) forget(pc *proxyConn) {
+	p.mu.Lock()
+	delete(p.conns, pc)
+	p.mu.Unlock()
+}
+
+// relayFaulty relays client→server under the plan: byte thresholds are
+// applied inside chunks, so a kill or stall lands on the exact byte —
+// mid-frame when the schedule says so.
+func (p *Proxy) relayFaulty(pc *proxyConn, plan Plan) {
+	defer p.wg.Done()
+	defer p.forget(pc)
+	defer pc.close()
+	buf := make([]byte, 4096)
+	var relayed int64
+	stalled := false
+	for {
+		n, rerr := pc.client.Read(buf)
+		chunk := buf[:n]
+		for len(chunk) > 0 {
+			// The next fault boundary inside this chunk, if any.
+			write := int64(len(chunk))
+			kill := false
+			if plan.KillAfter > 0 && relayed+write >= plan.KillAfter {
+				write = plan.KillAfter - relayed
+				kill = true
+			}
+			if plan.StallAfter > 0 && !stalled && relayed < plan.StallAfter && relayed+write > plan.StallAfter {
+				write = plan.StallAfter - relayed
+				kill = false
+			}
+			if plan.DelayEvery > 0 && plan.Delay > 0 {
+				if next := (relayed/plan.DelayEvery + 1) * plan.DelayEvery; relayed+write > next {
+					write = next - relayed
+					kill = false
+				}
+			}
+			if write > 0 {
+				if _, werr := pc.server.Write(chunk[:write]); werr != nil {
+					return
+				}
+				relayed += write
+				chunk = chunk[write:]
+			}
+			if kill {
+				p.killed.Add(1)
+				pc.close()
+				return
+			}
+			if plan.StallAfter > 0 && !stalled && relayed == plan.StallAfter {
+				stalled = true
+				time.Sleep(plan.Stall)
+			}
+			if plan.DelayEvery > 0 && plan.Delay > 0 && relayed%plan.DelayEvery == 0 && len(chunk) > 0 {
+				time.Sleep(plan.Delay)
+			}
+		}
+		if rerr != nil {
+			return
+		}
+	}
+}
+
+// relayPlain relays server→client transparently; faults are injected
+// on the request stream only, so response-side corruption is always
+// attributable to a request-side cut.
+func (p *Proxy) relayPlain(pc *proxyConn) {
+	defer p.wg.Done()
+	defer pc.close()
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := pc.server.Read(buf)
+		if n > 0 {
+			if _, werr := pc.client.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if rerr != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"locksafe/internal/workload"
+)
+
+// TestE18ChaosSmall runs the full chaos grid at a reduced scale: every
+// corpus scenario x both policies x partitions {1,4}, each cell through
+// the kill/delay/stall proxy rotation. The cell assertions (scenario
+// invariants, clean drain with the serializability verdict, accounting
+// bound) live inside E18ChaosCorpus; the test's job is to run them and
+// pin the grid's shape.
+func TestE18ChaosSmall(t *testing.T) {
+	cfg := workload.ScenarioConfig{Clients: 3, Rounds: 2, Idle: 6}
+	rows, r := E18ChaosCorpus(1, nil, []int{1, 4}, true, cfg)
+	if r.Failed != "" {
+		t.Fatalf("E18 failed: %s\n%s", r.Failed, r.Text)
+	}
+	want := len(workload.ScenarioNames()) * 2 * 2 // scenarios x policies x partitions
+	if len(rows) != want {
+		t.Fatalf("grid has %d cells, want %d", len(rows), want)
+	}
+	for _, row := range rows {
+		if row.Commits < row.Confirmed || row.Commits > row.Confirmed+row.Unknown {
+			t.Errorf("%s/%s/p%d: accounting bound violated: commits=%d confirmed=%d unknown=%d",
+				row.Scenario, row.Policy, row.Partitions, row.Commits, row.Confirmed, row.Unknown)
+		}
+		if row.Chaos == "" || row.Chaos == "clean" {
+			t.Errorf("%s/%s/p%d: cell ran without a chaos mix (%q)", row.Scenario, row.Policy, row.Partitions, row.Chaos)
+		}
+	}
+	if !strings.Contains(r.Text, "serializable") {
+		t.Errorf("E18 report does not state the verdict:\n%s", r.Text)
+	}
+}

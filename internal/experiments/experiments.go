@@ -19,11 +19,19 @@
 //	             the goroutine runtime (see e14.go)
 //	E15 gate   — footprint-striped vs serialized policy admission on
 //	             disjoint and Zipf-skewed workloads (see e15.go)
+//	E16 lockd  — the network service end to end: N clients over loopback
+//	             TCP in step, pipelined and run modes (see e16.go)
+//	E17 parts  — partition-scaling of the entity-hashed multi-engine
+//	             runtime: local-heavy vs cross-partition mixes (see e17.go)
+//	E18 chaos  — the scenario corpus × policies × partitions over TCP
+//	             through the internal/chaos fault proxy, asserting the
+//	             serializability verdict and the accounting bound in
+//	             every cell (see e18.go)
 //
-// Every function is deterministic given its seed arguments, except E13,
-// E15 and E14's runtime section, which measure real goroutines on
-// wall-clock time (their correctness assertions are deterministic; their
-// speeds are not).
+// Every function is deterministic given its seed arguments, except E13
+// and up, which measure real goroutines (E16–E18 real TCP, E18 real
+// faults) on wall-clock time (their correctness assertions are
+// deterministic; their speeds are not).
 package experiments
 
 import (

@@ -779,6 +779,94 @@ func TestServerDrainAbortsStragglers(t *testing.T) {
 	}
 }
 
+// TestServerShutdownWithInflightWork drains a server while a
+// stored-procedure Run is parked on a held lock and a pipelined session
+// has unreconciled steps parked behind the same lock. Shutdown must
+// force-abort both and return (no hang, no leaked session), every
+// blocked client call must come back with a terminal error, and nothing
+// may be counted committed.
+func TestServerShutdownWithInflightWork(t *testing.T) {
+	srv, addr := startServer(t, model.NewState("a"), runtime.Config{
+		Policy:  policy.TwoPhase{},
+		Backoff: 50 * time.Microsecond,
+	})
+	body := model.Txn{Name: "V", Steps: []model.Step{model.LX("a"), model.W("a"), model.UX("a")}}
+
+	// The holder pins the lock so both victims park server-side.
+	holder, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer holder.Close()
+	hs, err := holder.Open(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hs.Step(model.LX("a")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Victim 1: a stored-procedure Run, parked inside the engine.
+	runC, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runC.Close()
+	runDone := make(chan error, 1)
+	go func() { runDone <- runC.Run(body) }()
+
+	// Victim 2: a pipelined session with its whole attempt in flight —
+	// the first step parked on the lock, the rest queued behind it.
+	pipeC, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipeC.Close()
+	ps, err := pipeC.Open(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < body.Len(); i++ {
+		if err := ps.StepAsync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ps.CommitAsync(); err != nil {
+		t.Fatal(err)
+	}
+	flushDone := make(chan error, 1)
+	go func() { flushDone <- ps.Flush() }()
+
+	// Let both park, then pull the floor out from under them.
+	time.Sleep(50 * time.Millisecond)
+	shutDone := make(chan error, 1)
+	go func() {
+		res, serr := srv.Shutdown(100 * time.Millisecond)
+		if serr == nil && res.Metrics.Commits != 0 {
+			serr = fmt.Errorf("drained with %d commits, want 0", res.Metrics.Commits)
+		}
+		shutDone <- serr
+	}()
+
+	wait := func(name string, ch <-chan error, wantErr bool) {
+		t.Helper()
+		select {
+		case err := <-ch:
+			if wantErr && err == nil {
+				t.Errorf("%s returned nil; its lock was never granted, so it cannot have committed", name)
+			}
+			if !wantErr && err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%s hung across shutdown", name)
+		}
+	}
+	wait("shutdown", shutDone, false)
+	wait("parked Run", runDone, true)
+	wait("pipelined Flush", flushDone, true)
+}
+
 // TestServerConcurrentClients hammers one server with conflicting
 // clients over real TCP — the race job's network stress. The committed
 // schedule is verified at drain.

@@ -174,6 +174,14 @@ func readPayload(r io.Reader) ([]byte, error) {
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			// The header promised n payload bytes and the stream ended
+			// before the first arrived (a death exactly on the
+			// header/payload boundary). ReadFull only says ErrUnexpectedEOF
+			// when at least one byte was read; normalize so callers can
+			// tell every mid-frame death from a clean between-frames close.
+			err = io.ErrUnexpectedEOF
+		}
 		return nil, err
 	}
 	return body, nil

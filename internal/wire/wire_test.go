@@ -171,6 +171,74 @@ func TestBatchGreedySplit(t *testing.T) {
 	}
 }
 
+// TestBatchMidFrameDrop sweeps every possible cut point of a real batch
+// frame — the byte-exact truncations the chaos proxy's kill plan
+// produces when a connection dies mid-send: a header-only write, a cut
+// inside the header, and a cut inside any array element. Whatever the
+// offset, the reader must fail cleanly (no partial batch, no hang, no
+// panic); once the header has arrived in full, the failure must be
+// io.ErrUnexpectedEOF so the server can tell a mid-frame death from a
+// clean between-frames close (io.EOF).
+func TestBatchMidFrameDrop(t *testing.T) {
+	reqs := []Request{
+		{ID: 1, Op: OpOpen, Name: "T1", Txn: []string{"(LX a)", "(W a)", "(UX a)"}},
+		{ID: 2, Op: OpStep, SID: 7, Step: "(LX a)", Attempt: 1},
+		{ID: 3, Op: OpCommit, SID: 7, Attempt: 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteRequestBatch(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	if got, err := ReadRequestBatch(bytes.NewReader(frame)); err != nil || len(got) != 3 {
+		t.Fatalf("full frame: got %d requests, err %v", len(got), err)
+	}
+	for cut := 0; cut < len(frame); cut++ {
+		got, err := ReadRequestBatch(bytes.NewReader(frame[:cut]))
+		if err == nil {
+			t.Fatalf("cut at byte %d of %d: reader returned %d requests from a truncated frame", cut, len(frame), len(got))
+		}
+		switch {
+		case cut == 0:
+			if err != io.EOF {
+				t.Fatalf("cut before any byte = %v, want io.EOF (clean close)", err)
+			}
+		case cut >= 4:
+			// Header complete, payload cut mid-element: the unmistakable
+			// mid-frame death.
+			if err != io.ErrUnexpectedEOF {
+				t.Fatalf("cut at byte %d = %v, want io.ErrUnexpectedEOF", cut, err)
+			}
+		default:
+			// Cut inside the header itself.
+			if err != io.ErrUnexpectedEOF {
+				t.Fatalf("cut inside header at byte %d = %v, want io.ErrUnexpectedEOF", cut, err)
+			}
+		}
+	}
+
+	// The response direction dies the same way.
+	buf.Reset()
+	if err := WriteResponseBatch(&buf, []Response{{ID: 1, OK: true}, {ID: 2, OK: false, Code: CodeAborted}}); err != nil {
+		t.Fatal(err)
+	}
+	frame = buf.Bytes()
+	for _, cut := range []int{4, len(frame) / 2, len(frame) - 1} {
+		if _, err := ReadResponseBatch(bytes.NewReader(frame[:cut])); err != io.ErrUnexpectedEOF {
+			t.Fatalf("response cut at byte %d = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+
+	// A header-only write whose length field promises a payload that
+	// never arrives — the kill plan landing exactly on the header/payload
+	// boundary.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 64)
+	if _, err := ReadRequestBatch(bytes.NewReader(hdr[:])); err != io.ErrUnexpectedEOF {
+		t.Fatalf("header-only frame = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
 func TestStepCodec(t *testing.T) {
 	steps := []model.Step{model.LX("a"), model.W("a"), model.UX("a"), model.LS("b"), model.R("b"), model.US("b"), model.I("c"), model.D("c")}
 	texts := EncodeSteps(steps)

@@ -230,9 +230,18 @@ func uniformPicker(rng *rand.Rand, n int) func() int {
 }
 
 // zipfPicker returns a Zipf(s) index picker over [0, n): index 0 is the
-// hottest rank. s must be > 1 (the distribution's normalization
-// requirement).
+// hottest rank. The degenerate corners are pinned rather than left to
+// rand.NewZipf (which returns nil for them): s <= 1 falls back to the
+// uniform pick (the distribution is not normalizable there, and the
+// Config.Skew contract already documents <= 1 as "uniform"), and n <= 1
+// always picks index 0. TestZipfEdgeCases pins all three.
 func zipfPicker(rng *rand.Rand, s float64, n int) func() int {
+	if n <= 1 {
+		return func() int { return 0 }
+	}
+	if s <= 1 {
+		return uniformPicker(rng, n)
+	}
 	z := rand.NewZipf(rng, s, 1, uint64(n-1))
 	return func() int { return int(z.Uint64()) }
 }
@@ -240,10 +249,21 @@ func zipfPicker(rng *rand.Rand, s float64, n int) func() int {
 // ZipfSubset draws k distinct entities from pool by Zipf(s) rank —
 // pool[0] hottest — so independent draws across transactions collide on
 // the hot head of the pool. It is the contended-workload generator of
-// the E15 gate-scaling experiment. s must be > 1 and k at most
-// len(pool); the result is in pool order (ascending rank), which doubles
-// as a deadlock-free lock order.
+// the E15 gate-scaling experiment. The result is in pool order
+// (ascending rank), which doubles as a deadlock-free lock order. Edges
+// are total rather than preconditions: k >= len(pool) returns the whole
+// pool (in order), k <= 0 returns nil, and s <= 1 draws uniformly
+// (zipfPicker's fallback).
 func ZipfSubset(rng *rand.Rand, pool []model.Entity, k int, s float64) []model.Entity {
+	if k <= 0 || len(pool) == 0 {
+		return nil
+	}
+	if k >= len(pool) {
+		// Every entity is chosen; skip the draw loop (a skewed coupon
+		// collection over the cold tail would take unboundedly many
+		// draws to land the last ranks).
+		return append([]model.Entity(nil), pool...)
+	}
 	pick := zipfPicker(rng, s, len(pool))
 	chosen := make(map[int]bool, k)
 	for len(chosen) < k && len(chosen) < len(pool) {

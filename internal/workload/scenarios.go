@@ -1,0 +1,634 @@
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"time"
+
+	"locksafe/internal/model"
+)
+
+// This file is the scenario corpus: a registry of named, seed-
+// deterministic dynamic workloads, each a self-describing member of the
+// benchmark family the E18 chaos experiment (and the CI chaos job)
+// iterates. Where clients.go and partitions.go expose two canonical
+// contention shapes as functions, the corpus follows the CHC-COMP
+// benchmark discipline: every instance family has a name, a one-line
+// description, a deterministic generator and machine-checked invariants
+// that pin what makes the family what it claims to be (churn really
+// churns, readers really are long, the hotspot really migrates). Same
+// seed ⇒ same generated schedule, pinned by the Digest test.
+
+// ScenarioConfig scales a scenario generation: how many concurrent
+// client connections, how many transactions each runs, and how many
+// extra idle sessions the idle-heavy scenarios park.
+type ScenarioConfig struct {
+	// Clients is the number of concurrent client scripts (default 4).
+	Clients int
+	// Rounds is the number of transactions per client script
+	// (default 6).
+	Rounds int
+	// Idle scales the parked-session population of the idle-army
+	// scenario (default 32; the nightly-scale runs raise it to
+	// thousands).
+	Idle int
+}
+
+// WithDefaults fills zero fields with the corpus defaults.
+func (c ScenarioConfig) WithDefaults() ScenarioConfig {
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 6
+	}
+	if c.Idle <= 0 {
+		c.Idle = 32
+	}
+	return c
+}
+
+// ScriptTxn is one entry of a client script: a declared transaction
+// plus how the client is meant to drive it.
+type ScriptTxn struct {
+	Txn model.Txn
+	// Stall marks a session the client opens and then never steps: it
+	// sits idle holding a session slot until the lease reaper or the
+	// connection teardown takes it — the raw material of the
+	// lease-storm and idle-army scenarios. A stalled body is never
+	// executed, so it takes no locks.
+	Stall bool
+}
+
+// ScenarioRun is one generated instance of a scenario: per-client
+// scripts plus the entity universe that must be present in the engine's
+// initial state. Everything downstream (digests, invariants, the E18
+// harness) consumes this value; the generator's rng is not retained.
+type ScenarioRun struct {
+	Scenario string
+	// Scripts holds one transaction sequence per client connection.
+	Scripts [][]ScriptTxn
+	// Universe lists the entities initially present. Entities a script
+	// INSERTs must be absent initially and are deliberately not listed.
+	Universe []model.Entity
+}
+
+// Digest is the deterministic fingerprint of a generated run: FNV-1a
+// over every script's declared text (stall markers included) and the
+// universe. Same seed ⇒ same digest is the corpus's reproducibility
+// contract, pinned by TestScenarioDigests.
+func (r ScenarioRun) Digest() string {
+	h := fnv.New64a()
+	for i, script := range r.Scripts {
+		fmt.Fprintf(h, "client %d\n", i)
+		for _, st := range script {
+			if st.Stall {
+				io.WriteString(h, "stall ")
+			}
+			io.WriteString(h, st.Txn.String())
+			io.WriteString(h, "\n")
+		}
+	}
+	io.WriteString(h, "universe")
+	for _, e := range r.Universe {
+		io.WriteString(h, " ")
+		io.WriteString(h, string(e))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Active counts the non-stall transactions across all scripts — the
+// number of commit attempts a fault-free run would make.
+func (r ScenarioRun) Active() int {
+	n := 0
+	for _, script := range r.Scripts {
+		for _, st := range script {
+			if !st.Stall {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Stalls counts the stalled (opened-then-idle) sessions across all
+// scripts.
+func (r ScenarioRun) Stalls() int {
+	n := 0
+	for _, script := range r.Scripts {
+		for _, st := range script {
+			if st.Stall {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ScenarioInvariant is one machine-checked self-description of a
+// scenario: it inspects a generated run (with the config that produced
+// it) and reports why the run fails to be what the scenario's name
+// promises.
+type ScenarioInvariant func(cfg ScenarioConfig, run ScenarioRun) error
+
+// Scenario is one named member of the workload corpus.
+type Scenario struct {
+	Name string
+	// Desc is the one-line self-description lockbench prints and
+	// EXPERIMENTS.md records.
+	Desc string
+	// Lease is the session lease the scenario wants from its harness
+	// (0 = harness default). The lease-storm scenario needs one short
+	// enough to expire mid-run; idle-army needs one long enough that
+	// its parked sessions survive to the drain.
+	Lease time.Duration
+	// Gen generates one deterministic instance of the scenario.
+	Gen func(rng *rand.Rand, cfg ScenarioConfig) ScenarioRun
+	// Invariants are the scenario's self-checks, applied to every
+	// generated run by the tests and the E18 harness.
+	Invariants []ScenarioInvariant
+}
+
+// Check runs every invariant of the scenario against a generated run.
+func (s Scenario) Check(cfg ScenarioConfig, run ScenarioRun) error {
+	for _, inv := range s.Invariants {
+		if err := inv(cfg, run); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// Scenarios returns the corpus in its stable registry order.
+func Scenarios() []Scenario {
+	return []Scenario{
+		churnScenario(),
+		longReadersScenario(),
+		hotspotScenario(),
+		leaseStormScenario(),
+		mixedSizesScenario(),
+		idleArmyScenario(),
+	}
+}
+
+// ScenarioNames lists the registry's names in order.
+func ScenarioNames() []string {
+	all := Scenarios()
+	names := make([]string, len(all))
+	for i, s := range all {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// ScenarioByName finds a corpus member by name.
+func ScenarioByName(name string) (Scenario, bool) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// churnScenario: heavy INSERT/DELETE traffic — the paper's dynamic
+// worst case, and the partitioned engine's, since structural events
+// carry a global footprint and go through the cross-partition drain.
+// Each transaction inserts, writes and deletes a batch of fresh private
+// entities (net-zero structurally, so the workload is always defined
+// regardless of interleaving or retry), while also writing one of a few
+// shared hot entities so clients actually contend.
+func churnScenario() Scenario {
+	const hotKeys, batch = 4, 4
+	return Scenario{
+		Name: "churn",
+		Desc: "INSERT/DELETE-heavy private batches + shared hot writes (global-footprint worst case)",
+		Gen: func(rng *rand.Rand, cfg ScenarioConfig) ScenarioRun {
+			cfg = cfg.WithDefaults()
+			universe := make([]model.Entity, hotKeys)
+			for i := range universe {
+				universe[i] = model.Entity(fmt.Sprintf("hot%d", i))
+			}
+			scripts := make([][]ScriptTxn, cfg.Clients)
+			for c := 0; c < cfg.Clients; c++ {
+				for r := 0; r < cfg.Rounds; r++ {
+					hot := universe[rng.Intn(hotKeys)]
+					steps := []model.Step{model.LX(hot), model.W(hot)}
+					var fresh []model.Entity
+					for j := 0; j < batch; j++ {
+						fresh = append(fresh, model.Entity(fmt.Sprintf("ch%d_%d_%d", c, r, j)))
+					}
+					for _, e := range fresh {
+						steps = append(steps, model.LX(e), model.I(e))
+					}
+					for _, e := range fresh {
+						steps = append(steps, model.W(e))
+					}
+					for _, e := range fresh {
+						steps = append(steps, model.D(e))
+					}
+					steps = append(steps, model.UX(hot))
+					for _, e := range fresh {
+						steps = append(steps, model.UX(e))
+					}
+					scripts[c] = append(scripts[c], ScriptTxn{Txn: model.Txn{
+						Name:  fmt.Sprintf("churn%d_%d", c+1, r),
+						Steps: steps,
+					}})
+				}
+			}
+			return ScenarioRun{Scenario: "churn", Scripts: scripts, Universe: universe}
+		},
+		Invariants: []ScenarioInvariant{
+			invariantEveryBodyWellFormed(),
+			func(cfg ScenarioConfig, run ScenarioRun) error {
+				structural, data := opCounts(run)
+				if data == 0 || structural*3 < data {
+					return fmt.Errorf("churn is not structural-heavy: %d of %d data ops are INSERT/DELETE", structural, data)
+				}
+				return nil
+			},
+		},
+	}
+}
+
+// longReadersScenario: long-lived shared-mode readers (dozens of reads
+// under held S locks) overlapping short exclusive writers on the same
+// pool — the S/X interaction the static-entity workloads never held
+// open for long.
+func longReadersScenario() Scenario {
+	const poolSize, readSpan, rereads, writeSpan = 16, 8, 3, 2
+	return Scenario{
+		Name: "long-readers",
+		Desc: "long shared-lock read sessions overlapping short exclusive writers",
+		Gen: func(rng *rand.Rand, cfg ScenarioConfig) ScenarioRun {
+			cfg = cfg.WithDefaults()
+			pool := make([]model.Entity, poolSize)
+			for i := range pool {
+				pool[i] = model.Entity(fmt.Sprintf("lr%02d", i))
+			}
+			scripts := make([][]ScriptTxn, cfg.Clients)
+			for c := 0; c < cfg.Clients; c++ {
+				reader := c%2 == 0
+				for r := 0; r < cfg.Rounds; r++ {
+					var steps []model.Step
+					var name string
+					if reader {
+						start := rng.Intn(poolSize - readSpan + 1)
+						span := pool[start : start+readSpan]
+						for _, e := range span {
+							steps = append(steps, model.LS(e))
+						}
+						for k := 0; k < rereads; k++ {
+							for _, e := range span {
+								steps = append(steps, model.R(e))
+							}
+						}
+						for _, e := range span {
+							steps = append(steps, model.US(e))
+						}
+						name = fmt.Sprintf("reader%d_%d", c+1, r)
+					} else {
+						start := rng.Intn(poolSize - writeSpan + 1)
+						steps = TwoPhaseSteps(pool[start : start+writeSpan])
+						name = fmt.Sprintf("writer%d_%d", c+1, r)
+					}
+					scripts[c] = append(scripts[c], ScriptTxn{Txn: model.Txn{Name: name, Steps: steps}})
+				}
+			}
+			return ScenarioRun{Scenario: "long-readers", Scripts: scripts, Universe: pool}
+		},
+		Invariants: []ScenarioInvariant{
+			invariantEveryBodyWellFormed(),
+			func(cfg ScenarioConfig, run ScenarioRun) error {
+				longReader, shortWriter := false, false
+				for _, script := range run.Scripts {
+					for _, st := range script {
+						locksX := false
+						for _, s := range st.Txn.Steps {
+							if s.Op == model.LockExclusive {
+								locksX = true
+							}
+						}
+						if !locksX && st.Txn.Len() >= readSpan*(rereads+2) {
+							longReader = true
+						}
+						if locksX && st.Txn.Len() <= 3*writeSpan {
+							shortWriter = true
+						}
+					}
+				}
+				if !longReader {
+					return fmt.Errorf("no long shared-only reader body generated")
+				}
+				if !shortWriter && cfg.WithDefaults().Clients >= 2 {
+					return fmt.Errorf("no short exclusive writer body generated")
+				}
+				return nil
+			},
+		},
+	}
+}
+
+// hotspotScenario: Zipf-skewed two-phase traffic whose hot head rotates
+// across rounds, so the contention mass migrates through the entity
+// space over the run instead of parking on one prefix forever.
+func hotspotScenario() Scenario {
+	const poolSize, perTxn = 32, 4
+	return Scenario{
+		Name: "hotspot",
+		Desc: "Zipf hot-key contention whose hotspot migrates across the pool over time",
+		Gen: func(rng *rand.Rand, cfg ScenarioConfig) ScenarioRun {
+			cfg = cfg.WithDefaults()
+			pool := make([]model.Entity, poolSize)
+			rank := make(map[model.Entity]int, poolSize)
+			for i := range pool {
+				pool[i] = model.Entity(fmt.Sprintf("hs%02d", i))
+				rank[pool[i]] = i
+			}
+			scripts := make([][]ScriptTxn, cfg.Clients)
+			for r := 0; r < cfg.Rounds; r++ {
+				offset := r * poolSize / cfg.Rounds
+				for c := 0; c < cfg.Clients; c++ {
+					ranks := ZipfSubset(rng, pool, perTxn, 1.5)
+					// Rotate each drawn rank by the round's offset, then
+					// re-sort into pool order so every body locks in one
+					// global order (deadlock-free by construction).
+					picked := make(map[int]bool, len(ranks))
+					for _, e := range ranks {
+						picked[(rank[e]+offset)%poolSize] = true
+					}
+					var ents []model.Entity
+					for i := 0; i < poolSize; i++ {
+						if picked[i] {
+							ents = append(ents, pool[i])
+						}
+					}
+					scripts[c] = append(scripts[c], ScriptTxn{Txn: model.Txn{
+						Name:  fmt.Sprintf("hs%d_%d", c+1, r),
+						Steps: TwoPhaseSteps(ents),
+					}})
+				}
+			}
+			return ScenarioRun{Scenario: "hotspot", Scripts: scripts, Universe: pool}
+		},
+		Invariants: []ScenarioInvariant{
+			invariantEveryBodyWellFormed(),
+			func(cfg ScenarioConfig, run ScenarioRun) error {
+				cfg = cfg.WithDefaults()
+				if cfg.Rounds < 2 {
+					return nil
+				}
+				first := hottestEntity(run, 0)
+				last := hottestEntity(run, cfg.Rounds-1)
+				if first == last {
+					return fmt.Errorf("hotspot did not migrate: round 0 and round %d both hottest on %s", cfg.Rounds-1, first)
+				}
+				return nil
+			},
+		},
+	}
+}
+
+// hottestEntity returns the most-locked entity of one round (scripts
+// index round-major per client), ties broken by name.
+func hottestEntity(run ScenarioRun, round int) model.Entity {
+	counts := make(map[model.Entity]int)
+	for _, script := range run.Scripts {
+		if round >= len(script) {
+			continue
+		}
+		for _, s := range script[round].Txn.Steps {
+			if s.Op.IsLock() {
+				counts[s.Ent]++
+			}
+		}
+	}
+	var best model.Entity
+	bestN := -1
+	for e, n := range counts {
+		if n > bestN || (n == bestN && e < best) {
+			best, bestN = e, n
+		}
+	}
+	return best
+}
+
+// leaseStormScenario: roughly half the opened sessions stall — declared
+// and then never stepped — under a lease short enough that the reaper
+// mass-expires them while the other half keeps committing. The
+// expiry-teardown path (erase, release, abandon) runs as a storm, not
+// a trickle.
+func leaseStormScenario() Scenario {
+	const poolSize, perTxn = 12, 2
+	return Scenario{
+		Name:  "lease-storm",
+		Desc:  "half the sessions stall and mass-expire under a short lease while the rest commit",
+		Lease: 75 * time.Millisecond,
+		Gen: func(rng *rand.Rand, cfg ScenarioConfig) ScenarioRun {
+			cfg = cfg.WithDefaults()
+			pool := make([]model.Entity, poolSize)
+			for i := range pool {
+				pool[i] = model.Entity(fmt.Sprintf("ls%02d", i))
+			}
+			scripts := make([][]ScriptTxn, cfg.Clients)
+			for c := 0; c < cfg.Clients; c++ {
+				for r := 0; r < cfg.Rounds; r++ {
+					start := rng.Intn(poolSize - perTxn + 1)
+					tx := model.Txn{
+						Name:  fmt.Sprintf("ls%d_%d", c+1, r),
+						Steps: TwoPhaseSteps(pool[start : start+perTxn]),
+					}
+					// Exactly half the sessions stall (alternating, offset
+					// per client) so the storm size is seed-independent;
+					// the rng varies only which entities the rest touch.
+					scripts[c] = append(scripts[c], ScriptTxn{Txn: tx, Stall: (c+r)%2 == 0})
+				}
+			}
+			return ScenarioRun{Scenario: "lease-storm", Scripts: scripts, Universe: pool}
+		},
+		Invariants: []ScenarioInvariant{
+			invariantEveryBodyWellFormed(),
+			func(cfg ScenarioConfig, run ScenarioRun) error {
+				cfg = cfg.WithDefaults()
+				if want := cfg.Clients * cfg.Rounds / 4; run.Stalls() < want {
+					return fmt.Errorf("lease-storm generated only %d stalled sessions, want >= %d", run.Stalls(), want)
+				}
+				if run.Active() == 0 {
+					return fmt.Errorf("lease-storm generated no active traffic")
+				}
+				return nil
+			},
+		},
+	}
+}
+
+// mixedSizesScenario: body sizes drawn from a heavy-tailed mix — from
+// one-entity point writes to 48-entity sweeps — over private entities,
+// plus one shared entity per body so clients still contend. Large
+// bodies exercise big declared-text frames and deep pipelining windows;
+// small ones keep the open/commit churn high.
+func mixedSizesScenario() Scenario {
+	var sizes = []int{1, 1, 2, 2, 4, 8, 16, 48}
+	const privatePer, sharedKeys = 48, 4
+	return Scenario{
+		Name: "mixed-sizes",
+		Desc: "heavy-tailed body sizes (1 to 48 entities) with one shared contended key each",
+		Gen: func(rng *rand.Rand, cfg ScenarioConfig) ScenarioRun {
+			cfg = cfg.WithDefaults()
+			var universe []model.Entity
+			shared := make([]model.Entity, sharedKeys)
+			for i := range shared {
+				shared[i] = model.Entity(fmt.Sprintf("mxs%d", i))
+			}
+			universe = append(universe, shared...)
+			private := make([][]model.Entity, cfg.Clients)
+			for c := range private {
+				for j := 0; j < privatePer; j++ {
+					e := model.Entity(fmt.Sprintf("mx%d_%02d", c, j))
+					private[c] = append(private[c], e)
+					universe = append(universe, e)
+				}
+			}
+			scripts := make([][]ScriptTxn, cfg.Clients)
+			for c := 0; c < cfg.Clients; c++ {
+				for r := 0; r < cfg.Rounds; r++ {
+					sz := sizes[rng.Intn(len(sizes))]
+					// Pin the tail for every seed: client 0's first two
+					// rounds are the extremes, so the size-span invariant
+					// never depends on the draw.
+					if c == 0 && r == 0 {
+						sz = sizes[len(sizes)-1]
+					} else if c == 0 && r == 1 {
+						sz = 1
+					}
+					ents := []model.Entity{shared[rng.Intn(sharedKeys)]}
+					ents = append(ents, private[c][:sz]...)
+					scripts[c] = append(scripts[c], ScriptTxn{Txn: model.Txn{
+						Name:  fmt.Sprintf("mx%d_%d", c+1, r),
+						Steps: TwoPhaseSteps(ents),
+					}})
+				}
+			}
+			return ScenarioRun{Scenario: "mixed-sizes", Scripts: scripts, Universe: universe}
+		},
+		Invariants: []ScenarioInvariant{
+			invariantEveryBodyWellFormed(),
+			func(cfg ScenarioConfig, run ScenarioRun) error {
+				minE, maxE := -1, 0
+				for _, script := range run.Scripts {
+					for _, st := range script {
+						n := len(TxnEntities(st.Txn))
+						if minE < 0 || n < minE {
+							minE = n
+						}
+						if n > maxE {
+							maxE = n
+						}
+					}
+				}
+				if minE > 2 || maxE < 17 {
+					return fmt.Errorf("mixed-sizes span [%d,%d] entities; want min <= 2 and max >= 17", minE, maxE)
+				}
+				return nil
+			},
+		},
+	}
+}
+
+// idleArmyScenario: a large population of idle sessions — opened,
+// never stepped, never closed — parked on every connection while a
+// trickle of normal disjoint traffic flows around them. The long lease
+// keeps the army alive to the drain, so session bookkeeping, the
+// reaper's scan and the shutdown teardown all run at population scale.
+func idleArmyScenario() Scenario {
+	const perTxn = 3
+	return Scenario{
+		Name:  "idle-army",
+		Desc:  "a large idle-session population parked to the drain under a trickle of live traffic",
+		Lease: 30 * time.Second,
+		Gen: func(rng *rand.Rand, cfg ScenarioConfig) ScenarioRun {
+			cfg = cfg.WithDefaults()
+			var universe []model.Entity
+			scripts := make([][]ScriptTxn, cfg.Clients)
+			for c := 0; c < cfg.Clients; c++ {
+				var own []model.Entity
+				for j := 0; j < perTxn; j++ {
+					e := model.Entity(fmt.Sprintf("ia%d_%d", c, j))
+					own = append(own, e)
+					universe = append(universe, e)
+				}
+				// The army first: this client's share of cfg.Idle parked
+				// sessions, each declaring a tiny body it will never run.
+				share := cfg.Idle / cfg.Clients
+				if c < cfg.Idle%cfg.Clients {
+					share++
+				}
+				for k := 0; k < share; k++ {
+					scripts[c] = append(scripts[c], ScriptTxn{
+						Txn:   model.Txn{Name: fmt.Sprintf("idle%d_%d", c+1, k), Steps: TwoPhaseSteps(own[:1])},
+						Stall: true,
+					})
+				}
+				for r := 0; r < cfg.Rounds; r++ {
+					scripts[c] = append(scripts[c], ScriptTxn{Txn: model.Txn{
+						Name:  fmt.Sprintf("ia%d_%d", c+1, r),
+						Steps: TwoPhaseSteps(own),
+					}})
+				}
+			}
+			return ScenarioRun{Scenario: "idle-army", Scripts: scripts, Universe: universe}
+		},
+		Invariants: []ScenarioInvariant{
+			invariantEveryBodyWellFormed(),
+			func(cfg ScenarioConfig, run ScenarioRun) error {
+				cfg = cfg.WithDefaults()
+				if run.Stalls() < cfg.Idle {
+					return fmt.Errorf("idle-army parked only %d sessions, want >= %d", run.Stalls(), cfg.Idle)
+				}
+				if run.Active() == 0 {
+					return fmt.Errorf("idle-army generated no live traffic")
+				}
+				return nil
+			},
+		},
+	}
+}
+
+// invariantEveryBodyWellFormed checks what the engine's Open would: a
+// malformed declared body is a corpus bug, not a runtime discovery.
+func invariantEveryBodyWellFormed() ScenarioInvariant {
+	return func(cfg ScenarioConfig, run ScenarioRun) error {
+		for _, script := range run.Scripts {
+			for _, st := range script {
+				if err := st.Txn.WellFormed(); err != nil {
+					return fmt.Errorf("body %q: %w", st.Txn.Name, err)
+				}
+				if !st.Txn.LocksAtMostOnce() {
+					return fmt.Errorf("body %q locks an entity more than once", st.Txn.Name)
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// opCounts tallies structural (INSERT/DELETE) vs all data operations
+// across a run's declared bodies.
+func opCounts(run ScenarioRun) (structural, data int) {
+	for _, script := range run.Scripts {
+		for _, st := range script {
+			for _, s := range st.Txn.Steps {
+				if s.Op.IsData() {
+					data++
+					if s.Op == model.Insert || s.Op == model.Delete {
+						structural++
+					}
+				}
+			}
+		}
+	}
+	return
+}

@@ -58,6 +58,16 @@ var (
 	ErrSessionDone  = errors.New("client: session already finished")
 	ErrStepMismatch = errors.New("client: step does not match the declared transaction")
 	ErrProtocol     = errors.New("client: protocol error")
+	// ErrConnLost: the TCP connection died mid-flight (read or write
+	// error, not a server refusal and not Client.Close). The critical
+	// distinction from every other sentinel: a refusal proves the request
+	// did NOT take effect, but a lost connection proves nothing — an
+	// in-flight commit or Run may have landed server-side before the wire
+	// broke. A caller seeing ErrConnLost must treat the outcome as
+	// unknown and may only retry operations it knows to be idempotent or
+	// whose duplicate effect it can tolerate; blind retry can double-run
+	// a transaction.
+	ErrConnLost = errors.New("client: connection lost; in-flight outcomes unknown")
 )
 
 // Backoff is the retry pacing of the Run variants, mirroring the
@@ -148,7 +158,9 @@ func handshake(nc net.Conn) (*Client, error) {
 	go c.writeLoop()
 	resp, err := c.roundTrip(wire.Request{Op: wire.OpHello, Version: wire.Version})
 	if err != nil {
-		c.fail(err)
+		// A transport death has already recorded ErrConnLost (fail is
+		// first-wins); a server refusal becomes a deliberate close.
+		c.fail(ErrClosed, err)
 		return nil, err
 	}
 	c.policy = resp.Policy
@@ -159,18 +171,21 @@ func handshake(nc net.Conn) (*Client, error) {
 func (c *Client) Policy() string { return c.policy }
 
 // Close tears the connection down. The server aborts this connection's
-// unfinished sessions, releasing their locks.
+// unfinished sessions, releasing their locks. Requests failing after
+// Close wrap ErrClosed — a deliberate local shutdown, not ErrConnLost.
 func (c *Client) Close() error {
-	c.fail(errors.New("client closed"))
+	c.fail(ErrClosed, errors.New("client closed"))
 	return nil
 }
 
-// fail records the terminal error, fails every pending request, stops
-// the writer and closes the connection. Idempotent (first error wins).
-func (c *Client) fail(err error) {
+// fail records the terminal error (wrapping the given sentinel), fails
+// every pending request, stops the writer and closes the connection.
+// Idempotent (first error wins — so a Close racing a transport death
+// reports whichever happened first).
+func (c *Client) fail(base, err error) {
 	c.mu.Lock()
 	if c.dead == nil {
-		c.dead = fmt.Errorf("%w: %v", ErrClosed, err)
+		c.dead = fmt.Errorf("%w: %v", base, err)
 	}
 	for id, ch := range c.pend {
 		close(ch)
@@ -183,6 +198,13 @@ func (c *Client) fail(err error) {
 	default:
 	}
 	c.nc.Close()
+}
+
+// failConn is fail for transport deaths: the connection broke under us
+// (rather than being closed by us), so pending and future requests wrap
+// ErrConnLost — their outcomes are unknown, not refused.
+func (c *Client) failConn(err error) {
+	c.fail(ErrConnLost, err)
 }
 
 func (c *Client) deadErr() error {
@@ -198,7 +220,7 @@ func (c *Client) readLoop() {
 	for {
 		resps, err := wire.ReadResponseBatch(br)
 		if err != nil {
-			c.fail(err)
+			c.failConn(err)
 			return
 		}
 		for _, resp := range resps {
@@ -227,7 +249,7 @@ func (c *Client) writeLoop() {
 		c.mu.Unlock()
 		if len(batch) == 0 {
 			if err := bw.Flush(); err != nil {
-				c.fail(err)
+				c.failConn(err)
 				return
 			}
 			if stop {
@@ -237,7 +259,7 @@ func (c *Client) writeLoop() {
 			continue
 		}
 		if err := wire.WriteRequestBatch(bw, batch); err != nil {
-			c.fail(err)
+			c.failConn(err)
 			return
 		}
 	}
@@ -309,7 +331,10 @@ func codeError(resp wire.Response) error {
 // including abort/retry with the engine's backoff — answering with a
 // single terminal response. Nil means committed; the abort/retry cycle
 // is invisible here (no ErrAborted), and terminal failures arrive as
-// the usual sentinels.
+// the usual sentinels. An ErrConnLost return is the one ambiguous case:
+// the body travelled in full or in part and the connection died before
+// the terminal response — the server may well have committed it, so
+// resubmitting on a fresh connection can run the transaction twice.
 func (c *Client) Run(tx model.Txn) error {
 	_, err := c.roundTrip(wire.Request{
 		Op:   wire.OpRun,

@@ -1,0 +1,131 @@
+package client_test
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"locksafe/internal/chaos"
+	"locksafe/internal/model"
+	"locksafe/internal/policy"
+	"locksafe/internal/runtime"
+	"locksafe/internal/server"
+	"locksafe/pkg/client"
+)
+
+// startServer boots an in-memory lockd for the test and returns its
+// address and a drain func.
+func startServer(t *testing.T, universe ...model.Entity) (addr string, shutdown func()) {
+	t.Helper()
+	srv := server.New(model.NewState(universe...), runtime.Config{
+		Policy:     policy.TwoPhase{},
+		Shards:     4,
+		Backoff:    50 * time.Microsecond,
+		MaxRetries: 500,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() {
+		if _, err := srv.Shutdown(10 * time.Second); err != nil {
+			t.Errorf("server drain: %v", err)
+		}
+	}
+}
+
+// TestRunConnLostMidBody is the ErrConnLost regression: a connection
+// killed while Run is in flight must surface ErrConnLost — the outcome
+// is unknown — and not ErrClosed, which would mislabel the death as a
+// server refusal (refusals prove the request did not take effect; a
+// cut wire proves nothing).
+func TestRunConnLostMidBody(t *testing.T) {
+	addr, shutdown := startServer(t, "a")
+	defer shutdown()
+
+	// A direct (unproxied) client holds the lock so the proxied Run is
+	// guaranteed to be parked server-side when the wire is cut.
+	holder, err := client.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial holder: %v", err)
+	}
+	defer holder.Close()
+	hs, err := holder.Open(model.Txn{Name: "H", Steps: []model.Step{model.LX("a"), model.W("a"), model.UX("a")}})
+	if err != nil {
+		t.Fatalf("open holder: %v", err)
+	}
+	if err := hs.Step(model.LX("a")); err != nil {
+		t.Fatalf("holder lock: %v", err)
+	}
+
+	p, err := chaos.NewProxy(addr, nil)
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer p.Close()
+	c, err := client.Dial(p.Addr())
+	if err != nil {
+		t.Fatalf("dial via proxy: %v", err)
+	}
+	defer c.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- c.Run(model.Txn{Name: "V", Steps: []model.Step{model.LX("a"), model.W("a"), model.UX("a")}})
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("Run finished while the lock was held: %v", err)
+	case <-time.After(50 * time.Millisecond):
+		// Parked on the lock; now cut the wire mid-Run.
+	}
+	if n := p.KillAll(); n != 1 {
+		t.Fatalf("KillAll cut %d connections, want 1", n)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, client.ErrConnLost) {
+			t.Fatalf("Run after kill = %v, want ErrConnLost", err)
+		}
+		if errors.Is(err, client.ErrClosed) {
+			t.Fatalf("Run after kill wraps ErrClosed too: %v — the sentinels must stay distinct", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run never returned after its connection was killed")
+	}
+	// The client is dead for good: later requests fail fast, same
+	// sentinel.
+	if err := c.Run(model.Txn{Name: "V2", Steps: []model.Step{model.LX("a"), model.UX("a")}}); !errors.Is(err, client.ErrConnLost) {
+		t.Fatalf("Run on dead client = %v, want ErrConnLost", err)
+	}
+	if _, err := c.Stats(); !errors.Is(err, client.ErrConnLost) {
+		t.Fatalf("Stats on dead client = %v, want ErrConnLost", err)
+	}
+
+	// Release the lock so the drain is clean.
+	if err := hs.Abort(); err != nil {
+		t.Fatalf("holder abort: %v", err)
+	}
+}
+
+// TestCloseIsNotConnLost pins the other side of the distinction: a
+// deliberate Client.Close yields ErrClosed (a known-safe local
+// shutdown), never ErrConnLost.
+func TestCloseIsNotConnLost(t *testing.T) {
+	addr, shutdown := startServer(t, "a")
+	defer shutdown()
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	c.Close()
+	err = c.Run(model.Txn{Name: "T", Steps: []model.Step{model.LX("a"), model.UX("a")}})
+	if !errors.Is(err, client.ErrClosed) {
+		t.Fatalf("Run after Close = %v, want ErrClosed", err)
+	}
+	if errors.Is(err, client.ErrConnLost) {
+		t.Fatalf("Run after Close wraps ErrConnLost: %v", err)
+	}
+}
