@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchdiff [-tolerance 0.75] BASELINE.json CURRENT.json
+//	benchdiff [-tolerance 0.75] [-alloc-tolerance 0.5] BASELINE.json CURRENT.json
 //
 // Rows are matched by position — lockbench emits its measurement grid
 // deterministically for fixed flags — and the string-valued fields of
@@ -13,12 +13,18 @@
 // For every rate field present in both rows (commits_per_sec,
 // Throughput, OpsPerSec), the relative change is printed; the exit
 // status is 1 if any rate fell below (1 - tolerance) of the baseline.
+// Allocation fields (allocs_per_op) are lower-is-better and get their
+// own band: the row fails when current allocations exceed
+// (1 + alloc-tolerance) x baseline. Allocation counts are near-exact
+// (runtime malloc counters, not wall-clock), so their band is tighter
+// than the throughput one.
 //
-// The default tolerance is deliberately generous: bench numbers come
-// from whatever runner CI hands out (often few-core, noisy-neighbor
-// machines) while baselines may have been recorded elsewhere, so only a
-// collapse — not jitter — should fail the build. Improvements never
-// fail, whatever their size; refresh the baseline to tighten the gate.
+// The default throughput tolerance is deliberately generous: bench
+// numbers come from whatever runner CI hands out (often few-core,
+// noisy-neighbor machines) while baselines may have been recorded
+// elsewhere, so only a collapse — not jitter — should fail the build.
+// Improvements never fail, whatever their size; refresh the baseline to
+// tighten the gate.
 package main
 
 import (
@@ -33,6 +39,11 @@ import (
 // the JSON-tagged name E16/E17 rows use and the untagged Go field names
 // of the older row types.
 var rateFields = []string{"commits_per_sec", "Throughput", "OpsPerSec"}
+
+// allocFields are the lower-is-better allocation fields diffed under
+// the -alloc-tolerance band. A zero on either side skips the field
+// (E16's external network mode records no alloc counts).
+var allocFields = []string{"allocs_per_op"}
 
 // artifact mirrors experiments.Bench loosely: rows stay raw maps so one
 // tool serves every experiment's row shape.
@@ -67,7 +78,8 @@ func load(path string) (artifact, error) {
 func keyOf(row map[string]any) string {
 	measured := map[string]bool{
 		"commits_per_sec": true, "Throughput": true, "OpsPerSec": true,
-		"commits": true, "Commits": true, "aborts": true, "Aborts": true,
+		"allocs_per_op": true,
+		"commits":       true, "Commits": true, "aborts": true, "Aborts": true,
 		"AvgWaitUs": true, "Replayed": true, "Checkpoints": true, "Events": true,
 		// E18 chaos counters: which connections die and which outcomes
 		// land unknown depends on fault/TCP timing, so these are measured
@@ -99,6 +111,7 @@ func rate(row map[string]any, field string) (float64, bool) {
 
 func main() {
 	tolerance := flag.Float64("tolerance", 0.75, "maximum tolerated relative throughput drop (0.75 = fail below 25% of baseline)")
+	allocTolerance := flag.Float64("alloc-tolerance", 0.5, "maximum tolerated relative allocation growth (0.5 = fail above 150% of baseline allocs/op)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance F] BASELINE.json CURRENT.json")
@@ -146,9 +159,23 @@ func main() {
 			}
 			fmt.Printf("  %-60s %-15s %12.0f -> %12.0f  %6.1f%%  %s\n", bk, f, b, c, rel*100, status)
 		}
+		for _, f := range allocFields {
+			b, bok := rate(base.Rows[i], f)
+			c, cok := rate(cur.Rows[i], f)
+			if !bok || !cok || b <= 0 || c <= 0 {
+				continue
+			}
+			rel := c / b
+			status := "ok"
+			if rel > 1+*allocTolerance {
+				status = "REGRESSED"
+				regressed = true
+			}
+			fmt.Printf("  %-60s %-15s %12.0f -> %12.0f  %6.1f%%  %s\n", bk, f, b, c, rel*100, status)
+		}
 	}
 	if regressed {
-		fmt.Fprintln(os.Stderr, "benchdiff: throughput regressed beyond the tolerance band")
+		fmt.Fprintln(os.Stderr, "benchdiff: a measurement regressed beyond its tolerance band")
 		os.Exit(1)
 	}
 }

@@ -29,9 +29,9 @@
 //
 //	lockbench [-seed N] [-systems N] [-per-policy N] [-shards 1,4,16]
 //	          [-goroutines 1,4,8] [-stripes 4,16] [-clients 4,16]
-//	          [-partitions 1,2,4,8] [-net HOST:PORT]
-//	          [-mode step,pipeline,run] [-scenario all] [-chaos]
-//	          [-bench-json DIR]
+//	          [-partitions 1,2,4,8] [-procs 1,4] [-net HOST:PORT]
+//	          [-mode step,pipeline,run] [-codec json,binary]
+//	          [-scenario all] [-chaos] [-bench-json DIR]
 //	          [-e14-sizes 1000,2000,4000,8000] [e6|e7|...|e18]...
 //
 // With -bench-json DIR, each measured experiment among E13–E18
@@ -81,8 +81,10 @@ func main() {
 	stripes := flag.String("stripes", "4,16", "gate stripe counts for E15 and E16 (comma-separated)")
 	clients := flag.String("clients", "4,16", "concurrent client counts for E16 and E17 (comma-separated)")
 	partitions := flag.String("partitions", "1,2,4,8", "partition counts for E17 (comma-separated)")
+	procs := flag.String("procs", "", "GOMAXPROCS sweep for E17 (comma-separated; empty = the fixed default 1,4)")
 	netAddr := flag.String("net", "", "E16 network mode: address of a running lockd (empty = in-memory loopback server per cell)")
 	mode := flag.String("mode", "step,pipeline,run", "E16 transport modes to measure (comma-separated: step, pipeline, run)")
+	codec := flag.String("codec", "json,binary", "E16 wire codecs to measure (comma-separated: json, binary)")
 	scenario := flag.String("scenario", "all", "E18 scenario names from the workload corpus (comma-separated, or \"all\")")
 	chaosOn := flag.Bool("chaos", true, "E18: inject kill/delay/stall faults (false = fault-free control through a transparent proxy)")
 	benchJSON := flag.String("bench-json", "", "directory to write machine-readable bench artifacts into (E13-E18 write BENCH_<EXP>.json)")
@@ -118,6 +120,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	var procCounts []int // nil = E17's fixed default {1, 4} sweep
+	if strings.TrimSpace(*procs) != "" {
+		procCounts, err = intList("procs", *procs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 	var modes []string
 	for _, m := range strings.Split(*mode, ",") {
 		m = strings.TrimSpace(m)
@@ -126,6 +136,15 @@ func main() {
 			os.Exit(2)
 		}
 		modes = append(modes, m)
+	}
+	var codecs []string
+	for _, c := range strings.Split(*codec, ",") {
+		c = strings.TrimSpace(c)
+		if !experiments.E16ValidCodec(c) {
+			fmt.Fprintf(os.Stderr, "lockbench: -codec wants a comma-separated subset of json,binary, got %q\n", *codec)
+			os.Exit(2)
+		}
+		codecs = append(codecs, c)
 	}
 	var scenarios []string // nil = the whole corpus
 	if s := strings.TrimSpace(*scenario); s != "" && s != "all" {
@@ -177,7 +196,7 @@ func main() {
 			return r
 		},
 		"e16": func() experiments.Report {
-			rows, r := experiments.E16NetThroughput(*seed, stripeCounts, clientCounts, modes, *netAddr)
+			rows, r := experiments.E16NetThroughput(*seed, stripeCounts, clientCounts, modes, codecs, *netAddr)
 			bestOf := experiments.E16Reps
 			if *netAddr != "" {
 				bestOf = 1
@@ -186,7 +205,7 @@ func main() {
 			return r
 		},
 		"e17": func() experiments.Report {
-			rows, r := experiments.E17PartitionScaling(*seed, partCounts, clientCounts)
+			rows, r := experiments.E17PartitionScaling(*seed, partCounts, clientCounts, procCounts)
 			writeBench("E17", experiments.E17Reps, rows)
 			return r
 		},

@@ -10,7 +10,7 @@
 //	      [-mpl N] [-checkpoint-every N] [-truncate-log=false]
 //	      [-lease DUR] [-max-retries N]
 //	      [-backoff DUR] [-backoff-cap DUR] [-backoff-jitter F]
-//	      [-drain-timeout DUR]
+//	      [-drain-timeout DUR] [-pprof HOST:PORT]
 //
 // -partitions > 1 runs the entity-hash partitioned engine group: each
 // partition is a full engine (own recovery core, stripe set, sequencer)
@@ -36,14 +36,21 @@
 // force-aborts the rest, verifies the committed schedule is
 // serializable and exits 0 on a clean verdict.
 //
+// -pprof exposes Go's net/http/pprof handlers on a separate HTTP
+// listener (profiles, heap, goroutine dumps); leave it unset in
+// production unless the address is firewalled — the endpoint is
+// unauthenticated by design.
+//
 // docs/OPERATIONS.md is the operator's manual (flag sizing, policy
-// choice, metrics, drain behavior); docs/PROTOCOL.md specifies the wire
-// format.
+// choice, metrics, drain behavior, profiling); docs/PROTOCOL.md
+// specifies the wire format.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers on DefaultServeMux
 	"os"
 	"os/signal"
 	"strings"
@@ -75,6 +82,7 @@ func main() {
 	backoffCap := flag.Duration("backoff-cap", 0, "cap on the linear retry delay (0 = default 100x base, negative = uncapped)")
 	backoffJitter := flag.Float64("backoff-jitter", 0, "fraction of the retry delay randomized away, 0..1 (0 = default 0.5, negative = none)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long a drain waits for open sessions before force-aborting them")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled; unauthenticated, keep it loopback/firewalled)")
 	flag.Parse()
 
 	pol, ok := policy.ByName(*polName)
@@ -106,6 +114,20 @@ func main() {
 		Partitions:      *partitions,
 		TruncateLog:     *truncate,
 	})
+
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lockd: pprof listen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("lockd: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "lockd: pprof serve: %v\n", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -10,9 +10,10 @@
 //
 // Fault plans are deterministic values: the proxy asks its PlanFor
 // callback for the accepted connection's plan by accept index, and a
-// plan's thresholds are byte counts on the client→server stream, so a
-// given (seed, plan) cuts the same byte of the same frame every run of
-// the same schedule. The server needs no cooperation — a killed
+// plan's thresholds are byte counts on the stream its Direction selects
+// (client→server by default, server→client for response-path faults),
+// so a given (seed, plan) cuts the same byte of the same frame every
+// run of the same schedule. The server needs no cooperation — a killed
 // connection exercises exactly the teardown path a real client crash
 // does, which is the point.
 package chaos
@@ -21,9 +22,29 @@ import (
 	"time"
 )
 
+// Direction selects which half of a relayed connection a plan's faults
+// apply to. The zero value is the request stream (client→server), the
+// original fault surface; ServerToClient turns the same kill/delay/
+// stall machinery on the response stream, so a plan can cut a response
+// frame mid-byte — the client-side analogue of a truncated request.
+type Direction int
+
+const (
+	// ClientToServer injects faults on the request stream (default).
+	ClientToServer Direction = iota
+	// ServerToClient injects faults on the response stream; the request
+	// stream relays transparently.
+	ServerToClient
+)
+
 // Plan is one connection's fault schedule. All byte thresholds count
-// relayed client→server bytes; the zero value is a transparent relay.
+// relayed bytes in the plan's Direction (client→server by default);
+// the zero value is a transparent relay.
 type Plan struct {
+	// Direction selects the faulty half of the connection; the other
+	// half always relays transparently, so corruption on it is always
+	// attributable to a cut on the faulty side.
+	Direction Direction
 	// KillAfter kills the connection — both directions, abruptly —
 	// once this many client→server bytes have been relayed. The cut is
 	// byte-exact and deliberately lands mid-frame when the threshold
@@ -69,6 +90,9 @@ func (p Plan) String() string {
 	}
 	if p.StallAfter > 0 && p.Stall > 0 {
 		add("stall")
+	}
+	if p.Direction == ServerToClient {
+		s = "s2c:" + s
 	}
 	return s
 }

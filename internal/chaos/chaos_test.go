@@ -14,7 +14,9 @@ import (
 	"locksafe/internal/model"
 	"locksafe/internal/policy"
 	"locksafe/internal/runtime"
+	"locksafe/internal/server"
 	"locksafe/internal/workload"
+	"locksafe/pkg/client"
 )
 
 // echoServer accepts connections and echoes bytes back until EOF.
@@ -251,6 +253,94 @@ func TestProxyKillAll(t *testing.T) {
 	}
 }
 
+// TestProxyServerToClientKill pins the response-path fault: the same
+// byte-exact kill machinery pointed at the server→client stream cuts
+// the response mid-message — the client receives exactly KillAfter
+// bytes — while the request stream relays untouched.
+func TestProxyServerToClientKill(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	const reqN, respN = 32, 64
+	gotReq := make(chan int, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		n, _ := io.ReadFull(c, make([]byte, reqN))
+		gotReq <- n
+		c.Write(make([]byte, respN))
+		io.Copy(io.Discard, c) // hold the connection until the proxy cuts it
+	}()
+	const kill = 10
+	p, err := NewProxy(ln.Addr().String(), func(i int) Plan {
+		return Plan{Direction: ServerToClient, KillAfter: kill}
+	})
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer p.Close()
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Write(make([]byte, reqN)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	select {
+	case n := <-gotReq:
+		if n != reqN {
+			t.Fatalf("server received %d request bytes, want all %d (request side must be transparent)", n, reqN)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never saw the request")
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n, rerr := io.Copy(io.Discard, c)
+	if n != kill {
+		t.Fatalf("client received %d response bytes, want exactly %d (err %v)", n, kill, rerr)
+	}
+	if p.Killed() != 1 {
+		t.Fatalf("Killed() = %d, want 1", p.Killed())
+	}
+}
+
+// TestProxyResponseKillMidFrame drives the real protocol through a
+// response-path kill: the cut lands inside the server's hello response
+// frame (after its 4-byte header but before the payload completes), so
+// the client's dial fails with a connection error instead of hanging or
+// misparsing — the client-side twin of the server's truncated-request
+// teardown.
+func TestProxyResponseKillMidFrame(t *testing.T) {
+	srv := server.New(model.NewState("a"), runtime.Config{Policy: policy.TwoPhase{}})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown(5 * time.Second)
+	// 6 bytes of response: the frame header and two payload bytes — a
+	// mid-frame cut on any hello response.
+	p, err := NewProxy(ln.Addr().String(), func(i int) Plan {
+		return Plan{Direction: ServerToClient, KillAfter: 6}
+	})
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer p.Close()
+	if _, err := client.Dial(p.Addr()); err == nil {
+		t.Fatal("dial succeeded across a mid-frame response kill")
+	}
+	if p.Killed() != 1 {
+		t.Fatalf("Killed() = %d, want 1", p.Killed())
+	}
+}
+
 // TestPlanSummary pins Faulty and String, which E18's report tables
 // lean on.
 func TestPlanSummary(t *testing.T) {
@@ -265,6 +355,8 @@ func TestPlanSummary(t *testing.T) {
 		{Plan{DelayEvery: 64}, false, "clean"},
 		{Plan{StallAfter: 9, Stall: time.Second}, true, "stall"},
 		{Plan{KillAfter: 1, DelayEvery: 2, Delay: 1, StallAfter: 3, Stall: 1}, true, "kill+delay+stall"},
+		{Plan{Direction: ServerToClient, KillAfter: 100}, true, "s2c:kill"},
+		{Plan{Direction: ServerToClient}, false, "clean"},
 	}
 	for _, tc := range cases {
 		if got := tc.plan.Faulty(); got != tc.faulty {

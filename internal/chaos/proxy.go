@@ -142,9 +142,16 @@ func (p *Proxy) acceptLoop() {
 		}
 		p.conns[pc] = struct{}{}
 		p.mu.Unlock()
+		// The plan's Direction picks which half carries the faults; the
+		// other half gets the zero plan, which the relay loop treats as
+		// a transparent passthrough.
+		c2s, s2c := plan, Plan{}
+		if plan.Direction == ServerToClient {
+			c2s, s2c = Plan{}, plan
+		}
 		p.wg.Add(2)
-		go p.relayFaulty(pc, plan)
-		go p.relayPlain(pc)
+		go p.relay(pc, pc.client, pc.server, c2s)
+		go p.relay(pc, pc.server, pc.client, s2c)
 	}
 }
 
@@ -155,10 +162,12 @@ func (p *Proxy) forget(pc *proxyConn) {
 	p.mu.Unlock()
 }
 
-// relayFaulty relays client→server under the plan: byte thresholds are
+// relay moves bytes src→dst under the plan: byte thresholds are
 // applied inside chunks, so a kill or stall lands on the exact byte —
-// mid-frame when the schedule says so.
-func (p *Proxy) relayFaulty(pc *proxyConn, plan Plan) {
+// mid-frame when the schedule says so. The zero plan is a transparent
+// passthrough, so both halves of a connection run the same loop and
+// only one carries the faults.
+func (p *Proxy) relay(pc *proxyConn, src, dst net.Conn, plan Plan) {
 	defer p.wg.Done()
 	defer p.forget(pc)
 	defer pc.close()
@@ -166,7 +175,7 @@ func (p *Proxy) relayFaulty(pc *proxyConn, plan Plan) {
 	var relayed int64
 	stalled := false
 	for {
-		n, rerr := pc.client.Read(buf)
+		n, rerr := src.Read(buf)
 		chunk := buf[:n]
 		for len(chunk) > 0 {
 			// The next fault boundary inside this chunk, if any.
@@ -187,7 +196,7 @@ func (p *Proxy) relayFaulty(pc *proxyConn, plan Plan) {
 				}
 			}
 			if write > 0 {
-				if _, werr := pc.server.Write(chunk[:write]); werr != nil {
+				if _, werr := dst.Write(chunk[:write]); werr != nil {
 					return
 				}
 				relayed += write
@@ -204,26 +213,6 @@ func (p *Proxy) relayFaulty(pc *proxyConn, plan Plan) {
 			}
 			if plan.DelayEvery > 0 && plan.Delay > 0 && relayed%plan.DelayEvery == 0 && len(chunk) > 0 {
 				time.Sleep(plan.Delay)
-			}
-		}
-		if rerr != nil {
-			return
-		}
-	}
-}
-
-// relayPlain relays server→client transparently; faults are injected
-// on the request stream only, so response-side corruption is always
-// attributable to a request-side cut.
-func (p *Proxy) relayPlain(pc *proxyConn) {
-	defer p.wg.Done()
-	defer pc.close()
-	buf := make([]byte, 4096)
-	for {
-		n, rerr := pc.server.Read(buf)
-		if n > 0 {
-			if _, werr := pc.client.Write(buf[:n]); werr != nil {
-				return
 			}
 		}
 		if rerr != nil {

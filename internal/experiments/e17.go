@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -21,9 +22,13 @@ const E17Reps = 3
 type E17Row struct {
 	// Workload is "local-heavy" (1 in 16 bodies cross-partition) or
 	// "cross-heavy" (every other body cross-partition).
-	Workload   string  `json:"workload"`
-	Partitions int     `json:"partitions"`
-	Clients    int     `json:"clients"`
+	Workload   string `json:"workload"`
+	Partitions int    `json:"partitions"`
+	Clients    int    `json:"clients"`
+	// Procs is the GOMAXPROCS the cell ran under: partition scaling only
+	// pays once the scheduler has cores to spread the partitions over,
+	// so the sweep separates "more partitions" from "more parallelism".
+	Procs      int     `json:"procs"`
 	Throughput float64 `json:"commits_per_sec"`
 	Commits    int     `json:"commits"`
 	Aborts     int     `json:"aborts"`
@@ -43,16 +48,25 @@ type E17Row struct {
 //
 // Every repetition asserts correctness: all transactions commit, and
 // Close verifies the merged committed schedule serializable against the
-// engine-wide system. Wall-clock numbers are machine-dependent; on a
-// runner with fewer cores than partitions×clients the oversubscription
-// hides the parallel win (EXPERIMENTS.md records the caveat), so the
-// Report fails only on correctness, never on speed.
-func E17PartitionScaling(seed int64, partCounts, clientCounts []int) ([]E17Row, Report) {
+// engine-wide system. Wall-clock numbers are machine-dependent; the
+// GOMAXPROCS sweep (procCounts; nil = {1, 4}) makes the dependence
+// explicit: the procs=1 cells are the serialized-scheduler floor, and
+// the win from partitioning only appears in the multi-proc cells. The
+// default sweep is fixed rather than NumCPU-derived so the measurement
+// grid — and benchdiff's row-by-row match against a baseline recorded
+// on a different machine — is identical everywhere; on a runner with
+// fewer cores than procs the multi-proc cells are oversubscription, not
+// parallelism (EXPERIMENTS.md records the caveat). The Report fails
+// only on correctness, never on speed.
+func E17PartitionScaling(seed int64, partCounts, clientCounts, procCounts []int) ([]E17Row, Report) {
 	if len(partCounts) == 0 {
 		partCounts = []int{1, 2, 4, 8}
 	}
 	if len(clientCounts) == 0 {
 		clientCounts = []int{8}
+	}
+	if len(procCounts) == 0 {
+		procCounts = []int{1, 4}
 	}
 	mixes := []struct {
 		name   string
@@ -61,24 +75,30 @@ func E17PartitionScaling(seed int64, partCounts, clientCounts []int) ([]E17Row, 
 		{"local-heavy", 1.0 / 16},
 		{"cross-heavy", 0.5},
 	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
 	var rows []E17Row
 	var b strings.Builder
 	var failed string
-	fmt.Fprintf(&b, "%-12s %-11s %8s %11s %8s %7s\n",
-		"workload", "partitions", "clients", "commits/s", "commits", "aborts")
+	fmt.Fprintf(&b, "%-12s %-11s %8s %6s %11s %8s %7s\n",
+		"workload", "partitions", "clients", "procs", "commits/s", "commits", "aborts")
 	for _, mix := range mixes {
 		for _, cN := range clientCounts {
-			for _, pN := range partCounts {
-				row, err := e17Row(seed, mix.name, mix.pCross, pN, cN)
-				if err != "" && failed == "" {
-					failed = err
+			for _, procs := range procCounts {
+				runtime.GOMAXPROCS(procs)
+				for _, pN := range partCounts {
+					row, err := e17Row(seed, mix.name, mix.pCross, pN, cN, procs)
+					if err != "" && failed == "" {
+						failed = err
+					}
+					rows = append(rows, row)
+					fmt.Fprintf(&b, "%-12s %11d %8d %6d %11.0f %8d %7d\n",
+						row.Workload, row.Partitions, row.Clients, row.Procs, row.Throughput, row.Commits, row.Aborts)
 				}
-				rows = append(rows, row)
-				fmt.Fprintf(&b, "%-12s %11d %8d %11.0f %8d %7d\n",
-					row.Workload, row.Partitions, row.Clients, row.Throughput, row.Commits, row.Aborts)
 			}
 		}
 	}
+	runtime.GOMAXPROCS(prev)
 	fmt.Fprintf(&b, "\nShape: local-heavy traffic scales with partitions while cores last —\n")
 	fmt.Fprintf(&b, "disjoint sessions on different partitions share no gate, sequencer or\n")
 	fmt.Fprintf(&b, "recovery core, only the lock-manager shards. Cross-heavy traffic is\n")
@@ -92,8 +112,8 @@ func E17PartitionScaling(seed int64, partCounts, clientCounts []int) ([]E17Row, 
 
 // e17Row measures one cell, best-of E17Reps with correctness asserted
 // on every repetition.
-func e17Row(seed int64, wl string, pCross float64, partitions, clients int) (E17Row, string) {
-	row := E17Row{Workload: wl, Partitions: partitions, Clients: clients}
+func e17Row(seed int64, wl string, pCross float64, partitions, clients, procs int) (E17Row, string) {
+	row := E17Row{Workload: wl, Partitions: partitions, Clients: clients, Procs: procs}
 	const rounds, perTxn = 40, 8
 	for rep := 0; rep < E17Reps; rep++ {
 		rng := rand.New(rand.NewSource(seed + int64(rep)))

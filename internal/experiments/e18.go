@@ -65,18 +65,27 @@ type E18Row struct {
 }
 
 // e18PlanFor is the standard chaos rotation, keyed by accept index so a
-// cell's fault schedule is as deterministic as TCP timing allows: every
-// 4th connection is killed after a byte budget that grows with the
-// index (so redials make progress), the next delays every 512 bytes,
-// the next stalls once past the lease, and the 4th is clean.
+// cell's fault schedule is as deterministic as TCP timing allows: the
+// first connection of each rotation is killed on the request stream
+// after a byte budget that grows with the index (so redials make
+// progress), the next delays every 128 bytes, the next stalls once past
+// the lease, the next is killed on the response stream — the client
+// sees a response frame truncated mid-byte while the server saw every
+// request — and the 5th is clean. Byte budgets are sized to the
+// protocol version 3 binary codec's volume (a whole small transaction
+// is ~50 request bytes on the wire, ~7x fewer than the JSON codec), so
+// kills land a handful of transactions into a connection's life and
+// stalls land mid-conversation rather than never.
 func e18PlanFor(i int) chaos.Plan {
-	switch i % 4 {
+	switch i % 5 {
 	case 0:
-		return chaos.Plan{KillAfter: 2000 + 1500*int64(i)}
+		return chaos.Plan{KillAfter: 400 + 300*int64(i)}
 	case 1:
-		return chaos.Plan{DelayEvery: 512, Delay: 200 * time.Microsecond}
+		return chaos.Plan{DelayEvery: 128, Delay: 200 * time.Microsecond}
 	case 2:
-		return chaos.Plan{StallAfter: 1500, Stall: E18StallFor}
+		return chaos.Plan{StallAfter: 300, Stall: E18StallFor}
+	case 3:
+		return chaos.Plan{Direction: chaos.ServerToClient, KillAfter: 500 + 300*int64(i)}
 	default:
 		return chaos.Plan{}
 	}
@@ -84,9 +93,9 @@ func e18PlanFor(i int) chaos.Plan {
 
 // e18ChaosMix names the rotation for the report tables.
 func e18ChaosMix() string {
-	parts := make([]string, 0, 4)
+	parts := make([]string, 0, 5)
 	seen := map[string]bool{}
-	for i := 0; i < 4; i++ {
+	for i := 0; i < 5; i++ {
 		s := e18PlanFor(i).String()
 		if !seen[s] {
 			seen[s] = true

@@ -1,0 +1,63 @@
+package model
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCompactTxnRoundTrip(t *testing.T) {
+	steps := []Step{R("a"), W("b"), LX("a"), W("a"), UX("a"), D("c"), I("b")}
+	table, cs := CompactTxn(steps)
+	if want := []Entity{"a", "b", "c"}; !reflect.DeepEqual(table, want) {
+		t.Fatalf("table = %v, want %v", table, want)
+	}
+	if len(cs) != len(steps) {
+		t.Fatalf("compact body has %d steps, want %d", len(cs), len(steps))
+	}
+	back, err := ExpandCompact(table, cs)
+	if err != nil {
+		t.Fatalf("ExpandCompact: %v", err)
+	}
+	if !reflect.DeepEqual(back, steps) {
+		t.Fatalf("round trip = %v, want %v", back, steps)
+	}
+}
+
+func TestCompactTxnEmpty(t *testing.T) {
+	table, cs := CompactTxn(nil)
+	if table != nil || cs != nil {
+		t.Fatalf("CompactTxn(nil) = %v, %v, want nil, nil", table, cs)
+	}
+	back, err := ExpandCompact(nil, nil)
+	if err != nil || back != nil {
+		t.Fatalf("ExpandCompact(nil, nil) = %v, %v, want nil, nil", back, err)
+	}
+}
+
+func TestCompactStepResolveBounds(t *testing.T) {
+	table := []Entity{"a", "b"}
+	if _, err := (CompactStep{Op: Read, Idx: 2}).Resolve(table); err == nil {
+		t.Fatal("index == len(table) resolved; want out-of-range error")
+	}
+	if _, err := (CompactStep{Op: Read, Idx: 1 << 30}).Resolve(table); err == nil {
+		t.Fatal("huge index resolved; want out-of-range error")
+	}
+	if _, err := (CompactStep{Op: Op(200), Idx: 0}).Resolve(table); err == nil {
+		t.Fatal("invalid op byte resolved; want error")
+	}
+	st, err := (CompactStep{Op: LockExclusive, Idx: 1}).Resolve(table)
+	if err != nil {
+		t.Fatalf("valid compact step: %v", err)
+	}
+	if st.Op != LockExclusive || st.Ent != "b" {
+		t.Fatalf("resolved %v, want (LX b)", st)
+	}
+}
+
+func TestExpandCompactFailsFast(t *testing.T) {
+	table := []Entity{"a"}
+	cs := []CompactStep{{Op: Read, Idx: 0}, {Op: Write, Idx: 9}}
+	if _, err := ExpandCompact(table, cs); err == nil {
+		t.Fatal("body with out-of-range step expanded; want error")
+	}
+}

@@ -1,0 +1,195 @@
+package server
+
+// Codec-negotiation matrix and binary-protocol regression tests: a v3
+// server must serve v3 (binary) and v2 (JSON) clients identically,
+// refuse unknown versions, and a v3 client must surface a v2-only
+// server's refusal cleanly. The compact-step path gets its own
+// regression: an entity index past the declared table is refused
+// bad-request without executing.
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"locksafe/internal/model"
+	"locksafe/internal/policy"
+	"locksafe/internal/runtime"
+	"locksafe/internal/wire"
+	"locksafe/pkg/client"
+)
+
+// runOneTxn drives one declared transaction through a session and
+// returns the server-side commit count observed by Stats.
+func runOneTxn(t *testing.T, c *client.Client) int {
+	t.Helper()
+	tx := model.Txn{Name: "T", Steps: []model.Step{model.LX("a"), model.W("a"), model.UX("a")}}
+	s, err := c.Open(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range tx.Steps {
+		if err := s.Step(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Commits
+}
+
+func TestServerCodecNegotiationMatrix(t *testing.T) {
+	srv, addr := startServer(t, model.NewState("a"), runtime.Config{Policy: policy.TwoPhase{}, GateStripes: 4})
+	defer srv.Shutdown(time.Second)
+
+	// v3 client ↔ v3 server: binary after hello.
+	c3, err := client.Dial(addr)
+	if err != nil {
+		t.Fatalf("v3 dial: %v", err)
+	}
+	if got := runOneTxn(t, c3); got != 1 {
+		t.Fatalf("v3 commits = %d, want 1", got)
+	}
+	c3.Close()
+
+	// v2 client ↔ v3 server: JSON throughout, same semantics.
+	c2, err := client.DialVersion(addr, wire.VersionJSON)
+	if err != nil {
+		t.Fatalf("v2 dial: %v", err)
+	}
+	if got := runOneTxn(t, c2); got != 2 {
+		t.Fatalf("v2 commits = %d, want 2", got)
+	}
+	c2.Close()
+
+	// Unknown versions (older than v2, newer than v3) are refused with
+	// CodeVersion on the raw wire.
+	for _, ver := range []int{1, 99} {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wire.WriteFrame(nc, wire.Request{ID: 1, Op: wire.OpHello, Version: ver}); err != nil {
+			t.Fatal(err)
+		}
+		var resp wire.Response
+		if err := wire.ReadFrame(nc, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.OK || resp.Code != wire.CodeVersion {
+			t.Fatalf("hello v%d = %+v, want CodeVersion refusal", ver, resp)
+		}
+		nc.Close()
+	}
+}
+
+// TestClientAgainstV2OnlyServer pins the downgrade failure mode: a v3
+// client dialing a server that only speaks version 2 (a not-yet-upgraded
+// lockd in the field, simulated here by a listener answering hello the
+// way the pre-v3 server did) gets a clean ErrVersion, not a hang or a
+// codec error.
+func TestClientAgainstV2OnlyServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		reqs, err := wire.ReadRequestBatch(nc)
+		if err != nil || len(reqs) == 0 {
+			return
+		}
+		req := reqs[0]
+		if req.Op == wire.OpHello && req.Version != wire.VersionJSON {
+			wire.WriteFrame(nc, wire.Response{ID: req.ID, Code: wire.CodeVersion,
+				Err: "server speaks protocol version 2"})
+			return
+		}
+		wire.WriteFrame(nc, wire.Response{ID: req.ID, OK: true, Version: wire.VersionJSON})
+	}()
+	_, err = client.Dial(ln.Addr().String())
+	if !errors.Is(err, client.ErrVersion) {
+		t.Fatalf("v3 dial of v2-only server = %v, want ErrVersion", err)
+	}
+}
+
+// TestServerCompactIndexOutOfRange drives the raw binary protocol: a
+// step whose entity index is past the declared table must be refused
+// bad-request without executing, leaving the session's cursor, locks
+// and lease untouched — the same contract as a garbage step text under
+// JSON.
+func TestServerCompactIndexOutOfRange(t *testing.T) {
+	srv, addr := startServer(t, model.NewState("a"), runtime.Config{Policy: policy.TwoPhase{}, GateStripes: 4})
+	defer srv.Shutdown(time.Second)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	rd, wr := wire.NewReader(nc), wire.NewWriter(nc)
+	defer rd.Release()
+	defer wr.Release()
+	roundTrip := func(req wire.Request) wire.Response {
+		t.Helper()
+		if err := wr.WriteRequests([]wire.Request{req}); err != nil {
+			t.Fatal(err)
+		}
+		if err := wr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		resps, err := rd.ReadResponses()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resps) != 1 {
+			t.Fatalf("got %d responses, want 1", len(resps))
+		}
+		return resps[0]
+	}
+
+	if resp := roundTrip(wire.Request{ID: 1, Op: wire.OpHello, Version: wire.Version}); !resp.OK {
+		t.Fatalf("hello refused: %+v", resp)
+	}
+	rd.SetCodec(wire.CodecBinary)
+	wr.SetCodec(wire.CodecBinary)
+
+	table, csteps := model.CompactTxn([]model.Step{model.LX("a"), model.W("a"), model.UX("a")})
+	open := roundTrip(wire.Request{ID: 2, Op: wire.OpOpen, Name: "T", Table: table, CSteps: csteps})
+	if !open.OK {
+		t.Fatalf("open refused: %+v", open)
+	}
+
+	// Index 7 of a 1-entity table: refused bad-request, not executed.
+	bad := roundTrip(wire.Request{ID: 3, Op: wire.OpStep, SID: open.SID,
+		CStep: model.CompactStep{Op: model.LockExclusive, Idx: 7}, HasCompact: true})
+	if bad.OK || bad.Code != wire.CodeBadReq {
+		t.Fatalf("out-of-range step = %+v, want CodeBadReq", bad)
+	}
+
+	// The session is untouched: the declared body still runs to commit,
+	// and the rejected request contributed no events.
+	for i, cs := range csteps {
+		if resp := roundTrip(wire.Request{ID: 4 + uint64(i), Op: wire.OpStep, SID: open.SID,
+			CStep: cs, HasCompact: true}); !resp.OK {
+			t.Fatalf("declared step %d refused after bad index: %+v", i, resp)
+		}
+	}
+	if resp := roundTrip(wire.Request{ID: 9, Op: wire.OpCommit, SID: open.SID}); !resp.OK {
+		t.Fatalf("commit refused: %+v", resp)
+	}
+	stats := roundTrip(wire.Request{ID: 10, Op: wire.OpStats})
+	if stats.Stats == nil || stats.Stats.Commits != 1 || stats.Stats.Events != 3 {
+		t.Fatalf("stats = %+v, want commits=1 events=3", stats.Stats)
+	}
+}

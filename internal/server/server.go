@@ -1,6 +1,7 @@
 // Package server exposes the session runtime (internal/runtime.Engine)
-// over the network as the lockd service: length-prefixed JSON frames
-// (internal/wire) over TCP, one reader goroutine per connection, one
+// over the network as the lockd service: length-prefixed frames
+// (internal/wire; JSON or the negotiated version 3 binary codec) over
+// TCP, one reader goroutine per connection, one
 // worker goroutine per open session so a session parked on a lock never
 // blocks the connection's other sessions, and pipelined requests with
 // out-of-order responses matched by request id. Frames may batch many
@@ -28,7 +29,6 @@
 package server
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -109,6 +109,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		c := &conn{
 			srv:      s,
 			nc:       nc,
+			rd:       wire.NewReader(nc),
 			wake:     make(chan struct{}, 1),
 			wdone:    make(chan struct{}),
 			sessions: make(map[uint64]*sessWorker),
@@ -169,12 +170,21 @@ func (s *Server) Shutdown(timeout time.Duration) (*runtime.Result, error) {
 type conn struct {
 	srv *Server
 	nc  net.Conn
+	rd  *wire.Reader // owned by the serve goroutine
 
-	wmu   sync.Mutex // outgoing responses + writer lifecycle
-	outq  []wire.Response
-	wstop bool
-	wake  chan struct{} // kicks the writer; buffered 1
-	wdone chan struct{} // closed when the writer exits
+	wmu   sync.Mutex      // outgoing responses + writer lifecycle
+	outq  []wire.Response // pending responses (nil when drained)
+	spare []wire.Response // recycled backlog slice from the last drain
+	// wswitch marks a codec switch within the queue: after writing the
+	// first wswitch responses of the current backlog the writer changes
+	// to wswitchTo (0 = no switch pending). Set when the hello response
+	// of a successful version 3 negotiation is queued, so the hello
+	// answer leaves in JSON and everything after it in binary.
+	wswitch   int
+	wswitchTo wire.Codec
+	wstop     bool
+	wake      chan struct{} // kicks the writer; buffered 1
+	wdone     chan struct{} // closed when the writer exits
 
 	smu      sync.Mutex
 	sessions map[uint64]*sessWorker
@@ -193,9 +203,16 @@ type conn struct {
 // accumulating workers.
 type sessWorker struct {
 	sess runtime.Sess
+	// table is the session's declared entity table (binary codec);
+	// compact step requests resolve their entity index against it. Nil
+	// for JSON sessions, whose steps arrive as text. Written once at
+	// open, read only by the runner.
+	table []model.Entity
 
 	mu       sync.Mutex
-	queue    []wire.Request
+	queue    []wire.Request // awaiting pickup by the runner
+	spare    []wire.Request // recycled batch from the runner's last grab
+	pending  int            // queued + executing requests (pipeline bound)
 	running  bool
 	finished bool
 
@@ -208,9 +225,9 @@ type sessWorker struct {
 
 func (c *conn) serve() {
 	defer c.teardown()
-	br := bufio.NewReader(c.nc)
+	defer c.rd.Release()
 	for {
-		reqs, err := wire.ReadRequestBatch(br)
+		reqs, err := c.rd.ReadRequests()
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				// Protocol error or mid-frame disconnect: nothing more to
@@ -231,12 +248,25 @@ func (c *conn) serve() {
 func (c *conn) handle(req wire.Request) bool {
 	switch req.Op {
 	case wire.OpHello:
-		if req.Version != wire.Version {
+		switch req.Version {
+		case wire.Version:
+			// Version 3: answer the hello in the codec it arrived in, then
+			// both directions go binary. The reader switches here — the
+			// client won't emit a binary frame until it has our answer, so
+			// nothing already buffered can be mis-decoded. The writer
+			// switches exactly after the hello response via the queue
+			// marker, so earlier queued responses (there are none in a
+			// conforming handshake, but a pipelined pre-hello burst is
+			// legal to refuse) still leave in JSON.
+			c.sendSwitchAfter(wire.Response{ID: req.ID, OK: true, Version: wire.Version, Policy: c.srv.policy}, wire.CodecBinary)
+			c.rd.SetCodec(wire.CodecBinary)
+		case wire.VersionJSON:
+			c.send(wire.Response{ID: req.ID, OK: true, Version: wire.VersionJSON, Policy: c.srv.policy})
+		default:
 			c.send(wire.Response{ID: req.ID, Code: wire.CodeVersion,
-				Err: fmt.Sprintf("server speaks protocol version %d, client sent %d", wire.Version, req.Version)})
+				Err: fmt.Sprintf("server speaks protocol versions %d and %d, client sent %d", wire.VersionJSON, wire.Version, req.Version)})
 			return true
 		}
-		c.send(wire.Response{ID: req.ID, OK: true, Version: wire.Version, Policy: c.srv.policy})
 	case wire.OpStats:
 		c.send(statsResponse(req.ID, c.srv.eng))
 	case wire.OpInspect:
@@ -266,7 +296,30 @@ func (c *conn) send(resp wire.Response) {
 		c.wmu.Unlock()
 		return
 	}
+	if c.outq == nil && c.spare != nil {
+		c.outq, c.spare = c.spare, nil
+	}
 	c.outq = append(c.outq, resp)
+	c.wmu.Unlock()
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+}
+
+// sendSwitchAfter queues one response and marks the writer to change
+// codec immediately after writing it.
+func (c *conn) sendSwitchAfter(resp wire.Response, to wire.Codec) {
+	c.wmu.Lock()
+	if c.wstop {
+		c.wmu.Unlock()
+		return
+	}
+	if c.outq == nil && c.spare != nil {
+		c.outq, c.spare = c.spare, nil
+	}
+	c.outq = append(c.outq, resp)
+	c.wswitch, c.wswitchTo = len(c.outq), to
 	c.wmu.Unlock()
 	select {
 	case c.wake <- struct{}{}:
@@ -280,15 +333,19 @@ func (c *conn) send(resp wire.Response) {
 // pipelined burst leave in one frame and one syscall.
 func (c *conn) writeLoop() {
 	defer close(c.wdone)
-	bw := bufio.NewWriter(c.nc)
+	w := wire.NewWriter(c.nc)
+	defer w.Release()
 	for {
 		c.wmu.Lock()
 		batch := c.outq
 		c.outq = nil
+		k := c.wswitch
+		to := c.wswitchTo
+		c.wswitch = 0
 		stop := c.wstop
 		c.wmu.Unlock()
 		if len(batch) == 0 {
-			if err := bw.Flush(); err != nil {
+			if err := w.Flush(); err != nil {
 				c.wfail()
 				return
 			}
@@ -298,10 +355,31 @@ func (c *conn) writeLoop() {
 			<-c.wake
 			continue
 		}
-		if err := wire.WriteResponseBatch(bw, batch); err != nil {
+		var err error
+		if k > 0 {
+			// A codec switch lands mid-backlog: everything up to and
+			// including the negotiating hello's response goes out in the
+			// old codec, the rest in the new one.
+			if err = w.WriteResponses(batch[:k]); err == nil {
+				w.SetCodec(to)
+				if k < len(batch) {
+					err = w.WriteResponses(batch[k:])
+				}
+			}
+		} else {
+			err = w.WriteResponses(batch)
+		}
+		if err != nil {
 			c.wfail()
 			return
 		}
+		// Recycle the drained backlog so a steady-state connection stops
+		// allocating response slices.
+		c.wmu.Lock()
+		if c.spare == nil {
+			c.spare = batch[:0]
+		}
+		c.wmu.Unlock()
 	}
 }
 
@@ -321,7 +399,7 @@ func (c *conn) open(req wire.Request) {
 		c.send(wire.Response{ID: req.ID, Code: wire.CodeClosed, Err: "server draining"})
 		return
 	}
-	steps, err := wire.DecodeSteps(req.Txn)
+	steps, err := req.DeclaredSteps()
 	if err != nil {
 		c.send(wire.Response{ID: req.ID, Code: wire.CodeBadReq, Err: err.Error()})
 		return
@@ -335,7 +413,7 @@ func (c *conn) open(req wire.Request) {
 		c.send(wire.Response{ID: req.ID, Code: code, Err: err.Error()})
 		return
 	}
-	w := &sessWorker{sess: sess}
+	w := &sessWorker{sess: sess, table: req.Table}
 	c.smu.Lock()
 	if c.closing {
 		c.smu.Unlock()
@@ -358,7 +436,7 @@ func (c *conn) runProc(req wire.Request) {
 		c.send(wire.Response{ID: req.ID, Code: wire.CodeClosed, Err: "server draining"})
 		return
 	}
-	steps, err := wire.DecodeSteps(req.Txn)
+	steps, err := req.DeclaredSteps()
 	if err != nil {
 		c.send(wire.Response{ID: req.ID, Code: wire.CodeBadReq, Err: err.Error()})
 		return
@@ -407,11 +485,15 @@ func (c *conn) dispatch(req wire.Request) {
 	case w.finished:
 		w.mu.Unlock()
 		c.send(wire.Response{ID: req.ID, Code: wire.CodeDone, Err: "session already finished"})
-	case len(w.queue) >= sessionQueue:
+	case w.pending >= sessionQueue:
 		w.mu.Unlock()
 		c.send(wire.Response{ID: req.ID, Code: wire.CodeBadReq, Err: fmt.Sprintf("session pipeline deeper than %d requests", sessionQueue)})
 	default:
+		if w.queue == nil && w.spare != nil {
+			w.queue, w.spare = w.spare, nil
+		}
 		w.queue = append(w.queue, req)
+		w.pending++
 		if !w.running {
 			w.running = true
 			c.workers.Add(1)
@@ -422,81 +504,120 @@ func (c *conn) dispatch(req wire.Request) {
 }
 
 // runWorker executes one session's queued requests in order, exiting
-// when the queue empties or the session finishes.
+// when the queue empties or the session finishes. It takes the queued
+// backlog a whole batch at a time and hands the processed batch back as
+// the dispatcher's spare, so a steady-state pipeline recycles two
+// request slices instead of allocating.
 func (c *conn) runWorker(sid uint64, w *sessWorker) {
 	defer c.workers.Done()
+	var done []wire.Request // last processed batch, recycled via spare
 	for {
 		w.mu.Lock()
+		if done != nil && w.spare == nil {
+			w.spare = done[:0]
+		}
+		done = nil
 		if len(w.queue) == 0 {
 			w.running = false
 			w.mu.Unlock()
 			return
 		}
-		req := w.queue[0]
-		w.queue = w.queue[1:]
+		work := w.queue
+		w.queue = nil
 		w.mu.Unlock()
 
-		// Attempt gate for step/commit: a request tagged below the
-		// session's current attempt is a late pipelined message of an
-		// attempt this worker already reported aborted. Executing it
-		// would corrupt the retry (the reset cursor would accept it as
-		// the retry's next declared step), so refuse without executing.
-		// Abort is exempt: it closes the session whatever the attempt.
-		if req.Op == wire.OpStep || req.Op == wire.OpCommit {
-			if req.Attempt < w.attempt {
-				c.send(wire.Response{ID: req.ID, Code: wire.CodeAborted, SID: sid,
-					Err: fmt.Sprintf("stale attempt %d (session is on attempt %d); retry from the first declared step", req.Attempt, w.attempt)})
-				continue
-			}
-			if req.Attempt > w.attempt {
-				c.send(wire.Response{ID: req.ID, Code: wire.CodeBadReq, SID: sid,
-					Err: fmt.Sprintf("attempt %d is ahead of the session's attempt %d", req.Attempt, w.attempt)})
-				continue
-			}
-		}
+		for wi := range work {
+			req := work[wi]
 
-		var err error
-		switch req.Op {
-		case wire.OpStep:
-			st, perr := model.ParseStep(req.Step)
-			if perr != nil {
-				// A garbage step is the *request's* problem, not the
-				// session's: refuse it and leave the session (and its
-				// locks, cursor and lease) untouched.
-				c.send(wire.Response{ID: req.ID, Code: wire.CodeBadReq, Err: perr.Error(), SID: sid})
-				continue
+			// Attempt gate for step/commit: a request tagged below the
+			// session's current attempt is a late pipelined message of an
+			// attempt this worker already reported aborted. Executing it
+			// would corrupt the retry (the reset cursor would accept it as
+			// the retry's next declared step), so refuse without executing.
+			// Abort is exempt: it closes the session whatever the attempt.
+			if req.Op == wire.OpStep || req.Op == wire.OpCommit {
+				if req.Attempt < w.attempt {
+					c.send(wire.Response{ID: req.ID, Code: wire.CodeAborted, SID: sid,
+						Err: fmt.Sprintf("stale attempt %d (session is on attempt %d); retry from the first declared step", req.Attempt, w.attempt)})
+					w.decrement()
+					continue
+				}
+				if req.Attempt > w.attempt {
+					c.send(wire.Response{ID: req.ID, Code: wire.CodeBadReq, SID: sid,
+						Err: fmt.Sprintf("attempt %d is ahead of the session's attempt %d", req.Attempt, w.attempt)})
+					w.decrement()
+					continue
+				}
 			}
-			err = w.sess.Step(st)
-		case wire.OpCommit:
-			err = w.sess.Commit()
-		case wire.OpAbort:
-			err = w.sess.Abort()
-		}
-		if errors.Is(err, runtime.ErrAborted) {
-			// The client bumps its attempt counter when it sees this
-			// response; bump ours in lockstep.
-			w.attempt++
-		}
-		resp := wire.Response{ID: req.ID, OK: err == nil, SID: sid}
-		if err != nil {
-			resp.Code, resp.Err = codeFor(err), err.Error()
-		}
-		if sessionOver(req.Op, err) {
-			w.mu.Lock()
-			w.finished = true
-			w.running = false
-			rest := w.queue
-			w.queue = nil
-			w.mu.Unlock()
+
+			var err error
+			switch req.Op {
+			case wire.OpStep:
+				var st model.Step
+				var perr error
+				if req.HasCompact {
+					// Binary codec: resolve (opByte, entityIndex) against
+					// the table declared at open — no parsing, no
+					// allocation. An out-of-range index is refused below
+					// without executing.
+					st, perr = req.CStep.Resolve(w.table)
+				} else {
+					st, perr = model.ParseStep(req.Step)
+				}
+				if perr != nil {
+					// A garbage step is the *request's* problem, not the
+					// session's: refuse it and leave the session (and its
+					// locks, cursor and lease) untouched.
+					c.send(wire.Response{ID: req.ID, Code: wire.CodeBadReq, Err: perr.Error(), SID: sid})
+					w.decrement()
+					continue
+				}
+				err = w.sess.Step(st)
+			case wire.OpCommit:
+				err = w.sess.Commit()
+			case wire.OpAbort:
+				err = w.sess.Abort()
+			}
+			if errors.Is(err, runtime.ErrAborted) {
+				// The client bumps its attempt counter when it sees this
+				// response; bump ours in lockstep.
+				w.attempt++
+			}
+			resp := wire.Response{ID: req.ID, OK: err == nil, SID: sid}
+			if err != nil {
+				resp.Code, resp.Err = codeFor(err), err.Error()
+			}
+			if sessionOver(req.Op, err) {
+				w.mu.Lock()
+				w.finished = true
+				w.running = false
+				rest := w.queue
+				w.queue = nil
+				w.pending = 0
+				w.mu.Unlock()
+				c.send(resp)
+				for _, r := range work[wi+1:] {
+					c.send(wire.Response{ID: r.ID, Code: wire.CodeDone, Err: "session already finished"})
+				}
+				for _, r := range rest {
+					c.send(wire.Response{ID: r.ID, Code: wire.CodeDone, Err: "session already finished"})
+				}
+				c.forget(sid)
+				return
+			}
 			c.send(resp)
-			for _, r := range rest {
-				c.send(wire.Response{ID: r.ID, Code: wire.CodeDone, Err: "session already finished"})
-			}
-			c.forget(sid)
-			return
+			w.decrement()
 		}
-		c.send(resp)
+		done = work
 	}
+}
+
+// decrement releases one slot of the session's pipeline bound after its
+// request has been answered.
+func (w *sessWorker) decrement() {
+	w.mu.Lock()
+	w.pending--
+	w.mu.Unlock()
 }
 
 // sessionOver reports whether the request left the session finished.

@@ -125,7 +125,8 @@ func TestServerGarbageStepKeepsSession(t *testing.T) {
 		}
 		return resp
 	}
-	roundTrip(wire.Request{ID: 1, Op: wire.OpHello, Version: wire.Version})
+	// Raw JSON frames throughout: negotiate the JSON protocol version.
+	roundTrip(wire.Request{ID: 1, Op: wire.OpHello, Version: wire.VersionJSON})
 	open := roundTrip(wire.Request{ID: 2, Op: wire.OpOpen, Txn: []string{"(LX a)", "(W a)", "(UX a)"}})
 	if !open.OK {
 		t.Fatalf("open refused: %+v", open)
@@ -235,15 +236,20 @@ func TestSessionGateEquivalence(t *testing.T) {
 			} else if got != want {
 				t.Fatalf("%s seed %d: in-process sessions diverge:\n--- sessions ---\n%s\n--- batch ---\n%s", arm.name, seed, got, want)
 			}
-			if got, err := driveNetwork(t, sys, sched, cfg, arm.commit); err != nil {
-				t.Fatalf("%s seed %d: network: %v", arm.name, seed, err)
-			} else if got != want {
-				t.Fatalf("%s seed %d: network sessions diverge:\n--- network ---\n%s\n--- batch ---\n%s", arm.name, seed, got, want)
-			}
-			if got, err := driveNetworkPipelined(t, sys, sched, cfg, arm.commit); err != nil {
-				t.Fatalf("%s seed %d: pipelined: %v", arm.name, seed, err)
-			} else if got != want {
-				t.Fatalf("%s seed %d: pipelined sessions diverge:\n--- pipelined ---\n%s\n--- batch ---\n%s", arm.name, seed, got, want)
+			// Codec dimension: the v2-JSON and v3-binary transports must
+			// both land on the batch replay's digest — same engine calls,
+			// different wire representation.
+			for _, ver := range []int{wire.VersionJSON, wire.Version} {
+				if got, err := driveNetwork(t, sys, sched, cfg, arm.commit, ver); err != nil {
+					t.Fatalf("%s seed %d v%d: network: %v", arm.name, seed, ver, err)
+				} else if got != want {
+					t.Fatalf("%s seed %d v%d: network sessions diverge:\n--- network ---\n%s\n--- batch ---\n%s", arm.name, seed, ver, got, want)
+				}
+				if got, err := driveNetworkPipelined(t, sys, sched, cfg, arm.commit, ver); err != nil {
+					t.Fatalf("%s seed %d v%d: pipelined: %v", arm.name, seed, ver, err)
+				} else if got != want {
+					t.Fatalf("%s seed %d v%d: pipelined sessions diverge:\n--- pipelined ---\n%s\n--- batch ---\n%s", arm.name, seed, ver, got, want)
+				}
 			}
 
 			if !arm.commit {
@@ -268,20 +274,22 @@ func TestSessionGateEquivalence(t *testing.T) {
 			sm := sref.Metrics
 			swant := digest(sref.Log, sref.State, sref.MonitorKey, sref.Serializable,
 				sm.Commits, sm.GaveUp, sm.DeadlockAborts, sm.PolicyAborts, sm.ImproperAborts, sm.CascadeAborts, sm.Events)
-			if got, err := driveNetwork(t, sys, serial, scfg, true); err != nil {
-				t.Fatalf("%s seed %d: serial network: %v", arm.name, seed, err)
-			} else if got != swant {
-				t.Fatalf("%s seed %d: serial per-step diverges:\n--- per-step ---\n%s\n--- batch ---\n%s", arm.name, seed, got, swant)
-			}
-			if got, err := driveNetworkPipelined(t, sys, serial, scfg, true); err != nil {
-				t.Fatalf("%s seed %d: serial pipelined: %v", arm.name, seed, err)
-			} else if got != swant {
-				t.Fatalf("%s seed %d: serial pipelined diverges:\n--- pipelined ---\n%s\n--- batch ---\n%s", arm.name, seed, got, swant)
-			}
-			if got, err := driveNetworkRun(t, sys, scfg); err != nil {
-				t.Fatalf("%s seed %d: run mode: %v", arm.name, seed, err)
-			} else if got != swant {
-				t.Fatalf("%s seed %d: run mode diverges:\n--- run ---\n%s\n--- batch ---\n%s", arm.name, seed, got, swant)
+			for _, ver := range []int{wire.VersionJSON, wire.Version} {
+				if got, err := driveNetwork(t, sys, serial, scfg, true, ver); err != nil {
+					t.Fatalf("%s seed %d v%d: serial network: %v", arm.name, seed, ver, err)
+				} else if got != swant {
+					t.Fatalf("%s seed %d v%d: serial per-step diverges:\n--- per-step ---\n%s\n--- batch ---\n%s", arm.name, seed, ver, got, swant)
+				}
+				if got, err := driveNetworkPipelined(t, sys, serial, scfg, true, ver); err != nil {
+					t.Fatalf("%s seed %d v%d: serial pipelined: %v", arm.name, seed, ver, err)
+				} else if got != swant {
+					t.Fatalf("%s seed %d v%d: serial pipelined diverges:\n--- pipelined ---\n%s\n--- batch ---\n%s", arm.name, seed, ver, got, swant)
+				}
+				if got, err := driveNetworkRun(t, sys, scfg, ver); err != nil {
+					t.Fatalf("%s seed %d v%d: run mode: %v", arm.name, seed, ver, err)
+				} else if got != swant {
+					t.Fatalf("%s seed %d v%d: run mode diverges:\n--- run ---\n%s\n--- batch ---\n%s", arm.name, seed, ver, got, swant)
+				}
 			}
 		}
 	}
@@ -329,9 +337,9 @@ func driveInProcess(sys *model.System, sched model.Schedule, cfg runtime.Config,
 
 // driveNetwork replays the trace through pkg/client sessions against an
 // in-memory lockd on loopback, single-threaded.
-func driveNetwork(t *testing.T, sys *model.System, sched model.Schedule, cfg runtime.Config, commit bool) (string, error) {
+func driveNetwork(t *testing.T, sys *model.System, sched model.Schedule, cfg runtime.Config, commit bool, version int) (string, error) {
 	srv, addr := startServer(t, sys.Init, cfg)
-	c, err := client.Dial(addr)
+	c, err := client.DialVersion(addr, version)
 	if err != nil {
 		return "", err
 	}
@@ -387,9 +395,9 @@ func driveNetwork(t *testing.T, sys *model.System, sched model.Schedule, cfg run
 // still executes in trace order (at most one session has requests in
 // flight) while the transport carries whole segments per round trip. A
 // commit rides the same burst as its transaction's last steps.
-func driveNetworkPipelined(t *testing.T, sys *model.System, sched model.Schedule, cfg runtime.Config, commit bool) (string, error) {
+func driveNetworkPipelined(t *testing.T, sys *model.System, sched model.Schedule, cfg runtime.Config, commit bool, version int) (string, error) {
 	srv, addr := startServer(t, sys.Init, cfg)
-	c, err := client.Dial(addr)
+	c, err := client.DialVersion(addr, version)
 	if err != nil {
 		return "", err
 	}
@@ -471,9 +479,9 @@ func driveNetworkPipelined(t *testing.T, sys *model.System, sched model.Schedule
 // mode, in order: the body ships once per transaction and the engine
 // drives it server-side. With a zero retry budget an aborted
 // transaction answers ErrAbandoned, mirroring the replay's drop.
-func driveNetworkRun(t *testing.T, sys *model.System, cfg runtime.Config) (string, error) {
+func driveNetworkRun(t *testing.T, sys *model.System, cfg runtime.Config, version int) (string, error) {
 	srv, addr := startServer(t, sys.Init, cfg)
-	c, err := client.Dial(addr)
+	c, err := client.DialVersion(addr, version)
 	if err != nil {
 		return "", err
 	}
@@ -578,7 +586,7 @@ func TestServerUnknownOp(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer nc.Close()
-	if err := wire.WriteFrame(nc, wire.Request{ID: 1, Op: wire.OpHello, Version: wire.Version}); err != nil {
+	if err := wire.WriteFrame(nc, wire.Request{ID: 1, Op: wire.OpHello, Version: wire.VersionJSON}); err != nil {
 		t.Fatal(err)
 	}
 	var resp wire.Response

@@ -1,4 +1,4 @@
-// Package wire defines the lockd network protocol: length-prefixed JSON
+// Package wire defines the lockd network protocol: length-prefixed
 // frames over a byte stream, with versioned hello, session lifecycle
 // requests (open / step / commit / abort), a one-round-trip
 // stored-procedure mode (run), and diagnostics (stats / inspect). It is
@@ -7,12 +7,14 @@
 // transcript.
 //
 // Framing: every message is a 4-byte big-endian payload length followed
-// by that many bytes of JSON. The payload is either one Request or
-// Response object, or — a *batch* — a JSON array of several, so a
-// pipelined burst costs one frame (and typically one syscall) per
-// direction instead of one per step. Frames are bounded by MaxFrame; an
-// oversized length is a protocol error and the peer closes the
-// connection.
+// by that many payload bytes, in one of two codecs negotiated at hello:
+// the version 2 JSON codec — one Request or Response object, or a
+// *batch* (a JSON array of several) — or the version 3 binary codec
+// (binary.go): a 0xB3 magic byte, a message count, and that many
+// compact binary messages. Either way a pipelined burst costs one frame
+// (and typically one syscall) per direction instead of one per step.
+// Frames are bounded by MaxFrame; an oversized length is a protocol
+// error and the peer closes the connection.
 //
 // Pipelining: a client may send further requests before earlier
 // responses arrive. Responses carry the request's id and may arrive out
@@ -34,12 +36,21 @@ import (
 	"locksafe/internal/model"
 )
 
-// Version is the protocol version spoken by this tree. A hello with a
-// different version is refused with CodeVersion. Version 2 added batch
-// frames, attempt tags and the run op (all of PR 6's transport layers).
-const Version = 2
+// Version is the newest protocol version spoken by this tree. Version 2
+// added batch frames, attempt tags and the run op (all of PR 6's
+// transport layers); version 3 adds the binary codec (varint fields,
+// single-byte ops/codes, compact steps against a per-session entity
+// table). The server accepts hellos for both Version and VersionJSON
+// and refuses anything else with CodeVersion; the codec of every frame
+// after the hello exchange follows the negotiated version.
+const Version = 3
 
-// MaxFrame bounds a frame's JSON payload (requests and responses); the
+// VersionJSON is protocol version 2: the same message vocabulary as
+// version 3, JSON codec throughout. Kept live so v2 peers interoperate
+// unchanged with a v3 server.
+const VersionJSON = 2
+
+// MaxFrame bounds a frame's payload (requests and responses); the
 // dominant size is a declared transaction body or an inspect log dump.
 // Batch writers split a larger burst across several frames.
 const MaxFrame = 1 << 20
@@ -93,6 +104,27 @@ type Request struct {
 	// a late message of a torn-down attempt and is refused CodeAborted
 	// without touching the session.
 	Attempt int `json:"attempt,omitempty"`
+
+	// Compact body (binary codec only, never in JSON). Under version 3,
+	// open and run carry the declared body as Table + CSteps instead of
+	// Txn, and step requests carry CStep (HasCompact distinguishes a
+	// real compact step from the zero value) instead of Step. Exactly
+	// one representation is populated per message; DeclaredSteps and the
+	// server's per-step path accept either.
+	Table      []model.Entity      `json:"-"`
+	CSteps     []model.CompactStep `json:"-"`
+	CStep      model.CompactStep   `json:"-"`
+	HasCompact bool                `json:"-"`
+}
+
+// DeclaredSteps decodes an open/run request's declared body, whichever
+// representation it arrived in: compact (binary codec) or step texts
+// (JSON codec).
+func (r *Request) DeclaredSteps() ([]model.Step, error) {
+	if r.Table != nil || r.CSteps != nil {
+		return model.ExpandCompact(r.Table, r.CSteps)
+	}
+	return DecodeSteps(r.Txn)
 }
 
 // Response is a server→client message.

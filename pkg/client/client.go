@@ -1,7 +1,8 @@
 // Package client is the Go client of the lockd network lock service: it
-// speaks the length-prefixed JSON protocol of internal/wire (specified
-// in docs/PROTOCOL.md) over one TCP connection and mirrors the session
-// runtime's error vocabulary as exported sentinels.
+// speaks the length-prefixed frame protocol of internal/wire (specified
+// in docs/PROTOCOL.md; the version 3 binary codec by default, the
+// version 2 JSON codec via DialVersion) over one TCP connection and
+// mirrors the session runtime's error vocabulary as exported sentinels.
 //
 // A transaction is declared in full at Open (the paper's policies are
 // properties of declared bodies; the server also needs the body to
@@ -36,7 +37,6 @@
 package client
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -58,6 +58,9 @@ var (
 	ErrSessionDone  = errors.New("client: session already finished")
 	ErrStepMismatch = errors.New("client: step does not match the declared transaction")
 	ErrProtocol     = errors.New("client: protocol error")
+	// ErrVersion: the server refused our protocol version at handshake
+	// (e.g. a version 3 client dialing a server that only speaks 2).
+	ErrVersion = errors.New("client: protocol version refused by server")
 	// ErrConnLost: the TCP connection died mid-flight (read or write
 	// error, not a server refusal and not Client.Close). The critical
 	// distinction from every other sentinel: a refusal proves the request
@@ -123,49 +126,92 @@ func (b Backoff) delay(k int) time.Duration {
 
 // Client is one connection to a lockd server. Safe for concurrent use.
 type Client struct {
-	nc net.Conn
+	nc      net.Conn
+	version int          // negotiated protocol version (wire.Version or wire.VersionJSON)
+	rd      *wire.Reader // owned by readLoop; codec switched at handshake
+	wr      *wire.Writer // owned by writeLoop; codec switched at handshake
 
 	mu     sync.Mutex // pending map, id counter, outgoing queue, terminal error
 	nextID uint64
 	pend   map[uint64]chan wire.Response
 	dead   error
 	outq   []wire.Request
+	spare  []wire.Request // recycled queue slice from the writer's last drain
 	wstop  bool
 
 	wake chan struct{} // kicks the writer; buffered 1
 
+	chpool sync.Pool // recycled response channels (cap-1 chan wire.Response)
+
 	policy string
 }
 
-// Dial connects, performs the version handshake and returns the client.
+// Dial connects, performs the version handshake (negotiating protocol
+// version 3, the binary codec) and returns the client.
 func Dial(addr string) (*Client, error) {
+	return DialVersion(addr, wire.Version)
+}
+
+// DialVersion is Dial pinned to a specific protocol version:
+// wire.Version (3, binary codec) or wire.VersionJSON (2, JSON codec —
+// what a not-yet-upgraded client in the field speaks).
+func DialVersion(addr string, version int) (*Client, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return handshake(nc)
+	return handshake(nc, version)
 }
 
 // New wraps an established connection (tests use net.Pipe or an
 // in-process listener) and performs the version handshake.
 func New(nc net.Conn) (*Client, error) {
-	return handshake(nc)
+	return handshake(nc, wire.Version)
 }
 
-func handshake(nc net.Conn) (*Client, error) {
-	c := &Client{nc: nc, pend: make(map[uint64]chan wire.Response), wake: make(chan struct{}, 1)}
+// NewVersion is New pinned to a specific protocol version.
+func NewVersion(nc net.Conn, version int) (*Client, error) {
+	return handshake(nc, version)
+}
+
+func handshake(nc net.Conn, version int) (*Client, error) {
+	if version != wire.Version && version != wire.VersionJSON {
+		nc.Close()
+		return nil, fmt.Errorf("%w: this client speaks protocol versions %d and %d, not %d",
+			ErrProtocol, wire.VersionJSON, wire.Version, version)
+	}
+	c := &Client{
+		nc:      nc,
+		version: version,
+		rd:      wire.NewReader(nc),
+		wr:      wire.NewWriter(nc),
+		pend:    make(map[uint64]chan wire.Response),
+		wake:    make(chan struct{}, 1),
+	}
 	go c.readLoop()
 	go c.writeLoop()
-	resp, err := c.roundTrip(wire.Request{Op: wire.OpHello, Version: wire.Version})
+	resp, err := c.roundTrip(wire.Request{Op: wire.OpHello, Version: version})
 	if err != nil {
 		// A transport death has already recorded ErrConnLost (fail is
 		// first-wins); a server refusal becomes a deliberate close.
 		c.fail(ErrClosed, err)
 		return nil, err
 	}
+	if version == wire.Version {
+		// The hello exchange is JSON under every version; with version 3
+		// agreed, everything after it is binary. The server cannot emit a
+		// binary frame before answering our hello and we cannot have
+		// queued another request yet (the handshake is synchronous), so
+		// both switches land between frames on both streams.
+		c.rd.SetCodec(wire.CodecBinary)
+		c.wr.SetCodec(wire.CodecBinary)
+	}
 	c.policy = resp.Policy
 	return c, nil
 }
+
+// binary reports whether the negotiated codec ships compact steps.
+func (c *Client) binary() bool { return c.version == wire.Version }
 
 // Policy returns the server's policy name, as reported at handshake.
 func (c *Client) Policy() string { return c.policy }
@@ -216,14 +262,15 @@ func (c *Client) deadErr() error {
 // readLoop routes responses — possibly many per frame — to their
 // waiting requests by id.
 func (c *Client) readLoop() {
-	br := bufio.NewReader(c.nc)
+	defer c.rd.Release()
 	for {
-		resps, err := wire.ReadResponseBatch(br)
+		resps, err := c.rd.ReadResponses()
 		if err != nil {
 			c.failConn(err)
 			return
 		}
-		for _, resp := range resps {
+		for i := range resps {
+			resp := resps[i]
 			c.mu.Lock()
 			ch := c.pend[resp.ID]
 			delete(c.pend, resp.ID)
@@ -240,7 +287,7 @@ func (c *Client) readLoop() {
 // flushes when the queue runs empty, so a pipelined burst costs one
 // flush (and typically one syscall) instead of one per request.
 func (c *Client) writeLoop() {
-	bw := bufio.NewWriter(c.nc)
+	defer c.wr.Release()
 	for {
 		c.mu.Lock()
 		batch := c.outq
@@ -248,7 +295,7 @@ func (c *Client) writeLoop() {
 		stop := c.wstop
 		c.mu.Unlock()
 		if len(batch) == 0 {
-			if err := bw.Flush(); err != nil {
+			if err := c.wr.Flush(); err != nil {
 				c.failConn(err)
 				return
 			}
@@ -258,27 +305,53 @@ func (c *Client) writeLoop() {
 			<-c.wake
 			continue
 		}
-		if err := wire.WriteRequestBatch(bw, batch); err != nil {
+		if err := c.wr.WriteRequests(batch); err != nil {
 			c.failConn(err)
 			return
 		}
+		// Recycle the drained queue so a steady-state pipeline stops
+		// allocating request slices.
+		c.mu.Lock()
+		if c.spare == nil {
+			c.spare = batch[:0]
+		}
+		c.mu.Unlock()
 	}
+}
+
+// getch takes a response channel from the pool. A channel may be
+// recycled (recycle) only after a successful receive — a channel the
+// fail path may still close must never re-enter the pool.
+func (c *Client) getch() chan wire.Response {
+	if v := c.chpool.Get(); v != nil {
+		return v.(chan wire.Response)
+	}
+	return make(chan wire.Response, 1)
+}
+
+// recycle returns a drained response channel to the pool.
+func (c *Client) recycle(ch chan wire.Response) {
+	c.chpool.Put(ch)
 }
 
 // send assigns the request an id, registers its response channel and
 // queues it for the writer. The async submission primitive: callers
 // receive the response later on ch (closed if the connection dies).
 func (c *Client) send(req wire.Request) (uint64, chan wire.Response, error) {
-	ch := make(chan wire.Response, 1)
+	ch := c.getch()
 	c.mu.Lock()
 	if c.dead != nil {
 		err := c.dead
 		c.mu.Unlock()
+		c.recycle(ch)
 		return 0, nil, err
 	}
 	c.nextID++
 	req.ID = c.nextID
 	c.pend[req.ID] = ch
+	if c.outq == nil && c.spare != nil {
+		c.outq, c.spare = c.spare, nil
+	}
 	c.outq = append(c.outq, req)
 	c.mu.Unlock()
 	select {
@@ -298,6 +371,7 @@ func (c *Client) roundTrip(req wire.Request) (wire.Response, error) {
 	if !ok {
 		return wire.Response{}, c.deadErr()
 	}
+	c.recycle(ch)
 	if !resp.OK {
 		return resp, codeError(resp)
 	}
@@ -320,6 +394,8 @@ func codeError(resp wire.Response) error {
 		base = ErrSessionDone
 	case wire.CodeMismatch:
 		base = ErrStepMismatch
+	case wire.CodeVersion:
+		base = ErrVersion
 	default:
 		base = ErrProtocol
 	}
@@ -336,11 +412,13 @@ func codeError(resp wire.Response) error {
 // the terminal response — the server may well have committed it, so
 // resubmitting on a fresh connection can run the transaction twice.
 func (c *Client) Run(tx model.Txn) error {
-	_, err := c.roundTrip(wire.Request{
-		Op:   wire.OpRun,
-		Name: tx.Name,
-		Txn:  wire.EncodeSteps(tx.Steps),
-	})
+	req := wire.Request{Op: wire.OpRun, Name: tx.Name}
+	if c.binary() {
+		req.Table, req.CSteps = model.CompactTxn(tx.Steps)
+	} else {
+		req.Txn = wire.EncodeSteps(tx.Steps)
+	}
+	_, err := c.roundTrip(req)
 	return err
 }
 

@@ -22,6 +22,16 @@ type Session struct {
 	sid uint64
 	tx  model.Txn
 
+	// Compact encoding state (binary codec only): the entity table as
+	// declared to the server at open, the declared body in compact form,
+	// and the entity→index map for sync Step lookups. Step requests ship
+	// (opByte, entityIndex) against this table; the server resolves
+	// indices against its own copy, so both orders must be the declared
+	// one — they are, both sides keep the open request's table verbatim.
+	table  []model.Entity
+	csteps []model.CompactStep
+	index  map[model.Entity]uint32
+
 	pos  int // declared steps confirmed admitted in the current attempt
 	sent int // declared steps submitted (>= pos while pipelining)
 	// attempt tags outgoing step/commit requests; it is bumped in
@@ -43,15 +53,24 @@ type inflightOp struct {
 
 // Open declares a transaction on the server and returns its session.
 func (c *Client) Open(tx model.Txn) (*Session, error) {
-	resp, err := c.roundTrip(wire.Request{
-		Op:   wire.OpOpen,
-		Name: tx.Name,
-		Txn:  wire.EncodeSteps(tx.Steps),
-	})
+	s := &Session{c: c, tx: tx.Clone()}
+	req := wire.Request{Op: wire.OpOpen, Name: tx.Name}
+	if c.binary() {
+		s.table, s.csteps = model.CompactTxn(s.tx.Steps)
+		req.Table, req.CSteps = s.table, s.csteps
+		s.index = make(map[model.Entity]uint32, len(s.table))
+		for i, e := range s.table {
+			s.index[e] = uint32(i)
+		}
+	} else {
+		req.Txn = wire.EncodeSteps(tx.Steps)
+	}
+	resp, err := c.roundTrip(req)
 	if err != nil {
 		return nil, err
 	}
-	return &Session{c: c, sid: resp.SID, tx: tx.Clone()}, nil
+	s.sid = resp.SID
+	return s, nil
 }
 
 // Declared returns the session's declared transaction.
@@ -65,7 +84,21 @@ func (s *Session) Step(st model.Step) error {
 	if len(s.inflight) > 0 {
 		return fmt.Errorf("%w: sync Step with pipelined requests in flight; Flush first", ErrProtocol)
 	}
-	_, err := s.c.roundTrip(wire.Request{Op: wire.OpStep, SID: s.sid, Step: st.String(), Attempt: s.attempt})
+	req := wire.Request{Op: wire.OpStep, SID: s.sid, Attempt: s.attempt}
+	if s.c.binary() {
+		idx, ok := s.index[st.Ent]
+		if !ok {
+			// The binary codec can only name declared entities; a step
+			// outside the table cannot be the declared next step, so this
+			// is the same refusal the server would answer with — and like
+			// the server's, it leaves the session untouched.
+			return fmt.Errorf("%w: step %s names an entity outside the declared body", ErrStepMismatch, st)
+		}
+		req.CStep, req.HasCompact = model.CompactStep{Op: st.Op, Idx: idx}, true
+	} else {
+		req.Step = st.String()
+	}
+	_, err := s.c.roundTrip(req)
 	if err == nil {
 		s.pos++
 		s.sent = s.pos
@@ -122,8 +155,13 @@ func (s *Session) StepAsync() error {
 			return err
 		}
 	}
-	st := s.tx.Steps[s.sent]
-	id, ch, err := s.c.send(wire.Request{Op: wire.OpStep, SID: s.sid, Step: st.String(), Attempt: s.attempt})
+	req := wire.Request{Op: wire.OpStep, SID: s.sid, Attempt: s.attempt}
+	if s.c.binary() {
+		req.CStep, req.HasCompact = s.csteps[s.sent], true
+	} else {
+		req.Step = s.tx.Steps[s.sent].String()
+	}
+	id, ch, err := s.c.send(req)
 	if err != nil {
 		return err
 	}
@@ -169,6 +207,7 @@ func (s *Session) reconcileOne() error {
 	if !ok {
 		return s.c.deadErr()
 	}
+	s.c.recycle(op.ch)
 	if op.attempt != s.attempt {
 		return nil // stale: late response of a torn-down attempt
 	}
