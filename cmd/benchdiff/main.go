@@ -85,6 +85,10 @@ func keyOf(row map[string]any) string {
 		// land unknown depends on fault/TCP timing, so these are measured
 		// noise, not grid identity.
 		"confirmed": true, "unknown": true, "aborted": true, "killed": true,
+		// E19 kill/restart counters: where the SIGKILL lands in the burst
+		// moves every commit count, so only scenario/partitions/clients
+		// identify a row.
+		"recovered_commits": true, "resumed_commits": true,
 	}
 	keys := make([]string, 0, len(row))
 	for k := range row {

@@ -24,6 +24,11 @@
 //	      x partitions, over TCP through the internal/chaos fault proxy
 //	      (kill/delay/stall; -chaos=false for the fault-free control),
 //	      asserting the serializability verdict and commit accounting
+//	E19 — kill/restart durability: the real lockd binary with -data-dir
+//	      and -fsync, SIGKILLed mid-burst and restarted over the same
+//	      store; every -scenario x partitions, asserting the crash
+//	      accounting bound confirmed <= recovered <= confirmed+unknown
+//	      and that at least one pre-kill session resumes and commits
 //
 // Usage:
 //
@@ -32,9 +37,9 @@
 //	          [-partitions 1,2,4,8] [-procs 1,4] [-net HOST:PORT]
 //	          [-mode step,pipeline,run] [-codec json,binary]
 //	          [-scenario all] [-chaos] [-bench-json DIR]
-//	          [-e14-sizes 1000,2000,4000,8000] [e6|e7|...|e18]...
+//	          [-e14-sizes 1000,2000,4000,8000] [e6|e7|...|e19]...
 //
-// With -bench-json DIR, each measured experiment among E13–E18
+// With -bench-json DIR, each measured experiment among E13–E19
 // additionally writes DIR/BENCH_<EXP>.json — the machine-readable rows
 // plus environment metadata (Go version, cores, GOMAXPROCS, best-of
 // policy) for regression diffing across commits; .github/workflows
@@ -85,7 +90,7 @@ func main() {
 	netAddr := flag.String("net", "", "E16 network mode: address of a running lockd (empty = in-memory loopback server per cell)")
 	mode := flag.String("mode", "step,pipeline,run", "E16 transport modes to measure (comma-separated: step, pipeline, run)")
 	codec := flag.String("codec", "json,binary", "E16 wire codecs to measure (comma-separated: json, binary)")
-	scenario := flag.String("scenario", "all", "E18 scenario names from the workload corpus (comma-separated, or \"all\")")
+	scenario := flag.String("scenario", "all", "E18/E19 scenario names from the workload corpus (comma-separated, or \"all\")")
 	chaosOn := flag.Bool("chaos", true, "E18: inject kill/delay/stall faults (false = fault-free control through a transparent proxy)")
 	benchJSON := flag.String("bench-json", "", "directory to write machine-readable bench artifacts into (E13-E18 write BENCH_<EXP>.json)")
 	flag.Parse()
@@ -217,8 +222,16 @@ func main() {
 			writeBench("E18", 1, rows)
 			return r
 		},
+		"e19": func() experiments.Report {
+			// Like E18, the durability grid fixes its own partition axis
+			// ({1,4}): each cell builds on a real process lifecycle (start,
+			// SIGKILL, restart, drain) and is wall-clock heavy.
+			rows, r := experiments.E19KillRestart(*seed, scenarios, nil, workload.ScenarioConfig{})
+			writeBench("E19", 1, rows)
+			return r
+		},
 	}
-	order := []string{"e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18"}
+	order := []string{"e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19"}
 
 	want := flag.Args()
 	if len(want) == 0 {
@@ -228,7 +241,7 @@ func main() {
 	for _, name := range want {
 		f, ok := runs[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "lockbench: unknown experiment %q (want e6..e18)\n", name)
+			fmt.Fprintf(os.Stderr, "lockbench: unknown experiment %q (want e6..e19)\n", name)
 			os.Exit(2)
 		}
 		r := f()

@@ -8,9 +8,20 @@
 //	lockd [-addr HOST:PORT] [-policy NAME] [-init "a,b,A->B"]
 //	      [-partitions N] [-stripes N | -serialized-gate] [-shards N]
 //	      [-mpl N] [-checkpoint-every N] [-truncate-log=false]
-//	      [-lease DUR] [-max-retries N]
+//	      [-data-dir DIR] [-fsync] [-lease DUR] [-max-retries N]
 //	      [-backoff DUR] [-backoff-cap DUR] [-backoff-jitter F]
 //	      [-drain-timeout DUR] [-pprof HOST:PORT]
+//
+// -data-dir makes lockd durable: every partition appends its committed
+// schedule, transaction declarations and statuses to a write-ahead log
+// (with periodic checkpoint snapshots) under the directory, and a
+// restart — clean or crashed — recovers the committed schedule,
+// re-verifies its serializability, and restores in-flight sessions
+// parked for client resume within their leases. -fsync additionally
+// syncs every WAL append, making acknowledged commits survive machine
+// (not just process) crashes. A corrupt store refuses to start: exit
+// nonzero with the failing record named. Without -data-dir lockd is
+// memory-only, exactly as before.
 //
 // -partitions > 1 runs the entity-hash partitioned engine group: each
 // partition is a full engine (own recovery core, stripe set, sequencer)
@@ -76,6 +87,8 @@ func main() {
 	mpl := flag.Int("mpl", 0, "max concurrently open sessions (0 = unbounded)")
 	ckpt := flag.Int("checkpoint-every", 0, "events between recovery checkpoints (0 = default)")
 	truncate := flag.Bool("truncate-log", true, "truncate the recovery log below settled checkpoints (bounds memory; full-log inspect unavailable past the cut)")
+	dataDir := flag.String("data-dir", "", "durable store directory: WAL + checkpoints, restored on start (empty = memory-only)")
+	fsync := flag.Bool("fsync", false, "fsync every WAL append (with -data-dir); acknowledged commits survive machine crashes")
 	lease := flag.Duration("lease", 30*time.Second, "session lease; idle sessions are aborted after this (0 disables)")
 	maxRetries := flag.Int("max-retries", 0, "per-transaction retry budget (0 = default, negative = none)")
 	backoff := flag.Duration("backoff", 0, "base retry delay for engine-driven retries (run mode, cascade re-runs; 0 = default, negative = none)")
@@ -99,7 +112,7 @@ func main() {
 		}
 	}
 
-	srv := server.New(init, runtime.Config{
+	cfg := runtime.Config{
 		Policy:          pol,
 		Shards:          *shards,
 		MPL:             *mpl,
@@ -113,7 +126,20 @@ func main() {
 		Lease:           *lease,
 		Partitions:      *partitions,
 		TruncateLog:     *truncate,
-	})
+		DataDir:         *dataDir,
+		Fsync:           *fsync,
+	}
+	srv, info, err := server.NewDurable(init, cfg)
+	if err != nil {
+		// A corrupt or unreadable store must not be silently rebuilt
+		// over: the operator decides what to do with the evidence.
+		fmt.Fprintf(os.Stderr, "lockd: restoring %s: %v\n", *dataDir, err)
+		os.Exit(1)
+	}
+	if *dataDir != "" {
+		fmt.Printf("lockd: restored %s — events=%d commits=%d parked-sessions=%d clean=%v torn=%v fsync=%v\n",
+			*dataDir, info.Events, info.Commits, info.Sessions, info.Clean, info.Torn, *fsync)
+	}
 
 	if *pprofAddr != "" {
 		pln, err := net.Listen("tcp", *pprofAddr)

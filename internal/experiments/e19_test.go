@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"os/exec"
+	"testing"
+
+	"locksafe/internal/workload"
+)
+
+// TestE19KillRestartSmall runs the kill/restart durability cell on a
+// reduced grid: two scenarios, two partition counts, few clients. It
+// builds and SIGKILLs the real lockd binary, so it is the slowest test
+// in the package; the full grid lives in cmd/lockbench.
+func TestE19KillRestartSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and crash-tests the real lockd binary")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go toolchain not in PATH: %v", err)
+	}
+	cfg := workload.ScenarioConfig{Clients: 3, Rounds: 2, Idle: 4}
+	rows, rep := E19KillRestart(7, []string{"churn", "hotspot"}, []int{1, 2}, cfg)
+	if rep.Failed != "" {
+		t.Fatalf("E19 failed: %s\n%s", rep.Failed, rep.Text)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 2 scenarios x 2 partition counts = 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Recovered < r.Confirmed || r.Recovered > r.Confirmed+r.Unknown {
+			t.Errorf("%s/p%d: accounting bound violated: recovered=%d confirmed=%d unknown=%d",
+				r.Scenario, r.Partitions, r.Recovered, r.Confirmed, r.Unknown)
+		}
+		if r.Resumed < 1 {
+			t.Errorf("%s/p%d: no pre-kill session committed after restart", r.Scenario, r.Partitions)
+		}
+		if r.Confirmed == 0 {
+			t.Errorf("%s/p%d: no transaction confirmed at all", r.Scenario, r.Partitions)
+		}
+	}
+	t.Logf("\n%s", rep)
+}

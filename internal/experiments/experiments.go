@@ -27,11 +27,16 @@
 //	             through the internal/chaos fault proxy, asserting the
 //	             serializability verdict and the accounting bound in
 //	             every cell (see e18.go)
+//	E19 crash  — kill/restart durability: the real lockd binary with
+//	             -data-dir and -fsync SIGKILLed mid-burst, restarted over
+//	             the same store, parked sessions resumed; asserting the
+//	             crash accounting bound in every cell (see e19.go)
 //
 // Every function is deterministic given its seed arguments, except E13
 // and up, which measure real goroutines (E16–E18 real TCP, E18 real
-// faults) on wall-clock time (their correctness assertions are
-// deterministic; their speeds are not).
+// faults, E19 a real crashed-and-restarted process) on wall-clock time
+// (their correctness assertions are deterministic; their speeds are
+// not).
 package experiments
 
 import (

@@ -105,7 +105,24 @@ type Core struct {
 	monitor model.Monitor
 
 	stats Stats
+
+	// p, when non-nil, receives every durable mutation (appends,
+	// compactions, truncation-driven rotation). The in-memory path is
+	// untouched when nil. perr latches the first persister failure;
+	// the world may keep evolving in memory but the caller must treat
+	// the core as no longer durable (the runtime goes fatal).
+	p    Persister
+	perr error
 }
+
+// PersistError wraps a persister failure so callers can tell "the disk
+// failed" apart from a monitor veto on the same code path.
+type PersistError struct{ Err error }
+
+func (e *PersistError) Error() string { return "recovery: persist: " + e.Err.Error() }
+
+// Unwrap exposes the underlying persister error.
+func (e *PersistError) Unwrap() error { return e.Err }
 
 // New returns a Core for txns transactions starting from the given
 // initial structural state and a freshly constructed policy monitor
@@ -123,6 +140,50 @@ func New(txns int, init model.State, monitor model.Monitor, every int) *Core {
 	}
 	c.ckpts = []checkpoint{{n: 0, state: c.state.Clone(), monitor: monitor.Fork()}}
 	return c
+}
+
+// SetPersister attaches (or detaches, with nil) the durable sink. The
+// caller attaches it after replaying a recovered history, so the
+// replay itself is not re-persisted.
+func (c *Core) SetPersister(p Persister) { c.p = p }
+
+// Persister returns the attached durable sink, nil when persistence is
+// off. Runtimes use it to record their own metadata (transaction
+// declarations, status transitions) into the same stream.
+func (c *Core) Persister() Persister { return c.p }
+
+// PersistErr returns the first persister failure, if any. Once set the
+// core is no longer durable and the owner must stop accepting work.
+func (c *Core) PersistErr() error { return c.perr }
+
+// persist latches a persister failure and returns it wrapped.
+func (c *Core) persist(err error) error {
+	if err == nil {
+		return nil
+	}
+	if c.perr == nil {
+		c.perr = err
+	}
+	return &PersistError{Err: err}
+}
+
+// PersistOpen records a transaction declaration into the durable
+// stream (no-op without a persister). Runtimes call it when a session
+// is opened, so a restore can rebuild the transaction population.
+func (c *Core) PersistOpen(o OpenRec) error {
+	if c.p == nil {
+		return nil
+	}
+	return c.persist(c.p.AppendOpen(o))
+}
+
+// PersistStatus records a transaction status transition into the
+// durable stream (no-op without a persister).
+func (c *Core) PersistStatus(tid int, status byte) error {
+	if c.p == nil {
+		return nil
+	}
+	return c.persist(c.p.AppendStatus(tid, status))
 }
 
 // SetFullReplay switches the Core to the naive recovery discipline:
@@ -211,6 +272,11 @@ func (c *Core) AppendTagged(ev model.Ev, tag uint64) error {
 	}
 	c.evIdx[int(ev.T)] = append(c.evIdx[int(ev.T)], idx)
 	c.maybeCheckpoint()
+	if c.p != nil {
+		one := [1]model.Ev{ev}
+		oneTag := [1]uint64{tag}
+		return c.persist(c.p.AppendEvents(one[:], oneTag[:]))
+	}
 	return nil
 }
 
@@ -256,7 +322,10 @@ func (c *Core) AppendApplied(evs ...model.Ev) {
 
 // AppendAppliedTagged is AppendApplied with explicit per-event tags
 // (see Tags). tags must be nil (auto-assign) or the same length as evs.
-func (c *Core) AppendAppliedTagged(evs []model.Ev, tags []uint64) {
+// The returned error is always a persister failure (*PersistError) —
+// the in-memory append itself cannot fail.
+func (c *Core) AppendAppliedTagged(evs []model.Ev, tags []uint64) error {
+	base := len(c.tags)
 	for i, ev := range evs {
 		idx := len(c.log)
 		c.log = append(c.log, ev)
@@ -272,7 +341,11 @@ func (c *Core) AppendAppliedTagged(evs []model.Ev, tags []uint64) {
 	}
 	if len(evs) > 0 {
 		c.maybeCheckpoint()
+		if c.p != nil {
+			return c.persist(c.p.AppendEvents(evs, c.tags[base:len(c.tags):len(c.tags)]))
+		}
 	}
+	return nil
 }
 
 // thin halves the snapshot density (keeping the initial state and the
@@ -363,6 +436,14 @@ func (c *Core) Compact(victims map[int]bool) (ok bool, cascade int) {
 	}
 	c.state = state
 	c.monitor = monitor
+	if c.p != nil {
+		vs := make([]int, 0, len(victims))
+		for v := range victims {
+			vs = append(vs, v)
+		}
+		sort.Ints(vs)
+		c.persist(c.p.AppendCompact(vs))
+	}
 	return true, 0
 }
 
@@ -429,7 +510,42 @@ func (c *Core) Truncate(settled func(t int) bool) int {
 		}
 		c.ckpts = kept
 		c.stats.Truncated += b
+		if c.p != nil {
+			// On disk, truncation is generation rotation: the surviving
+			// history is rewritten as the next snapshot and the old
+			// segments — including everything below the settled floor —
+			// are deleted.
+			c.persist(c.p.Rotate())
+		}
 		return b
 	}
 	return 0
+}
+
+// NewFromRecovered rebuilds a Core from a recovered durable history by
+// replaying every surviving event from the initial state through a
+// fresh monitor — the same discipline Append uses live, so the
+// resulting Monitor(), State() and checkpoint cadence are exactly what
+// an uninterrupted run would have produced, and the replay itself
+// re-verifies that the recovered prefix is still admissible (a vetoed
+// or undefined event fails the restore). The persister is left
+// detached; attach it with SetPersister once the caller has finished
+// rebuilding, so replay is not re-persisted.
+func NewFromRecovered(rec Recovered, txns int, init model.State, monitor model.Monitor, every int) (*Core, error) {
+	c := New(txns, init, monitor, every)
+	for i, ev := range rec.Events {
+		if int(ev.T) >= txns {
+			return nil, &PersistError{Err: ErrCorrupt}
+		}
+		if ev.S.Op.IsData() && !c.state.Defined(ev.S) {
+			return nil, &PersistError{Err: ErrCorrupt}
+		}
+		if err := c.AppendTagged(ev, rec.Tags[i]); err != nil {
+			return nil, err
+		}
+	}
+	if t := rec.MaxTag(); t > c.nextTag {
+		c.nextTag = t
+	}
+	return c, nil
 }

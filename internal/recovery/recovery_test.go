@@ -160,8 +160,10 @@ func compactAll(t *testing.T, c *recovery.Core, victims map[int]bool) []int {
 
 // TestEquivalenceRandomTraces is the pinning property test for the
 // recovery refactor: on randomized legal+proper traces, checkpointed
-// suffix replay at several intervals and the naive full replay must be
-// observably identical — same cascade victim sequences, same surviving
+// suffix replay at several intervals, the naive full replay, and the
+// durability dimension — a WAL-backed core, and a WAL-backed core that
+// is torn down and restored from disk between phases — must be
+// observably identical: same cascade victim sequences, same surviving
 // logs, same structural states, same monitor states (via Key) and the
 // same serializability verdict — across interleaved append and compact
 // phases.
@@ -174,21 +176,61 @@ func TestEquivalenceRandomTraces(t *testing.T) {
 		}
 
 		type variant struct {
-			name string
-			c    *recovery.Core
+			name    string
+			c       *recovery.Core
+			st      *recovery.Store
+			restart bool
 		}
 		mk := func(every int, full bool) *recovery.Core {
 			c := recovery.New(len(sys.Txns), sys.Init, policy.Unrestricted{}.NewMonitor(sys), every)
 			c.SetFullReplay(full)
 			return c
 		}
-		vars := []variant{
-			{"every=1", mk(1, false)},
-			{"every=3", mk(3, false)},
-			{"every=16", mk(16, false)},
-			{"full-replay", mk(128, true)},
+		mkWAL := func(every int, restart bool) *variant {
+			st, _, err := recovery.Open(t.TempDir(), recovery.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := mk(every, false)
+			c.SetPersister(st)
+			name := "wal"
+			if restart {
+				name = "wal-restart"
+			}
+			return &variant{name: name, c: c, st: st, restart: restart}
+		}
+		vars := []*variant{
+			{name: "every=1", c: mk(1, false)},
+			{name: "every=3", c: mk(3, false)},
+			{name: "every=16", c: mk(16, false)},
+			{name: "full-replay", c: mk(128, true)},
+			mkWAL(3, false),
+			mkWAL(16, true),
 		}
 		base := vars[0].c
+
+		// restartWAL tears down every restart-flagged variant — as a
+		// crash would, without sealing the WAL — and rebuilds it from
+		// its directory.
+		restartWAL := func(phase string) {
+			for _, v := range vars {
+				if !v.restart {
+					continue
+				}
+				dir := v.st.Dir()
+				v.st.Close()
+				st, rec, err := recovery.Open(dir, recovery.Options{})
+				if err != nil {
+					t.Fatalf("seed %d %s after %s: reopen: %v", seed, v.name, phase, err)
+				}
+				c, err := recovery.NewFromRecovered(rec, len(sys.Txns), sys.Init, policy.Unrestricted{}.NewMonitor(sys), 16)
+				if err != nil {
+					t.Fatalf("seed %d %s after %s: restore: %v", seed, v.name, phase, err)
+				}
+				c.SetPersister(st)
+				v.c, v.st = c, st
+			}
+		}
 
 		erased := map[int]bool{}
 		feed := func(evs model.Schedule) {
@@ -228,6 +270,8 @@ func TestEquivalenceRandomTraces(t *testing.T) {
 		half := len(sched) / 2
 		feed(sched[:half])
 		agree("first half")
+		restartWAL("first half")
+		agree("restart after first half")
 
 		// Two compaction rounds with an append phase between them, so the
 		// second round exercises replay-time checkpoints and truncated
@@ -251,9 +295,20 @@ func TestEquivalenceRandomTraces(t *testing.T) {
 			}
 			agree(fmt.Sprintf("compaction round %d", round))
 			if round == 0 {
+				restartWAL("compaction round 0")
+				agree("restart after compaction round 0")
 				feed(sched[half:])
 				agree("second half")
 			}
+		}
+		for _, v := range vars {
+			if v.st == nil {
+				continue
+			}
+			if err := v.c.PersistErr(); err != nil {
+				t.Fatalf("seed %d %s: persist error: %v", seed, v.name, err)
+			}
+			v.st.Close()
 		}
 	}
 }

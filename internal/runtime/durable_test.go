@@ -1,0 +1,380 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"locksafe/internal/model"
+	"locksafe/internal/policy"
+	"locksafe/internal/recovery"
+)
+
+// partitionedEntities returns one entity per partition of a 2-way
+// split, so tests can build bodies that are provably local or provably
+// cross-partition.
+func partitionedEntities(t *testing.T) (e0, e1 model.Entity) {
+	t.Helper()
+	for c := byte('a'); c <= 'z'; c++ {
+		e := model.Entity([]byte{c})
+		switch model.PartitionOf(e, 2) {
+		case 0:
+			if e0 == "" {
+				e0 = e
+			}
+		case 1:
+			if e1 == "" {
+				e1 = e
+			}
+		}
+		if e0 != "" && e1 != "" {
+			return e0, e1
+		}
+	}
+	t.Fatal("no entity pair spanning 2 partitions in a..z")
+	return
+}
+
+func rwTxn(name string, e model.Entity) model.Txn {
+	return model.Txn{Name: name, Steps: []model.Step{model.LX(e), model.W(e), model.UX(e)}}
+}
+
+func spanTxn(name string, a, b model.Entity) model.Txn {
+	return model.Txn{Name: name, Steps: []model.Step{
+		model.LX(a), model.LX(b), model.W(a), model.W(b), model.UX(a), model.UX(b),
+	}}
+}
+
+// TestDurableRestartResume is the restart half of the durability
+// contract: committed work survives a crash (no Close, unsealed WAL),
+// an open session is restored parked and reattaches with its persisted
+// token, and the resumption refusals (wrong token, unknown id, finished
+// session) behave as specified.
+func TestDurableRestartResume(t *testing.T) {
+	e0, e1 := partitionedEntities(t)
+	for _, parts := range []int{1, 2} {
+		t.Run(fmt.Sprintf("partitions=%d", parts), func(t *testing.T) {
+			dir := t.TempDir()
+			init := model.NewState(e0, e1)
+			cfg := Config{Policy: policy.TwoPhase{}, DataDir: dir, Fsync: true, Partitions: parts}
+			eng, info, err := NewDurableSessionEngine(init, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Events != 0 || info.Sessions != 0 || info.Commits != 0 {
+				t.Fatalf("fresh dir restore = %+v, want empty", info)
+			}
+			s1, err := eng.OpenSession(rwTxn("C1", e0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s1.Run(); err != nil {
+				t.Fatal(err)
+			}
+			s2, err := eng.OpenSession(rwTxn("P1", e1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s2.Step(model.LX(model.Entity(e1))); err != nil {
+				t.Fatal(err)
+			}
+			sid, tok := s2.SID(), s2.Token()
+			if tok == 0 {
+				t.Fatal("resume token is zero")
+			}
+			var gsid int
+			var gtok uint64
+			if parts > 1 {
+				// A cross-partition session left open: not resumable
+				// across restart (abandoned by the restore).
+				sg, err := eng.OpenSession(spanTxn("G1", e0, e1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				gsid, gtok = sg.SID(), sg.Token()
+			}
+			// Crash: abandon the engine without Close. The WAL stays
+			// unsealed; the files are visible to the next open.
+
+			eng2, info2, err := NewDurableSessionEngine(init, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info2.Clean {
+				t.Fatal("restore after crash reports a clean shutdown")
+			}
+			if info2.Commits != 1 || info2.Sessions != 1 {
+				t.Fatalf("restore = %+v, want 1 commit, 1 parked session", info2)
+			}
+			if _, err := eng2.Resume(sid, tok+1); !errors.Is(err, ErrBadToken) {
+				t.Fatalf("wrong token = %v, want ErrBadToken", err)
+			}
+			if _, err := eng2.Resume(sid+1000, tok); !errors.Is(err, ErrUnknownSession) {
+				t.Fatalf("unknown sid = %v, want ErrUnknownSession", err)
+			}
+			if _, err := eng2.Resume(s1.SID(), s1.Token()); !errors.Is(err, ErrSessionDone) {
+				t.Fatalf("resume of committed session = %v, want ErrSessionDone", err)
+			}
+			if parts > 1 {
+				if _, err := eng2.Resume(gsid, gtok); !errors.Is(err, ErrSessionDone) {
+					t.Fatalf("resume of cross-partition session after restart = %v, want ErrSessionDone", err)
+				}
+			}
+			rs, err := eng2.Resume(sid, tok)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rs.SID() != sid || rs.Token() != tok {
+				t.Fatalf("resumed identity %d/%d, want %d/%d", rs.SID(), rs.Token(), sid, tok)
+			}
+			if _, err := eng2.Resume(sid, tok); !errors.Is(err, ErrNotResumable) {
+				t.Fatalf("second resume = %v, want ErrNotResumable", err)
+			}
+			if err := rs.Run(); err != nil {
+				t.Fatal(err)
+			}
+			res, err := eng2.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Metrics.Commits != 2 {
+				t.Fatalf("commits after resume = %d, want 2", res.Metrics.Commits)
+			}
+
+			// Third incarnation: sealed store, everything settled.
+			eng3, info3, err := NewDurableSessionEngine(init, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !info3.Clean || info3.Sessions != 0 || info3.Commits != 2 {
+				t.Fatalf("clean restore = %+v, want clean, 0 sessions, 2 commits", info3)
+			}
+			wantEvents := rwTxn("", e0).Len() + rwTxn("", e1).Len()
+			if _, err := eng3.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if info3.Events != wantEvents {
+				t.Fatalf("recovered events = %d, want %d", info3.Events, wantEvents)
+			}
+		})
+	}
+}
+
+// TestInterruptResume is the in-process half of the resumption
+// contract: Interrupt parks a session (freeing its MPL slot), the stale
+// owner object is fenced, and the single winning Resume gets a fresh
+// session that drives the declared body to commit. Runs against both
+// the plain and the partitioned engine, the latter with a
+// cross-partition session.
+func TestInterruptResume(t *testing.T) {
+	e0, e1 := partitionedEntities(t)
+	for _, parts := range []int{1, 2} {
+		t.Run(fmt.Sprintf("partitions=%d", parts), func(t *testing.T) {
+			init := model.NewState(e0, e1)
+			eng := NewSessionEngine(init, Config{Policy: policy.TwoPhase{}, Partitions: parts, MPL: 1})
+			body := rwTxn("A", e0)
+			if parts > 1 {
+				body = spanTxn("A", e0, e1) // cross-partition: exercises the gsession park path
+			}
+			s, err := eng.OpenSession(body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Step(body.Steps[0]); err != nil {
+				t.Fatal(err)
+			}
+			s.Interrupt()
+			s.Interrupt() // idempotent on a parked session
+			if err := s.Step(body.Steps[1]); !errors.Is(err, ErrCancelled) {
+				t.Fatalf("step on parked owner = %v, want ErrCancelled", err)
+			}
+			// The park returned the MPL slot: with MPL=1 another session
+			// can open, run and commit while ours is parked.
+			other, err := eng.OpenSession(rwTxn("B", e1))
+			if err != nil {
+				t.Fatalf("open while parked (MPL slot not returned?): %v", err)
+			}
+			if err := other.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.Resume(s.SID(), s.Token()+1); !errors.Is(err, ErrBadToken) {
+				t.Fatalf("wrong token = %v, want ErrBadToken", err)
+			}
+			rs, err := eng.Resume(s.SID(), s.Token())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.Resume(s.SID(), s.Token()); !errors.Is(err, ErrNotResumable) {
+				t.Fatalf("second resume = %v, want ErrNotResumable", err)
+			}
+			if err := rs.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.Resume(rs.SID(), rs.Token()); !errors.Is(err, ErrSessionDone) {
+				t.Fatalf("resume after commit = %v, want ErrSessionDone", err)
+			}
+			res, err := eng.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Metrics.Commits != 2 {
+				t.Fatalf("commits = %d, want 2", res.Metrics.Commits)
+			}
+		})
+	}
+}
+
+// recordCounter counts Persister record appends, to size the
+// crash-point sweep.
+type recordCounter struct {
+	p recovery.Persister
+	n *int
+}
+
+func (c *recordCounter) AppendEvents(evs []model.Ev, tags []uint64) error {
+	*c.n++
+	return c.p.AppendEvents(evs, tags)
+}
+func (c *recordCounter) AppendCompact(victims []int) error {
+	*c.n++
+	return c.p.AppendCompact(victims)
+}
+func (c *recordCounter) AppendOpen(o recovery.OpenRec) error {
+	*c.n++
+	return c.p.AppendOpen(o)
+}
+func (c *recordCounter) AppendStatus(tid int, status byte) error {
+	*c.n++
+	return c.p.AppendStatus(tid, status)
+}
+func (c *recordCounter) Rotate() error { return c.p.Rotate() }
+func (c *recordCounter) Close() error  { return c.p.Close() }
+
+// durableScript drives a fixed serial workload against a session
+// engine, swallowing post-crash failures, and reports how many commits
+// were acknowledged. The parked open comes last so its held lock never
+// blocks a later transaction.
+func durableScript(eng SessionEngine, e0, e1 model.Entity) (acked int) {
+	commit := func(tx model.Txn) {
+		s, err := eng.OpenSession(tx)
+		if err != nil {
+			return
+		}
+		if s.Run() == nil {
+			acked++
+		}
+	}
+	commit(rwTxn("t1", e0))
+	commit(rwTxn("t2", e1))
+	if s, err := eng.OpenSession(rwTxn("ta", e0)); err == nil {
+		// A client abort: exercises the compaction record.
+		s.Step(model.LX(e0))
+		s.Step(model.W(e0))
+		s.Abort()
+	}
+	commit(spanTxn("tg", e0, e1))
+	commit(rwTxn("t3", e0))
+	commit(rwTxn("t4", e1))
+	if s, err := eng.OpenSession(rwTxn("tp", e1)); err == nil {
+		// Left open: recovered as a parked session.
+		s.Step(model.LX(e1))
+	}
+	return acked
+}
+
+// TestDurableCrashPointSweepEngine is the engine-level crash harness:
+// the reference workload runs once to measure its durable record count
+// and WAL size, then re-runs with a crash injected (a) after every
+// record-append budget and (b) at a sweep of byte offsets, torn tails
+// included. Every crash point must restore into a working engine whose
+// recovered commits dominate the acknowledged ones and whose schedule
+// verifies serializable — for both the standalone and the partitioned
+// engine (where per-partition budgets exercise cross-partition status
+// skew and the restore arbiter).
+func TestDurableCrashPointSweepEngine(t *testing.T) {
+	e0, e1 := partitionedEntities(t)
+	init := model.NewState(e0, e1)
+	for _, parts := range []int{1, 2} {
+		t.Run(fmt.Sprintf("partitions=%d", parts), func(t *testing.T) {
+			base := Config{Policy: policy.TwoPhase{}, Partitions: parts}
+			base.DataDir = t.TempDir()
+
+			// Reference pass: count records and bytes.
+			records := 0
+			var stores []*recovery.Store
+			cfg := base
+			cfg.WrapPersister = func(p recovery.Persister) recovery.Persister {
+				if st, ok := p.(*recovery.Store); ok {
+					stores = append(stores, st)
+				}
+				return &recordCounter{p: p, n: &records}
+			}
+			eng, _, err := NewDurableSessionEngine(init, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fullAcked := durableScript(eng, e0, e1)
+			if fullAcked != 5 {
+				t.Fatalf("reference run acked %d commits, want 5", fullAcked)
+			}
+			var maxBytes int64
+			for _, st := range stores {
+				if b := st.WALBytes(); b > maxBytes {
+					maxBytes = b
+				}
+			}
+			if records == 0 || maxBytes == 0 {
+				t.Fatalf("reference run measured records=%d bytes=%d", records, maxBytes)
+			}
+
+			crashAt := func(name string, wrap func(recovery.Persister) recovery.Persister) {
+				t.Helper()
+				dir := t.TempDir()
+				ccfg := base
+				ccfg.DataDir = dir
+				ccfg.WrapPersister = wrap
+				ceng, _, err := NewDurableSessionEngine(init, ccfg)
+				if err != nil {
+					t.Fatalf("%s: open: %v", name, err)
+				}
+				acked := durableScript(ceng, e0, e1)
+				// Restore the crashed directory with no injection.
+				rcfg := base
+				rcfg.DataDir = dir
+				reng, info, err := NewDurableSessionEngine(init, rcfg)
+				if err != nil {
+					t.Fatalf("%s: restore: %v", name, err)
+				}
+				if info.Commits < acked {
+					t.Fatalf("%s: recovered %d commits < %d acknowledged", name, info.Commits, acked)
+				}
+				if _, err := reng.Close(); err != nil {
+					t.Fatalf("%s: close after restore: %v", name, err)
+				}
+			}
+
+			// (a) Every record-append budget. With partitions each store
+			// gets the budget independently, which manufactures exactly
+			// the cross-partition skew the restore must arbitrate.
+			for k := 0; k <= records; k++ {
+				crashAt(fmt.Sprintf("records=%d", k), func(p recovery.Persister) recovery.Persister {
+					return &recovery.CrashPersister{P: p, Records: k}
+				})
+			}
+			// (b) Byte offsets, including torn mid-record tails.
+			stride := int64(1)
+			if parts > 1 {
+				stride = 7
+			}
+			for n := int64(0); n <= maxBytes; n += stride {
+				limit := n
+				crashAt(fmt.Sprintf("bytes=%d", limit), func(p recovery.Persister) recovery.Persister {
+					if st, ok := p.(*recovery.Store); ok {
+						st.LimitBytes(limit)
+					}
+					return p
+				})
+			}
+		})
+	}
+}

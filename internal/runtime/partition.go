@@ -9,6 +9,7 @@ import (
 
 	"locksafe/internal/lockmgr"
 	"locksafe/internal/model"
+	"locksafe/internal/recovery"
 )
 
 // This file is the partitioned session engine: N entity-hash partitions
@@ -58,6 +59,12 @@ import (
 type Sess interface {
 	// TID returns the engine-wide transaction id of the session.
 	TID() int
+	// SID returns the engine-wide session id a client quotes to Resume.
+	SID() int
+	// Token returns the server-issued resume credential.
+	Token() uint64
+	// Declared returns the session's declared transaction body.
+	Declared() model.Txn
 	// Step executes the next declared step (see Session.Step).
 	Step(model.Step) error
 	// Commit finalizes the session (see Session.Commit).
@@ -71,6 +78,9 @@ type Sess interface {
 	// Cancel terminates the session engine-side; safe concurrently
 	// with an in-flight call (see Session.Cancel).
 	Cancel()
+	// Interrupt parks the session engine-side for a later Resume; safe
+	// concurrently with an in-flight call (see Session.Interrupt).
+	Interrupt()
 }
 
 // SessionEngine is the session-serving surface shared by Engine and
@@ -80,6 +90,9 @@ type Sess interface {
 type SessionEngine interface {
 	// OpenSession opens a declared transaction and returns its session.
 	OpenSession(tx model.Txn) (Sess, error)
+	// Resume reattaches a parked session by id and token (see
+	// Engine.Resume).
+	Resume(sid int, token uint64) (Sess, error)
 	// Stats returns a consistent metrics snapshot.
 	Stats() Metrics
 	// Inspect returns the diagnostic world-state snapshot (O(log)).
@@ -137,6 +150,10 @@ type PartitionedEngine struct {
 	sem chan struct{} // engine-wide MPL, shared with the partitions
 	wg  sync.WaitGroup
 
+	// wallClock reports that no Clock was injected, so startReaper may
+	// start the background lease reapers.
+	wallClock bool
+
 	lifecycle sync.RWMutex
 	closed    atomic.Bool
 	closedCh  chan struct{}
@@ -184,6 +201,16 @@ type PartitionedEngine struct {
 // NewSessionEngine, which falls back to the plain Engine for a single
 // partition.
 func NewPartitionedEngine(init model.State, cfg Config) *PartitionedEngine {
+	pe := newPartitionedCore(init, cfg)
+	pe.startReaper()
+	return pe
+}
+
+// newPartitionedCore builds the partitioned engine without starting any
+// background reaper (its own or the partitions'), so the durable
+// constructor can restore the persisted history before any concurrent
+// machinery runs.
+func newPartitionedCore(init model.State, cfg Config) *PartitionedEngine {
 	cfg = cfg.withDefaults()
 	pe := &PartitionedEngine{
 		n:        cfg.Partitions,
@@ -207,17 +234,26 @@ func NewPartitionedEngine(init model.State, cfg Config) *PartitionedEngine {
 	pcfg.MPL = 0 // the shared semaphore is injected, not re-created
 	pe.parts = make([]*Engine, pe.n)
 	for p := range pe.parts {
-		pe.parts[p] = newEngineShared(init, pcfg, sh)
+		pe.parts[p] = newEngineCore(init, pcfg, sh)
 	}
 	if pe.now == nil {
 		pe.now = time.Now
-		if pe.lease > 0 {
-			pe.reapStop = make(chan struct{})
-			pe.reapDone = make(chan struct{})
-			go pe.reapLoop()
-		}
+		pe.wallClock = true
 	}
 	return pe
+}
+
+// startReaper starts the engine-wide and per-partition lease reapers if
+// the engine runs on the wall clock with leases enabled. Idempotent.
+func (pe *PartitionedEngine) startReaper() {
+	for _, part := range pe.parts {
+		part.startReaper()
+	}
+	if pe.wallClock && pe.lease > 0 && pe.reapStop == nil {
+		pe.reapStop = make(chan struct{})
+		pe.reapDone = make(chan struct{})
+		go pe.reapLoop()
+	}
 }
 
 // classify decides where a declared body runs: its home partition if
@@ -326,16 +362,36 @@ func (pe *PartitionedEngine) OpenSession(tx model.Txn) (Sess, error) {
 		}
 		return nil, fmt.Errorf("runtime: engine failed: %w", f)
 	}
+	st := &sessState{token: newToken()}
+	var deadline int64
+	if pe.lease > 0 {
+		deadline = pe.now().Add(pe.lease).UnixNano()
+	}
+	st.deadline.Store(deadline)
 	locs := make([]int, pe.n)
 	for p, part := range pe.parts {
 		locs[p] = part.r.addTxnDrained(tx, g, true)
+		// Every partition records the mirror registration — same global
+		// id, same token — so a restore rebuilds the replica set (or
+		// detects a crash mid-loop by the partial mirror).
+		part.r.persistOpenDrained(recovery.OpenRec{G: g, Mirror: true, Name: tx.Name, Steps: tx.Steps, Token: st.token, Deadline: deadline})
+	}
+	if f := pe.anyFatalDrained(); f != nil {
+		pe.undrainAll()
+		if pe.sem != nil {
+			<-pe.sem
+		}
+		return nil, fmt.Errorf("runtime: engine failed: %w", f)
 	}
 	pe.gmu.Lock()
 	pe.locs[g] = locs
 	pe.gmu.Unlock()
 	pe.undrainAll()
 
-	s := &gsession{pe: pe, g: g, tx: tx}
+	if pe.sem != nil {
+		st.holdsSlot.Store(true)
+	}
+	s := &gsession{pe: pe, g: g, tx: tx, st: st}
 	s.touch()
 	pe.mu.Lock()
 	pe.sessions[g] = s
@@ -424,13 +480,19 @@ func (pe *PartitionedEngine) locsOf(g int) []int {
 }
 
 // syncMirrorsDrained propagates a global transaction's status to its
-// mirror rows (cross-partition drain held).
+// mirror rows, durably where it changed (cross-partition drain held).
+// Ascending partition order, so a crash mid-sync leaves a prefix of
+// partitions updated — the restore arbiter (the lowest-index partition
+// holding the row) then reads the newest status.
 func (pe *PartitionedEngine) syncMirrorsDrained(g int) {
 	pe.gmu.Lock()
 	locs, status := pe.locs[g], pe.gstatus[g]
 	pe.gmu.Unlock()
 	for p, part := range pe.parts {
-		part.r.status[locs[p]] = status
+		if part.r.status[locs[p]] != status {
+			part.r.status[locs[p]] = status
+			part.r.persistStatusDrained(locs[p], statusByte(status))
+		}
 	}
 }
 
@@ -561,6 +623,13 @@ func (pe *PartitionedEngine) crossCommit(g, gen int) (committed, again bool, del
 	pe.gmet.Commits++
 	pe.gmu.Unlock()
 	pe.syncMirrorsDrained(g)
+	// The commit is acknowledged only once durable in every partition; a
+	// persistence failure surfaces as engine failure, not a false ack.
+	if f := pe.anyFatalDrained(); f != nil {
+		pe.undrainAll()
+		pe.mgr.ReleaseAll(g)
+		return false, false, 0
+	}
 	pe.mgr.ReleaseAll(g)
 	if pe.cfg.TruncateLog {
 		for _, part := range pe.parts {

@@ -3,7 +3,6 @@ package runtime
 import (
 	"errors"
 	"fmt"
-	"sync/atomic"
 	"time"
 
 	"locksafe/internal/model"
@@ -22,55 +21,71 @@ type gsession struct {
 	gen  int
 	pos  int
 	done bool
+	// myParks snapshots st.parks at creation/resume; a mismatch fences
+	// this object (see sessState.parks).
+	myParks int64
 
-	deadline atomic.Int64
-	busy     atomic.Bool
-	term     atomic.Pointer[error]
-	finished atomic.Bool
+	st *sessState
 }
 
 // TID returns the engine-wide transaction id.
 func (s *gsession) TID() int { return s.g }
 
+// SID returns the engine-wide session id (the global transaction id).
+func (s *gsession) SID() int { return s.g }
+
+// Token returns the server-issued resume credential.
+func (s *gsession) Token() uint64 { return s.st.token }
+
+// Declared returns the session's declared transaction body.
+func (s *gsession) Declared() model.Txn { return s.tx }
+
 func (s *gsession) touch() {
 	if s.pe.lease > 0 {
-		s.deadline.Store(s.pe.now().Add(s.pe.lease).UnixNano())
+		s.st.deadline.Store(s.pe.now().Add(s.pe.lease).UnixNano())
 	}
 }
 
 func (s *gsession) begin() error {
 	if s.done {
-		if p := s.term.Load(); p != nil {
+		if p := s.st.term.Load(); p != nil {
 			return *p
 		}
 		return ErrSessionDone
+	}
+	if s.st.parks.Load() != s.myParks {
+		// Fenced: a park tore this owner's view down. Only the gsession
+		// returned by Resume may drive the transaction now.
+		s.done = true
+		return fmt.Errorf("%w (session parked; reattach with resume)", ErrCancelled)
 	}
 	s.pe.lifecycle.RLock()
 	if s.pe.closed.Load() {
 		s.pe.lifecycle.RUnlock()
 		return ErrClosed
 	}
-	s.busy.Store(true)
+	s.st.busy.Store(true)
 	s.touch()
 	return nil
 }
 
 func (s *gsession) end() {
 	s.touch()
-	s.busy.Store(false)
+	s.st.busy.Store(false)
 	s.pe.lifecycle.RUnlock()
 }
 
 // release deregisters the session and returns its MPL slot, exactly
-// once.
+// once (a parked session gave its slot back at the park, which
+// holdsSlot remembers).
 func (pe *PartitionedEngine) release(s *gsession) {
-	if s.finished.Swap(true) {
+	if s.st.finished.Swap(true) {
 		return
 	}
 	pe.mu.Lock()
 	delete(pe.sessions, s.g)
 	pe.mu.Unlock()
-	if pe.sem != nil {
+	if pe.sem != nil && s.st.holdsSlot.Swap(false) {
 		<-pe.sem
 	}
 }
@@ -78,6 +93,12 @@ func (pe *PartitionedEngine) release(s *gsession) {
 // failure translates a torn-down attempt into the session error
 // vocabulary (Session.failure's logic against the global bookkeeping).
 func (s *gsession) failure() error {
+	if s.st.parks.Load() != s.myParks {
+		// Fenced mid-flight by a park; the transaction lives on for
+		// Resume. Leave the shared state alone.
+		s.done = true
+		return fmt.Errorf("%w (session parked; reattach with resume)", ErrCancelled)
+	}
 	gen, status, cause, fatal := s.pe.readGlobState(s.g)
 	s.gen, s.pos = gen, 0
 	if fatal != nil {
@@ -93,7 +114,7 @@ func (s *gsession) failure() error {
 	}
 	s.done = true
 	s.pe.release(s)
-	if p := s.term.Load(); p != nil {
+	if p := s.st.term.Load(); p != nil {
 		return fmt.Errorf("%w (cause: %v)", *p, cause)
 	}
 	if cause != nil {
@@ -212,7 +233,7 @@ func (pe *PartitionedEngine) forceAbortG(s *gsession, term error, cause error, l
 	pe.drainAll()
 	fatal := pe.anyFatalDrained()
 	pe.gmu.Lock()
-	dead := fatal != nil || s.finished.Load() || pe.gstatus[s.g] != txActive
+	dead := fatal != nil || s.st.finished.Load() || pe.gstatus[s.g] != txActive
 	pe.gmu.Unlock()
 	if dead {
 		pe.undrainAll()
@@ -231,11 +252,133 @@ func (pe *PartitionedEngine) forceAbortG(s *gsession, term error, cause error, l
 	pe.syncMirrorsDrained(s.g)
 	// Publish the terminal sentinel before the teardown wakes anyone
 	// parked inside a lock acquisition.
-	s.term.Store(&term)
+	s.st.term.Store(&term)
 	pe.undrainAll()
 	pe.mgr.ReleaseAll(s.g)
 	pe.release(s)
 	return true
+}
+
+// Interrupt parks the cross-partition session engine-side for a later
+// Resume (Session.Interrupt's contract).
+func (s *gsession) Interrupt() { s.pe.interruptG(s) }
+
+func (pe *PartitionedEngine) interruptG(s *gsession) {
+	pe.drainAll()
+	fatal := pe.anyFatalDrained()
+	pe.gmu.Lock()
+	dead := fatal != nil || s.st.finished.Load() || pe.gstatus[s.g] != txActive || s.st.parked.Load()
+	pe.gmu.Unlock()
+	if dead {
+		pe.undrainAll()
+		return
+	}
+	pe.eraseAllDrained(map[int]bool{s.g: true})
+	pe.gmu.Lock()
+	pe.ggen[s.g]++
+	pe.gcause[s.g] = errParked
+	pe.gmu.Unlock()
+	// The fence rises before anything parked is woken (see
+	// Engine.interrupt).
+	s.st.parks.Add(1)
+	s.st.parked.Store(true)
+	s.touch() // the lease window restarts at the park
+	pe.undrainAll()
+	pe.mgr.ReleaseAll(s.g)
+	if pe.sem != nil && s.st.holdsSlot.Swap(false) {
+		<-pe.sem
+	}
+}
+
+// Resume reattaches a parked session by engine-wide id and token
+// (Engine.Resume's contract): a local session is routed to its home
+// partition, a cross-partition one resumed here.
+func (pe *PartitionedEngine) Resume(sid int, token uint64) (Sess, error) {
+	if pe.closed.Load() {
+		return nil, ErrClosed
+	}
+	pe.gmu.Lock()
+	if sid < 0 || sid >= len(pe.home) {
+		pe.gmu.Unlock()
+		return nil, ErrUnknownSession
+	}
+	homeP := pe.home[sid]
+	var lt int
+	if homeP >= 0 {
+		locs := pe.locs[sid]
+		if len(locs) == 0 {
+			// The open never completed (crash between the global id
+			// assignment and the partition open).
+			pe.gmu.Unlock()
+			return nil, ErrSessionDone
+		}
+		lt = locs[0]
+	}
+	pe.gmu.Unlock()
+	if homeP >= 0 {
+		s, err := pe.parts[homeP].resumeLocal(lt, token)
+		if err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	return pe.resumeGlobal(sid, token)
+}
+
+// resumeGlobal is resumeLocal against the cross-partition bookkeeping.
+// Cross-partition sessions are resumable only within the process that
+// parked them: a restore abandons unsettled globals rather than parking
+// them (the resumption contract covers the common case — a dropped
+// connection — without replicating session state).
+func (pe *PartitionedEngine) resumeGlobal(g int, token uint64) (Sess, error) {
+	pe.mu.Lock()
+	cur := pe.sessions[g]
+	pe.mu.Unlock()
+	if cur == nil {
+		return nil, ErrSessionDone
+	}
+	st := cur.st
+	if st.token != token {
+		return nil, ErrBadToken
+	}
+	if d := st.deadline.Load(); d != 0 && d <= pe.now().UnixNano() {
+		pe.forceAbortG(cur, ErrLeaseExpired, fmt.Errorf("lease of %v expired", pe.lease), true)
+		if p := st.term.Load(); p != nil {
+			return nil, *p
+		}
+		return nil, ErrLeaseExpired
+	}
+	if !st.parked.CompareAndSwap(true, false) {
+		return nil, ErrNotResumable
+	}
+	if pe.sem != nil {
+		select {
+		case pe.sem <- struct{}{}:
+		case <-pe.closedCh:
+			st.parked.Store(true)
+			return nil, ErrClosed
+		}
+		st.holdsSlot.Store(true)
+	}
+	gen, status, _, fatal := pe.readGlobState(g)
+	if fatal != nil || status != txActive || st.finished.Load() {
+		if pe.sem != nil && st.holdsSlot.Swap(false) {
+			<-pe.sem
+		}
+		if p := st.term.Load(); p != nil {
+			return nil, *p
+		}
+		if fatal != nil {
+			return nil, fmt.Errorf("runtime: engine failed: %w", fatal)
+		}
+		return nil, ErrNotResumable
+	}
+	ns := &gsession{pe: pe, g: g, tx: cur.tx, st: st, gen: gen, myParks: st.parks.Load()}
+	ns.touch()
+	pe.mu.Lock()
+	pe.sessions[g] = ns
+	pe.mu.Unlock()
+	return ns, nil
 }
 
 // Reap aborts lease-expired sessions engine-wide: each partition reaps
@@ -252,7 +395,7 @@ func (pe *PartitionedEngine) Reap() int {
 	pe.mu.Lock()
 	var expired []*gsession
 	for _, s := range pe.sessions {
-		if d := s.deadline.Load(); d != 0 && d <= now && !s.busy.Load() {
+		if d := s.st.deadline.Load(); d != 0 && d <= now && !s.st.busy.Load() {
 			expired = append(expired, s)
 		}
 	}

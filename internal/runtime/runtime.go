@@ -170,6 +170,24 @@ type Config struct {
 	// the rest go through the cross-partition drain. 0 or 1 means the
 	// plain single Engine. Batch Run and NewEngine ignore the field.
 	Partitions int
+	// DataDir enables durability: the engine's recovery core writes an
+	// append-only WAL (plus checkpoint snapshots) under this directory,
+	// and NewDurableEngine/NewDurableSessionEngine restore the committed
+	// schedule from it on start. Empty means memory-only — the durable
+	// constructors then behave byte-identically to the plain ones. With
+	// Partitions > 1 each partition persists into DataDir/p<i>. Batch
+	// Run and the non-durable constructors ignore the field.
+	DataDir string
+	// Fsync syncs the WAL after every append batch. Required for the
+	// "commit acked implies commit recovered" guarantee; without it a
+	// crash can lose acknowledged tail records (torn tails still recover
+	// cleanly).
+	Fsync bool
+	// WrapPersister, when non-nil, wraps the disk store before it is
+	// attached to the recovery core — the crash-injection hook for
+	// durability tests (e.g. recovery.CrashPersister). Ignored when
+	// DataDir is empty.
+	WrapPersister func(recovery.Persister) recovery.Persister
 	// TruncateLog lets the recovery core discard the event-log prefix
 	// below a retained checkpoint once every transaction with events in
 	// it has settled, bounding a long-lived engine's memory by the
@@ -684,9 +702,15 @@ func (r *runner) sequence(ev model.Ev) {
 func (r *runner) flushPending() {
 	r.seqMu.Lock()
 	if len(r.pending) > 0 {
-		r.rec.AppendAppliedTagged(r.pending, r.pendTags)
+		err := r.rec.AppendAppliedTagged(r.pending, r.pendTags)
 		r.pending = r.pending[:0]
 		r.pendTags = r.pendTags[:0]
+		// A persister failure means the engine can no longer honor its
+		// durability contract; stop admitting work. Safe to record here:
+		// flushPending always runs under a full drain.
+		if err != nil && r.fatal == nil {
+			r.fatal = fmt.Errorf("runtime: persistence failed: %w", err)
+		}
 	}
 	r.drainReq.Store(false)
 	r.seqMu.Unlock()
@@ -766,6 +790,15 @@ func (r *runner) commit(t, gen int) (committed, again bool, delay time.Duration)
 	}
 	r.status[t] = txCommitted
 	r.met.Commits++
+	// The commit is acknowledged only after the status record is durably
+	// appended (with Fsync on), so an acked commit survives a crash.
+	r.persistStatusDrained(t, recovery.StatusCommitted)
+	if r.fatal != nil {
+		out := retryOut{}
+		r.gate.undrain()
+		r.mgr.ReleaseAll(t)
+		return false, out.again, out.delay
+	}
 	// Well-formed transactions have released everything; drop strays (so
 	// a workload bug cannot wedge the rest of the run) while still
 	// draining — after the drain ends a cascade may un-commit and
@@ -849,10 +882,45 @@ func (r *runner) bailSlow(t int, err error) (bool, time.Duration) {
 // fatal error) if the monitor reneges on its Check.
 func (r *runner) commitEventDrained(ev model.Ev) bool {
 	if err := r.rec.AppendTagged(ev, r.tagSrc.Add(1)-1); err != nil {
-		r.fatal = fmt.Errorf("runtime: monitor accepted Check but rejected Step: %w", err)
+		var perr *recovery.PersistError
+		if errors.As(err, &perr) {
+			r.fatal = fmt.Errorf("runtime: persistence failed: %w", err)
+		} else {
+			r.fatal = fmt.Errorf("runtime: monitor accepted Check but rejected Step: %w", err)
+		}
 		return false
 	}
 	return true
+}
+
+// persistStatusDrained records a transaction status transition into the
+// durable stream, going fatal on failure. Called with a full drain held.
+func (r *runner) persistStatusDrained(t int, status byte) {
+	if err := r.rec.PersistStatus(t, status); err != nil && r.fatal == nil {
+		r.fatal = fmt.Errorf("runtime: persistence failed: %w", err)
+	}
+}
+
+// persistOpenDrained records a session's transaction declaration (and
+// resume credentials) into the durable stream, going fatal on failure.
+// Called with a full drain held.
+func (r *runner) persistOpenDrained(o recovery.OpenRec) {
+	if err := r.rec.PersistOpen(o); err != nil && r.fatal == nil {
+		r.fatal = fmt.Errorf("runtime: persistence failed: %w", err)
+	}
+}
+
+// statusByte maps the runner's transaction status to the recovery
+// package's durable status code.
+func statusByte(s txnStatus) byte {
+	switch s {
+	case txCommitted:
+		return recovery.StatusCommitted
+	case txAbandoned:
+		return recovery.StatusAbandoned
+	default:
+		return recovery.StatusActive
+	}
 }
 
 // abortDrained aborts t's current attempt: erase its events (cascading
@@ -876,6 +944,7 @@ func (r *runner) chargeDrained(t int) {
 	if r.attempts[t] > r.cfg.MaxRetries && r.status[t] == txActive {
 		r.status[t] = txAbandoned
 		r.met.GaveUp++
+		r.persistStatusDrained(t, recovery.StatusAbandoned)
 	}
 }
 
@@ -929,9 +998,13 @@ func (r *runner) cascadeVictimDrained(cascade int) {
 		// The cascade reached an already-committed transaction (e.g.
 		// a wake member whose altruistic donor aborts after the
 		// member finished). Un-commit and re-run it, as the engine
-		// does.
+		// does. The un-commit is persisted *before* the compact record
+		// that erases the victim's events lands, so a crash between
+		// them recovers the transaction as active, never as a
+		// committed transaction with no events.
 		r.status[cascade] = txActive
 		r.met.Commits--
+		r.persistStatusDrained(cascade, recovery.StatusActive)
 		respawn = true
 	}
 	r.chargeDrained(cascade)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"locksafe/internal/model"
+	"locksafe/internal/recovery"
 )
 
 // This file is the session layer over the striped runtime: a long-lived
@@ -46,6 +47,15 @@ var (
 	// ErrStepMismatch: the submitted step is not the declared
 	// transaction's next step (or steps remain at Commit).
 	ErrStepMismatch = errors.New("step does not match the declared transaction")
+	// ErrUnknownSession: Resume named a session id the engine has never
+	// issued.
+	ErrUnknownSession = errors.New("unknown session id")
+	// ErrBadToken: Resume presented the wrong resume token. The session
+	// is left untouched — a guess must not perturb the real owner.
+	ErrBadToken = errors.New("resume token does not match")
+	// ErrNotResumable: the session is not parked (it is being driven, was
+	// already resumed by a concurrent Resume, or cannot be reattached).
+	ErrNotResumable = errors.New("session is not parked")
 )
 
 // Engine is a long-lived transaction runtime: the same sharded lock
@@ -81,6 +91,13 @@ type Engine struct {
 	mu       sync.Mutex
 	sessions map[int]*Session
 
+	// maxTID is one past the highest transaction index ever issued, so
+	// Resume can tell an unknown sid from a finished one without a drain.
+	maxTID atomic.Int64
+	// wallClock reports that no Clock was injected, so startReaper may
+	// start the background lease reaper.
+	wallClock bool
+
 	reapStop chan struct{}
 	reapDone chan struct{}
 }
@@ -97,6 +114,15 @@ func NewEngine(init model.State, cfg Config) *Engine {
 // wiring (lock manager, tag source, MPL semaphore) injected; sh == nil
 // means standalone.
 func newEngineShared(init model.State, cfg Config, sh *sharedParts) *Engine {
+	e := newEngineCore(init, cfg, sh)
+	e.startReaper()
+	return e
+}
+
+// newEngineCore builds the engine without starting the background
+// reaper, so the durable constructor can restore the persisted history
+// before any concurrent machinery runs.
+func newEngineCore(init model.State, cfg Config, sh *sharedParts) *Engine {
 	e := &Engine{
 		r:        newRunnerShared(model.NewSystem(init.Clone()), cfg, sh),
 		start:    time.Now(),
@@ -107,13 +133,49 @@ func newEngineShared(init model.State, cfg Config, sh *sharedParts) *Engine {
 	}
 	if e.now == nil {
 		e.now = time.Now
-		if e.lease > 0 {
-			e.reapStop = make(chan struct{})
-			e.reapDone = make(chan struct{})
-			go e.reapLoop()
-		}
+		e.wallClock = true
 	}
 	return e
+}
+
+// startReaper starts the background lease reaper if the engine runs on
+// the wall clock with leases enabled. Idempotent.
+func (e *Engine) startReaper() {
+	if e.wallClock && e.lease > 0 && e.reapStop == nil {
+		e.reapStop = make(chan struct{})
+		e.reapDone = make(chan struct{})
+		go e.reapLoop()
+	}
+}
+
+// sessState is the lifecycle state of one transaction's session,
+// shared by every Session object ever handed out for it: a Resume
+// returns a *fresh* Session (so a dead connection's worker, which may
+// still hold the old object, can never corrupt the new owner's
+// cursor), and all incarnations share this struct — the exactly-once
+// release discipline, the MPL slot accounting and the park arbiter
+// live here.
+type sessState struct {
+	// token is the server-issued resume credential, fixed at open.
+	token uint64
+	// deadline is the lease deadline in unix nanoseconds (0 = no
+	// lease); busy marks an in-flight request, during which the reaper
+	// leaves the session alone. term records the terminal sentinel a
+	// reaper or drain imposed.
+	deadline atomic.Int64
+	busy     atomic.Bool
+	term     atomic.Pointer[error]
+	finished atomic.Bool // release() ran (sem slot given back, deregistered)
+	// parked is the resume arbiter: set by Interrupt, cleared by the
+	// single winning Resume (CompareAndSwap).
+	parked atomic.Bool
+	// holdsSlot tracks whether this session currently occupies an MPL
+	// slot. Swap gives exactly-once acquire/release transitions across
+	// racing Interrupt/Resume/forceAbort/release paths.
+	holdsSlot atomic.Bool
+	// parks counts Interrupts; a Session object whose snapshot disagrees
+	// predates a park and is permanently fenced from the engine.
+	parks atomic.Int64
 }
 
 // Session is one client-paced transaction of an Engine. A Session is
@@ -123,19 +185,16 @@ func newEngineShared(init model.State, cfg Config, sh *sharedParts) *Engine {
 type Session struct {
 	e    *Engine
 	t    int
+	sid  int // engine-wide session id (equals t standalone; the global id under a PartitionedEngine)
 	tx   model.Txn
 	gen  int // generation of the current attempt, from the client's view
 	pos  int // declared steps admitted in the current attempt
 	done bool
+	// myParks snapshots st.parks at creation/resume; a mismatch fences
+	// this object (see sessState.parks).
+	myParks int64
 
-	// deadline is the lease deadline in unix nanoseconds (0 = no
-	// lease); busy marks an in-flight request, during which the reaper
-	// leaves the session alone. term records the terminal sentinel a
-	// reaper or drain imposed.
-	deadline atomic.Int64
-	busy     atomic.Bool
-	term     atomic.Pointer[error]
-	finished atomic.Bool // release() ran (sem slot given back, deregistered)
+	st *sessState
 }
 
 // Open appends the declared transaction to the engine's system and
@@ -197,9 +256,35 @@ func (e *Engine) open(tx model.Txn, owner int) (*Session, error) {
 		return nil, fmt.Errorf("runtime: engine failed: %w", err)
 	}
 	t := r.addTxnDrained(tx, owner, false)
+	sid := t
+	if owner >= 0 {
+		sid = owner
+	}
+	st := &sessState{token: newToken()}
+	var deadline int64
+	if e.lease > 0 {
+		deadline = e.now().Add(e.lease).UnixNano()
+	}
+	st.deadline.Store(deadline)
+	// The declaration is durable before the open is acknowledged, so a
+	// restore can rebuild the transaction population (and its resume
+	// credentials) from the WAL alone.
+	r.persistOpenDrained(recovery.OpenRec{G: sid, Name: tx.Name, Steps: tx.Steps, Token: st.token, Deadline: deadline})
+	if r.fatal != nil {
+		err := r.fatal
+		r.gate.undrain()
+		if r.sem != nil {
+			<-r.sem
+		}
+		return nil, fmt.Errorf("runtime: engine failed: %w", err)
+	}
 	r.gate.undrain()
 
-	s := &Session{e: e, t: t, tx: tx}
+	if r.sem != nil {
+		st.holdsSlot.Store(true)
+	}
+	s := &Session{e: e, t: t, sid: sid, tx: tx, st: st}
+	e.maxTID.Store(int64(t) + 1)
 	s.touch()
 	e.mu.Lock()
 	e.sessions[t] = s
@@ -210,49 +295,68 @@ func (e *Engine) open(tx model.Txn, owner int) (*Session, error) {
 // TID returns the session's transaction index in the engine's system.
 func (s *Session) TID() int { return s.t }
 
+// SID returns the engine-wide session id, the identity a client quotes
+// to Resume after a connection loss.
+func (s *Session) SID() int { return s.sid }
+
+// Token returns the server-issued resume credential.
+func (s *Session) Token() uint64 { return s.st.token }
+
+// Declared returns the session's declared transaction body.
+func (s *Session) Declared() model.Txn { return s.tx }
+
 // touch renews the lease deadline.
 func (s *Session) touch() {
 	if s.e.lease > 0 {
-		s.deadline.Store(s.e.now().Add(s.e.lease).UnixNano())
+		s.st.deadline.Store(s.e.now().Add(s.e.lease).UnixNano())
 	}
 }
 
-// begin guards a session operation: lifecycle read lock, closed and
-// done checks, lease renewal, busy marking. Every return path that got
-// past begin must go through end.
+// begin guards a session operation: lifecycle read lock, closed, done
+// and park-fence checks, lease renewal, busy marking. Every return path
+// that got past begin must go through end.
 func (s *Session) begin() error {
 	if s.done {
-		if p := s.term.Load(); p != nil {
+		if p := s.st.term.Load(); p != nil {
 			return *p
 		}
 		return ErrSessionDone
+	}
+	if s.st.parks.Load() != s.myParks {
+		// This object predates a park: its connection was torn down and
+		// the transaction awaits (or already got) a Resume. The stale
+		// owner is permanently fenced — only the Session returned by
+		// Resume may drive the transaction now.
+		s.done = true
+		return fmt.Errorf("%w (session parked; reattach with resume)", ErrCancelled)
 	}
 	s.e.lifecycle.RLock()
 	if s.e.closed.Load() {
 		s.e.lifecycle.RUnlock()
 		return ErrClosed
 	}
-	s.busy.Store(true)
+	s.st.busy.Store(true)
 	s.touch()
 	return nil
 }
 
 func (s *Session) end() {
 	s.touch()
-	s.busy.Store(false)
+	s.st.busy.Store(false)
 	s.e.lifecycle.RUnlock()
 }
 
 // release deregisters the session and returns its MPL slot, exactly
-// once (the client's own finish can race a reaper's).
+// once (the client's own finish can race a reaper's; a parked session
+// gave its slot back at the park, which holdsSlot remembers).
 func (e *Engine) release(s *Session) {
-	if s.finished.Swap(true) {
+	if s.st.finished.Swap(true) {
 		return
 	}
 	e.mu.Lock()
 	delete(e.sessions, s.t)
 	e.mu.Unlock()
-	if e.r.sem != nil {
+	if e.r.sem != nil && s.st.holdsSlot.Swap(false) {
 		<-e.r.sem
 	}
 }
@@ -290,6 +394,12 @@ func (r *runner) readTxnState(t int) (gen int, status txnStatus, cause, fatal er
 // failure translates a torn-down attempt into the session API's error
 // vocabulary, adopting the new generation so the client can retry.
 func (s *Session) failure() error {
+	if s.st.parks.Load() != s.myParks {
+		// Fenced: a park tore this owner's view down mid-flight. Leave
+		// the shared state alone — the transaction lives on for Resume.
+		s.done = true
+		return fmt.Errorf("%w (session parked; reattach with resume)", ErrCancelled)
+	}
 	gen, status, cause, fatal := s.e.r.readTxnState(s.t)
 	s.gen, s.pos = gen, 0
 	if fatal != nil {
@@ -306,7 +416,7 @@ func (s *Session) failure() error {
 	// Terminal: reaped, drained or out of retries.
 	s.done = true
 	s.e.release(s)
-	if p := s.term.Load(); p != nil {
+	if p := s.st.term.Load(); p != nil {
 		return fmt.Errorf("%w (cause: %v)", *p, cause)
 	}
 	if cause != nil {
@@ -420,6 +530,7 @@ func (s *Session) Abort() error {
 		r.gen[s.t]++
 		r.status[s.t] = txAbandoned
 		r.met.GaveUp++
+		r.persistStatusDrained(s.t, recovery.StatusAbandoned)
 	}
 	fatal := r.fatal
 	r.gate.undrain()
@@ -452,7 +563,7 @@ func (e *Engine) forceAbort(s *Session, term error, cause error, lease bool) boo
 	r := e.r
 	r.gate.drain()
 	r.flushPending()
-	if r.fatal != nil || s.finished.Load() || r.status[s.t] != txActive {
+	if r.fatal != nil || s.st.finished.Load() || r.status[s.t] != txActive {
 		r.gate.undrain()
 		return false
 	}
@@ -464,14 +575,133 @@ func (e *Engine) forceAbort(s *Session, term error, cause error, lease bool) boo
 	if lease {
 		r.met.LeaseExpired++
 	}
+	r.persistStatusDrained(s.t, recovery.StatusAbandoned)
 	// Publish the terminal sentinel before the teardown wakes anyone:
 	// a parked Step woken by the ReleaseAll below must find term set, or
 	// it would misreport the cause as ErrAbandoned.
-	s.term.Store(&term)
+	s.st.term.Store(&term)
 	r.gate.undrain()
 	r.mgr.ReleaseAll(s.t)
 	e.release(s)
 	return true
+}
+
+// Interrupt parks the session engine-side: its in-flight attempt is
+// erased (locks released, a step parked inside a lock acquisition woken
+// with a cancellation) and its MPL slot returned, but the transaction
+// stays open — a client that reconnects within the lease window (which
+// restarts at the park) reattaches with Resume and the session's token.
+// Safe to call concurrently with an in-flight owner call, like Cancel;
+// interrupting a finished or already-parked session is a no-op. The
+// network server parks the sessions of a lost connection this way so a
+// resuming client finds them intact.
+func (s *Session) Interrupt() { s.e.interrupt(s) }
+
+func (e *Engine) interrupt(s *Session) {
+	r := e.r
+	r.gate.drain()
+	r.flushPending()
+	if r.fatal != nil || s.st.finished.Load() || r.status[s.t] != txActive || s.st.parked.Load() {
+		r.gate.undrain()
+		return
+	}
+	r.eraseDrained(map[int]bool{s.t: true})
+	r.gen[s.t]++
+	r.abortCause[s.t] = errParked
+	// The fence must rise before anything parked is woken: a woken step
+	// sees the parks mismatch and dies without touching shared cursor
+	// state.
+	s.st.parks.Add(1)
+	s.st.parked.Store(true)
+	s.touch() // the lease window restarts at the park
+	r.gate.undrain()
+	r.mgr.ReleaseAll(s.t)
+	if r.sem != nil && s.st.holdsSlot.Swap(false) {
+		<-r.sem
+	}
+}
+
+// errParked is the abort cause recorded for a parked session's erased
+// attempt.
+var errParked = errors.New("session parked (connection lost)")
+
+// Resume reattaches a parked session by id and token: the single
+// winning caller (concurrent Resumes race on an atomic arbiter) gets a
+// fresh Session positioned at the first declared step, holding a fresh
+// MPL slot. A wrong token is refused without touching the session; a
+// parked session whose lease deadline has passed is reaped here
+// (deterministically — no dependence on reaper timing) and refused
+// with ErrLeaseExpired.
+func (e *Engine) Resume(sid int, token uint64) (Sess, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	s, err := e.resumeLocal(sid, token)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// resumeLocal is Resume on the partition-local transaction index, split
+// out so a PartitionedEngine can route a global sid to its home
+// partition's row.
+func (e *Engine) resumeLocal(t int, token uint64) (*Session, error) {
+	if t < 0 || int64(t) >= e.maxTID.Load() {
+		return nil, ErrUnknownSession
+	}
+	e.mu.Lock()
+	cur := e.sessions[t]
+	e.mu.Unlock()
+	if cur == nil {
+		return nil, ErrSessionDone
+	}
+	st := cur.st
+	if st.token != token {
+		return nil, ErrBadToken
+	}
+	if d := st.deadline.Load(); d != 0 && d <= e.now().UnixNano() {
+		e.forceAbort(cur, ErrLeaseExpired, fmt.Errorf("lease of %v expired", e.lease), true)
+		if p := st.term.Load(); p != nil {
+			return nil, *p
+		}
+		return nil, ErrLeaseExpired
+	}
+	if !st.parked.CompareAndSwap(true, false) {
+		return nil, ErrNotResumable
+	}
+	// The park gave the MPL slot back; the resumed incarnation competes
+	// for a fresh one like an Open would.
+	if e.r.sem != nil {
+		select {
+		case e.r.sem <- struct{}{}:
+		case <-e.closedCh:
+			st.parked.Store(true)
+			return nil, ErrClosed
+		}
+		st.holdsSlot.Store(true)
+	}
+	// A reaper or shutdown may have killed the session between the CAS
+	// and the slot acquisition; re-check liveness.
+	gen, status, _, fatal := e.r.readTxnState(t)
+	if fatal != nil || status != txActive || st.finished.Load() {
+		if e.r.sem != nil && st.holdsSlot.Swap(false) {
+			<-e.r.sem
+		}
+		if p := st.term.Load(); p != nil {
+			return nil, *p
+		}
+		if fatal != nil {
+			return nil, fmt.Errorf("runtime: engine failed: %w", fatal)
+		}
+		return nil, ErrNotResumable
+	}
+	ns := &Session{e: e, t: t, sid: cur.sid, tx: cur.tx, st: st, gen: gen, myParks: st.parks.Load()}
+	ns.touch()
+	e.mu.Lock()
+	e.sessions[t] = ns
+	e.mu.Unlock()
+	return ns, nil
 }
 
 // Reap aborts every open session whose lease deadline has passed and
@@ -487,7 +717,7 @@ func (e *Engine) Reap() int {
 	e.mu.Lock()
 	var expired []*Session
 	for _, s := range e.sessions {
-		if d := s.deadline.Load(); d != 0 && d <= now && !s.busy.Load() {
+		if d := s.st.deadline.Load(); d != 0 && d <= now && !s.st.busy.Load() {
 			expired = append(expired, s)
 		}
 	}
@@ -640,6 +870,13 @@ func (e *Engine) Close() (*Result, error) {
 	met := r.met
 	fatal := r.fatal
 	r.gate.undrain()
+	// Seal the durable store (if any): the clean-shutdown marker lets the
+	// next Open skip torn-tail scanning and attests nothing was lost.
+	if p := r.rec.Persister(); p != nil {
+		if cerr := p.Close(); cerr != nil && fatal == nil {
+			fatal = fmt.Errorf("runtime: sealing durable store: %w", cerr)
+		}
+	}
 	if fatal != nil {
 		return nil, fatal
 	}

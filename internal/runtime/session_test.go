@@ -195,7 +195,7 @@ func TestSessionLeaseExpiry(t *testing.T) {
 	// stalled session's lock and stays busy — and the reaper never
 	// touches a busy session — so the upcoming Reap can only see the
 	// stalled one.
-	for !waiter.busy.Load() {
+	for !waiter.st.busy.Load() {
 		time.Sleep(50 * time.Microsecond)
 	}
 	clock.advance(2 * time.Second)

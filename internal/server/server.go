@@ -23,9 +23,10 @@
 // commit, abort and run is a direct call into the engine's session API,
 // so the gate-equivalence and session-safety arguments of DESIGN.md
 // carry over to network execution unchanged. A connection that drops
-// takes its open sessions with it (they are aborted, releasing their
-// locks); a connection that merely stalls is the lease reaper's
-// problem.
+// settles its open sessions: under protocol version 4 they are *parked*
+// (locks released, session resumable by sid + token within the lease —
+// the resume op), under earlier versions aborted outright. A connection
+// that merely stalls is the lease reaper's problem.
 package server
 
 import (
@@ -34,6 +35,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"locksafe/internal/model"
@@ -78,6 +80,26 @@ func New(init model.State, cfg runtime.Config) *Server {
 		policy: name,
 		conns:  make(map[*conn]struct{}),
 	}
+}
+
+// NewDurable builds a server over a durable engine persisting into
+// cfg.DataDir (restoring whatever history the directory holds first —
+// see runtime.NewDurableSessionEngine). Sessions restored parked are
+// reachable through the resume op with their persisted tokens.
+func NewDurable(init model.State, cfg runtime.Config) (*Server, *runtime.RestoreInfo, error) {
+	name := "unrestricted"
+	if cfg.Policy != nil {
+		name = cfg.Policy.Name()
+	}
+	eng, info, err := runtime.NewDurableSessionEngine(init, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Server{
+		eng:    eng,
+		policy: name,
+		conns:  make(map[*conn]struct{}),
+	}, info, nil
 }
 
 // Engine exposes the underlying engine (tests and embedders; the
@@ -171,6 +193,10 @@ type conn struct {
 	srv *Server
 	nc  net.Conn
 	rd  *wire.Reader // owned by the serve goroutine
+	// version is the negotiated protocol version, written once at hello.
+	// Atomic because open/run/resume handlers run off the reader and may
+	// race a straggler hello of a misbehaving client.
+	version atomic.Int32
 
 	wmu   sync.Mutex      // outgoing responses + writer lifecycle
 	outq  []wire.Response // pending responses (nil when drained)
@@ -249,22 +275,24 @@ func (c *conn) handle(req wire.Request) bool {
 	switch req.Op {
 	case wire.OpHello:
 		switch req.Version {
-		case wire.Version:
-			// Version 3: answer the hello in the codec it arrived in, then
-			// both directions go binary. The reader switches here — the
+		case wire.Version, wire.VersionBinary:
+			// Version 3 or 4: answer the hello in the codec it arrived in,
+			// then both directions go binary. The reader switches here — the
 			// client won't emit a binary frame until it has our answer, so
 			// nothing already buffered can be mis-decoded. The writer
 			// switches exactly after the hello response via the queue
 			// marker, so earlier queued responses (there are none in a
 			// conforming handshake, but a pipelined pre-hello burst is
 			// legal to refuse) still leave in JSON.
-			c.sendSwitchAfter(wire.Response{ID: req.ID, OK: true, Version: wire.Version, Policy: c.srv.policy}, wire.CodecBinary)
+			c.version.Store(int32(req.Version))
+			c.sendSwitchAfter(wire.Response{ID: req.ID, OK: true, Version: req.Version, Policy: c.srv.policy}, wire.CodecBinary)
 			c.rd.SetCodec(wire.CodecBinary)
 		case wire.VersionJSON:
+			c.version.Store(int32(wire.VersionJSON))
 			c.send(wire.Response{ID: req.ID, OK: true, Version: wire.VersionJSON, Policy: c.srv.policy})
 		default:
 			c.send(wire.Response{ID: req.ID, Code: wire.CodeVersion,
-				Err: fmt.Sprintf("server speaks protocol versions %d and %d, client sent %d", wire.VersionJSON, wire.Version, req.Version)})
+				Err: fmt.Sprintf("server speaks protocol versions %d through %d, client sent %d", wire.VersionJSON, wire.Version, req.Version)})
 			return true
 		}
 	case wire.OpStats:
@@ -276,6 +304,9 @@ func (c *conn) handle(req wire.Request) bool {
 	case wire.OpOpen:
 		// Open may block on the MPL gate; run it off the reader.
 		go c.open(req)
+	case wire.OpResume:
+		// Resume competes for an MPL slot like open; off the reader.
+		go c.resume(req)
 	case wire.OpRun:
 		// The whole transaction runs engine-side; off the reader, since
 		// it blocks on locks and the MPL gate for its full lifetime.
@@ -414,6 +445,7 @@ func (c *conn) open(req wire.Request) {
 		return
 	}
 	w := &sessWorker{sess: sess, table: req.Table}
+	v4 := c.version.Load() >= wire.Version
 	c.smu.Lock()
 	if c.closing {
 		c.smu.Unlock()
@@ -421,11 +453,108 @@ func (c *conn) open(req wire.Request) {
 		c.send(wire.Response{ID: req.ID, Code: wire.CodeClosed, Err: "connection closing"})
 		return
 	}
-	c.nextSID++
-	sid := c.nextSID
+	// Version 4 sessions are addressed by their engine-wide session id,
+	// which survives the connection: a resume on a later connection names
+	// the same sid. Earlier versions keep their per-connection ids.
+	var sid uint64
+	if v4 {
+		sid = uint64(sess.SID())
+	} else {
+		c.nextSID++
+		sid = c.nextSID
+	}
 	c.sessions[sid] = w
 	c.smu.Unlock()
-	c.send(wire.Response{ID: req.ID, OK: true, SID: sid})
+	resp := wire.Response{ID: req.ID, OK: true, SID: sid}
+	if v4 {
+		// The resume token: present it with a later resume of this sid.
+		resp.Token = sess.Token()
+	}
+	c.send(resp)
+}
+
+// resume reattaches a parked session (protocol version 4): the client
+// presents the sid and token from the session's open response plus the
+// session's declared body, which must match the declaration on record —
+// resumption re-arms the cursor at the first declared step, so a client
+// with a different body is a confused client, refused with the session
+// left parked.
+func (c *conn) resume(req wire.Request) {
+	if c.srv.isDraining() {
+		c.send(wire.Response{ID: req.ID, Code: wire.CodeClosed, Err: "server draining"})
+		return
+	}
+	if c.version.Load() < wire.Version {
+		c.send(wire.Response{ID: req.ID, Code: wire.CodeBadReq,
+			Err: fmt.Sprintf("resume requires protocol version %d", wire.Version)})
+		return
+	}
+	steps, err := req.DeclaredSteps()
+	if err != nil {
+		c.send(wire.Response{ID: req.ID, Code: wire.CodeBadReq, Err: err.Error()})
+		return
+	}
+	sess, err := c.srv.eng.Resume(int(req.SID), req.Token)
+	if err != nil {
+		c.send(wire.Response{ID: req.ID, Code: resumeCode(err), Err: err.Error(), SID: req.SID})
+		return
+	}
+	if decl := sess.Declared(); !stepsEqual(decl.Steps, steps) {
+		// Park the session again: it stays resumable with the right body.
+		sess.Interrupt()
+		c.send(wire.Response{ID: req.ID, Code: wire.CodeBadReq, SID: req.SID,
+			Err: "declared body does not match the session's declaration"})
+		return
+	}
+	w := &sessWorker{sess: sess, table: req.Table}
+	c.smu.Lock()
+	if c.closing {
+		c.smu.Unlock()
+		sess.Interrupt()
+		c.send(wire.Response{ID: req.ID, Code: wire.CodeClosed, Err: "connection closing"})
+		return
+	}
+	c.sessions[req.SID] = w
+	c.smu.Unlock()
+	// The reattached session restarts at attempt 0 and the first declared
+	// step, whatever the pre-disconnect attempt was: the park erased the
+	// in-flight attempt.
+	c.send(wire.Response{ID: req.ID, OK: true, SID: req.SID, Token: sess.Token()})
+}
+
+// stepsEqual reports whether two declared bodies are identical.
+func stepsEqual(a, b []model.Step) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// resumeCode maps the engine's resume refusals onto wire codes: an
+// unusable request (unknown sid, wrong token, session not parked) is
+// the request's problem and touches nothing; a session that no longer
+// exists — finished, reaped, or found lease-expired by the resume
+// itself — answers CodeAborted, telling the client the session is gone
+// and a fresh open is the only way forward.
+func resumeCode(err error) string {
+	switch {
+	case errors.Is(err, runtime.ErrUnknownSession),
+		errors.Is(err, runtime.ErrBadToken),
+		errors.Is(err, runtime.ErrNotResumable):
+		return wire.CodeBadReq
+	case errors.Is(err, runtime.ErrSessionDone),
+		errors.Is(err, runtime.ErrLeaseExpired):
+		return wire.CodeAborted
+	case errors.Is(err, runtime.ErrClosed):
+		return wire.CodeClosed
+	default:
+		return wire.CodeInternal
+	}
 }
 
 // runProc executes one stored-procedure request: open the declared
@@ -602,7 +731,7 @@ func (c *conn) runWorker(sid uint64, w *sessWorker) {
 				for _, r := range rest {
 					c.send(wire.Response{ID: r.ID, Code: wire.CodeDone, Err: "session already finished"})
 				}
-				c.forget(sid)
+				c.forget(sid, w)
 				return
 			}
 			c.send(resp)
@@ -632,18 +761,26 @@ func sessionOver(op string, err error) bool {
 	}
 }
 
-// forget unregisters a finished session.
-func (c *conn) forget(sid uint64) {
+// forget unregisters a finished session. The identity check matters
+// under resume: a stale fenced worker of a since-resumed sid finishing
+// late must not evict the live worker registered under the same sid.
+func (c *conn) forget(sid uint64, w *sessWorker) {
 	c.smu.Lock()
-	delete(c.sessions, sid)
+	if c.sessions[sid] == w {
+		delete(c.sessions, sid)
+	}
 	c.smu.Unlock()
 }
 
-// teardown cancels every unfinished session (the client is gone, so its
-// locks must not outlive it — Cancel also wakes a step parked inside a
-// lock acquisition), waits out the workers, gives the writer a bounded
-// chance to flush the final responses (a version refusal must reach a
-// live client) and unregisters the connection.
+// teardown settles every unfinished session — the client is gone, so
+// its locks must not outlive it. Under protocol version 4 sessions are
+// *parked* (Interrupt): the attempt is erased and the locks released,
+// but the session stays open for a resume within its lease window.
+// Earlier versions cancel outright, as do stored-procedure runs (a run
+// has no resumable client-side cursor). Both wake a step parked inside
+// a lock acquisition. Then: wait out the workers, give the writer a
+// bounded chance to flush the final responses (a version refusal must
+// reach a live client) and unregister the connection.
 func (c *conn) teardown() {
 	c.smu.Lock()
 	c.closing = true
@@ -657,8 +794,13 @@ func (c *conn) teardown() {
 		runs = append(runs, sess)
 	}
 	c.smu.Unlock()
+	v4 := c.version.Load() >= wire.Version
 	for _, w := range workers {
-		w.sess.Cancel()
+		if v4 {
+			w.sess.Interrupt()
+		} else {
+			w.sess.Cancel()
+		}
 	}
 	for _, sess := range runs {
 		sess.Cancel()

@@ -522,7 +522,11 @@ func driveNetworkRun(t *testing.T, sys *model.System, cfg runtime.Config, versio
 // (reading an entity that does not exist yet) must drain its already-
 // submitted tail as stale — the server refuses the steps without
 // executing them, so the reset cursor is not corrupted — and the retry,
-// after another session creates the entity, commits cleanly.
+// after another session creates the entity, commits cleanly. The retry
+// rides a *resumed* session: the reader's connection dies after the
+// abort, the server parks the session, and a second connection resumes
+// it — the stale-drain bookkeeping must survive the park/resume cycle
+// (both sides restart at attempt 0).
 func TestClientPipelinedAbortRetry(t *testing.T) {
 	srv, addr := startServer(t, model.NewState(), runtime.Config{
 		Policy: policy.TwoPhase{}, Backoff: -1,
@@ -560,10 +564,21 @@ func TestClientPipelinedAbortRetry(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// The retry re-pipelines from the first declared step (attempt tag 1
-	// now) and must commit: x exists.
-	if err := reader.RunPipelined(client.Backoff{Base: -1}); err != nil {
-		t.Fatalf("pipelined retry = %v, want commit", err)
+	// The reader's connection dies between the abort and the retry; the
+	// server parks the session within its lease.
+	c.Close()
+	c2, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	// The retry resumes the parked session on the new connection and
+	// re-pipelines from the first declared step — and must commit: x
+	// exists now.
+	resumed := resumeRetry(t, c2, reader)
+	if err := resumed.RunPipelined(client.Backoff{Base: -1}); err != nil {
+		t.Fatalf("pipelined retry after resume = %v, want commit", err)
 	}
 
 	res, err := srv.Shutdown(time.Second)

@@ -1,9 +1,10 @@
 package wire
 
-// binary.go is the protocol version 3 codec: the same framing (4-byte
-// big-endian payload length, MaxFrame bound) and the same message
-// vocabulary as version 2, but payloads are a compact binary form
-// instead of JSON. A binary payload is
+// binary.go is the protocol version 3 codec (version 4 speaks the same
+// codec, adding the resume op and the token/attempt response block):
+// the same framing (4-byte big-endian payload length, MaxFrame bound)
+// and the same message vocabulary as version 2, but payloads are a
+// compact binary form instead of JSON. A binary payload is
 //
 //	0xB3  uvarint(count)  count × message
 //
@@ -69,11 +70,13 @@ var binOps = map[string]byte{
 	OpRun:     6,
 	OpStats:   7,
 	OpInspect: 8,
+	OpResume:  9,
 }
 
 var binOpNames = [...]string{
 	1: OpHello, 2: OpOpen, 3: OpStep, 4: OpCommit,
 	5: OpAbort, 6: OpRun, 7: OpStats, 8: OpInspect,
+	9: OpResume,
 }
 
 // Response code bytes; 0 is OK (no code).
@@ -101,6 +104,7 @@ const (
 	binFlagHello   = 1 << iota // Version + Policy follow
 	binFlagStats               // Stats block follows
 	binFlagInspect             // Inspect block follows
+	binFlagToken               // Token + Attempt follow (open/resume answers)
 )
 
 // ---------------------------------------------------------------------
@@ -140,7 +144,7 @@ func appendRequest(b []byte, r *Request) ([]byte, error) {
 	switch r.Op {
 	case OpHello:
 		b = binary.AppendVarint(b, int64(r.Version))
-	case OpOpen, OpRun:
+	case OpOpen, OpRun, OpResume:
 		if len(r.Txn) > 0 && r.CSteps == nil {
 			return nil, fmt.Errorf("wire: binary %s requires the compact body (Table/CSteps), got step texts", r.Op)
 		}
@@ -153,6 +157,10 @@ func appendRequest(b []byte, r *Request) ([]byte, error) {
 		for _, cs := range r.CSteps {
 			b = append(b, byte(cs.Op))
 			b = binary.AppendUvarint(b, uint64(cs.Idx))
+		}
+		if r.Op == OpResume {
+			b = binary.AppendUvarint(b, r.SID)
+			b = binary.AppendUvarint(b, r.Token)
 		}
 	case OpStep:
 		if !r.HasCompact {
@@ -201,6 +209,9 @@ func appendResponse(b []byte, r *Response) ([]byte, error) {
 	if r.Inspect != nil {
 		flags |= binFlagInspect
 	}
+	if r.Token != 0 || r.Attempt != 0 {
+		flags |= binFlagToken
+	}
 	b = append(b, flags)
 	b = binary.AppendUvarint(b, r.ID)
 	b = binary.AppendUvarint(b, r.SID)
@@ -224,6 +235,10 @@ func appendResponse(b []byte, r *Response) ([]byte, error) {
 			b = append(b, 0)
 		}
 		b = appendStats(b, &r.Inspect.Stats)
+	}
+	if flags&binFlagToken != 0 {
+		b = binary.AppendUvarint(b, r.Token)
+		b = binary.AppendVarint(b, int64(r.Attempt))
 	}
 	return b, nil
 }
@@ -335,7 +350,7 @@ func (d *cursor) request() (Request, error) {
 			return r, err
 		}
 		r.Version = int(v)
-	case OpOpen, OpRun:
+	case OpOpen, OpRun, OpResume:
 		if r.Name, err = d.str(); err != nil {
 			return r, err
 		}
@@ -369,6 +384,14 @@ func (d *cursor) request() (Request, error) {
 				if r.CSteps[i], err = d.compactStep(); err != nil {
 					return r, err
 				}
+			}
+		}
+		if r.Op == OpResume {
+			if r.SID, err = d.uvarint(); err != nil {
+				return r, err
+			}
+			if r.Token, err = d.uvarint(); err != nil {
+				return r, err
 			}
 		}
 	case OpStep:
@@ -420,7 +443,7 @@ func (d *cursor) response() (Response, error) {
 	if err != nil {
 		return r, err
 	}
-	if flags&^(binFlagHello|binFlagStats|binFlagInspect) != 0 {
+	if flags&^(binFlagHello|binFlagStats|binFlagInspect|binFlagToken) != 0 {
 		return r, fmt.Errorf("wire: unknown response flag bits %#x", flags)
 	}
 	if r.ID, err = d.uvarint(); err != nil {
@@ -472,6 +495,16 @@ func (d *cursor) response() (Response, error) {
 		if err := d.stats(&r.Inspect.Stats); err != nil {
 			return r, err
 		}
+	}
+	if flags&binFlagToken != 0 {
+		if r.Token, err = d.uvarint(); err != nil {
+			return r, err
+		}
+		a, err := d.varint()
+		if err != nil {
+			return r, err
+		}
+		r.Attempt = int(a)
 	}
 	return r, nil
 }

@@ -29,6 +29,9 @@ func sampleRequests() []Request {
 		{ID: 7, Op: OpAbort, SID: 9},
 		{ID: 8, Op: OpStats},
 		{ID: 9, Op: OpInspect},
+		{ID: 10, Op: OpResume, Name: "transfer", Table: table, CSteps: csteps,
+			SID: 9, Token: 0xDEADBEEFCAFE},
+		{ID: 11, Op: OpResume, Name: "empty", SID: 3, Token: 1},
 	}
 }
 
@@ -44,6 +47,8 @@ func sampleResponses() []Response {
 		{ID: 4, OK: true, Stats: stats},
 		{ID: 5, OK: true, Inspect: &Inspect{Log: "(LX a)(W a)", State: "a=1",
 			MonitorKey: "2pl", Serializable: true, Stats: *stats}},
+		{ID: 6, OK: true, SID: 41, Token: 0xFEEDFACE0, Attempt: 0},
+		{ID: 7, OK: true, SID: 41, Attempt: 3},
 	}
 	for _, code := range []string{CodeAborted, CodeAbandoned, CodeExpired,
 		CodeClosed, CodeDone, CodeMismatch, CodeMalformed, CodeBadReq,

@@ -126,7 +126,7 @@ func jsonTwin(r Request) (Request, bool) {
 	twin := r
 	twin.Table, twin.CSteps, twin.CStep, twin.HasCompact = nil, nil, model.CompactStep{}, false
 	switch r.Op {
-	case OpOpen, OpRun:
+	case OpOpen, OpRun, OpResume:
 		if r.Table != nil || r.CSteps != nil {
 			steps, err := model.ExpandCompact(r.Table, r.CSteps)
 			if err != nil {

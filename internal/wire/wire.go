@@ -38,16 +38,24 @@ import (
 
 // Version is the newest protocol version spoken by this tree. Version 2
 // added batch frames, attempt tags and the run op (all of PR 6's
-// transport layers); version 3 adds the binary codec (varint fields,
+// transport layers); version 3 added the binary codec (varint fields,
 // single-byte ops/codes, compact steps against a per-session entity
-// table). The server accepts hellos for both Version and VersionJSON
-// and refuses anything else with CodeVersion; the codec of every frame
-// after the hello exchange follows the negotiated version.
-const Version = 3
+// table); version 4 adds session resumption: open responses carry a
+// resume token, and the resume op reattaches a disconnected session by
+// sid + token within its lease. The server accepts hellos for Version,
+// VersionBinary and VersionJSON and refuses anything else with
+// CodeVersion; the codec of every frame after the hello exchange
+// follows the negotiated version (binary for 3 and up).
+const Version = 4
+
+// VersionBinary is protocol version 3: the binary codec without the
+// resume vocabulary. Kept live so v3 peers interoperate unchanged with
+// a v4 server.
+const VersionBinary = 3
 
 // VersionJSON is protocol version 2: the same message vocabulary as
 // version 3, JSON codec throughout. Kept live so v2 peers interoperate
-// unchanged with a v3 server.
+// unchanged with a v4 server.
 const VersionJSON = 2
 
 // MaxFrame bounds a frame's payload (requests and responses); the
@@ -65,6 +73,12 @@ const (
 	OpRun     = "run"
 	OpStats   = "stats"
 	OpInspect = "inspect"
+	// OpResume (version 4) reattaches a parked session: the client
+	// re-sends the declared body (as at open) plus the session's sid and
+	// the resume token the open response carried. On success the session
+	// is live again with a fresh attempt counter (Response.Attempt) and
+	// the client replays its steps from the first.
+	OpResume = "resume"
 )
 
 // Response codes (Code is set only when OK is false). CodeAborted is
@@ -104,6 +118,9 @@ type Request struct {
 	// a late message of a torn-down attempt and is refused CodeAborted
 	// without touching the session.
 	Attempt int `json:"attempt,omitempty"`
+	// Token accompanies resume: the resume token issued by the open
+	// response of the session being reattached.
+	Token uint64 `json:"token,omitempty"`
 
 	// Compact body (binary codec only, never in JSON). Under version 3,
 	// open and run carry the declared body as Table + CSteps instead of
@@ -138,6 +155,12 @@ type Response struct {
 	Policy  string `json:"policy,omitempty"`
 	// SID answers open.
 	SID uint64 `json:"sid,omitempty"`
+	// Token answers open under version 4: the resume token to present
+	// with a later resume of this session.
+	Token uint64 `json:"token,omitempty"`
+	// Attempt answers resume: the attempt tag the reattached session's
+	// next step must carry (the attempt counter restarts at 0).
+	Attempt int `json:"attempt,omitempty"`
 	// Stats answers stats; Inspect answers inspect.
 	Stats   *Stats   `json:"stats,omitempty"`
 	Inspect *Inspect `json:"inspect,omitempty"`

@@ -1,8 +1,9 @@
 // Package client is the Go client of the lockd network lock service: it
 // speaks the length-prefixed frame protocol of internal/wire (specified
-// in docs/PROTOCOL.md; the version 3 binary codec by default, the
-// version 2 JSON codec via DialVersion) over one TCP connection and
-// mirrors the session runtime's error vocabulary as exported sentinels.
+// in docs/PROTOCOL.md; protocol version 4 — binary codec plus session
+// resumption — by default, versions 3 and 2 via DialVersion) over one
+// TCP connection and mirrors the session runtime's error vocabulary as
+// exported sentinels.
 //
 // A transaction is declared in full at Open (the paper's policies are
 // properties of declared bodies; the server also needs the body to
@@ -19,6 +20,12 @@
 //   - stored-procedure: Client.Run ships the declared body once and the
 //     server drives the whole step/commit/abort/retry loop engine-side,
 //     answering with a single terminal response.
+//
+// Under protocol version 4 a session that loses its connection is
+// *parked* server-side, not aborted: its locks are released but the
+// session stays open within its lease window, and Client.Resume on a
+// fresh connection reattaches it by sid + resume token (issued at open)
+// and re-drives the declared body from the first step.
 //
 // On ErrAborted the server has erased the attempt and released its
 // locks; the session survives and the client retries from the first
@@ -127,7 +134,7 @@ func (b Backoff) delay(k int) time.Duration {
 // Client is one connection to a lockd server. Safe for concurrent use.
 type Client struct {
 	nc      net.Conn
-	version int          // negotiated protocol version (wire.Version or wire.VersionJSON)
+	version int          // negotiated protocol version (wire.VersionJSON through wire.Version)
 	rd      *wire.Reader // owned by readLoop; codec switched at handshake
 	wr      *wire.Writer // owned by writeLoop; codec switched at handshake
 
@@ -147,14 +154,16 @@ type Client struct {
 }
 
 // Dial connects, performs the version handshake (negotiating protocol
-// version 3, the binary codec) and returns the client.
+// version 4: the binary codec plus session resumption) and returns the
+// client.
 func Dial(addr string) (*Client, error) {
 	return DialVersion(addr, wire.Version)
 }
 
 // DialVersion is Dial pinned to a specific protocol version:
-// wire.Version (3, binary codec) or wire.VersionJSON (2, JSON codec —
-// what a not-yet-upgraded client in the field speaks).
+// wire.Version (4, binary codec + resume), wire.VersionBinary (3,
+// binary codec) or wire.VersionJSON (2, JSON codec — what a
+// not-yet-upgraded client in the field speaks).
 func DialVersion(addr string, version int) (*Client, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -175,9 +184,9 @@ func NewVersion(nc net.Conn, version int) (*Client, error) {
 }
 
 func handshake(nc net.Conn, version int) (*Client, error) {
-	if version != wire.Version && version != wire.VersionJSON {
+	if version != wire.Version && version != wire.VersionBinary && version != wire.VersionJSON {
 		nc.Close()
-		return nil, fmt.Errorf("%w: this client speaks protocol versions %d and %d, not %d",
+		return nil, fmt.Errorf("%w: this client speaks protocol versions %d through %d, not %d",
 			ErrProtocol, wire.VersionJSON, wire.Version, version)
 	}
 	c := &Client{
@@ -197,12 +206,12 @@ func handshake(nc net.Conn, version int) (*Client, error) {
 		c.fail(ErrClosed, err)
 		return nil, err
 	}
-	if version == wire.Version {
+	if version >= wire.VersionBinary {
 		// The hello exchange is JSON under every version; with version 3
-		// agreed, everything after it is binary. The server cannot emit a
-		// binary frame before answering our hello and we cannot have
-		// queued another request yet (the handshake is synchronous), so
-		// both switches land between frames on both streams.
+		// or 4 agreed, everything after it is binary. The server cannot
+		// emit a binary frame before answering our hello and we cannot
+		// have queued another request yet (the handshake is synchronous),
+		// so both switches land between frames on both streams.
 		c.rd.SetCodec(wire.CodecBinary)
 		c.wr.SetCodec(wire.CodecBinary)
 	}
@@ -211,7 +220,7 @@ func handshake(nc net.Conn, version int) (*Client, error) {
 }
 
 // binary reports whether the negotiated codec ships compact steps.
-func (c *Client) binary() bool { return c.version == wire.Version }
+func (c *Client) binary() bool { return c.version >= wire.VersionBinary }
 
 // Policy returns the server's policy name, as reported at handshake.
 func (c *Client) Policy() string { return c.policy }

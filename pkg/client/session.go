@@ -20,7 +20,11 @@ const maxInflight = 96
 type Session struct {
 	c   *Client
 	sid uint64
-	tx  model.Txn
+	// token is the resume token the open response carried (protocol
+	// version 4; zero under earlier versions): the credential a later
+	// Resume presents to reattach this session after a lost connection.
+	token uint64
+	tx    model.Txn
 
 	// Compact encoding state (binary codec only): the entity table as
 	// declared to the server at open, the declared body in compact form,
@@ -70,11 +74,54 @@ func (c *Client) Open(tx model.Txn) (*Session, error) {
 		return nil, err
 	}
 	s.sid = resp.SID
+	s.token = resp.Token
+	return s, nil
+}
+
+// Resume reattaches a session parked server-side — typically by a lost
+// connection (the server parks a version 4 connection's sessions
+// instead of aborting them) — on this client's connection. prev is the
+// parked session's handle, usually from a now-dead Client: its sid,
+// resume token and declared body identify and re-arm the session. The
+// returned session is fresh, positioned at the first declared step with
+// a reset attempt counter; drive it exactly like a newly opened one.
+// Refusals: wrong token, unknown sid or a session that is not parked
+// wrap ErrProtocol (the request was unusable, nothing was touched); a
+// session that is gone — finished, or its lease expired — wraps
+// ErrAborted, and reopening is the only way forward.
+func (c *Client) Resume(prev *Session) (*Session, error) {
+	if c.version < wire.Version {
+		return nil, fmt.Errorf("%w: resume requires protocol version %d", ErrProtocol, wire.Version)
+	}
+	s := &Session{c: c, sid: prev.sid, token: prev.token, tx: prev.tx.Clone()}
+	req := wire.Request{Op: wire.OpResume, Name: s.tx.Name, SID: s.sid, Token: s.token}
+	s.table, s.csteps = model.CompactTxn(s.tx.Steps)
+	req.Table, req.CSteps = s.table, s.csteps
+	s.index = make(map[model.Entity]uint32, len(s.table))
+	for i, e := range s.table {
+		s.index[e] = uint32(i)
+	}
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	s.sid = resp.SID
+	s.token = resp.Token
+	s.attempt = resp.Attempt
 	return s, nil
 }
 
 // Declared returns the session's declared transaction.
 func (s *Session) Declared() model.Txn { return s.tx }
+
+// SID returns the server-assigned session id: under protocol version 4
+// an engine-wide id that survives the connection (the handle Resume
+// presents), under earlier versions a per-connection counter.
+func (s *Session) SID() uint64 { return s.sid }
+
+// Token returns the resume token issued at open (protocol version 4;
+// zero under earlier versions).
+func (s *Session) Token() uint64 { return s.token }
 
 // Step submits the next declared step and waits for its admission. On
 // ErrAborted the attempt was erased server-side; the session survives
